@@ -1,0 +1,109 @@
+//! Controller hot-path costs: per-decision latency (the Section 3
+//! "<1.5 % runtime overhead" claim), table construction and the
+//! per-frame control loop.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use fgqos_core::policy::MaxQuality;
+use fgqos_core::CycleController;
+use fgqos_graph::iterate::{IteratedGraph, IterationMode};
+use fgqos_sched::ConstraintTables;
+use fgqos_sim::app::{fig2_body, fig2_profile};
+use fgqos_sim::scenario::LoadScenario;
+use fgqos_time::{Cycles, DeadlineMap, QualitySet};
+
+fn tables_for(n_mb: usize, budget: u64) -> (ConstraintTables, QualitySet) {
+    let body = fig2_body();
+    let profile = fig2_profile().tile(n_mb);
+    let iter = IteratedGraph::new(&body, n_mb, IterationMode::Sequential).unwrap();
+    let body_order = body.topological_order().to_vec();
+    let order = iter.replay_body_schedule(&body_order).unwrap();
+    let qs = profile.qualities().clone();
+    let body_len = body.len();
+    let mut deadlines = vec![Cycles::ZERO; n_mb * body_len];
+    for k in 0..n_mb {
+        let d = Cycles::new(budget * (k as u64 + 1) / n_mb as u64);
+        for a in 0..body_len {
+            deadlines[k * body_len + a] = d;
+        }
+    }
+    let dm = DeadlineMap::uniform(qs.clone(), deadlines);
+    (ConstraintTables::new(order, &profile, &dm).unwrap(), qs)
+}
+
+fn bench_decision(c: &mut Criterion) {
+    let (tables, _qs) = tables_for(99, 20_000_000);
+    let mut g = c.benchmark_group("controller_step");
+    g.bench_function("max_feasible_mid_frame", |b| {
+        let i = tables.len() / 2;
+        let t = Cycles::new(9_000_000);
+        b.iter(|| std::hint::black_box(tables.max_feasible(i, t)));
+    });
+    g.bench_function("qual_const_single_level", |b| {
+        let i = tables.len() / 2;
+        let t = Cycles::new(9_000_000);
+        b.iter(|| std::hint::black_box(tables.qual_const(5, i, t)));
+    });
+    g.finish();
+}
+
+fn bench_table_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table_build");
+    for &n_mb in &[99usize, 396, 1584] {
+        g.bench_with_input(BenchmarkId::from_parameter(n_mb), &n_mb, |b, &n| {
+            let body = fig2_body();
+            let profile = fig2_profile().tile(n);
+            let iter = IteratedGraph::new(&body, n, IterationMode::Sequential).unwrap();
+            let order = iter
+                .replay_body_schedule(&body.topological_order().to_vec())
+                .unwrap();
+            let qs = profile.qualities().clone();
+            let deadlines: Vec<Cycles> = (0..n * 9)
+                .map(|i| Cycles::new(320_000_000 * (i as u64 / 9 + 1) / n as u64))
+                .collect();
+            let dm = DeadlineMap::uniform(qs, deadlines);
+            b.iter(|| {
+                std::hint::black_box(
+                    ConstraintTables::new(order.clone(), &profile, &dm).unwrap(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_cycle(c: &mut Criterion) {
+    let (tables, qs) = tables_for(99, 20_000_000);
+    let profile = fig2_profile();
+    c.bench_function("controlled_cycle_99mb", |b| {
+        b.iter_batched(
+            || CycleController::from_tables(tables.clone(), qs.clone()),
+            |mut ctl| {
+                let mut policy = MaxQuality::new();
+                let mut t = Cycles::ZERO;
+                while let Some(d) = ctl.decide(t, &mut policy).unwrap() {
+                    let dur = profile.avg_idx(d.action.index() % 9, d.quality);
+                    t = t + dur;
+                    ctl.complete(t).unwrap();
+                }
+                std::hint::black_box(ctl.finish())
+            },
+            BatchSize::LargeInput,
+        );
+    });
+}
+
+fn bench_scenario(c: &mut Criterion) {
+    c.bench_function("scenario_build_582", |b| {
+        b.iter(|| std::hint::black_box(LoadScenario::paper_benchmark(7)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_decision,
+    bench_table_build,
+    bench_full_cycle,
+    bench_scenario
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! End-to-end pipeline throughput: full controlled frames of the
+//! table-driven simulation and of the pixel encoder.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fgqos_core::policy::MaxQuality;
+use fgqos_encoder::app::EncoderApp;
+use fgqos_sim::app::TableApp;
+use fgqos_sim::exec::WorkDriven;
+use fgqos_sim::runner::{Mode, RunConfig, Runner};
+use fgqos_sim::scenario::LoadScenario;
+
+fn bench_table_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table_stream_20_frames");
+    g.sample_size(10);
+    for &n_mb in &[99usize, 396] {
+        g.bench_with_input(BenchmarkId::from_parameter(n_mb), &n_mb, |b, &n| {
+            b.iter(|| {
+                let scenario = LoadScenario::paper_benchmark(5).truncated(20);
+                let app = TableApp::with_macroblocks(scenario, n).unwrap();
+                let config = RunConfig::paper_defaults().scaled_to_macroblocks(n);
+                let mut runner = Runner::new(app, config).unwrap();
+                std::hint::black_box(
+                    runner.run_controlled(&mut MaxQuality::new(), 11).unwrap(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_pixel_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pixel_stream");
+    g.sample_size(10);
+    g.bench_function("qcif_10_frames", |b| {
+        b.iter(|| {
+            let scenario = LoadScenario::paper_benchmark(5).truncated(10);
+            let app = EncoderApp::new(scenario, 176, 144, 7).unwrap();
+            let n = 11 * 9;
+            let config = RunConfig::paper_defaults().scaled_to_macroblocks(n);
+            let mut runner = Runner::new(app, config).unwrap();
+            let mut policy = MaxQuality::new();
+            let mut exec = WorkDriven::new(0, 1.0, 7);
+            std::hint::black_box(
+                runner
+                    .run(Mode::Controlled, &mut policy, &mut exec, None)
+                    .unwrap(),
+            )
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table_stream, bench_pixel_stream);
+criterion_main!(benches);

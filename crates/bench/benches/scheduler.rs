@@ -1,0 +1,56 @@
+//! Scheduling substrate costs: EDF list scheduling, the Chetto deadline
+//! transform, and the compositional replay against naive rescheduling
+//! (the Section 4 "specialization of Best_Sched" ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fgqos_graph::iterate::{IteratedGraph, IterationMode};
+use fgqos_sched::{edf, BestSched, EdfScheduler};
+use fgqos_sim::app::fig2_body;
+use fgqos_time::Cycles;
+
+fn bench_edf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("edf_order");
+    for &n_mb in &[99usize, 396, 1584] {
+        let body = fig2_body();
+        let iter = IteratedGraph::new(&body, n_mb, IterationMode::Sequential).unwrap();
+        let n = iter.graph().len();
+        let deadlines: Vec<Cycles> = (0..n)
+            .map(|i| Cycles::new((i as u64 / 9 + 1) * 1000))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("unrolled", n_mb), &n_mb, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(edf::edf_order(iter.graph(), &deadlines).unwrap())
+            });
+        });
+        // The compositional alternative: schedule the 9-action body once,
+        // replay N times.
+        g.bench_with_input(BenchmarkId::new("compositional", n_mb), &n_mb, |b, _| {
+            let body_deadlines = vec![Cycles::new(1000); 9];
+            b.iter(|| {
+                let body_order =
+                    EdfScheduler.best_schedule(&body, &body_deadlines, &[]).unwrap();
+                std::hint::black_box(iter.replay_body_schedule(&body_order).unwrap())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_chetto(c: &mut Criterion) {
+    let body = fig2_body();
+    let iter = IteratedGraph::new(&body, 396, IterationMode::Sequential).unwrap();
+    let n = iter.graph().len();
+    let deadlines: Vec<Cycles> = (0..n).map(|i| Cycles::new((i as u64 + 1) * 500)).collect();
+    let times: Vec<Cycles> = (0..n).map(|i| Cycles::new(100 + (i as u64 % 9) * 50)).collect();
+    c.bench_function("chetto_transform_396mb", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                edf::chetto_deadlines(iter.graph(), &deadlines, &times).unwrap(),
+            )
+        });
+    });
+}
+
+criterion_group!(benches, bench_edf, bench_chetto);
+criterion_main!(benches);

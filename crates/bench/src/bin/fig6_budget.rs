@@ -1,0 +1,31 @@
+//! Fig. 6: time-budget utilization — encoding time per frame for the
+//! controlled encoder (K=1) against constant quality q=3 (K=1).
+
+use fgqos_bench::experiments::{budget_shape_checks, print_checks, run_pair, write_figure_csv};
+use fgqos_bench::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    println!(
+        "== Figure 6: time-budget utilization (controlled K=1 vs constant q=3 K=1) ==\n\
+         frames={} macroblocks={} seed={}",
+        cfg.frames, cfg.macroblocks, cfg.seed
+    );
+    let pair = run_pair(&cfg, 3, 1, 1);
+    let p_mc = cfg.run_config(1).period.get() as f64 / 1e6;
+    println!("\n{}", pair.controlled.summary());
+    println!("{}", pair.constant.summary());
+    println!("period P = {p_mc:.1} Mcycle");
+
+    write_figure_csv(
+        &cfg,
+        "fig6_budget.csv",
+        &["frame", "controlled_mcycle", "constant_q3_mcycle"],
+        &pair.controlled.encode_series(),
+        &pair.constant.encode_series(),
+    );
+
+    println!("\nShape checks against the paper:");
+    let ok = print_checks(&budget_shape_checks(&pair, p_mc));
+    std::process::exit(i32::from(!ok));
+}

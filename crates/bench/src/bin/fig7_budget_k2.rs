@@ -1,0 +1,31 @@
+//! Fig. 7: time-budget utilization — controlled encoder (K=1) against
+//! constant quality q=4 with a doubled input buffer (K=2).
+
+use fgqos_bench::experiments::{budget_shape_checks, print_checks, run_pair, write_figure_csv};
+use fgqos_bench::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    println!(
+        "== Figure 7: time-budget utilization (controlled K=1 vs constant q=4 K=2) ==\n\
+         frames={} macroblocks={} seed={}",
+        cfg.frames, cfg.macroblocks, cfg.seed
+    );
+    let pair = run_pair(&cfg, 4, 1, 2);
+    let p_mc = cfg.run_config(1).period.get() as f64 / 1e6;
+    println!("\n{}", pair.controlled.summary());
+    println!("{}", pair.constant.summary());
+    println!("period P = {p_mc:.1} Mcycle");
+
+    write_figure_csv(
+        &cfg,
+        "fig7_budget_k2.csv",
+        &["frame", "controlled_mcycle", "constant_q4_k2_mcycle"],
+        &pair.controlled.encode_series(),
+        &pair.constant.encode_series(),
+    );
+
+    println!("\nShape checks against the paper:");
+    let ok = print_checks(&budget_shape_checks(&pair, p_mc));
+    std::process::exit(i32::from(!ok));
+}

@@ -1,0 +1,32 @@
+//! Fig. 8: PSNR between input and output — controlled (K=1) against
+//! constant quality q=3 (K=1). Skipped frames repeat the previous output
+//! frame and collapse below 25 dB.
+
+use fgqos_bench::experiments::{
+    print_checks, psnr_series_opt, psnr_shape_checks, run_pair, write_figure_csv,
+};
+use fgqos_bench::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    println!(
+        "== Figure 8: PSNR (controlled K=1 vs constant q=3 K=1) ==\n\
+         frames={} macroblocks={} seed={} pixels={}",
+        cfg.frames, cfg.macroblocks, cfg.seed, cfg.pixels
+    );
+    let pair = run_pair(&cfg, 3, 1, 1);
+    println!("\n{}", pair.controlled.summary());
+    println!("{}", pair.constant.summary());
+
+    write_figure_csv(
+        &cfg,
+        "fig8_psnr.csv",
+        &["frame", "controlled_psnr_db", "constant_q3_psnr_db"],
+        &psnr_series_opt(&pair.controlled),
+        &psnr_series_opt(&pair.constant),
+    );
+
+    println!("\nShape checks against the paper:");
+    let ok = print_checks(&psnr_shape_checks(&pair));
+    std::process::exit(i32::from(!ok));
+}

@@ -1,0 +1,31 @@
+//! Fig. 9: PSNR between input and output — controlled (K=1) against
+//! constant quality q=4 with a doubled input buffer (K=2).
+
+use fgqos_bench::experiments::{
+    print_checks, psnr_series_opt, psnr_shape_checks, run_pair, write_figure_csv,
+};
+use fgqos_bench::ExpConfig;
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    println!(
+        "== Figure 9: PSNR (controlled K=1 vs constant q=4 K=2) ==\n\
+         frames={} macroblocks={} seed={} pixels={}",
+        cfg.frames, cfg.macroblocks, cfg.seed, cfg.pixels
+    );
+    let pair = run_pair(&cfg, 4, 1, 2);
+    println!("\n{}", pair.controlled.summary());
+    println!("{}", pair.constant.summary());
+
+    write_figure_csv(
+        &cfg,
+        "fig9_psnr_k2.csv",
+        &["frame", "controlled_psnr_db", "constant_q4_k2_psnr_db"],
+        &psnr_series_opt(&pair.controlled),
+        &psnr_series_opt(&pair.constant),
+    );
+
+    println!("\nShape checks against the paper:");
+    let ok = print_checks(&psnr_shape_checks(&pair));
+    std::process::exit(i32::from(!ok));
+}

@@ -1,0 +1,108 @@
+//! Error type of the controller crate.
+
+use std::error::Error;
+use std::fmt;
+
+use fgqos_graph::GraphError;
+use fgqos_sched::SchedError;
+use fgqos_time::TimeError;
+
+/// Errors produced while assembling or driving the controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Underlying graph error.
+    Graph(GraphError),
+    /// Underlying time-domain error.
+    Time(TimeError),
+    /// Underlying scheduling error (including the schedulability
+    /// precondition failing at minimal quality).
+    Sched(SchedError),
+    /// Profile/deadline tables do not cover the graph.
+    DimensionMismatch {
+        /// Actions in the graph.
+        expected: usize,
+        /// Entries provided.
+        actual: usize,
+    },
+    /// `complete` was called with no pending decision.
+    NoPendingDecision,
+    /// `decide` was called while a decision is already pending.
+    DecisionPending,
+    /// `decide` was called after the cycle finished.
+    CycleFinished,
+    /// Completion times must be non-decreasing within a cycle.
+    TimeWentBackwards,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Time(e) => write!(f, "time error: {e}"),
+            CoreError::Sched(e) => write!(f, "scheduling error: {e}"),
+            CoreError::DimensionMismatch { expected, actual } => {
+                write!(f, "tables cover {actual} actions, graph has {expected}")
+            }
+            CoreError::NoPendingDecision => write!(f, "no pending decision to complete"),
+            CoreError::DecisionPending => {
+                write!(f, "previous decision not completed yet")
+            }
+            CoreError::CycleFinished => write!(f, "cycle already finished"),
+            CoreError::TimeWentBackwards => {
+                write!(f, "completion time precedes the decision time")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Graph(e) => Some(e),
+            CoreError::Time(e) => Some(e),
+            CoreError::Sched(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<TimeError> for CoreError {
+    fn from(e: TimeError) -> Self {
+        CoreError::Time(e)
+    }
+}
+
+impl From<SchedError> for CoreError {
+    fn from(e: SchedError) -> Self {
+        CoreError::Sched(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        use std::error::Error as _;
+        let e: CoreError = GraphError::ZeroIterations.into();
+        assert!(e.source().is_some());
+        let e: CoreError = TimeError::EmptyQualitySet.into();
+        assert!(e.to_string().contains("time error"));
+        let e = CoreError::NoPendingDecision;
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

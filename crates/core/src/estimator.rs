@@ -1,0 +1,300 @@
+//! Online estimation of average execution times.
+//!
+//! Section 4 of the paper lists "application of learning techniques for
+//! better estimation of the average execution times" as active work. This
+//! module provides two standard estimators and the plumbing to feed their
+//! estimates back into a [`QualityProfile`] (whose isotonic-repair update
+//! keeps the Definition 2.3 invariants: `avg ≤ worst`, monotone in `q`).
+//!
+//! Safety is unaffected by estimation: `Qual_Constwc` only reads the
+//! *worst-case* tables, which are never updated. Estimation sharpens the
+//! optimality side (`Qual_Constav`), reducing both over-conservative and
+//! over-optimistic quality choices.
+
+use fgqos_graph::ActionId;
+use fgqos_time::{Cycles, Quality, QualityProfile, QualitySet, TimeError};
+
+/// An online estimator of per-(action, quality) average execution times.
+pub trait AvgEstimator {
+    /// Records one observed execution.
+    fn observe(&mut self, action: ActionId, q: Quality, actual: Cycles);
+
+    /// Current estimate, or `None` before any observation of that cell.
+    fn estimate(&self, action: ActionId, q: Quality) -> Option<Cycles>;
+
+    /// Human-readable name for reports and benches.
+    fn name(&self) -> &'static str;
+
+    /// Writes every available estimate into `profile` (clamped/repaired by
+    /// [`QualityProfile::update_avg`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates coordinate errors from the profile (which indicate the
+    /// estimator was fed actions outside the profile).
+    fn apply_to(&self, profile: &mut QualityProfile) -> Result<(), TimeError>
+    where
+        Self: Sized,
+    {
+        for action in 0..profile.n_actions() {
+            let levels: Vec<Quality> = profile.qualities().iter().collect();
+            for q in levels {
+                if let Some(est) = self.estimate(ActionId::from_index(action), q) {
+                    profile.update_avg(action, q, est)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Dense per-(action, quality) cell storage shared by the estimators.
+#[derive(Debug, Clone)]
+struct CellGrid<T> {
+    nq: usize,
+    cells: Vec<T>,
+    qualities: QualitySet,
+}
+
+impl<T: Clone> CellGrid<T> {
+    fn new(n_actions: usize, qualities: QualitySet, init: T) -> Self {
+        CellGrid {
+            nq: qualities.len(),
+            cells: vec![init; n_actions * qualities.len()],
+            qualities,
+        }
+    }
+
+    fn slot(&self, action: ActionId, q: Quality) -> Option<usize> {
+        let qi = self.qualities.index_of(q)?;
+        let idx = action.index() * self.nq + qi;
+        (idx < self.cells.len()).then_some(idx)
+    }
+}
+
+/// Exponentially weighted moving average:
+/// `est ← (1 − α)·est + α·observation`.
+///
+/// # Example
+///
+/// ```
+/// use fgqos_core::estimator::{AvgEstimator, EwmaEstimator};
+/// use fgqos_graph::ActionId;
+/// use fgqos_time::{Cycles, Quality, QualitySet};
+///
+/// # fn main() -> Result<(), fgqos_time::TimeError> {
+/// let qs = QualitySet::contiguous(0, 0)?;
+/// let mut e = EwmaEstimator::new(1, qs, 0.5);
+/// let a = ActionId::from_index(0);
+/// e.observe(a, Quality::new(0), Cycles::new(100));
+/// e.observe(a, Quality::new(0), Cycles::new(200));
+/// assert_eq!(e.estimate(a, Quality::new(0)), Some(Cycles::new(150)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct EwmaEstimator {
+    grid: CellGrid<Option<f64>>,
+    alpha: f64,
+}
+
+impl EwmaEstimator {
+    /// Creates an EWMA estimator with smoothing factor `alpha ∈ (0, 1]`
+    /// (1 = only the last observation counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `(0, 1]`.
+    #[must_use]
+    pub fn new(n_actions: usize, qualities: QualitySet, alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        EwmaEstimator {
+            grid: CellGrid::new(n_actions, qualities, None),
+            alpha,
+        }
+    }
+}
+
+impl AvgEstimator for EwmaEstimator {
+    fn observe(&mut self, action: ActionId, q: Quality, actual: Cycles) {
+        let Some(slot) = self.grid.slot(action, q) else {
+            return; // observations outside the grid are ignored
+        };
+        let x = actual.get() as f64;
+        let cell = &mut self.grid.cells[slot];
+        *cell = Some(match *cell {
+            None => x,
+            Some(prev) => prev + self.alpha * (x - prev),
+        });
+    }
+
+    fn estimate(&self, action: ActionId, q: Quality) -> Option<Cycles> {
+        let slot = self.grid.slot(action, q)?;
+        self.grid.cells[slot].map(|v| Cycles::new(v.round().max(0.0) as u64))
+    }
+
+    fn name(&self) -> &'static str {
+        "ewma"
+    }
+}
+
+/// Sliding-window mean over the last `window` observations per cell.
+#[derive(Debug, Clone)]
+pub struct WindowEstimator {
+    grid: CellGrid<std::collections::VecDeque<u64>>,
+    window: usize,
+}
+
+impl WindowEstimator {
+    /// Creates a windowed estimator keeping `window` samples per cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    #[must_use]
+    pub fn new(n_actions: usize, qualities: QualitySet, window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        WindowEstimator {
+            grid: CellGrid::new(n_actions, qualities, std::collections::VecDeque::new()),
+            window,
+        }
+    }
+}
+
+impl AvgEstimator for WindowEstimator {
+    fn observe(&mut self, action: ActionId, q: Quality, actual: Cycles) {
+        let Some(slot) = self.grid.slot(action, q) else {
+            return;
+        };
+        let dq = &mut self.grid.cells[slot];
+        if dq.len() == self.window {
+            dq.pop_front();
+        }
+        dq.push_back(actual.get());
+    }
+
+    fn estimate(&self, action: ActionId, q: Quality) -> Option<Cycles> {
+        let slot = self.grid.slot(action, q)?;
+        let dq = &self.grid.cells[slot];
+        if dq.is_empty() {
+            return None;
+        }
+        let sum: u128 = dq.iter().map(|&v| u128::from(v)).sum();
+        Some(Cycles::new(
+            u64::try_from(sum / dq.len() as u128).expect("mean fits in u64"),
+        ))
+    }
+
+    fn name(&self) -> &'static str {
+        "window"
+    }
+}
+
+/// A no-op estimator: keeps the offline profile untouched (the paper's
+/// baseline configuration).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FrozenEstimator {
+    _priv: (),
+}
+
+impl FrozenEstimator {
+    /// Creates the frozen (no-learning) estimator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl AvgEstimator for FrozenEstimator {
+    fn observe(&mut self, _action: ActionId, _q: Quality, _actual: Cycles) {}
+
+    fn estimate(&self, _action: ActionId, _q: Quality) -> Option<Cycles> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "frozen"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qs() -> QualitySet {
+        QualitySet::contiguous(0, 1).unwrap()
+    }
+
+    #[test]
+    fn ewma_converges_towards_observations() {
+        let mut e = EwmaEstimator::new(1, qs(), 0.25);
+        let a = ActionId::from_index(0);
+        for _ in 0..64 {
+            e.observe(a, Quality::new(0), Cycles::new(400));
+        }
+        let est = e.estimate(a, Quality::new(0)).unwrap();
+        assert!((est.get() as i64 - 400).abs() <= 1, "got {est}");
+        // Other cell untouched.
+        assert_eq!(e.estimate(a, Quality::new(1)), None);
+    }
+
+    #[test]
+    fn ewma_rejects_bad_alpha() {
+        assert!(std::panic::catch_unwind(|| EwmaEstimator::new(1, qs(), 0.0)).is_err());
+        assert!(std::panic::catch_unwind(|| EwmaEstimator::new(1, qs(), 1.5)).is_err());
+    }
+
+    #[test]
+    fn window_mean_slides() {
+        let mut e = WindowEstimator::new(1, qs(), 2);
+        let a = ActionId::from_index(0);
+        let q = Quality::new(0);
+        e.observe(a, q, Cycles::new(10));
+        assert_eq!(e.estimate(a, q), Some(Cycles::new(10)));
+        e.observe(a, q, Cycles::new(30));
+        assert_eq!(e.estimate(a, q), Some(Cycles::new(20)));
+        e.observe(a, q, Cycles::new(50));
+        // Window of 2: (30 + 50) / 2.
+        assert_eq!(e.estimate(a, q), Some(Cycles::new(40)));
+        assert_eq!(e.name(), "window");
+    }
+
+    #[test]
+    fn observations_outside_grid_are_ignored() {
+        let mut e = EwmaEstimator::new(1, qs(), 0.5);
+        e.observe(ActionId::from_index(9), Quality::new(0), Cycles::new(1));
+        e.observe(ActionId::from_index(0), Quality::new(7), Cycles::new(1));
+        assert_eq!(e.estimate(ActionId::from_index(9), Quality::new(0)), None);
+    }
+
+    #[test]
+    fn apply_to_updates_profile_with_invariants() {
+        let mut pb = QualityProfile::builder(qs(), 1);
+        pb.set_levels(0, &[(100, 400), (200, 800)]).unwrap();
+        let mut profile = pb.build().unwrap();
+        let mut e = EwmaEstimator::new(1, qs(), 1.0);
+        let a = ActionId::from_index(0);
+        e.observe(a, Quality::new(0), Cycles::new(350));
+        e.apply_to(&mut profile).unwrap();
+        assert_eq!(profile.avg_idx(0, 0), Cycles::new(350));
+        // Monotonicity repaired: q1 average lifted to at least 350.
+        assert!(profile.avg_idx(0, 1) >= Cycles::new(350));
+        // Worst case untouched (safety side preserved).
+        assert_eq!(profile.worst_idx(0, 0), Cycles::new(400));
+    }
+
+    #[test]
+    fn frozen_estimator_does_nothing() {
+        let mut e = FrozenEstimator::new();
+        let a = ActionId::from_index(0);
+        e.observe(a, Quality::new(0), Cycles::new(10));
+        assert_eq!(e.estimate(a, Quality::new(0)), None);
+        assert_eq!(e.name(), "frozen");
+        let mut pb = QualityProfile::builder(qs(), 1);
+        pb.set_levels(0, &[(1, 2), (3, 4)]).unwrap();
+        let mut profile = pb.build().unwrap();
+        let before = profile.clone();
+        e.apply_to(&mut profile).unwrap();
+        assert_eq!(profile, before);
+    }
+}

@@ -1,0 +1,84 @@
+//! The fine-grain QoS controller of Combaz, Fernandez, Lepley and Sifakis
+//! (DATE 2005).
+//!
+//! A *parameterized real-time system* (Definition 2.3) couples a precedence
+//! graph of actions with quality-indexed execution-time profiles
+//! (`Cav_q ≤ Cwc_q`) and deadline functions `D_q`. The controller runs
+//! *between* actions: at each step it asks the scheduler for an optimal
+//! order of the remaining actions (`Best_Sched`), then the quality manager
+//! picks the **maximal** quality level whose combined constraint holds:
+//!
+//! * **safety** (`Qual_Constwc`) — if the next action consumes its worst
+//!   case and everything afterwards falls back to minimal quality, every
+//!   deadline is still met;
+//! * **optimality** (`Qual_Constav`) — on average-time projections the
+//!   remaining schedule still fits, so the time budget is used for quality
+//!   rather than hoarded.
+//!
+//! Proposition 2.1: as long as actual execution times stay below the
+//! declared worst case (`C ≤ Cwc_θ`), no deadline is ever missed, and
+//! time-budget utilization is maximized. Both halves are exercised by this
+//! crate's property tests.
+//!
+//! # Architecture
+//!
+//! * [`ParamSystem`] — the immutable system model (graph + profile +
+//!   deadlines for one cycle);
+//! * [`CycleController`] — the step machine for one cycle: `decide` →
+//!   run action → `complete`, then [`CycleController::finish`] produces a
+//!   [`CycleReport`];
+//! * [`policy`] — quality policies: the paper's maximal policy, constant
+//!   quality (the industrial baseline of Section 3), the soft-deadline
+//!   variant, and smoothness/hysteresis extensions (Section 4);
+//! * [`estimator`] — online learning of average execution times
+//!   (Section 4's "learning techniques");
+//! * [`safety`] — runtime verification of the Proposition 2.1 invariants.
+//!
+//! # Example
+//!
+//! ```
+//! use fgqos_core::{CycleController, ParamSystem, policy::MaxQuality};
+//! use fgqos_graph::GraphBuilder;
+//! use fgqos_sched::EdfScheduler;
+//! use fgqos_time::{Cycles, DeadlineMap, QualityProfile, QualitySet};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // One action, two quality levels.
+//! let mut g = GraphBuilder::new();
+//! let a = g.action("work");
+//! let graph = g.build()?;
+//! let qs = QualitySet::contiguous(0, 1)?;
+//! let mut pb = QualityProfile::builder(qs.clone(), 1);
+//! pb.set_levels(0, &[(10, 20), (50, 120)])?;
+//! let profile = pb.build()?;
+//! let deadlines = DeadlineMap::uniform(qs, vec![Cycles::new(100)]);
+//! let system = ParamSystem::new(graph, profile, deadlines)?;
+//!
+//! let mut policy = MaxQuality::new();
+//! let mut ctl = CycleController::new(&system, &EdfScheduler)?;
+//! let d = ctl.decide(Cycles::ZERO, &mut policy)?.expect("one action pending");
+//! assert_eq!(d.action, a);
+//! assert_eq!(d.quality.level(), 0); // q1's worst case (120) exceeds the deadline
+//! ctl.complete(Cycles::new(40))?;
+//! let report = ctl.finish();
+//! assert_eq!(report.misses, 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+mod error;
+mod report;
+mod system;
+
+pub mod estimator;
+pub mod policy;
+pub mod safety;
+
+pub use controller::{CycleController, Decision};
+pub use error::CoreError;
+pub use report::{ActionRecord, CycleReport};
+pub use system::ParamSystem;

@@ -1,0 +1,194 @@
+//! Per-cycle execution records and summary reports.
+
+use fgqos_graph::ActionId;
+use fgqos_time::{Cycles, Quality};
+
+/// What happened to one action instance during a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ActionRecord {
+    /// The executed action.
+    pub action: ActionId,
+    /// Quality level it ran at.
+    pub quality: Quality,
+    /// Elapsed cycle time when it started.
+    pub start: Cycles,
+    /// Elapsed cycle time when it completed.
+    pub end: Cycles,
+    /// Its absolute deadline at the chosen quality.
+    pub deadline: Cycles,
+    /// Whether the quality manager had to fall back because *no* level
+    /// satisfied `Qual_Const` (can only happen when the preconditions are
+    /// violated).
+    pub fallback: bool,
+}
+
+impl ActionRecord {
+    /// Whether the action met its deadline.
+    #[must_use]
+    pub fn met_deadline(&self) -> bool {
+        self.end <= self.deadline
+    }
+
+    /// The actual execution time of this instance.
+    #[must_use]
+    pub fn duration(&self) -> Cycles {
+        self.end - self.start
+    }
+}
+
+/// Summary of one controlled cycle (one frame for the encoder).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleReport {
+    /// Per-action records in execution order.
+    pub records: Vec<ActionRecord>,
+    /// Number of missed deadlines (0 for the controlled system whenever
+    /// actual times stayed below the declared worst case — Prop. 2.1).
+    pub misses: usize,
+    /// Number of decisions where no quality level was admissible and the
+    /// controller fell back to `q_min`.
+    pub fallbacks: usize,
+    /// Total elapsed time `Ĉ(α)(n)` of the cycle.
+    pub total_time: Cycles,
+    /// Deadline of the last action at its chosen quality, `D_θ(α)(n)`.
+    pub final_deadline: Cycles,
+    /// Number of controller decisions taken (for overhead accounting).
+    pub decisions: usize,
+    /// Number of quality switches between consecutive actions (smoothness
+    /// metric of Section 4).
+    pub quality_switches: usize,
+}
+
+impl CycleReport {
+    /// Assembles a report from raw records (used by the controller and by
+    /// external harnesses synthesizing traces for analysis).
+    #[must_use]
+    pub fn from_records(records: Vec<ActionRecord>, fallbacks: usize) -> Self {
+        let misses = records.iter().filter(|r| !r.met_deadline()).count();
+        let total_time = records.last().map_or(Cycles::ZERO, |r| r.end);
+        let final_deadline = records.last().map_or(Cycles::ZERO, |r| r.deadline);
+        let decisions = records.len();
+        let quality_switches = records
+            .windows(2)
+            .filter(|w| w[0].quality != w[1].quality)
+            .count();
+        CycleReport {
+            records,
+            misses,
+            fallbacks,
+            total_time,
+            final_deadline,
+            decisions,
+            quality_switches,
+        }
+    }
+
+    /// Time-budget utilization `Ĉ(α)(n) / D_θ(α)(n)` — the quantity
+    /// Proposition 2.1 says the controller maximizes. Returns 0 for empty
+    /// cycles or infinite final deadlines.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.final_deadline.is_infinite() || self.final_deadline == Cycles::ZERO {
+            return 0.0;
+        }
+        self.total_time.get() as f64 / self.final_deadline.get() as f64
+    }
+
+    /// Mean chosen quality level over the cycle.
+    #[must_use]
+    pub fn mean_quality(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .records
+            .iter()
+            .map(|r| u64::from(r.quality.level()))
+            .sum();
+        sum as f64 / self.records.len() as f64
+    }
+
+    /// Histogram of chosen quality levels as `(level, count)` pairs,
+    /// ascending by level.
+    #[must_use]
+    pub fn quality_histogram(&self) -> Vec<(Quality, usize)> {
+        let mut counts: Vec<(Quality, usize)> = Vec::new();
+        for r in &self.records {
+            match counts.binary_search_by_key(&r.quality, |&(q, _)| q) {
+                Ok(i) => counts[i].1 += 1,
+                Err(i) => counts.insert(i, (r.quality, 1)),
+            }
+        }
+        counts
+    }
+
+    /// Quality level of the action at `position`, if executed.
+    #[must_use]
+    pub fn quality_at(&self, position: usize) -> Option<Quality> {
+        self.records.get(position).map(|r| r.quality)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(q: u8, start: u64, end: u64, deadline: u64) -> ActionRecord {
+        ActionRecord {
+            action: ActionId::from_index(0),
+            quality: Quality::new(q),
+            start: Cycles::new(start),
+            end: Cycles::new(end),
+            deadline: Cycles::new(deadline),
+            fallback: false,
+        }
+    }
+
+    #[test]
+    fn report_aggregates_records() {
+        let r = CycleReport::from_records(
+            vec![rec(1, 0, 10, 20), rec(2, 10, 30, 25), rec(2, 30, 50, 100)],
+            1,
+        );
+        assert_eq!(r.misses, 1); // second record: 30 > 25
+        assert_eq!(r.decisions, 3);
+        assert_eq!(r.fallbacks, 1);
+        assert_eq!(r.total_time, Cycles::new(50));
+        assert_eq!(r.final_deadline, Cycles::new(100));
+        assert!((r.utilization() - 0.5).abs() < 1e-12);
+        assert!((r.mean_quality() - 5.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.quality_switches, 1);
+        assert_eq!(
+            r.quality_histogram(),
+            vec![(Quality::new(1), 1), (Quality::new(2), 2)]
+        );
+        assert_eq!(r.quality_at(0), Some(Quality::new(1)));
+        assert_eq!(r.quality_at(9), None);
+    }
+
+    #[test]
+    fn empty_report_is_benign() {
+        let r = CycleReport::from_records(vec![], 0);
+        assert_eq!(r.misses, 0);
+        assert_eq!(r.utilization(), 0.0);
+        assert_eq!(r.mean_quality(), 0.0);
+        assert!(r.quality_histogram().is_empty());
+    }
+
+    #[test]
+    fn infinite_final_deadline_has_zero_utilization() {
+        let mut record = rec(0, 0, 10, 1);
+        record.deadline = Cycles::INFINITY;
+        let r = CycleReport::from_records(vec![record], 0);
+        assert_eq!(r.utilization(), 0.0);
+        assert_eq!(r.misses, 0);
+    }
+
+    #[test]
+    fn record_helpers() {
+        let r = rec(3, 5, 15, 15);
+        assert!(r.met_deadline());
+        assert_eq!(r.duration(), Cycles::new(10));
+        let r = rec(3, 5, 16, 15);
+        assert!(!r.met_deadline());
+    }
+}

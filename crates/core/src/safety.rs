@@ -1,0 +1,260 @@
+//! Runtime verification of the Proposition 2.1 invariants.
+//!
+//! The paper *proves* safety (no deadline miss when `C ≤ Cwc_θ`) and
+//! optimal budget utilization; this module *checks* them on real traces,
+//! so the property tests and the simulator can detect any divergence
+//! between the implementation and the theory.
+
+use std::error::Error;
+use std::fmt;
+
+use fgqos_time::{Cycles, Slack};
+
+use crate::{ActionRecord, CycleReport};
+
+/// A violation of the controller's contract found in a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SafetyViolation {
+    /// An action completed after its deadline.
+    DeadlineMiss {
+        /// Position of the record in the cycle.
+        position: usize,
+        /// By how much the deadline was exceeded.
+        overrun: Cycles,
+    },
+    /// The quality manager had to fall back (no admissible level), which
+    /// Proposition 2.1 rules out under the preconditions.
+    Fallback {
+        /// Position of the record in the cycle.
+        position: usize,
+    },
+}
+
+impl fmt::Display for SafetyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SafetyViolation::DeadlineMiss { position, overrun } => {
+                write!(f, "action at position {position} missed its deadline by {overrun}")
+            }
+            SafetyViolation::Fallback { position } => {
+                write!(f, "no admissible quality at position {position}")
+            }
+        }
+    }
+}
+
+impl Error for SafetyViolation {}
+
+/// Checks one cycle report against the safety contract.
+///
+/// # Errors
+///
+/// The first [`SafetyViolation`] found, if any.
+pub fn verify_cycle(report: &CycleReport) -> Result<(), SafetyViolation> {
+    for (position, r) in report.records.iter().enumerate() {
+        if r.fallback {
+            return Err(SafetyViolation::Fallback { position });
+        }
+        if !r.met_deadline() {
+            return Err(SafetyViolation::DeadlineMiss {
+                position,
+                overrun: r.end - r.deadline,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Accumulating safety monitor for multi-cycle runs.
+///
+/// # Example
+///
+/// ```
+/// use fgqos_core::safety::SafetyMonitor;
+///
+/// let monitor = SafetyMonitor::new();
+/// assert_eq!(monitor.cycles(), 0);
+/// assert!(monitor.all_safe());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SafetyMonitor {
+    cycles: usize,
+    actions: usize,
+    misses: usize,
+    fallbacks: usize,
+    worst_margin: Slack,
+    first_violation: Option<(usize, SafetyViolation)>,
+}
+
+impl Default for SafetyMonitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SafetyMonitor {
+    /// Creates an empty monitor.
+    #[must_use]
+    pub fn new() -> Self {
+        SafetyMonitor {
+            cycles: 0,
+            actions: 0,
+            misses: 0,
+            fallbacks: 0,
+            worst_margin: Slack::INFINITY,
+            first_violation: None,
+        }
+    }
+
+    /// Ingests one cycle report.
+    pub fn record(&mut self, report: &CycleReport) {
+        for (position, r) in report.records.iter().enumerate() {
+            self.actions += 1;
+            let margin = margin_of(r);
+            if margin < self.worst_margin {
+                self.worst_margin = margin;
+            }
+            if r.fallback {
+                self.fallbacks += 1;
+                if self.first_violation.is_none() {
+                    self.first_violation =
+                        Some((self.cycles, SafetyViolation::Fallback { position }));
+                }
+            }
+            if !r.met_deadline() {
+                self.misses += 1;
+                if self.first_violation.is_none() {
+                    self.first_violation = Some((
+                        self.cycles,
+                        SafetyViolation::DeadlineMiss {
+                            position,
+                            overrun: r.end - r.deadline,
+                        },
+                    ));
+                }
+            }
+        }
+        self.cycles += 1;
+    }
+
+    /// Number of cycles ingested.
+    #[must_use]
+    pub fn cycles(&self) -> usize {
+        self.cycles
+    }
+
+    /// Total actions observed.
+    #[must_use]
+    pub fn actions(&self) -> usize {
+        self.actions
+    }
+
+    /// Total deadline misses.
+    #[must_use]
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Total quality-manager fallbacks.
+    #[must_use]
+    pub fn fallbacks(&self) -> usize {
+        self.fallbacks
+    }
+
+    /// The tightest deadline margin seen so far (negative on a miss).
+    #[must_use]
+    pub fn worst_margin(&self) -> Slack {
+        self.worst_margin
+    }
+
+    /// Whether the whole run respected the contract.
+    #[must_use]
+    pub fn all_safe(&self) -> bool {
+        self.misses == 0 && self.fallbacks == 0
+    }
+
+    /// The first violation, with the 0-based cycle it occurred in.
+    #[must_use]
+    pub fn first_violation(&self) -> Option<&(usize, SafetyViolation)> {
+        self.first_violation.as_ref()
+    }
+}
+
+fn margin_of(r: &ActionRecord) -> Slack {
+    r.deadline.slack_from(r.end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgqos_graph::ActionId;
+    use fgqos_time::Quality;
+
+    fn rec(end: u64, deadline: u64, fallback: bool) -> ActionRecord {
+        ActionRecord {
+            action: ActionId::from_index(0),
+            quality: Quality::new(0),
+            start: Cycles::ZERO,
+            end: Cycles::new(end),
+            deadline: Cycles::new(deadline),
+            fallback,
+        }
+    }
+
+    #[test]
+    fn verify_cycle_flags_misses_and_fallbacks() {
+        let ok = CycleReport::from_records(vec![rec(5, 10, false)], 0);
+        verify_cycle(&ok).unwrap();
+        let miss = CycleReport::from_records(vec![rec(15, 10, false)], 0);
+        assert_eq!(
+            verify_cycle(&miss).unwrap_err(),
+            SafetyViolation::DeadlineMiss {
+                position: 0,
+                overrun: Cycles::new(5)
+            }
+        );
+        let fb = CycleReport::from_records(vec![rec(5, 10, true)], 1);
+        assert_eq!(
+            verify_cycle(&fb).unwrap_err(),
+            SafetyViolation::Fallback { position: 0 }
+        );
+    }
+
+    #[test]
+    fn monitor_accumulates() {
+        let mut m = SafetyMonitor::new();
+        m.record(&CycleReport::from_records(vec![rec(5, 10, false)], 0));
+        m.record(&CycleReport::from_records(
+            vec![rec(8, 10, false), rec(15, 12, false)],
+            0,
+        ));
+        assert_eq!(m.cycles(), 2);
+        assert_eq!(m.actions(), 3);
+        assert_eq!(m.misses(), 1);
+        assert!(!m.all_safe());
+        assert_eq!(m.worst_margin(), Slack::new(-3));
+        let (cycle, v) = m.first_violation().unwrap();
+        assert_eq!(*cycle, 1);
+        assert!(matches!(v, SafetyViolation::DeadlineMiss { position: 1, .. }));
+    }
+
+    #[test]
+    fn fresh_monitor_is_safe() {
+        let m = SafetyMonitor::new();
+        assert!(m.all_safe());
+        assert_eq!(m.worst_margin(), Slack::INFINITY);
+        assert!(m.first_violation().is_none());
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = SafetyViolation::DeadlineMiss {
+            position: 3,
+            overrun: Cycles::new(7),
+        };
+        assert!(v.to_string().contains("position 3"));
+        let v = SafetyViolation::Fallback { position: 1 };
+        assert!(v.to_string().contains("no admissible quality"));
+    }
+}

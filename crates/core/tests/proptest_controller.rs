@@ -1,0 +1,239 @@
+//! Property tests for Proposition 2.1: the controller never misses a
+//! deadline as long as actual execution times stay below the declared
+//! worst case, and its quality choices are maximal.
+
+use fgqos_core::policy::{Hysteresis, MaxQuality, QualityPolicy, Smooth};
+use fgqos_core::{safety, CycleController, ParamSystem};
+use fgqos_graph::{ActionId, GraphBuilder, PrecedenceGraph};
+use fgqos_sched::EdfScheduler;
+use fgqos_time::{Cycles, DeadlineMap, QualityProfile, QualitySet};
+use proptest::prelude::*;
+
+const NQ: u8 = 3;
+
+fn arb_dag(max_nodes: usize) -> impl Strategy<Value = PrecedenceGraph> {
+    (2..=max_nodes)
+        .prop_flat_map(|n| {
+            let pairs: Vec<(usize, usize)> = (0..n)
+                .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+                .collect();
+            (
+                Just(n),
+                proptest::collection::vec(proptest::bool::weighted(0.35), pairs.len()).prop_map(
+                    move |mask| {
+                        pairs
+                            .iter()
+                            .zip(mask)
+                            .filter_map(|(&p, keep)| keep.then_some(p))
+                            .collect::<Vec<_>>()
+                    },
+                ),
+            )
+        })
+        .prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new();
+            let ids: Vec<ActionId> = (0..n).map(|i| b.action(format!("n{i}"))).collect();
+            for (i, j) in edges {
+                b.edge(ids[i], ids[j]).unwrap();
+            }
+            b.build().unwrap()
+        })
+}
+
+/// A full random parameterized system whose schedulability precondition
+/// holds by construction: deadlines cover the worst-case q_min prefix sums
+/// along the canonical topological order, with random extra slack.
+fn arb_system() -> impl Strategy<Value = ParamSystem> {
+    (
+        arb_dag(8),
+        proptest::collection::vec((1u64..40, 1u64..4, 1u64..5), 8),
+        proptest::collection::vec(0u64..60, 8),
+        1u64..4, // global slack multiplier numerator (x/2)
+    )
+        .prop_map(|(graph, params, jitter, slack_half)| {
+            let n = graph.len();
+            let qs = QualitySet::contiguous(0, NQ - 1).unwrap();
+            let mut pb = QualityProfile::builder(qs.clone(), n);
+            for a in 0..n {
+                let (base, growth, wc_mult) = params[a % params.len()];
+                let rows: Vec<(u64, u64)> = (0..u64::from(NQ))
+                    .map(|q| {
+                        let avg = base * (1 + q * growth);
+                        (avg, avg * wc_mult)
+                    })
+                    .collect();
+                pb.set_levels(a, &rows).unwrap();
+            }
+            let profile = pb.build().unwrap();
+
+            // Deadline of the k-th action in topological order: cumulative
+            // q_min worst case so far, scaled by (2 + slack_half)/2, plus
+            // action-specific jitter. Guarantees the precondition.
+            let qmin = qs.min();
+            let mut acc = 0u64;
+            let mut deadline_by_action = vec![Cycles::ZERO; n];
+            for (k, &a) in graph.topological_order().iter().enumerate() {
+                acc += profile.worst(a, qmin).get();
+                let d = acc * (2 + slack_half) / 2 + jitter[k % jitter.len()];
+                deadline_by_action[a.index()] = Cycles::new(d);
+            }
+            let deadlines = DeadlineMap::uniform(qs, deadline_by_action);
+            ParamSystem::new(graph, profile, deadlines).unwrap()
+        })
+        .prop_filter("precondition must hold", |sys| {
+            sys.check_schedulable().is_ok()
+        })
+}
+
+/// Drives one full cycle with `policy`, drawing the actual execution time
+/// of each action as `fraction · Cwc_θ(a)` (so `C ≤ Cwc_θ` always holds).
+/// Returns the finished report.
+fn drive_cycle(
+    sys: &ParamSystem,
+    policy: &mut dyn QualityPolicy,
+    fractions: &[u8],
+) -> fgqos_core::CycleReport {
+    let mut ctl = CycleController::new(sys, &EdfScheduler).unwrap();
+    let mut t = Cycles::ZERO;
+    let mut k = 0usize;
+    while let Some(d) = ctl.decide(t, policy).unwrap() {
+        let wc = sys.profile().worst(d.action, d.quality);
+        // fraction in 0..=100 of the worst case, at least 1 cycle.
+        let f = u64::from(fractions[k % fractions.len()]) % 101;
+        let dur = (wc.get() * f / 100).max(1);
+        t = t + Cycles::new(dur);
+        ctl.complete(t).unwrap();
+        k += 1;
+    }
+    ctl.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Proposition 2.1 (safety): for any actual time function C <= Cwc_θ,
+    /// the controlled schedule is feasible — zero misses, zero fallbacks.
+    #[test]
+    fn controller_never_misses(
+        sys in arb_system(),
+        fractions in proptest::collection::vec(any::<u8>(), 16),
+    ) {
+        let mut policy = MaxQuality::new();
+        let report = drive_cycle(&sys, &mut policy, &fractions);
+        prop_assert_eq!(report.records.len(), sys.graph().len());
+        safety::verify_cycle(&report).map_err(|v| {
+            TestCaseError::fail(format!("safety violated: {v}"))
+        })?;
+    }
+
+    /// Worst-case stress: every action consumes exactly its declared worst
+    /// case. Still no miss.
+    #[test]
+    fn controller_survives_pure_worst_case(sys in arb_system()) {
+        let mut policy = MaxQuality::new();
+        let report = drive_cycle(&sys, &mut policy, &[100]);
+        prop_assert!(report.misses == 0, "misses under pure worst case");
+        prop_assert!(report.fallbacks == 0, "fallbacks under pure worst case");
+    }
+
+    /// The smoothness-bounded and hysteresis policies inherit safety: they
+    /// never choose above the maximal admissible level.
+    #[test]
+    fn bounded_policies_inherit_safety(
+        sys in arb_system(),
+        fractions in proptest::collection::vec(any::<u8>(), 16),
+        step in 1usize..3,
+    ) {
+        let mut smooth = Smooth::new(step);
+        let report = drive_cycle(&sys, &mut smooth, &fractions);
+        safety::verify_cycle(&report).map_err(|v| {
+            TestCaseError::fail(format!("smooth violated safety: {v}"))
+        })?;
+
+        let mut hyst = Hysteresis::new(step);
+        let report = drive_cycle(&sys, &mut hyst, &fractions);
+        safety::verify_cycle(&report).map_err(|v| {
+            TestCaseError::fail(format!("hysteresis violated safety: {v}"))
+        })?;
+    }
+
+    /// Maximality: at each decision the chosen level equals the maximal
+    /// admissible one (re-checked against the tables), and quality levels
+    /// in the report match the decisions.
+    #[test]
+    fn choices_are_maximal(
+        sys in arb_system(),
+        fractions in proptest::collection::vec(any::<u8>(), 16),
+    ) {
+        let mut policy = MaxQuality::new();
+        let mut ctl = CycleController::new(&sys, &EdfScheduler).unwrap();
+        let mut t = Cycles::ZERO;
+        let mut k = 0usize;
+        loop {
+            let Some(d) = ctl.decide(t, &mut policy).unwrap() else { break };
+            // The decision must match the tables' maximal admissible level.
+            let expected = ctl
+                .tables()
+                .max_feasible(d.position, t)
+                .map(|qi| sys.qualities().at(qi));
+            prop_assert_eq!(Some(d.quality), expected);
+            prop_assert_eq!(d.feasible_max, expected);
+            let wc = sys.profile().worst(d.action, d.quality);
+            let f = u64::from(fractions[k % fractions.len()]) % 101;
+            t = t + Cycles::new((wc.get() * f / 100).max(1));
+            ctl.complete(t).unwrap();
+            k += 1;
+        }
+    }
+
+    /// Degenerate quality sets (singleton) reduce the controller to a
+    /// feasibility monitor; with the precondition holding it still never
+    /// misses.
+    #[test]
+    fn singleton_quality_set_is_safe(
+        graph in arb_dag(6),
+        base in 1u64..30,
+        fractions in proptest::collection::vec(any::<u8>(), 8),
+    ) {
+        let n = graph.len();
+        let qs = QualitySet::contiguous(0, 0).unwrap();
+        let mut pb = QualityProfile::builder(qs.clone(), n);
+        for a in 0..n {
+            pb.set_levels(a, &[(base, base * 2)]).unwrap();
+        }
+        let profile = pb.build().unwrap();
+        let mut acc = 0u64;
+        let mut dl = vec![Cycles::ZERO; n];
+        for &a in graph.topological_order() {
+            acc += profile.worst(a, qs.min()).get();
+            dl[a.index()] = Cycles::new(acc);
+        }
+        let sys = ParamSystem::new(graph, profile, DeadlineMap::uniform(qs, dl)).unwrap();
+        let mut policy = MaxQuality::new();
+        let report = drive_cycle(&sys, &mut policy, &fractions);
+        prop_assert_eq!(report.misses, 0);
+    }
+}
+
+/// Deterministic regression: utilization is reported and bounded by 1 when
+/// the final deadline binds.
+#[test]
+fn utilization_is_bounded_by_final_deadline() {
+    let mut b = GraphBuilder::new();
+    let x = b.action("x");
+    let graph = b.build().unwrap();
+    let qs = QualitySet::contiguous(0, 1).unwrap();
+    let mut pb = QualityProfile::builder(qs.clone(), 1);
+    pb.set_levels(0, &[(10, 20), (40, 80)]).unwrap();
+    let profile = pb.build().unwrap();
+    let deadlines = DeadlineMap::uniform(qs, vec![Cycles::new(100)]);
+    let sys = ParamSystem::new(graph, profile, deadlines).unwrap();
+    let mut policy = MaxQuality::new();
+    let mut ctl = CycleController::new(&sys, &EdfScheduler).unwrap();
+    let d = ctl.decide(Cycles::ZERO, &mut policy).unwrap().unwrap();
+    assert_eq!(d.action, x);
+    ctl.complete(Cycles::new(80)).unwrap();
+    let report = ctl.finish();
+    assert!(report.utilization() <= 1.0);
+    assert!((report.utilization() - 0.8).abs() < 1e-12);
+}

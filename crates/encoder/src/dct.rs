@@ -1,0 +1,181 @@
+//! 8×8 forward and inverse discrete cosine transform.
+//!
+//! Separable float implementation of the type-II DCT used by MPEG-class
+//! codecs, with orthonormal scaling so `idct(dct(x)) == x` up to rounding.
+
+/// Transform block edge (8×8 like MPEG-4; a 16×16 macroblock holds four
+/// luma blocks).
+pub const BLOCK: usize = 8;
+
+/// Forward 8×8 DCT of a residual block (row-major `i16`, range roughly
+/// ±255 after prediction). Returns coefficients as `f32`.
+#[must_use]
+pub fn forward(input: &[i16; BLOCK * BLOCK]) -> [f32; BLOCK * BLOCK] {
+    let mut tmp = [0f32; BLOCK * BLOCK];
+    let mut out = [0f32; BLOCK * BLOCK];
+    // Rows.
+    for y in 0..BLOCK {
+        for u in 0..BLOCK {
+            let mut acc = 0f32;
+            for x in 0..BLOCK {
+                acc += f32::from(input[y * BLOCK + x]) * basis(x, u);
+            }
+            tmp[y * BLOCK + u] = acc * scale(u);
+        }
+    }
+    // Columns.
+    for u in 0..BLOCK {
+        for v in 0..BLOCK {
+            let mut acc = 0f32;
+            for y in 0..BLOCK {
+                acc += tmp[y * BLOCK + u] * basis(y, v);
+            }
+            out[v * BLOCK + u] = acc * scale(v);
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT back to spatial residuals (`i16`).
+#[must_use]
+pub fn inverse(coeffs: &[f32; BLOCK * BLOCK]) -> [i16; BLOCK * BLOCK] {
+    let mut tmp = [0f32; BLOCK * BLOCK];
+    let mut out = [0i16; BLOCK * BLOCK];
+    // Columns.
+    for u in 0..BLOCK {
+        for y in 0..BLOCK {
+            let mut acc = 0f32;
+            for v in 0..BLOCK {
+                acc += scale(v) * coeffs[v * BLOCK + u] * basis(y, v);
+            }
+            tmp[y * BLOCK + u] = acc;
+        }
+    }
+    // Rows.
+    for y in 0..BLOCK {
+        for x in 0..BLOCK {
+            let mut acc = 0f32;
+            for u in 0..BLOCK {
+                acc += scale(u) * tmp[y * BLOCK + u] * basis(x, u);
+            }
+            out[y * BLOCK + x] = acc.round().clamp(-4096.0, 4096.0) as i16;
+        }
+    }
+    out
+}
+
+#[inline]
+fn basis(x: usize, u: usize) -> f32 {
+    let angle = std::f32::consts::PI * (2.0 * x as f32 + 1.0) * u as f32 / (2.0 * BLOCK as f32);
+    angle.cos()
+}
+
+#[inline]
+fn scale(u: usize) -> f32 {
+    if u == 0 {
+        (1.0 / BLOCK as f32).sqrt()
+    } else {
+        (2.0 / BLOCK as f32).sqrt()
+    }
+}
+
+/// Splits a 16×16 macroblock residual into its four 8×8 blocks
+/// (row-major: top-left, top-right, bottom-left, bottom-right).
+#[must_use]
+pub fn split_macroblock(res: &[i16; 256]) -> [[i16; BLOCK * BLOCK]; 4] {
+    let mut out = [[0i16; BLOCK * BLOCK]; 4];
+    for (b, block) in out.iter_mut().enumerate() {
+        let ox = (b % 2) * BLOCK;
+        let oy = (b / 2) * BLOCK;
+        for y in 0..BLOCK {
+            for x in 0..BLOCK {
+                block[y * BLOCK + x] = res[(oy + y) * 16 + ox + x];
+            }
+        }
+    }
+    out
+}
+
+/// Reassembles four 8×8 blocks into a 16×16 macroblock residual.
+#[must_use]
+pub fn merge_macroblock(blocks: &[[i16; BLOCK * BLOCK]; 4]) -> [i16; 256] {
+    let mut out = [0i16; 256];
+    for (b, block) in blocks.iter().enumerate() {
+        let ox = (b % 2) * BLOCK;
+        let oy = (b / 2) * BLOCK;
+        for y in 0..BLOCK {
+            for x in 0..BLOCK {
+                out[(oy + y) * 16 + ox + x] = block[y * BLOCK + x];
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_block_transforms_to_single_coefficient() {
+        let input = [64i16; 64];
+        let c = forward(&input);
+        // DC = 8 * 64 = 512 with orthonormal scaling.
+        assert!((c[0] - 512.0).abs() < 0.01, "DC = {}", c[0]);
+        for (i, &v) in c.iter().enumerate().skip(1) {
+            assert!(v.abs() < 0.01, "AC[{i}] = {v}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact_up_to_rounding() {
+        let mut input = [0i16; 64];
+        for (i, v) in input.iter_mut().enumerate() {
+            *v = ((i as i16 * 7) % 255) - 127;
+        }
+        let back = inverse(&forward(&input));
+        for (a, b) in input.iter().zip(back.iter()) {
+            assert!((a - b).abs() <= 1, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let mut input = [0i16; 64];
+        for (i, v) in input.iter_mut().enumerate() {
+            *v = (((i * 37) % 200) as i16) - 100;
+        }
+        let spatial: f64 = input.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+        let freq: f64 = forward(&input)
+            .iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum();
+        assert!(
+            (spatial - freq).abs() / spatial < 1e-4,
+            "{spatial} vs {freq}"
+        );
+    }
+
+    #[test]
+    fn split_merge_roundtrip() {
+        let mut res = [0i16; 256];
+        for (i, v) in res.iter_mut().enumerate() {
+            *v = i as i16 - 128;
+        }
+        assert_eq!(merge_macroblock(&split_macroblock(&res)), res);
+    }
+
+    #[test]
+    fn split_addresses_quadrants() {
+        let mut res = [0i16; 256];
+        res[0] = 1; // top-left quadrant
+        res[8] = 2; // top-right
+        res[8 * 16] = 3; // bottom-left
+        res[8 * 16 + 8] = 4; // bottom-right
+        let blocks = split_macroblock(&res);
+        assert_eq!(blocks[0][0], 1);
+        assert_eq!(blocks[1][0], 2);
+        assert_eq!(blocks[2][0], 3);
+        assert_eq!(blocks[3][0], 4);
+    }
+}

@@ -1,0 +1,351 @@
+//! Entropy coding: zigzag scan, run-length pairs, Exp-Golomb bitstream.
+//!
+//! The `Compress` action of the pipeline. A matching decoder exists so
+//! roundtrip tests can prove the bitstream is genuinely decodable — the
+//! bit counts driving rate control and the Compress action's work units
+//! are real.
+
+use crate::dct::BLOCK;
+
+/// Zigzag scan order for an 8×8 block.
+#[must_use]
+pub fn zigzag_order() -> [usize; BLOCK * BLOCK] {
+    let mut order = [0usize; BLOCK * BLOCK];
+    let mut idx = 0;
+    for s in 0..(2 * BLOCK - 1) {
+        let coords: Vec<(usize, usize)> = (0..=s.min(BLOCK - 1))
+            .filter_map(|i| {
+                let j = s - i;
+                (j < BLOCK).then_some((i, j))
+            })
+            .collect();
+        // Even diagonals run upward, odd downward.
+        if s % 2 == 0 {
+            for &(i, j) in coords.iter().rev() {
+                order[idx] = i * BLOCK + j;
+                idx += 1;
+            }
+        } else {
+            for &(i, j) in &coords {
+                order[idx] = i * BLOCK + j;
+                idx += 1;
+            }
+        }
+    }
+    order
+}
+
+/// A growable bitstream writer.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    bit_len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one bit.
+    pub fn put_bit(&mut self, bit: bool) {
+        if self.bit_len % 8 == 0 {
+            self.bytes.push(0);
+        }
+        if bit {
+            let byte = self.bit_len / 8;
+            self.bytes[byte] |= 1 << (7 - self.bit_len % 8);
+        }
+        self.bit_len += 1;
+    }
+
+    /// Appends `count` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn put_bits(&mut self, value: u64, count: u32) {
+        assert!(count <= 64);
+        for i in (0..count).rev() {
+            self.put_bit(value >> i & 1 == 1);
+        }
+    }
+
+    /// Unsigned Exp-Golomb code of `value`.
+    pub fn put_ue(&mut self, value: u64) {
+        let v = value + 1;
+        let bits = 64 - v.leading_zeros();
+        for _ in 0..bits - 1 {
+            self.put_bit(false);
+        }
+        self.put_bits(v, bits);
+    }
+
+    /// Signed Exp-Golomb code (0, 1, −1, 2, −2, ... mapping).
+    pub fn put_se(&mut self, value: i64) {
+        let mapped = if value > 0 {
+            (value as u64) * 2 - 1
+        } else {
+            (-value as u64) * 2
+        };
+        self.put_ue(mapped);
+    }
+
+    /// Total bits written.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        self.bit_len
+    }
+
+    /// Finishes and returns the byte buffer (zero-padded).
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// A bitstream reader matching [`BitWriter`].
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over a byte buffer.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads one bit; `None` at end of stream.
+    pub fn bit(&mut self) -> Option<bool> {
+        let byte = self.pos / 8;
+        if byte >= self.bytes.len() {
+            return None;
+        }
+        let bit = self.bytes[byte] >> (7 - self.pos % 8) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Reads `count` bits MSB-first.
+    pub fn bits(&mut self, count: u32) -> Option<u64> {
+        let mut v = 0u64;
+        for _ in 0..count {
+            v = v << 1 | u64::from(self.bit()?);
+        }
+        Some(v)
+    }
+
+    /// Reads an unsigned Exp-Golomb code.
+    pub fn ue(&mut self) -> Option<u64> {
+        let mut zeros = 0u32;
+        loop {
+            match self.bit()? {
+                false => zeros += 1,
+                true => break,
+            }
+            if zeros > 63 {
+                return None;
+            }
+        }
+        let rest = self.bits(zeros)?;
+        Some((1u64 << zeros | rest) - 1)
+    }
+
+    /// Reads a signed Exp-Golomb code.
+    pub fn se(&mut self) -> Option<i64> {
+        let v = self.ue()?;
+        Some(if v % 2 == 1 {
+            ((v + 1) / 2) as i64
+        } else {
+            -((v / 2) as i64)
+        })
+    }
+
+    /// Bits consumed so far.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+/// Encodes one quantized 8×8 block as `(run, level)` pairs in zigzag
+/// order, terminated by an end-of-block marker. Returns bits written.
+pub fn encode_block(w: &mut BitWriter, levels: &[i16; BLOCK * BLOCK]) -> usize {
+    let start = w.bit_len();
+    let order = zigzag_order();
+    let mut run = 0u64;
+    for &pos in order.iter() {
+        let l = levels[pos];
+        if l == 0 {
+            run += 1;
+        } else {
+            w.put_ue(run);
+            w.put_se(i64::from(l));
+            run = 0;
+        }
+    }
+    // End of block: run code 63 + level 0 sentinel (level 0 is otherwise
+    // never coded, so it is unambiguous).
+    w.put_ue(63);
+    w.put_se(0);
+    w.bit_len() - start
+}
+
+/// Decodes one 8×8 block written by [`encode_block`].
+#[must_use]
+pub fn decode_block(r: &mut BitReader<'_>) -> Option<[i16; BLOCK * BLOCK]> {
+    let order = zigzag_order();
+    let mut out = [0i16; BLOCK * BLOCK];
+    let mut idx = 0usize;
+    loop {
+        let run = r.ue()?;
+        let level = r.se()?;
+        if level == 0 {
+            // End of block (run is the 63 sentinel by construction).
+            return Some(out);
+        }
+        idx += run as usize;
+        if idx >= order.len() {
+            return None; // corrupt stream
+        }
+        out[order[idx]] = i16::try_from(level).ok()?;
+        idx += 1;
+    }
+}
+
+/// Encodes a motion vector (signed Exp-Golomb per component). Returns
+/// bits written.
+pub fn encode_mv(w: &mut BitWriter, mv: (i32, i32)) -> usize {
+    let start = w.bit_len();
+    w.put_se(i64::from(mv.0));
+    w.put_se(i64::from(mv.1));
+    w.bit_len() - start
+}
+
+/// Decodes a motion vector.
+#[must_use]
+pub fn decode_mv(r: &mut BitReader<'_>) -> Option<(i32, i32)> {
+    let x = r.se()?;
+    let y = r.se()?;
+    Some((i32::try_from(x).ok()?, i32::try_from(y).ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let order = zigzag_order();
+        let mut seen = [false; 64];
+        for &i in &order {
+            assert!(!seen[i], "duplicate {i}");
+            seen[i] = true;
+        }
+        // Standard start: 0, then (0,1), (1,0) -> indices 1, 8...
+        assert_eq!(order[0], 0);
+        assert_eq!(order[1], 1);
+        assert_eq!(order[2], 8);
+        assert_eq!(order[63], 63);
+    }
+
+    #[test]
+    fn bitwriter_reader_roundtrip() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b1011, 4);
+        w.put_ue(0);
+        w.put_ue(5);
+        w.put_se(-3);
+        w.put_se(7);
+        let bits = w.bit_len();
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.bits(4), Some(0b1011));
+        assert_eq!(r.ue(), Some(0));
+        assert_eq!(r.ue(), Some(5));
+        assert_eq!(r.se(), Some(-3));
+        assert_eq!(r.se(), Some(7));
+        assert_eq!(r.position(), bits);
+    }
+
+    #[test]
+    fn exp_golomb_exhaustive_roundtrip() {
+        let mut w = BitWriter::new();
+        for v in 0..300u64 {
+            w.put_ue(v);
+        }
+        for v in -80i64..=80 {
+            w.put_se(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for v in 0..300u64 {
+            assert_eq!(r.ue(), Some(v));
+        }
+        for v in -80i64..=80 {
+            assert_eq!(r.se(), Some(v));
+        }
+    }
+
+    #[test]
+    fn block_roundtrip_sparse_and_dense() {
+        let mut sparse = [0i16; 64];
+        sparse[0] = 45;
+        sparse[10] = -3;
+        sparse[63] = 1;
+        let mut dense = [0i16; 64];
+        for (i, v) in dense.iter_mut().enumerate() {
+            *v = (i as i16 % 17) - 8;
+        }
+        for block in [sparse, dense, [0i16; 64]] {
+            let mut w = BitWriter::new();
+            let bits = encode_block(&mut w, &block);
+            assert!(bits > 0);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(decode_block(&mut r), Some(block));
+        }
+    }
+
+    #[test]
+    fn sparser_blocks_cost_fewer_bits() {
+        let mut sparse = [0i16; 64];
+        sparse[0] = 5;
+        let mut dense = [0i16; 64];
+        for (i, v) in dense.iter_mut().enumerate() {
+            *v = if i % 2 == 0 { 3 } else { -3 };
+        }
+        let mut w1 = BitWriter::new();
+        let b1 = encode_block(&mut w1, &sparse);
+        let mut w2 = BitWriter::new();
+        let b2 = encode_block(&mut w2, &dense);
+        assert!(b1 < b2);
+    }
+
+    #[test]
+    fn mv_roundtrip() {
+        for mv in [(0, 0), (-16, 16), (7, -3)] {
+            let mut w = BitWriter::new();
+            encode_mv(&mut w, mv);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            assert_eq!(decode_mv(&mut r), Some(mv));
+        }
+    }
+
+    #[test]
+    fn reader_handles_truncation() {
+        let mut r = BitReader::new(&[]);
+        assert_eq!(r.bit(), None);
+        assert_eq!(r.ue(), None);
+        // A lonely zero byte is all zeros: ue runs out of stream.
+        let bytes = [0u8];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.ue(), None);
+    }
+}

@@ -1,0 +1,248 @@
+//! Luma frames and macroblock addressing.
+
+use std::fmt;
+
+/// Macroblock edge length in pixels (16×16 = the paper's "macroblocks of
+/// 256 pixels").
+pub const MB_SIZE: usize = 16;
+
+/// A grayscale (luma) frame whose dimensions are multiples of 16.
+///
+/// # Example
+///
+/// ```
+/// use fgqos_encoder::frame::{Frame, MB_SIZE};
+///
+/// let f = Frame::new(48, 32);
+/// assert_eq!(f.macroblocks(), 6);
+/// assert_eq!(f.mb_origin(4), (MB_SIZE, MB_SIZE));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl Frame {
+    /// Creates a black frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both dimensions are positive multiples of
+    /// [`MB_SIZE`].
+    #[must_use]
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(
+            width > 0 && height > 0 && width % MB_SIZE == 0 && height % MB_SIZE == 0,
+            "frame dimensions must be positive multiples of {MB_SIZE}"
+        );
+        Frame {
+            width,
+            height,
+            data: vec![0; width * height],
+        }
+    }
+
+    /// Frame width in pixels.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of macroblocks (`width/16 · height/16`).
+    #[must_use]
+    pub fn macroblocks(&self) -> usize {
+        (self.width / MB_SIZE) * (self.height / MB_SIZE)
+    }
+
+    /// Macroblocks per row.
+    #[must_use]
+    pub fn mb_cols(&self) -> usize {
+        self.width / MB_SIZE
+    }
+
+    /// Pixel origin `(x, y)` of macroblock `mb` (row-major order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mb >= macroblocks()`.
+    #[must_use]
+    pub fn mb_origin(&self, mb: usize) -> (usize, usize) {
+        assert!(mb < self.macroblocks(), "macroblock index out of range");
+        let cols = self.mb_cols();
+        ((mb % cols) * MB_SIZE, (mb / cols) * MB_SIZE)
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range coordinates.
+    #[inline]
+    #[must_use]
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        self.data[y * self.width + x]
+    }
+
+    /// Sets pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range coordinates.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: u8) {
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Pixel at signed coordinates, clamped to the frame border
+    /// (unrestricted motion vectors sample the edge pixels).
+    #[inline]
+    #[must_use]
+    pub fn get_clamped(&self, x: i32, y: i32) -> u8 {
+        let xi = x.clamp(0, self.width as i32 - 1) as usize;
+        let yi = y.clamp(0, self.height as i32 - 1) as usize;
+        self.data[yi * self.width + xi]
+    }
+
+    /// Copies the 16×16 macroblock at `(ox, oy)` into a flat 256-byte
+    /// array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block does not fit in the frame.
+    #[must_use]
+    pub fn block(&self, ox: usize, oy: usize) -> [u8; MB_SIZE * MB_SIZE] {
+        assert!(ox + MB_SIZE <= self.width && oy + MB_SIZE <= self.height);
+        let mut out = [0u8; MB_SIZE * MB_SIZE];
+        for dy in 0..MB_SIZE {
+            let row = (oy + dy) * self.width + ox;
+            out[dy * MB_SIZE..(dy + 1) * MB_SIZE]
+                .copy_from_slice(&self.data[row..row + MB_SIZE]);
+        }
+        out
+    }
+
+    /// 16×16 block sampled at a *signed* origin with border clamping
+    /// (motion-compensated prediction).
+    #[must_use]
+    pub fn block_clamped(&self, ox: i32, oy: i32) -> [u8; MB_SIZE * MB_SIZE] {
+        let mut out = [0u8; MB_SIZE * MB_SIZE];
+        for dy in 0..MB_SIZE {
+            for dx in 0..MB_SIZE {
+                out[dy * MB_SIZE + dx] = self.get_clamped(ox + dx as i32, oy + dy as i32);
+            }
+        }
+        out
+    }
+
+    /// Writes a 256-byte block at macroblock origin `(ox, oy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block does not fit in the frame.
+    pub fn write_block(&mut self, ox: usize, oy: usize, block: &[u8; MB_SIZE * MB_SIZE]) {
+        assert!(ox + MB_SIZE <= self.width && oy + MB_SIZE <= self.height);
+        for dy in 0..MB_SIZE {
+            let row = (oy + dy) * self.width + ox;
+            self.data[row..row + MB_SIZE]
+                .copy_from_slice(&block[dy * MB_SIZE..(dy + 1) * MB_SIZE]);
+        }
+    }
+
+    /// Raw pixel data, row-major.
+    #[must_use]
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable raw pixel data, row-major.
+    #[must_use]
+    pub fn data_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{} luma frame", self.width, self.height)
+    }
+}
+
+/// Sum of absolute differences between two 256-byte blocks, the metric of
+/// motion estimation and the intra/inter decision.
+#[must_use]
+pub fn sad(a: &[u8; MB_SIZE * MB_SIZE], b: &[u8; MB_SIZE * MB_SIZE]) -> u32 {
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| u32::from(x.abs_diff(y)))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_must_be_mb_multiples() {
+        assert!(std::panic::catch_unwind(|| Frame::new(17, 16)).is_err());
+        assert!(std::panic::catch_unwind(|| Frame::new(0, 16)).is_err());
+        let f = Frame::new(32, 16);
+        assert_eq!(f.macroblocks(), 2);
+        assert_eq!(f.mb_cols(), 2);
+    }
+
+    #[test]
+    fn mb_origins_are_row_major() {
+        let f = Frame::new(48, 32);
+        assert_eq!(f.mb_origin(0), (0, 0));
+        assert_eq!(f.mb_origin(2), (32, 0));
+        assert_eq!(f.mb_origin(3), (0, 16));
+        assert_eq!(f.mb_origin(5), (32, 16));
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let mut f = Frame::new(32, 32);
+        let mut blk = [0u8; 256];
+        for (i, v) in blk.iter_mut().enumerate() {
+            *v = (i % 251) as u8;
+        }
+        f.write_block(16, 16, &blk);
+        assert_eq!(f.block(16, 16), blk);
+        assert_eq!(f.get(16, 16), 0);
+        assert_eq!(f.get(17, 16), 1);
+    }
+
+    #[test]
+    fn clamped_access_extends_borders() {
+        let mut f = Frame::new(16, 16);
+        f.set(0, 0, 200);
+        f.set(15, 15, 99);
+        assert_eq!(f.get_clamped(-5, -5), 200);
+        assert_eq!(f.get_clamped(20, 20), 99);
+        let blk = f.block_clamped(-16, -16);
+        assert_eq!(blk[0], 200);
+    }
+
+    #[test]
+    fn sad_counts_absolute_differences() {
+        let a = [10u8; 256];
+        let mut b = [10u8; 256];
+        b[0] = 15;
+        b[1] = 5;
+        assert_eq!(sad(&a, &b), 10);
+        assert_eq!(sad(&a, &a), 0);
+    }
+
+    #[test]
+    fn display_mentions_dims() {
+        assert_eq!(Frame::new(32, 16).to_string(), "32x16 luma frame");
+    }
+}

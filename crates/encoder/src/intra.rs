@@ -1,0 +1,110 @@
+//! DC intra prediction and the intra/inter mode decision.
+
+use crate::frame::{sad, Frame, MB_SIZE};
+
+/// Macroblock coding mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MbMode {
+    /// Predicted from spatial neighbours (always used on I-frames).
+    Intra,
+    /// Predicted by motion compensation from the reference frame.
+    Inter,
+}
+
+/// DC intra prediction: predicts the whole macroblock as the mean of the
+/// already-reconstructed pixels directly above and to the left (128 when
+/// no neighbours exist, e.g. the top-left macroblock).
+#[must_use]
+pub fn dc_predict(recon: &Frame, ox: usize, oy: usize) -> [u8; MB_SIZE * MB_SIZE] {
+    let mut sum = 0u32;
+    let mut count = 0u32;
+    if oy > 0 {
+        for dx in 0..MB_SIZE {
+            sum += u32::from(recon.get(ox + dx, oy - 1));
+            count += 1;
+        }
+    }
+    if ox > 0 {
+        for dy in 0..MB_SIZE {
+            sum += u32::from(recon.get(ox - 1, oy + dy));
+            count += 1;
+        }
+    }
+    let dc = if count == 0 {
+        128
+    } else {
+        u8::try_from(sum / count).unwrap_or(255)
+    };
+    [dc; MB_SIZE * MB_SIZE]
+}
+
+/// Chooses between the intra (DC) and inter (motion-compensated)
+/// prediction by SAD, with a small bias toward inter (its motion vector
+/// costs bits but tracks content better). Returns the mode and its SAD.
+#[must_use]
+pub fn decide_mode(
+    target: &[u8; MB_SIZE * MB_SIZE],
+    intra_pred: &[u8; MB_SIZE * MB_SIZE],
+    inter_sad: u32,
+) -> (MbMode, u32) {
+    let intra_sad = sad(target, intra_pred);
+    // 128 = empirical lambda for the MV signalling cost.
+    if inter_sad + 128 <= intra_sad {
+        (MbMode::Inter, inter_sad)
+    } else {
+        (MbMode::Intra, intra_sad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_left_macroblock_predicts_mid_gray() {
+        let recon = Frame::new(32, 32);
+        let p = dc_predict(&recon, 0, 0);
+        assert!(p.iter().all(|&v| v == 128));
+    }
+
+    #[test]
+    fn prediction_averages_neighbours() {
+        let mut recon = Frame::new(32, 32);
+        // Row above MB (16, 16) = 100, column left = 200.
+        for dx in 0..16 {
+            recon.set(16 + dx, 15, 100);
+        }
+        for dy in 0..16 {
+            recon.set(15, 16 + dy, 200);
+        }
+        let p = dc_predict(&recon, 16, 16);
+        assert!(p.iter().all(|&v| v == 150));
+    }
+
+    #[test]
+    fn mode_decision_prefers_clearly_better_inter() {
+        let target = [90u8; 256];
+        let intra = [200u8; 256]; // terrible intra prediction
+        let (mode, s) = decide_mode(&target, &intra, 300);
+        assert_eq!(mode, MbMode::Inter);
+        assert_eq!(s, 300);
+    }
+
+    #[test]
+    fn mode_decision_prefers_intra_on_scene_cut() {
+        let target = [90u8; 256];
+        let intra = [91u8; 256]; // near-perfect intra
+        let (mode, s) = decide_mode(&target, &intra, 20_000);
+        assert_eq!(mode, MbMode::Intra);
+        assert_eq!(s, 256);
+    }
+
+    #[test]
+    fn tie_goes_to_intra_under_bias() {
+        let target = [90u8; 256];
+        let intra = [90u8; 256];
+        // Equal SADs (0): the +128 bias keeps intra.
+        let (mode, _) = decide_mode(&target, &intra, 0);
+        assert_eq!(mode, MbMode::Intra);
+    }
+}

@@ -1,0 +1,196 @@
+//! Quality-parameterized motion estimation.
+//!
+//! This is the action whose execution time the QoS controller modulates:
+//! the quality level maps to the full-search radius (Fig. 5 gives 8
+//! levels). Bigger radius ⇒ better prediction (fewer residual bits at the
+//! same quantizer ⇒ higher PSNR at the target bitrate) and more SAD
+//! evaluations ⇒ more cycles. Early termination on a good match makes the
+//! cost *content-dependent*, which is exactly the load fluctuation the
+//! controller exists to absorb.
+
+use crate::frame::{sad, Frame, MB_SIZE};
+
+/// Search radius (pixels) per quality level 0–7. Level 0 checks only the
+/// zero vector (the paper's level-0 `Motion_Estimate` averages a mere 215
+/// cycles — a trivial check).
+pub const RADIUS_BY_QUALITY: [i32; 8] = [0, 1, 2, 4, 6, 8, 12, 16];
+
+/// Early-termination threshold: a SAD below this (per 256-pixel block)
+/// counts as "good enough" and stops the search.
+pub const EARLY_EXIT_SAD: u32 = 512;
+
+/// Result of one motion search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MotionResult {
+    /// Best motion vector (dx, dy) in pixels.
+    pub mv: (i32, i32),
+    /// SAD of the best match.
+    pub sad: u32,
+    /// Number of candidate positions evaluated (the work count).
+    pub evaluations: u32,
+}
+
+/// Search radius for a quality level (clamps levels above 7).
+#[must_use]
+pub fn radius_for_quality(q: u8) -> i32 {
+    RADIUS_BY_QUALITY[usize::from(q).min(RADIUS_BY_QUALITY.len() - 1)]
+}
+
+/// Full-search motion estimation of the macroblock at `(ox, oy)` of
+/// `current` against `reference`, within `radius` pixels, spiralling
+/// outward from the zero vector with early termination.
+///
+/// The spiral order matters: natural video has mostly small motion, so
+/// checking near-zero candidates first makes early termination effective
+/// and cost content-dependent.
+#[must_use]
+pub fn search(
+    current: &Frame,
+    reference: &Frame,
+    ox: usize,
+    oy: usize,
+    radius: i32,
+) -> MotionResult {
+    let target = current.block(ox, oy);
+    let mut best = MotionResult {
+        mv: (0, 0),
+        sad: u32::MAX,
+        evaluations: 0,
+    };
+    // Ring 0 (zero vector) outward.
+    'rings: for r in 0..=radius {
+        for (dx, dy) in ring(r) {
+            let cand = reference.block_clamped(ox as i32 + dx, oy as i32 + dy);
+            let s = sad(&target, &cand);
+            best.evaluations += 1;
+            if s < best.sad || (s == best.sad && (dx, dy) < best.mv) {
+                best.sad = s;
+                best.mv = (dx, dy);
+            }
+            if best.sad <= EARLY_EXIT_SAD {
+                break 'rings;
+            }
+        }
+    }
+    best
+}
+
+/// Candidate offsets on the square ring of Chebyshev radius `r`.
+fn ring(r: i32) -> Vec<(i32, i32)> {
+    if r == 0 {
+        return vec![(0, 0)];
+    }
+    let mut out = Vec::with_capacity((8 * r) as usize);
+    for d in -r..=r {
+        out.push((d, -r));
+        out.push((d, r));
+    }
+    for d in (-r + 1)..r {
+        out.push((-r, d));
+        out.push((r, d));
+    }
+    out
+}
+
+/// Motion-compensated 16×16 prediction for a vector.
+#[must_use]
+pub fn predict(reference: &Frame, ox: usize, oy: usize, mv: (i32, i32)) -> [u8; MB_SIZE * MB_SIZE] {
+    reference.block_clamped(ox as i32 + mv.0, oy as i32 + mv.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A frame with a bright 16x16 square at (x, y) on a mid-gray field.
+    fn frame_with_square(x: usize, y: usize) -> Frame {
+        let mut f = Frame::new(64, 64);
+        for p in f.data_mut() {
+            *p = 100;
+        }
+        for dy in 0..16 {
+            for dx in 0..16 {
+                f.set(x + dx, y + dy, 220);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn finds_exact_translation_within_radius() {
+        let reference = frame_with_square(16, 16);
+        let current = frame_with_square(20, 18); // moved by (+4, +2)
+        // MB at (16,16) in current contains part of the square; its true
+        // match in the reference is at offset (-4, -2)... search from the
+        // current square MB (20 rounds to MB at 16): use MB origin 16,16.
+        let r = search(&current, &reference, 16, 16, 8);
+        assert_eq!(r.mv, (-4, -2));
+        assert_eq!(r.sad, 0);
+        assert!(r.evaluations > 1);
+    }
+
+    #[test]
+    fn zero_radius_checks_only_zero_vector() {
+        let reference = frame_with_square(16, 16);
+        let current = frame_with_square(24, 16);
+        let r = search(&current, &reference, 16, 16, 0);
+        assert_eq!(r.evaluations, 1);
+        assert_eq!(r.mv, (0, 0));
+        assert!(r.sad > 0);
+    }
+
+    #[test]
+    fn early_exit_on_static_content() {
+        let reference = frame_with_square(16, 16);
+        let current = reference.clone();
+        let r = search(&current, &reference, 16, 16, 16);
+        // Zero vector matches perfectly: one evaluation, done.
+        assert_eq!(r.evaluations, 1);
+        assert_eq!(r.sad, 0);
+        assert_eq!(r.mv, (0, 0));
+    }
+
+    #[test]
+    fn larger_radius_never_worse() {
+        let reference = frame_with_square(16, 16);
+        let current = frame_with_square(28, 24); // (+12, +8)
+        let small = search(&current, &reference, 16, 16, 2);
+        let large = search(&current, &reference, 16, 16, 16);
+        assert!(large.sad <= small.sad);
+        assert!(large.evaluations >= small.evaluations);
+    }
+
+    #[test]
+    fn ring_sizes_are_correct() {
+        assert_eq!(ring(0).len(), 1);
+        assert_eq!(ring(1).len(), 8);
+        assert_eq!(ring(3).len(), 24);
+        // Full search over radius r must cover (2r+1)^2 candidates.
+        let total: usize = (0..=4).map(|r| ring(r).len()).sum();
+        assert_eq!(total, 81);
+        // No duplicates.
+        let mut all: Vec<(i32, i32)> = (0..=4).flat_map(ring).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 81);
+    }
+
+    #[test]
+    fn radius_mapping_is_monotone() {
+        for w in RADIUS_BY_QUALITY.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(radius_for_quality(0), 0);
+        assert_eq!(radius_for_quality(7), 16);
+        assert_eq!(radius_for_quality(200), 16); // clamped
+    }
+
+    #[test]
+    fn prediction_samples_reference() {
+        let reference = frame_with_square(16, 16);
+        let p = predict(&reference, 16, 16, (0, 0));
+        assert_eq!(p, reference.block(16, 16));
+        let shifted = predict(&reference, 16, 16, (4, 2));
+        assert_eq!(shifted, reference.block_clamped(20, 18));
+    }
+}

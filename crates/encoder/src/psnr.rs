@@ -1,0 +1,84 @@
+//! Peak signal-to-noise ratio between frames.
+
+use crate::frame::Frame;
+
+/// PSNR in dB between two equal-sized frames
+/// (`10·log10(255² / MSE)`); identical frames report 99 dB (capped in
+/// place of infinity).
+///
+/// # Panics
+///
+/// Panics if the frames have different dimensions.
+///
+/// # Example
+///
+/// ```
+/// use fgqos_encoder::{frame::Frame, psnr::psnr};
+///
+/// let a = Frame::new(16, 16);
+/// let mut b = Frame::new(16, 16);
+/// assert_eq!(psnr(&a, &b), 99.0);
+/// b.set(0, 0, 255);
+/// assert!(psnr(&a, &b) < 99.0);
+/// ```
+#[must_use]
+pub fn psnr(a: &Frame, b: &Frame) -> f64 {
+    assert_eq!(a.width(), b.width(), "frame widths differ");
+    assert_eq!(a.height(), b.height(), "frame heights differ");
+    let sse: u64 = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| {
+            let d = i64::from(x) - i64::from(y);
+            (d * d) as u64
+        })
+        .sum();
+    if sse == 0 {
+        return 99.0;
+    }
+    let mse = sse as f64 / a.data().len() as f64;
+    (10.0 * (255.0f64 * 255.0 / mse).log10()).min(99.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_frames_cap_at_99() {
+        let f = Frame::new(16, 16);
+        assert_eq!(psnr(&f, &f), 99.0);
+    }
+
+    #[test]
+    fn uniform_error_matches_closed_form() {
+        let a = Frame::new(16, 16);
+        let mut b = Frame::new(16, 16);
+        for p in b.data_mut() {
+            *p = 10; // MSE = 100
+        }
+        let expected = 10.0 * (255.0f64 * 255.0 / 100.0).log10();
+        assert!((psnr(&a, &b) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_noise_means_lower_psnr() {
+        let a = Frame::new(16, 16);
+        let mut small = Frame::new(16, 16);
+        let mut big = Frame::new(16, 16);
+        for p in small.data_mut() {
+            *p = 3;
+        }
+        for p in big.data_mut() {
+            *p = 30;
+        }
+        assert!(psnr(&a, &small) > psnr(&a, &big));
+    }
+
+    #[test]
+    #[should_panic(expected = "widths differ")]
+    fn size_mismatch_panics() {
+        let _ = psnr(&Frame::new(16, 16), &Frame::new(32, 16));
+    }
+}

@@ -1,0 +1,271 @@
+//! The synthetic camera: deterministic scene rendering driven by the
+//! simulator's load scenario.
+//!
+//! Substitution (see DESIGN.md): the paper's 582-frame camera benchmark is
+//! proprietary footage; what the figures depend on is its *statistics* —
+//! per-scene motion and texture, scene cuts, noise. Each scene renders a
+//! textured background (sum of sinusoidal gratings) plus moving rigid
+//! rectangles; velocity scales with the scene's motion parameter and
+//! texture with its texture parameter. Rendering frame `f` is a pure
+//! function of `(seed, f)`, so the camera needs no storage.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fgqos_sim::scenario::LoadScenario;
+
+use crate::frame::Frame;
+
+/// A moving rectangle in a scene.
+#[derive(Debug, Clone, Copy)]
+struct MovingObject {
+    x0: f64,
+    y0: f64,
+    vx: f64,
+    vy: f64,
+    w: usize,
+    h: usize,
+    brightness: u8,
+}
+
+/// Per-scene rendering parameters (derived deterministically from the
+/// scenario seed and scene index).
+#[derive(Debug, Clone)]
+struct SceneRender {
+    grating_freq: (f64, f64),
+    grating_amp: f64,
+    phase: f64,
+    base_luma: u8,
+    objects: Vec<MovingObject>,
+    noise_amp: f64,
+}
+
+/// Deterministic synthetic video source.
+///
+/// # Example
+///
+/// ```
+/// use fgqos_encoder::synth::SyntheticCamera;
+/// use fgqos_sim::scenario::LoadScenario;
+///
+/// let scenario = LoadScenario::paper_benchmark(3).truncated(10);
+/// let cam = SyntheticCamera::new(&scenario, 48, 32, 7);
+/// let f0 = cam.frame(0);
+/// let f0_again = cam.frame(0);
+/// assert_eq!(f0, f0_again); // pure function of the frame index
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticCamera {
+    width: usize,
+    height: usize,
+    seed: u64,
+    scenes: Vec<SceneRender>,
+    /// `(scene, index_in_scene)` per global frame.
+    frame_map: Vec<(usize, usize)>,
+}
+
+impl SyntheticCamera {
+    /// Builds a camera for a scenario at the given frame dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are not positive multiples of 16 (checked by
+    /// [`Frame::new`]).
+    #[must_use]
+    pub fn new(scenario: &LoadScenario, width: usize, height: usize, seed: u64) -> Self {
+        // Validate dimensions early.
+        let _probe = Frame::new(width, height);
+        let mut scenes = Vec::with_capacity(scenario.scene_count());
+        for (idx, profile) in scenario.scenes().iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(seed ^ (idx as u64).wrapping_mul(0x9E37_79B9));
+            let n_objects = 2 + (profile.motion * 3.0) as usize;
+            let max_speed = 1.0 + profile.motion * 7.0; // px/frame
+            let objects = (0..n_objects)
+                .map(|_| MovingObject {
+                    x0: rng.gen_range(0.0..width as f64),
+                    y0: rng.gen_range(0.0..height as f64),
+                    vx: rng.gen_range(-max_speed..max_speed),
+                    vy: rng.gen_range(-max_speed / 2.0..max_speed / 2.0),
+                    w: rng.gen_range(8..(width / 2).max(9)),
+                    h: rng.gen_range(8..(height / 2).max(9)),
+                    brightness: rng.gen_range(40..220),
+                })
+                .collect();
+            scenes.push(SceneRender {
+                grating_freq: (
+                    0.03 + profile.texture * rng.gen_range(0.05..0.25),
+                    0.02 + profile.texture * rng.gen_range(0.05..0.2),
+                ),
+                grating_amp: 12.0 + profile.texture * 40.0,
+                phase: rng.gen_range(0.0..std::f64::consts::TAU),
+                base_luma: rng.gen_range(90..150),
+                objects,
+                noise_amp: 1.0 + profile.texture * 3.0,
+            });
+        }
+        let frame_map = scenario
+            .iter()
+            .map(|info| (info.scene, info.index_in_scene))
+            .collect();
+        SyntheticCamera {
+            width,
+            height,
+            seed,
+            scenes,
+            frame_map,
+        }
+    }
+
+    /// Frame width in pixels.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of frames the camera produces.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.frame_map.len()
+    }
+
+    /// Whether the stream is empty (never true for valid scenarios).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.frame_map.is_empty()
+    }
+
+    /// Renders frame `f` (pure function; no state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f >= len()`.
+    #[must_use]
+    pub fn frame(&self, f: usize) -> Frame {
+        let (scene_idx, k) = self.frame_map[f];
+        let scene = &self.scenes[scene_idx];
+        let t = k as f64;
+        let mut out = Frame::new(self.width, self.height);
+        // Background: drifting sinusoidal grating.
+        let (fx, fy) = scene.grating_freq;
+        let drift = t * 0.35;
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let v = f64::from(scene.base_luma)
+                    + scene.grating_amp
+                        * ((x as f64 * fx + drift + scene.phase).sin()
+                            + (y as f64 * fy - drift * 0.6).cos())
+                        / 2.0;
+                out.set(x, y, v.clamp(0.0, 255.0) as u8);
+            }
+        }
+        // Moving objects (wrap around the frame).
+        for o in &scene.objects {
+            let cx = (o.x0 + o.vx * t).rem_euclid(self.width as f64) as usize;
+            let cy = (o.y0 + o.vy * t).rem_euclid(self.height as f64) as usize;
+            for dy in 0..o.h {
+                for dx in 0..o.w {
+                    let x = (cx + dx) % self.width;
+                    let y = (cy + dy) % self.height;
+                    // Slight internal gradient so objects carry texture.
+                    let v = i32::from(o.brightness) + ((dx + dy) % 16) as i32 - 8;
+                    out.set(x, y, v.clamp(0, 255) as u8);
+                }
+            }
+        }
+        // Sensor noise: deterministic per (seed, frame).
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ (f as u64).wrapping_mul(0xD134_2543_DE82_EF95),
+        );
+        let amp = scene.noise_amp;
+        for p in out.data_mut() {
+            let n = rng.gen_range(-amp..=amp);
+            *p = (f64::from(*p) + n).clamp(0.0, 255.0) as u8;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::sad;
+
+    fn camera(frames: usize) -> SyntheticCamera {
+        let scenario = LoadScenario::paper_benchmark(3).truncated(frames);
+        SyntheticCamera::new(&scenario, 48, 32, 11)
+    }
+
+    #[test]
+    fn frames_are_deterministic() {
+        let cam = camera(10);
+        assert_eq!(cam.frame(4), cam.frame(4));
+        assert_eq!(cam.len(), 10);
+        assert!(!cam.is_empty());
+    }
+
+    #[test]
+    fn consecutive_frames_are_similar_within_a_scene() {
+        let cam = camera(30);
+        // Frames 5 and 6 are in scene 0 (58 frames long).
+        let a = cam.frame(5);
+        let b = cam.frame(6);
+        let d: u64 = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(&x, &y)| u64::from(x.abs_diff(y)))
+            .sum();
+        let per_pixel = d as f64 / a.data().len() as f64;
+        assert!(per_pixel < 40.0, "temporal difference too big: {per_pixel}");
+        assert!(per_pixel > 0.1, "frames must not be identical");
+    }
+
+    #[test]
+    fn scene_cuts_change_content_sharply() {
+        let scenario = LoadScenario::paper_benchmark(3).truncated(70);
+        let cam = SyntheticCamera::new(&scenario, 48, 32, 11);
+        // Scene 0 has 58 frames: 57 -> 58 crosses the cut.
+        let within: u64 = {
+            let a = cam.frame(56);
+            let b = cam.frame(57);
+            a.data().iter().zip(b.data()).map(|(&x, &y)| u64::from(x.abs_diff(y))).sum()
+        };
+        let across: u64 = {
+            let a = cam.frame(57);
+            let b = cam.frame(58);
+            a.data().iter().zip(b.data()).map(|(&x, &y)| u64::from(x.abs_diff(y))).sum()
+        };
+        assert!(
+            across > within * 2,
+            "cut must be sharper: within {within}, across {across}"
+        );
+    }
+
+    #[test]
+    fn motion_is_trackable_by_block_search() {
+        let cam = camera(20);
+        let a = cam.frame(10);
+        let b = cam.frame(11);
+        // Some macroblock should match better with a nonzero motion vector
+        // than with the zero vector (i.e. motion estimation has something
+        // to find).
+        let mut any_gain = false;
+        for mb in 0..a.macroblocks() {
+            let (ox, oy) = a.mb_origin(mb);
+            let target = b.block(ox, oy);
+            let zero = sad(&target, &a.block(ox, oy));
+            let best = crate::motion::search(&b, &a, ox, oy, 8);
+            if best.sad + 256 < zero {
+                any_gain = true;
+                break;
+            }
+        }
+        assert!(any_gain, "no macroblock benefited from motion search");
+    }
+}

@@ -1,0 +1,93 @@
+//! Action identifiers.
+
+use std::fmt;
+
+/// Identifier of an action inside one [`PrecedenceGraph`].
+///
+/// `ActionId`s are dense indices handed out by [`GraphBuilder::action`] in
+/// insertion order, so they can be used to index per-action side tables
+/// (execution-time profiles, deadline tables, ...) via [`ActionId::index`].
+///
+/// An `ActionId` is only meaningful together with the graph that created it;
+/// mixing ids across graphs is caught by the validating APIs of
+/// [`PrecedenceGraph`].
+///
+/// [`PrecedenceGraph`]: crate::PrecedenceGraph
+/// [`GraphBuilder::action`]: crate::GraphBuilder::action
+///
+/// # Example
+///
+/// ```
+/// use fgqos_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// let a = b.action("a");
+/// let b_ = b.action("b");
+/// assert_eq!(a.index(), 0);
+/// assert_eq!(b_.index(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActionId(pub(crate) u32);
+
+impl ActionId {
+    /// Creates an id from a dense index.
+    ///
+    /// Prefer obtaining ids from [`GraphBuilder::action`]; this constructor
+    /// exists for deserialization and table-driven tooling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    ///
+    /// [`GraphBuilder::action`]: crate::GraphBuilder::action
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        ActionId(u32::try_from(index).expect("action index exceeds u32::MAX"))
+    }
+
+    /// The dense index of this action (position in insertion order).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl From<ActionId> for usize {
+    fn from(id: ActionId) -> usize {
+        id.index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_index_roundtrip() {
+        for i in [0usize, 1, 7, 1024] {
+            assert_eq!(ActionId::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(ActionId::from_index(3).to_string(), "a3");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(ActionId::from_index(1) < ActionId::from_index(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u32")]
+    fn from_index_rejects_huge() {
+        let _ = ActionId::from_index(usize::MAX);
+    }
+}

@@ -1,0 +1,197 @@
+//! Incremental construction of precedence graphs.
+
+use std::collections::HashSet;
+
+use crate::{ActionId, GraphError, PrecedenceGraph};
+
+/// Builder for [`PrecedenceGraph`].
+///
+/// Actions are registered with [`GraphBuilder::action`] (names must be
+/// unique) and direct precedence constraints with [`GraphBuilder::edge`].
+/// [`GraphBuilder::build`] validates acyclicity and produces an immutable
+/// graph.
+///
+/// # Example
+///
+/// ```
+/// use fgqos_graph::GraphBuilder;
+///
+/// # fn main() -> Result<(), fgqos_graph::GraphError> {
+/// let mut b = GraphBuilder::new();
+/// let x = b.action("x");
+/// let y = b.action("y");
+/// b.edge(x, y)?;
+/// let g = b.build()?;
+/// assert_eq!(g.name(x), "x");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    names: Vec<String>,
+    edges: Vec<(ActionId, ActionId)>,
+    seen_names: HashSet<String>,
+    duplicate: Option<String>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with capacity for `actions` actions.
+    #[must_use]
+    pub fn with_capacity(actions: usize) -> Self {
+        GraphBuilder {
+            names: Vec::with_capacity(actions),
+            edges: Vec::new(),
+            seen_names: HashSet::with_capacity(actions),
+            duplicate: None,
+        }
+    }
+
+    /// Registers an action and returns its id.
+    ///
+    /// Duplicate names are tolerated here but reported by
+    /// [`GraphBuilder::build`], so that construction code can stay linear.
+    pub fn action(&mut self, name: impl Into<String>) -> ActionId {
+        let name = name.into();
+        if !self.seen_names.insert(name.clone()) && self.duplicate.is_none() {
+            self.duplicate = Some(name.clone());
+        }
+        let id = ActionId::from_index(self.names.len());
+        self.names.push(name);
+        id
+    }
+
+    /// Adds the direct precedence constraint `from → to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownAction`] if either endpoint has not been
+    /// registered, and [`GraphError::SelfLoop`] if `from == to`. Cycles are
+    /// only detected by [`GraphBuilder::build`].
+    pub fn edge(&mut self, from: ActionId, to: ActionId) -> Result<&mut Self, GraphError> {
+        let n = self.names.len();
+        for a in [from, to] {
+            if a.index() >= n {
+                return Err(GraphError::UnknownAction(a));
+            }
+        }
+        if from == to {
+            return Err(GraphError::SelfLoop(from));
+        }
+        self.edges.push((from, to));
+        Ok(self)
+    }
+
+    /// Adds a chain of constraints `a1 → a2 → ... → ak`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`GraphBuilder::edge`].
+    pub fn chain(&mut self, actions: &[ActionId]) -> Result<&mut Self, GraphError> {
+        for w in actions.windows(2) {
+            self.edge(w[0], w[1])?;
+        }
+        Ok(self)
+    }
+
+    /// Number of actions registered so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no action has been registered yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Validates and produces the immutable graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::DuplicateName`] if two actions share a name and
+    /// [`GraphError::Cycle`] if the precedence relation is cyclic.
+    pub fn build(self) -> Result<PrecedenceGraph, GraphError> {
+        if let Some(name) = self.duplicate {
+            return Err(GraphError::DuplicateName(name));
+        }
+        PrecedenceGraph::from_parts(self.names, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_unknown_endpoint() {
+        let mut b = GraphBuilder::new();
+        let a = b.action("a");
+        let ghost = ActionId::from_index(7);
+        assert_eq!(b.edge(a, ghost).unwrap_err(), GraphError::UnknownAction(ghost));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new();
+        let a = b.action("a");
+        assert_eq!(b.edge(a, a).unwrap_err(), GraphError::SelfLoop(a));
+    }
+
+    #[test]
+    fn reports_duplicate_names_at_build() {
+        let mut b = GraphBuilder::new();
+        b.action("same");
+        b.action("same");
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::DuplicateName("same".to_owned())
+        );
+    }
+
+    #[test]
+    fn detects_cycles_at_build() {
+        let mut b = GraphBuilder::new();
+        let x = b.action("x");
+        let y = b.action("y");
+        let z = b.action("z");
+        b.edge(x, y).unwrap();
+        b.edge(y, z).unwrap();
+        b.edge(z, x).unwrap();
+        match b.build().unwrap_err() {
+            GraphError::Cycle(w) => assert!(!w.is_empty()),
+            other => panic!("expected cycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chain_builds_path() {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..4).map(|i| b.action(format!("n{i}"))).collect();
+        b.chain(&ids).unwrap();
+        let g = b.build().unwrap();
+        assert!(g.precedes(ids[0], ids[3]));
+        assert!(!g.precedes(ids[3], ids[0]));
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut b = GraphBuilder::with_capacity(8);
+        assert!(b.is_empty());
+        b.action("a");
+        assert_eq!(b.len(), 1);
+    }
+}

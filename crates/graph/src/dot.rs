@@ -1,0 +1,102 @@
+//! Graphviz DOT export for precedence graphs.
+
+use std::fmt::Write as _;
+
+use crate::PrecedenceGraph;
+
+/// Renders `graph` in Graphviz DOT syntax.
+///
+/// Node labels are action names; edge direction follows the precedence
+/// relation. Useful for documenting application models (the paper's Fig. 2
+/// pipeline renders directly from the encoder crate's body graph).
+///
+/// # Example
+///
+/// ```
+/// use fgqos_graph::{GraphBuilder, dot::to_dot};
+///
+/// # fn main() -> Result<(), fgqos_graph::GraphError> {
+/// let mut b = GraphBuilder::new();
+/// let x = b.action("x");
+/// let y = b.action("y");
+/// b.edge(x, y)?;
+/// let g = b.build()?;
+/// let dot = to_dot(&g, "pipeline");
+/// assert!(dot.contains("digraph pipeline"));
+/// assert!(dot.contains("\"x\" -> \"y\""));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn to_dot(graph: &PrecedenceGraph, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize_ident(title));
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for a in graph.ids() {
+        let _ = writeln!(out, "  \"{}\";", escape(graph.name(a)));
+    }
+    for (from, to) in graph.edges() {
+        let _ = writeln!(
+            out,
+            "  \"{}\" -> \"{}\";",
+            escape(graph.name(from)),
+            escape(graph.name(to))
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize_ident(s: &str) -> String {
+    let mut id: String = s
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    if id.is_empty() || id.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        id.insert(0, 'g');
+    }
+    id
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut b = GraphBuilder::new();
+        let x = b.action("Grab");
+        let y = b.action("Encode");
+        b.edge(x, y).unwrap();
+        let g = b.build().unwrap();
+        let dot = to_dot(&g, "fig 2");
+        assert!(dot.starts_with("digraph fig_2 {"));
+        assert!(dot.contains("\"Grab\";"));
+        assert!(dot.contains("\"Encode\";"));
+        assert!(dot.contains("\"Grab\" -> \"Encode\";"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn titles_and_names_are_escaped() {
+        let mut b = GraphBuilder::new();
+        b.action("we\"ird");
+        let g = b.build().unwrap();
+        let dot = to_dot(&g, "123 bad-title");
+        assert!(dot.contains("digraph g123_bad_title"));
+        assert!(dot.contains("we\\\"ird"));
+    }
+
+    #[test]
+    fn empty_graph_renders() {
+        let g = GraphBuilder::new().build().unwrap();
+        let dot = to_dot(&g, "");
+        assert!(dot.contains("digraph g {"));
+    }
+}

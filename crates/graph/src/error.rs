@@ -1,0 +1,86 @@
+//! Error type of the graph crate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ActionId;
+
+/// Errors produced while constructing or querying precedence graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint does not belong to the graph under construction.
+    UnknownAction(ActionId),
+    /// A self-loop `a → a` was requested.
+    SelfLoop(ActionId),
+    /// The edge set contains a cycle; the payload is one witness cycle in
+    /// topological-discovery order.
+    Cycle(Vec<ActionId>),
+    /// A duplicate action name was registered.
+    DuplicateName(String),
+    /// An execution sequence repeats an action.
+    DuplicateInSequence(ActionId),
+    /// An execution sequence places an action before one of its
+    /// predecessors; `(predecessor, action)` is one violated constraint.
+    PrecedenceViolation(ActionId, ActionId),
+    /// A schedule does not contain every action of the graph.
+    IncompleteSchedule {
+        /// Number of actions in the graph.
+        expected: usize,
+        /// Number of distinct actions in the sequence.
+        actual: usize,
+    },
+    /// The requested iteration count is zero.
+    ZeroIterations,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownAction(a) => write!(f, "action {a} is not part of this graph"),
+            GraphError::SelfLoop(a) => write!(f, "self-loop on action {a}"),
+            GraphError::Cycle(ws) => {
+                write!(f, "precedence relation is cyclic (witness:")?;
+                for a in ws {
+                    write!(f, " {a}")?;
+                }
+                write!(f, ")")
+            }
+            GraphError::DuplicateName(n) => write!(f, "duplicate action name {n:?}"),
+            GraphError::DuplicateInSequence(a) => {
+                write!(f, "action {a} occurs twice in execution sequence")
+            }
+            GraphError::PrecedenceViolation(p, a) => {
+                write!(f, "action {a} scheduled before its predecessor {p}")
+            }
+            GraphError::IncompleteSchedule { expected, actual } => {
+                write!(f, "schedule covers {actual} of {expected} actions")
+            }
+            GraphError::ZeroIterations => write!(f, "iteration count must be at least 1"),
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = GraphError::SelfLoop(ActionId::from_index(2));
+        assert_eq!(e.to_string(), "self-loop on action a2");
+        let e = GraphError::IncompleteSchedule {
+            expected: 4,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("2 of 4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

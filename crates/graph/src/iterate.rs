@@ -1,0 +1,279 @@
+//! Iterated data-flow bodies.
+//!
+//! The paper's MPEG-4 encoder "can be considered as the iteration N times of
+//! a body whose precedence graph is given in figure 2" — a frame is N
+//! macroblocks, each running the same 9-action pipeline. [`IteratedGraph`]
+//! unrolls such a body into a flat [`PrecedenceGraph`] while keeping the
+//! (body action, iteration) addressing needed for per-iteration deadlines
+//! and for the *compositional* schedule generation of Section 4 (the EDF
+//! order of the body is computed once and replayed N times).
+
+use crate::{ActionId, GraphBuilder, GraphError, PrecedenceGraph};
+
+/// How consecutive iterations of the body are ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IterationMode {
+    /// Iteration `k+1` starts only after iteration `k` has completely
+    /// finished (edges from every sink of copy `k` to every source of copy
+    /// `k+1`). This matches a single-threaded macroblock loop.
+    Sequential,
+    /// Instances of the *same* action are ordered across iterations
+    /// (`a@k → a@k+1`), but different actions may interleave. This models
+    /// software-pipelined loops.
+    Pipelined,
+}
+
+/// A body precedence graph iterated `N` times, with instance addressing.
+///
+/// # Example
+///
+/// ```
+/// use fgqos_graph::{GraphBuilder, iterate::{IteratedGraph, IterationMode}};
+///
+/// # fn main() -> Result<(), fgqos_graph::GraphError> {
+/// let mut b = GraphBuilder::new();
+/// let grab = b.action("grab");
+/// let enc = b.action("encode");
+/// b.edge(grab, enc)?;
+/// let body = b.build()?;
+///
+/// let it = IteratedGraph::new(&body, 3, IterationMode::Sequential)?;
+/// assert_eq!(it.graph().len(), 6);
+/// let enc_1 = it.instance(enc, 1);
+/// assert_eq!(it.body_of(enc_1), (enc, 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct IteratedGraph {
+    graph: PrecedenceGraph,
+    body_len: usize,
+    iterations: usize,
+    mode: IterationMode,
+}
+
+impl IteratedGraph {
+    /// Unrolls `body` `iterations` times under `mode`.
+    ///
+    /// Instance ids are laid out iteration-major:
+    /// `instance(a, k).index() == k * body.len() + a.index()`, so
+    /// per-action side tables can be indexed arithmetically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::ZeroIterations`] if `iterations == 0`.
+    pub fn new(
+        body: &PrecedenceGraph,
+        iterations: usize,
+        mode: IterationMode,
+    ) -> Result<Self, GraphError> {
+        if iterations == 0 {
+            return Err(GraphError::ZeroIterations);
+        }
+        let body_len = body.len();
+        let mut b = GraphBuilder::with_capacity(body_len * iterations);
+        for k in 0..iterations {
+            for a in body.ids() {
+                b.action(format!("{}#{k}", body.name(a)));
+            }
+        }
+        let inst = |a: ActionId, k: usize| ActionId::from_index(k * body_len + a.index());
+        for k in 0..iterations {
+            for (from, to) in body.edges() {
+                b.edge(inst(from, k), inst(to, k))?;
+            }
+        }
+        match mode {
+            IterationMode::Sequential => {
+                let sinks = body.sinks();
+                let sources = body.sources();
+                for k in 0..iterations.saturating_sub(1) {
+                    for &snk in &sinks {
+                        for &src in &sources {
+                            b.edge(inst(snk, k), inst(src, k + 1))?;
+                        }
+                    }
+                }
+            }
+            IterationMode::Pipelined => {
+                for k in 0..iterations.saturating_sub(1) {
+                    for a in body.ids() {
+                        b.edge(inst(a, k), inst(a, k + 1))?;
+                    }
+                }
+            }
+        }
+        Ok(IteratedGraph {
+            graph: b.build()?,
+            body_len,
+            iterations,
+            mode,
+        })
+    }
+
+    /// The unrolled flat graph.
+    #[must_use]
+    pub fn graph(&self) -> &PrecedenceGraph {
+        &self.graph
+    }
+
+    /// Number of iterations `N`.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Number of actions in one body copy.
+    #[must_use]
+    pub fn body_len(&self) -> usize {
+        self.body_len
+    }
+
+    /// The iteration mode used for unrolling.
+    #[must_use]
+    pub fn mode(&self) -> IterationMode {
+        self.mode
+    }
+
+    /// Id of body action `a` in iteration `k` of the unrolled graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is outside the body or `k >= iterations`.
+    #[must_use]
+    pub fn instance(&self, a: ActionId, k: usize) -> ActionId {
+        assert!(a.index() < self.body_len, "action {a} outside body");
+        assert!(k < self.iterations, "iteration {k} out of range");
+        ActionId::from_index(k * self.body_len + a.index())
+    }
+
+    /// Inverse of [`IteratedGraph::instance`]: the `(body action,
+    /// iteration)` pair of an unrolled id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inst` is outside the unrolled graph.
+    #[must_use]
+    pub fn body_of(&self, inst: ActionId) -> (ActionId, usize) {
+        assert!(inst.index() < self.graph.len(), "action {inst} outside graph");
+        (
+            ActionId::from_index(inst.index() % self.body_len),
+            inst.index() / self.body_len,
+        )
+    }
+
+    /// Replays a schedule of the body once per iteration, producing a
+    /// schedule of the unrolled graph without re-running the scheduler —
+    /// the "compositional generation of EDF schedules for iterative
+    /// programs" optimization of Section 4 (valid for
+    /// [`IterationMode::Sequential`], where iterations cannot interleave).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying validation error if `body_schedule` is not a
+    /// schedule of the body graph.
+    pub fn replay_body_schedule(
+        &self,
+        body_schedule: &[ActionId],
+    ) -> Result<Vec<ActionId>, GraphError> {
+        if body_schedule.len() != self.body_len {
+            return Err(GraphError::IncompleteSchedule {
+                expected: self.body_len,
+                actual: body_schedule.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(self.body_len * self.iterations);
+        for k in 0..self.iterations {
+            for &a in body_schedule {
+                out.push(self.instance(a, k));
+            }
+        }
+        // In sequential mode the replay is always valid if the body schedule
+        // is; validate to also cover pipelined callers.
+        self.graph.validate_schedule(&out)?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body() -> (PrecedenceGraph, [ActionId; 3]) {
+        let mut b = GraphBuilder::new();
+        let g = b.action("grab");
+        let m = b.action("me");
+        let c = b.action("compress");
+        b.chain(&[g, m, c]).unwrap();
+        (b.build().unwrap(), [g, m, c])
+    }
+
+    #[test]
+    fn zero_iterations_rejected() {
+        let (bd, _) = body();
+        assert!(matches!(
+            IteratedGraph::new(&bd, 0, IterationMode::Sequential),
+            Err(GraphError::ZeroIterations)
+        ));
+    }
+
+    #[test]
+    fn sequential_orders_whole_iterations() {
+        let (bd, [g, _, c]) = body();
+        let it = IteratedGraph::new(&bd, 2, IterationMode::Sequential).unwrap();
+        assert_eq!(it.graph().len(), 6);
+        // last action of iter 0 precedes first action of iter 1
+        assert!(it.graph().precedes(it.instance(c, 0), it.instance(g, 1)));
+        // and transitively everything in iter 0 precedes everything in iter 1
+        assert!(it.graph().precedes(it.instance(g, 0), it.instance(c, 1)));
+    }
+
+    #[test]
+    fn pipelined_allows_interleaving() {
+        let (bd, [g, _, c]) = body();
+        let it = IteratedGraph::new(&bd, 2, IterationMode::Pipelined).unwrap();
+        // same-action instances ordered
+        assert!(it.graph().precedes(it.instance(g, 0), it.instance(g, 1)));
+        // but compress#0 does NOT precede grab#1
+        assert!(!it.graph().precedes(it.instance(c, 0), it.instance(g, 1)));
+    }
+
+    #[test]
+    fn instance_addressing_roundtrips() {
+        let (bd, [g, m, c]) = body();
+        let it = IteratedGraph::new(&bd, 4, IterationMode::Sequential).unwrap();
+        for k in 0..4 {
+            for a in [g, m, c] {
+                assert_eq!(it.body_of(it.instance(a, k)), (a, k));
+            }
+        }
+        assert_eq!(it.iterations(), 4);
+        assert_eq!(it.body_len(), 3);
+        assert_eq!(it.mode(), IterationMode::Sequential);
+    }
+
+    #[test]
+    fn instance_names_carry_iteration() {
+        let (bd, [g, ..]) = body();
+        let it = IteratedGraph::new(&bd, 2, IterationMode::Sequential).unwrap();
+        assert_eq!(it.graph().name(it.instance(g, 1)), "grab#1");
+    }
+
+    #[test]
+    fn replay_body_schedule_is_valid_schedule() {
+        let (bd, [g, m, c]) = body();
+        let it = IteratedGraph::new(&bd, 3, IterationMode::Sequential).unwrap();
+        let replayed = it.replay_body_schedule(&[g, m, c]).unwrap();
+        assert_eq!(replayed.len(), 9);
+        it.graph().validate_schedule(&replayed).unwrap();
+        // wrong length is reported
+        assert!(it.replay_body_schedule(&[g]).is_err());
+    }
+
+    #[test]
+    fn replay_rejects_invalid_body_order() {
+        let (bd, [g, m, c]) = body();
+        let it = IteratedGraph::new(&bd, 2, IterationMode::Sequential).unwrap();
+        assert!(it.replay_body_schedule(&[m, g, c]).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Precedence graphs and execution sequences for fine-grain QoS control.
+//!
+//! This crate implements the data-flow model of Section 2.1 of Combaz,
+//! Fernandez, Lepley and Sifakis, *"Fine Grain QoS Control for Multimedia
+//! Application Software"* (DATE 2005):
+//!
+//! * an application is a finite set of *actions* `A` (C functions in the
+//!   paper, opaque work units here) composed by a *precedence graph*
+//!   `G = (A, →)`;
+//! * an *execution sequence* is a linear extension of a subset of `A` that is
+//!   downward closed under `→`;
+//! * a *schedule* is an execution sequence in which every action of `A`
+//!   occurs exactly once;
+//! * cyclic applications (the MPEG-4 encoder treats `N` macroblocks per
+//!   frame) are modeled by *iterating* a body graph `N` times
+//!   ([`iterate::IteratedGraph`]).
+//!
+//! # Example
+//!
+//! ```
+//! use fgqos_graph::{GraphBuilder, PrecedenceGraph};
+//!
+//! # fn main() -> Result<(), fgqos_graph::GraphError> {
+//! let mut b = GraphBuilder::new();
+//! let grab = b.action("Grab_Macro_Block");
+//! let me = b.action("Motion_Estimate");
+//! let dct = b.action("Discrete_Cosine_Transform");
+//! b.edge(grab, me)?;
+//! b.edge(me, dct)?;
+//! let g: PrecedenceGraph = b.build()?;
+//! assert_eq!(g.len(), 3);
+//! assert!(g.precedes(grab, dct)); // transitive
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod action;
+mod builder;
+mod error;
+mod graph;
+mod sequence;
+
+pub mod dot;
+pub mod iterate;
+pub mod topo;
+
+pub use action::ActionId;
+pub use builder::GraphBuilder;
+pub use error::GraphError;
+pub use graph::{PrecedenceGraph, Reachability};
+pub use sequence::ExecutionSequence;

@@ -1,0 +1,219 @@
+//! Validated execution sequences.
+
+use std::fmt;
+use std::ops::Index;
+
+use crate::{ActionId, GraphError, PrecedenceGraph};
+
+/// An execution sequence of a precedence graph (Section 2.1).
+///
+/// A sequence of *distinct* actions `α = α(1) ... α(n)` whose order is
+/// compatible with the precedence relation and whose every prefix is
+/// downward closed. A sequence containing all actions of the graph is a
+/// *schedule* (Definition 2.2).
+///
+/// Validation happens at construction; the type then guarantees the
+/// invariants. Positions are 0-based in the API (`α(i+1)` in the paper is
+/// `seq[i]` here).
+///
+/// # Example
+///
+/// ```
+/// use fgqos_graph::{ExecutionSequence, GraphBuilder};
+///
+/// # fn main() -> Result<(), fgqos_graph::GraphError> {
+/// let mut b = GraphBuilder::new();
+/// let a = b.action("a");
+/// let c = b.action("c");
+/// b.edge(a, c)?;
+/// let g = b.build()?;
+/// let seq = ExecutionSequence::new(&g, vec![a, c])?;
+/// assert!(seq.is_schedule_of(&g));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ExecutionSequence {
+    actions: Vec<ActionId>,
+}
+
+impl ExecutionSequence {
+    /// Validates `actions` against `graph` and wraps them.
+    ///
+    /// # Errors
+    ///
+    /// See [`PrecedenceGraph::validate_sequence`].
+    pub fn new(graph: &PrecedenceGraph, actions: Vec<ActionId>) -> Result<Self, GraphError> {
+        graph.validate_sequence(&actions)?;
+        Ok(ExecutionSequence { actions })
+    }
+
+    /// Validates that `actions` form a complete schedule of `graph`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PrecedenceGraph::validate_schedule`].
+    pub fn schedule(graph: &PrecedenceGraph, actions: Vec<ActionId>) -> Result<Self, GraphError> {
+        graph.validate_schedule(&actions)?;
+        Ok(ExecutionSequence { actions })
+    }
+
+    /// Length `|α|`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the sequence is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// The underlying actions, in order.
+    #[must_use]
+    pub fn actions(&self) -> &[ActionId] {
+        &self.actions
+    }
+
+    /// Whether this sequence covers every action of `graph`.
+    #[must_use]
+    pub fn is_schedule_of(&self, graph: &PrecedenceGraph) -> bool {
+        graph.validate_schedule(&self.actions).is_ok()
+    }
+
+    /// The slice `α[i..j]` (0-based, half-open), written `α[i+1, j]` in the
+    /// paper's 1-based closed notation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > j` or `j > len`.
+    #[must_use]
+    pub fn segment(&self, i: usize, j: usize) -> &[ActionId] {
+        &self.actions[i..j]
+    }
+
+    /// The suffix starting at 0-based position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > len`.
+    #[must_use]
+    pub fn suffix(&self, i: usize) -> &[ActionId] {
+        &self.actions[i..]
+    }
+
+    /// Whether `other` agrees with `self` on the first `i` positions, the
+    /// compatibility requirement between successive controller steps
+    /// (Section 2.2).
+    #[must_use]
+    pub fn shares_prefix(&self, other: &ExecutionSequence, i: usize) -> bool {
+        i <= self.len()
+            && i <= other.len()
+            && self.actions[..i] == other.actions[..i]
+    }
+
+    /// Consumes the sequence and returns the raw action vector.
+    #[must_use]
+    pub fn into_actions(self) -> Vec<ActionId> {
+        self.actions
+    }
+
+    /// Iterates over the actions in order.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = ActionId> + '_ {
+        self.actions.iter().copied()
+    }
+}
+
+impl Index<usize> for ExecutionSequence {
+    type Output = ActionId;
+
+    fn index(&self, i: usize) -> &ActionId {
+        &self.actions[i]
+    }
+}
+
+impl fmt::Display for ExecutionSequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (k, a) in self.actions.iter().enumerate() {
+            if k > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl<'a> IntoIterator for &'a ExecutionSequence {
+    type Item = ActionId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, ActionId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.actions.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn chain3() -> (PrecedenceGraph, [ActionId; 3]) {
+        let mut b = GraphBuilder::new();
+        let x = b.action("x");
+        let y = b.action("y");
+        let z = b.action("z");
+        b.chain(&[x, y, z]).unwrap();
+        (b.build().unwrap(), [x, y, z])
+    }
+
+    #[test]
+    fn construction_validates() {
+        let (g, [x, y, z]) = chain3();
+        assert!(ExecutionSequence::new(&g, vec![y, x]).is_err());
+        let s = ExecutionSequence::new(&g, vec![x, y]).unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_schedule_of(&g));
+        let full = ExecutionSequence::schedule(&g, vec![x, y, z]).unwrap();
+        assert!(full.is_schedule_of(&g));
+    }
+
+    #[test]
+    fn segment_and_suffix_are_zero_based() {
+        let (g, [x, y, z]) = chain3();
+        let s = ExecutionSequence::schedule(&g, vec![x, y, z]).unwrap();
+        assert_eq!(s.segment(1, 3), &[y, z]);
+        assert_eq!(s.suffix(2), &[z]);
+        assert_eq!(s.suffix(3), &[] as &[ActionId]);
+        assert_eq!(s[0], x);
+    }
+
+    #[test]
+    fn shares_prefix_checks_agreement() {
+        let (g, [x, y, z]) = chain3();
+        let s1 = ExecutionSequence::schedule(&g, vec![x, y, z]).unwrap();
+        let s2 = ExecutionSequence::new(&g, vec![x, y]).unwrap();
+        assert!(s1.shares_prefix(&s2, 0));
+        assert!(s1.shares_prefix(&s2, 2));
+        assert!(!s1.shares_prefix(&s2, 3)); // s2 too short
+    }
+
+    #[test]
+    fn display_lists_actions() {
+        let (g, [x, y, _]) = chain3();
+        let s = ExecutionSequence::new(&g, vec![x, y]).unwrap();
+        assert_eq!(s.to_string(), "[a0 a1]");
+    }
+
+    #[test]
+    fn iteration_yields_actions_in_order() {
+        let (g, [x, y, z]) = chain3();
+        let s = ExecutionSequence::schedule(&g, vec![x, y, z]).unwrap();
+        let collected: Vec<_> = (&s).into_iter().collect();
+        assert_eq!(collected, vec![x, y, z]);
+        assert_eq!(s.iter().len(), 3);
+        assert_eq!(s.clone().into_actions(), vec![x, y, z]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Topological-order machinery: enumeration of linear extensions and
+//! priority-driven list orders.
+//!
+//! The controller's scheduler explores execution sequences of a precedence
+//! graph; these helpers enumerate or sample them. Enumeration is exponential
+//! in general, so [`linear_extensions`] takes an explicit cap.
+
+use crate::{ActionId, PrecedenceGraph};
+
+/// Enumerates linear extensions (schedules) of `graph`, up to `cap` of them.
+///
+/// Extensions are produced in lexicographic order of action ids. Returns
+/// fewer than `cap` results iff the graph has fewer extensions.
+///
+/// # Example
+///
+/// ```
+/// use fgqos_graph::{GraphBuilder, topo::linear_extensions};
+///
+/// # fn main() -> Result<(), fgqos_graph::GraphError> {
+/// let mut b = GraphBuilder::new();
+/// let x = b.action("x");
+/// let y = b.action("y");
+/// let g = b.build()?; // two independent actions
+/// let all = linear_extensions(&g, 10);
+/// assert_eq!(all.len(), 2);
+/// # let _ = (x, y);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn linear_extensions(graph: &PrecedenceGraph, cap: usize) -> Vec<Vec<ActionId>> {
+    let n = graph.len();
+    let mut indeg: Vec<usize> = graph.ids().map(|a| graph.predecessors(a).len()).collect();
+    let mut current: Vec<ActionId> = Vec::with_capacity(n);
+    let mut out: Vec<Vec<ActionId>> = Vec::new();
+    fn rec(
+        graph: &PrecedenceGraph,
+        indeg: &mut Vec<usize>,
+        current: &mut Vec<ActionId>,
+        out: &mut Vec<Vec<ActionId>>,
+        cap: usize,
+    ) {
+        if out.len() >= cap {
+            return;
+        }
+        if current.len() == graph.len() {
+            out.push(current.clone());
+            return;
+        }
+        for a in graph.ids() {
+            if indeg[a.index()] == 0 && !current.contains(&a) {
+                current.push(a);
+                for &s in graph.successors(a) {
+                    indeg[s.index()] -= 1;
+                }
+                rec(graph, indeg, current, out, cap);
+                for &s in graph.successors(a) {
+                    indeg[s.index()] += 1;
+                }
+                current.pop();
+            }
+        }
+    }
+    rec(graph, &mut indeg, &mut current, &mut out, cap);
+    out
+}
+
+/// Counts linear extensions, up to `cap`.
+///
+/// Convenience wrapper over [`linear_extensions`] for tests and analysis.
+#[must_use]
+pub fn count_linear_extensions(graph: &PrecedenceGraph, cap: usize) -> usize {
+    linear_extensions(graph, cap).len()
+}
+
+/// Builds the list order induced by a priority function: repeatedly pick the
+/// *ready* action (all predecessors executed) with the smallest key.
+///
+/// Ties are broken by action id, making the result deterministic. This is
+/// the skeleton shared by EDF (`key = deadline`) and FIFO
+/// (`key = topological position`) schedulers in `fgqos-sched`.
+///
+/// # Example
+///
+/// ```
+/// use fgqos_graph::{GraphBuilder, topo::list_order_by_key};
+///
+/// # fn main() -> Result<(), fgqos_graph::GraphError> {
+/// let mut b = GraphBuilder::new();
+/// let x = b.action("x");
+/// let y = b.action("y");
+/// let g = b.build()?;
+/// // y first: give it the smaller key.
+/// let order = list_order_by_key(&g, |a| if a == y { 0u64 } else { 1 });
+/// assert_eq!(order, vec![y, x]);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn list_order_by_key<K, F>(graph: &PrecedenceGraph, mut key: F) -> Vec<ActionId>
+where
+    K: Ord,
+    F: FnMut(ActionId) -> K,
+{
+    list_order_by_key_with_prefix(graph, &[], &mut key)
+}
+
+/// Like [`list_order_by_key`] but keeps `prefix` fixed as the first
+/// elements; the remaining actions are list-ordered by `key`.
+///
+/// This is the shape of the paper's `Best_Sched(α, θ, i)`: the first `i`
+/// actions have already executed and must be preserved.
+///
+/// # Panics
+///
+/// Panics if `prefix` is not a valid execution sequence of `graph` (use the
+/// validating wrappers in `fgqos-sched` for fallible behaviour).
+#[must_use]
+pub fn list_order_by_key_with_prefix<K, F>(
+    graph: &PrecedenceGraph,
+    prefix: &[ActionId],
+    key: &mut F,
+) -> Vec<ActionId>
+where
+    K: Ord,
+    F: FnMut(ActionId) -> K,
+{
+    graph
+        .validate_sequence(prefix)
+        .expect("prefix must be a valid execution sequence");
+    let n = graph.len();
+    let mut done = vec![false; n];
+    let mut indeg: Vec<usize> = graph.ids().map(|a| graph.predecessors(a).len()).collect();
+    let mut order: Vec<ActionId> = Vec::with_capacity(n);
+    for &a in prefix {
+        done[a.index()] = true;
+        order.push(a);
+        for &s in graph.successors(a) {
+            indeg[s.index()] -= 1;
+        }
+    }
+    // Binary heap keyed by (key, id). Reverse for min-heap behaviour.
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<(K, ActionId)>> = graph
+        .ids()
+        .filter(|a| !done[a.index()] && indeg[a.index()] == 0)
+        .map(|a| std::cmp::Reverse((key(a), a)))
+        .collect();
+    while let Some(std::cmp::Reverse((_, a))) = ready.pop() {
+        order.push(a);
+        done[a.index()] = true;
+        for &s in graph.successors(a) {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                ready.push(std::cmp::Reverse((key(s), s)));
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn diamond() -> (PrecedenceGraph, [ActionId; 4]) {
+        let mut b = GraphBuilder::new();
+        let s = b.action("s");
+        let l = b.action("l");
+        let r = b.action("r");
+        let t = b.action("t");
+        b.edge(s, l).unwrap();
+        b.edge(s, r).unwrap();
+        b.edge(l, t).unwrap();
+        b.edge(r, t).unwrap();
+        (b.build().unwrap(), [s, l, r, t])
+    }
+
+    #[test]
+    fn diamond_has_two_extensions() {
+        let (g, [s, l, r, t]) = diamond();
+        let exts = linear_extensions(&g, 100);
+        assert_eq!(exts.len(), 2);
+        assert!(exts.contains(&vec![s, l, r, t]));
+        assert!(exts.contains(&vec![s, r, l, t]));
+        for e in &exts {
+            g.validate_schedule(e).unwrap();
+        }
+    }
+
+    #[test]
+    fn cap_limits_enumeration() {
+        let mut b = GraphBuilder::new();
+        for i in 0..6 {
+            b.action(format!("i{i}"));
+        }
+        let g = b.build().unwrap(); // 6 independent actions: 720 extensions
+        assert_eq!(count_linear_extensions(&g, 10), 10);
+        assert_eq!(count_linear_extensions(&g, 1000), 720);
+    }
+
+    #[test]
+    fn list_order_respects_precedence_over_priority() {
+        let (g, [s, l, r, t]) = diamond();
+        // Give t the smallest key; it still must come last.
+        let order = list_order_by_key(&g, |a| if a == t { 0u32 } else { 5 });
+        assert_eq!(order[3], t);
+        assert_eq!(order[0], s);
+        let _ = (l, r);
+        g.validate_schedule(&order).unwrap();
+    }
+
+    #[test]
+    fn list_order_with_prefix_preserves_prefix() {
+        let (g, [s, l, r, t]) = diamond();
+        let order = list_order_by_key_with_prefix(&g, &[s, r], &mut |_| 0u8);
+        assert_eq!(&order[..2], &[s, r]);
+        assert_eq!(order.len(), 4);
+        let _ = (l, t);
+        g.validate_schedule(&order).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "prefix must be a valid execution sequence")]
+    fn list_order_with_bad_prefix_panics() {
+        let (g, [_, l, ..]) = diamond();
+        let _ = list_order_by_key_with_prefix(&g, &[l], &mut |_| 0u8);
+    }
+
+    #[test]
+    fn empty_graph_has_one_extension() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert_eq!(linear_extensions(&g, 10), vec![Vec::<ActionId>::new()]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests over randomly generated DAGs.
+
+use fgqos_graph::iterate::{IteratedGraph, IterationMode};
+use fgqos_graph::topo::{linear_extensions, list_order_by_key};
+use fgqos_graph::{ActionId, GraphBuilder, PrecedenceGraph};
+use proptest::prelude::*;
+
+/// Random DAG: `n` nodes, edges only from smaller to larger index, so the
+/// result is acyclic by construction.
+fn arb_dag(max_nodes: usize) -> impl Strategy<Value = PrecedenceGraph> {
+    (2..=max_nodes)
+        .prop_flat_map(|n| {
+            let pairs: Vec<(usize, usize)> = (0..n)
+                .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+                .collect();
+            (Just(n), proptest::collection::vec(any::<bool>(), pairs.len()).prop_map(
+                move |mask| {
+                    pairs
+                        .iter()
+                        .zip(mask)
+                        .filter_map(|(&p, keep)| keep.then_some(p))
+                        .collect::<Vec<_>>()
+                },
+            ))
+        })
+        .prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new();
+            let ids: Vec<ActionId> = (0..n).map(|i| b.action(format!("n{i}"))).collect();
+            for (i, j) in edges {
+                b.edge(ids[i], ids[j]).unwrap();
+            }
+            b.build().unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn canonical_topo_order_is_a_schedule(g in arb_dag(10)) {
+        g.validate_schedule(g.topological_order()).unwrap();
+    }
+
+    #[test]
+    fn reachability_agrees_with_bfs(g in arb_dag(9)) {
+        let rc = g.reachability();
+        for a in g.ids() {
+            for b in g.ids() {
+                prop_assert_eq!(rc.precedes(a, b), g.precedes(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn precedes_is_a_strict_partial_order(g in arb_dag(9)) {
+        let rc = g.reachability();
+        for a in g.ids() {
+            prop_assert!(!rc.precedes(a, a), "irreflexive");
+            for b in g.ids() {
+                if rc.precedes(a, b) {
+                    prop_assert!(!rc.precedes(b, a), "antisymmetric");
+                }
+                for c in g.ids() {
+                    if rc.precedes(a, b) && rc.precedes(b, c) {
+                        prop_assert!(rc.precedes(a, c), "transitive");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_enumerated_extension_is_a_schedule(g in arb_dag(7)) {
+        for ext in linear_extensions(&g, 50) {
+            g.validate_schedule(&ext).unwrap();
+        }
+    }
+
+    #[test]
+    fn list_order_is_always_a_schedule(g in arb_dag(10), seed in any::<u64>()) {
+        // Arbitrary priorities from a seed: the list order must still be a
+        // valid schedule regardless of the key function.
+        let order = list_order_by_key(&g, |a| {
+            seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(a.index() as u64 * 0xDEAD_BEEF)
+        });
+        g.validate_schedule(&order).unwrap();
+    }
+
+    #[test]
+    fn iterated_graphs_are_valid_and_addressable(
+        g in arb_dag(6),
+        n in 1usize..4,
+        pipelined in any::<bool>(),
+    ) {
+        let mode = if pipelined { IterationMode::Pipelined } else { IterationMode::Sequential };
+        let it = IteratedGraph::new(&g, n, mode).unwrap();
+        prop_assert_eq!(it.graph().len(), g.len() * n);
+        for k in 0..n {
+            for a in g.ids() {
+                prop_assert_eq!(it.body_of(it.instance(a, k)), (a, k));
+            }
+        }
+        // body edges present in every copy
+        for (from, to) in g.edges() {
+            for k in 0..n {
+                prop_assert!(it.graph().precedes(it.instance(from, k), it.instance(to, k)));
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_replay_matches_fresh_schedule_validity(g in arb_dag(6), n in 1usize..4) {
+        let it = IteratedGraph::new(&g, n, IterationMode::Sequential).unwrap();
+        let body_sched = g.topological_order().to_vec();
+        let replayed = it.replay_body_schedule(&body_sched).unwrap();
+        it.graph().validate_schedule(&replayed).unwrap();
+    }
+}

@@ -1,0 +1,256 @@
+//! Earliest-deadline-first ordering over precedence graphs.
+//!
+//! On a uniprocessor with all actions released together, EDF is optimal for
+//! independent actions; with precedence constraints, optimality is
+//! recovered by first *modifying* deadlines so that every action's deadline
+//! accounts for the work its successors still need
+//! (`D*(a) = min(D(a), min_{a→b} (D*(b) − C(b)))`, Chetto/Blazewicz), then
+//! list-scheduling by modified deadline among ready actions.
+
+use fgqos_graph::{ActionId, PrecedenceGraph};
+use fgqos_time::Cycles;
+
+use crate::SchedError;
+
+fn check_len(graph: &PrecedenceGraph, table: &[Cycles]) -> Result<(), SchedError> {
+    if table.len() != graph.len() {
+        return Err(SchedError::DimensionMismatch {
+            expected: graph.len(),
+            actual: table.len(),
+        });
+    }
+    Ok(())
+}
+
+/// EDF list order: repeatedly run the *ready* action with the earliest
+/// deadline (ties by action id). `deadlines` is indexed by dense action id.
+///
+/// The returned order is always a valid schedule of `graph`; feasibility
+/// must be checked separately ([`crate::feasible`]).
+///
+/// # Errors
+///
+/// [`SchedError::DimensionMismatch`] if `deadlines.len() != graph.len()`.
+pub fn edf_order(graph: &PrecedenceGraph, deadlines: &[Cycles]) -> Result<Vec<ActionId>, SchedError> {
+    edf_order_with_prefix(graph, deadlines, &[])
+}
+
+/// EDF list order with a fixed already-executed prefix (the shape of
+/// `Best_Sched(α, θ, i)`).
+///
+/// # Errors
+///
+/// [`SchedError::DimensionMismatch`] on table size mismatch, or a
+/// [`SchedError::Graph`] error if `prefix` is not a valid execution
+/// sequence of `graph`.
+pub fn edf_order_with_prefix(
+    graph: &PrecedenceGraph,
+    deadlines: &[Cycles],
+    prefix: &[ActionId],
+) -> Result<Vec<ActionId>, SchedError> {
+    check_len(graph, deadlines)?;
+    graph.validate_sequence(prefix)?;
+    Ok(fgqos_graph::topo::list_order_by_key_with_prefix(
+        graph,
+        prefix,
+        &mut |a| deadlines[a.index()],
+    ))
+}
+
+/// The Chetto/Blazewicz deadline-modification transform:
+/// `D*(a) = min(D(a), min over successors b of (D*(b) − C(b)))`.
+///
+/// After the transform, deadlines are monotone along precedence edges
+/// given the execution times `times`, and plain EDF list scheduling on
+/// `D*` is optimal: if any schedule of `graph` is feasible for `(times,
+/// deadlines)`, the EDF order on `D*` is feasible too.
+///
+/// # Errors
+///
+/// [`SchedError::DimensionMismatch`] if either table size differs from the
+/// graph.
+pub fn chetto_deadlines(
+    graph: &PrecedenceGraph,
+    deadlines: &[Cycles],
+    times: &[Cycles],
+) -> Result<Vec<Cycles>, SchedError> {
+    check_len(graph, deadlines)?;
+    check_len(graph, times)?;
+    let mut out = deadlines.to_vec();
+    // Reverse topological sweep: successors are final when visited.
+    for &a in graph.topological_order().iter().rev() {
+        let ai = a.index();
+        for &b in graph.successors(a) {
+            let candidate = out[b.index()] - times[b.index()];
+            if candidate < out[ai] {
+                out[ai] = candidate;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// EDF on Chetto-modified deadlines, the optimal uniprocessor scheduler
+/// for precedence-constrained actions released together.
+///
+/// # Errors
+///
+/// Same conditions as [`chetto_deadlines`] and [`edf_order_with_prefix`].
+pub fn edf_order_chetto(
+    graph: &PrecedenceGraph,
+    deadlines: &[Cycles],
+    times: &[Cycles],
+    prefix: &[ActionId],
+) -> Result<Vec<ActionId>, SchedError> {
+    let modified = chetto_deadlines(graph, deadlines, times)?;
+    edf_order_with_prefix(graph, &modified, prefix)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgqos_graph::GraphBuilder;
+
+    fn c(v: u64) -> Cycles {
+        Cycles::new(v)
+    }
+
+    #[test]
+    fn edf_orders_independent_actions_by_deadline() {
+        let mut b = GraphBuilder::new();
+        let x = b.action("x");
+        let y = b.action("y");
+        let z = b.action("z");
+        let g = b.build().unwrap();
+        let order = edf_order(&g, &[c(30), c(10), c(20)]).unwrap();
+        assert_eq!(order, vec![y, z, x]);
+    }
+
+    #[test]
+    fn edf_respects_precedence_over_deadline() {
+        let mut b = GraphBuilder::new();
+        let x = b.action("x");
+        let y = b.action("y");
+        b.edge(x, y).unwrap();
+        let g = b.build().unwrap();
+        // y has earlier deadline but depends on x.
+        let order = edf_order(&g, &[c(100), c(10)]).unwrap();
+        assert_eq!(order, vec![x, y]);
+    }
+
+    #[test]
+    fn edf_breaks_ties_by_id() {
+        let mut b = GraphBuilder::new();
+        let x = b.action("x");
+        let y = b.action("y");
+        let g = b.build().unwrap();
+        let order = edf_order(&g, &[c(10), c(10)]).unwrap();
+        assert_eq!(order, vec![x, y]);
+    }
+
+    #[test]
+    fn prefix_is_preserved() {
+        let mut b = GraphBuilder::new();
+        let x = b.action("x");
+        let y = b.action("y");
+        let z = b.action("z");
+        let g = b.build().unwrap();
+        let order = edf_order_with_prefix(&g, &[c(1), c(2), c(3)], &[z]).unwrap();
+        assert_eq!(order, vec![z, x, y]);
+    }
+
+    #[test]
+    fn invalid_prefix_is_reported() {
+        let mut b = GraphBuilder::new();
+        let x = b.action("x");
+        let y = b.action("y");
+        b.edge(x, y).unwrap();
+        let g = b.build().unwrap();
+        assert!(matches!(
+            edf_order_with_prefix(&g, &[c(1), c(2)], &[y]),
+            Err(SchedError::Graph(_))
+        ));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let mut b = GraphBuilder::new();
+        b.action("x");
+        let g = b.build().unwrap();
+        assert_eq!(
+            edf_order(&g, &[]).unwrap_err(),
+            SchedError::DimensionMismatch {
+                expected: 1,
+                actual: 0
+            }
+        );
+    }
+
+    #[test]
+    fn chetto_tightens_predecessor_deadlines() {
+        let mut b = GraphBuilder::new();
+        let x = b.action("x");
+        let y = b.action("y");
+        b.edge(x, y).unwrap();
+        let g = b.build().unwrap();
+        // y: deadline 50, cost 20 -> x must effectively finish by 30.
+        let d = chetto_deadlines(&g, &[c(100), c(50)], &[c(5), c(20)]).unwrap();
+        assert_eq!(d[x.index()], c(30));
+        assert_eq!(d[y.index()], c(50));
+    }
+
+    #[test]
+    fn chetto_propagates_through_chains() {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..3).map(|i| b.action(format!("n{i}"))).collect();
+        b.chain(&ids).unwrap();
+        let g = b.build().unwrap();
+        let d = chetto_deadlines(
+            &g,
+            &[Cycles::INFINITY, Cycles::INFINITY, c(100)],
+            &[c(10), c(20), c(30)],
+        )
+        .unwrap();
+        assert_eq!(d[2], c(100));
+        assert_eq!(d[1], c(70));
+        assert_eq!(d[0], c(50));
+    }
+
+    #[test]
+    fn chetto_keeps_already_monotone_deadlines() {
+        let mut b = GraphBuilder::new();
+        let x = b.action("x");
+        let y = b.action("y");
+        b.edge(x, y).unwrap();
+        let g = b.build().unwrap();
+        let d = chetto_deadlines(&g, &[c(10), c(100)], &[c(1), c(1)]).unwrap();
+        assert_eq!(d, vec![c(10), c(100)]);
+    }
+
+    #[test]
+    fn edf_chetto_recovers_feasibility_missed_by_plain_edf() {
+        // x (deadline inf) and u (deadline 15) independent; x -> y with
+        // y's deadline 12 and cost 10. Plain EDF runs u first (15 < inf)
+        // and misses y; Chetto gives x an effective deadline of 2.
+        let mut b = GraphBuilder::new();
+        let x = b.action("x");
+        let y = b.action("y");
+        let u = b.action("u");
+        b.edge(x, y).unwrap();
+        let g = b.build().unwrap();
+        let deadlines = [Cycles::INFINITY, c(12), c(15)];
+        let times = [c(2), c(10), c(3)];
+
+        let plain = edf_order(&g, &deadlines).unwrap();
+        assert_eq!(plain, vec![u, x, y]); // u first -> y completes at 15 > 12
+
+        let smart = edf_order_chetto(&g, &deadlines, &times, &[]).unwrap();
+        // Modified deadlines: x -> 2, y -> 12, u -> 15, so x, y, u.
+        assert_eq!(smart, vec![x, y, u]);
+        let mut t = Cycles::ZERO;
+        for &a in &smart {
+            t += times[a.index()];
+            assert!(t <= deadlines[a.index()], "{a} misses its deadline");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type of the scheduling crate.
+
+use std::error::Error;
+use std::fmt;
+
+use fgqos_graph::GraphError;
+use fgqos_time::Slack;
+
+/// Errors produced by schedulers and feasibility analyses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SchedError {
+    /// Underlying precedence-graph error (invalid prefix, unknown action,
+    /// ...).
+    Graph(GraphError),
+    /// A per-action table does not match the graph size.
+    DimensionMismatch {
+        /// Actions in the graph.
+        expected: usize,
+        /// Entries provided.
+        actual: usize,
+    },
+    /// The schedulability precondition fails: even at minimal quality with
+    /// worst-case times, no feasible schedule exists. Payload is the ((
+    /// negative) margin of the EDF schedule, which is optimal, so no other
+    /// order can do better.
+    InfeasibleAtMinQuality {
+        /// The (negative) minimal slack of the EDF schedule.
+        slack: Slack,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::Graph(e) => write!(f, "graph error: {e}"),
+            SchedError::DimensionMismatch { expected, actual } => {
+                write!(f, "per-action table has {actual} entries, graph has {expected}")
+            }
+            SchedError::InfeasibleAtMinQuality { slack } => write!(
+                f,
+                "no feasible schedule at minimal quality and worst-case times (margin {slack})"
+            ),
+        }
+    }
+}
+
+impl Error for SchedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SchedError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for SchedError {
+    fn from(e: GraphError) -> Self {
+        SchedError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = SchedError::from(GraphError::ZeroIterations);
+        assert!(e.to_string().contains("graph error"));
+        assert!(e.source().is_some());
+        let e = SchedError::DimensionMismatch {
+            expected: 3,
+            actual: 1,
+        };
+        assert!(e.to_string().contains("1 entries"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SchedError>();
+    }
+}

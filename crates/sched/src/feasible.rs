@@ -1,0 +1,211 @@
+//! Feasibility of schedules (Definition 2.2) and the control problem's
+//! schedulability precondition.
+
+use fgqos_graph::{ActionId, PrecedenceGraph};
+use fgqos_time::series;
+use fgqos_time::{Cycles, DeadlineMap, QualityProfile, Slack};
+
+use crate::{edf, SchedError};
+
+/// `min(D(α) − Ĉ(α))` of a schedule given dense per-action deadline and
+/// duration tables.
+///
+/// # Panics
+///
+/// Panics if `order` references actions outside the tables.
+#[must_use]
+pub fn schedule_min_slack(
+    order: &[ActionId],
+    deadlines: &[Cycles],
+    durations: &[Cycles],
+) -> Slack {
+    let d: Vec<Cycles> = order.iter().map(|a| deadlines[a.index()]).collect();
+    let c: Vec<Cycles> = order.iter().map(|a| durations[a.index()]).collect();
+    series::min_slack(&d, &c)
+}
+
+/// Definition 2.2 feasibility of `order` for the given tables.
+///
+/// # Panics
+///
+/// Panics if `order` references actions outside the tables.
+#[must_use]
+pub fn is_schedule_feasible(
+    order: &[ActionId],
+    deadlines: &[Cycles],
+    durations: &[Cycles],
+) -> bool {
+    schedule_min_slack(order, deadlines, durations).is_nonnegative()
+}
+
+/// Dense per-action tables for one constant quality level: `(Cwc_q,
+/// D_q)`.
+fn tables_at_min_quality(
+    profile: &QualityProfile,
+    deadlines: &DeadlineMap,
+) -> (Vec<Cycles>, Vec<Cycles>) {
+    let qmin = profile.qualities().min();
+    let n = profile.n_actions();
+    let wc: Vec<Cycles> = (0..n).map(|a| profile.worst_idx(a, qmin)).collect();
+    let d: Vec<Cycles> = (0..n).map(|a| deadlines.deadline_idx(a, qmin)).collect();
+    (wc, d)
+}
+
+/// Checks the precondition of the control problem (Section 2.1): the set
+/// of feasible schedules with respect to `Cwc_qmin` and `D_qmin` must be
+/// non-empty. On success returns a witness schedule (EDF on
+/// Chetto-modified deadlines, which is optimal, so if it fails every order
+/// fails).
+///
+/// # Errors
+///
+/// [`SchedError::InfeasibleAtMinQuality`] when no schedule can meet the
+/// deadlines even at minimal quality and worst-case times;
+/// [`SchedError::DimensionMismatch`] if the tables do not match the graph.
+pub fn check_precondition(
+    graph: &PrecedenceGraph,
+    profile: &QualityProfile,
+    deadlines: &DeadlineMap,
+) -> Result<Vec<ActionId>, SchedError> {
+    if profile.n_actions() != graph.len() {
+        return Err(SchedError::DimensionMismatch {
+            expected: graph.len(),
+            actual: profile.n_actions(),
+        });
+    }
+    if deadlines.n_actions() != graph.len() {
+        return Err(SchedError::DimensionMismatch {
+            expected: graph.len(),
+            actual: deadlines.n_actions(),
+        });
+    }
+    let (wc, d) = tables_at_min_quality(profile, deadlines);
+    let order = edf::edf_order_chetto(graph, &d, &wc, &[])?;
+    let slack = schedule_min_slack(&order, &d, &wc);
+    if slack.is_nonnegative() {
+        Ok(order)
+    } else {
+        Err(SchedError::InfeasibleAtMinQuality { slack })
+    }
+}
+
+/// Exhaustively verifies EDF optimality on small instances: EDF (with
+/// Chetto modification) finds a feasible schedule iff one of the at most
+/// `cap` enumerated linear extensions is feasible. Intended for tests and
+/// validation tooling, not production paths.
+///
+/// Returns `(edf_feasible, any_extension_feasible)`.
+///
+/// # Errors
+///
+/// [`SchedError::DimensionMismatch`] on table size mismatch.
+pub fn edf_vs_exhaustive(
+    graph: &PrecedenceGraph,
+    deadlines: &[Cycles],
+    durations: &[Cycles],
+    cap: usize,
+) -> Result<(bool, bool), SchedError> {
+    let order = edf::edf_order_chetto(graph, deadlines, durations, &[])?;
+    let edf_ok = is_schedule_feasible(&order, deadlines, durations);
+    let any_ok = fgqos_graph::topo::linear_extensions(graph, cap)
+        .iter()
+        .any(|ext| is_schedule_feasible(ext, deadlines, durations));
+    Ok((edf_ok, any_ok))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fgqos_graph::GraphBuilder;
+    use fgqos_time::QualitySet;
+
+    fn c(v: u64) -> Cycles {
+        Cycles::new(v)
+    }
+
+    #[test]
+    fn min_slack_follows_order() {
+        let mut b = GraphBuilder::new();
+        let x = b.action("x");
+        let y = b.action("y");
+        let g = b.build().unwrap();
+        let deadlines = [c(10), c(5)];
+        let durations = [c(4), c(4)];
+        // x first: y completes at 8 > 5 -> infeasible.
+        assert!(!is_schedule_feasible(&[x, y], &deadlines, &durations));
+        // y first: y at 4 <= 5, x at 8 <= 10 -> feasible.
+        assert!(is_schedule_feasible(&[y, x], &deadlines, &durations));
+        let _ = g;
+    }
+
+    #[test]
+    fn precondition_accepts_feasible_system() {
+        let mut b = GraphBuilder::new();
+        let x = b.action("x");
+        let y = b.action("y");
+        b.edge(x, y).unwrap();
+        let g = b.build().unwrap();
+        let qs = QualitySet::contiguous(0, 1).unwrap();
+        let mut pb = QualityProfile::builder(qs.clone(), 2);
+        pb.set_levels(0, &[(5, 10), (20, 40)]).unwrap();
+        pb.set_levels(1, &[(5, 10), (20, 40)]).unwrap();
+        let profile = pb.build().unwrap();
+        let deadlines = DeadlineMap::uniform(qs, vec![c(15), c(25)]);
+        let witness = check_precondition(&g, &profile, &deadlines).unwrap();
+        assert_eq!(witness, vec![x, y]);
+    }
+
+    #[test]
+    fn precondition_rejects_overloaded_system() {
+        let mut b = GraphBuilder::new();
+        b.action("x");
+        let g = b.build().unwrap();
+        let qs = QualitySet::contiguous(0, 0).unwrap();
+        let mut pb = QualityProfile::builder(qs.clone(), 1);
+        pb.set_levels(0, &[(50, 100)]).unwrap();
+        let profile = pb.build().unwrap();
+        let deadlines = DeadlineMap::uniform(qs, vec![c(60)]);
+        match check_precondition(&g, &profile, &deadlines).unwrap_err() {
+            SchedError::InfeasibleAtMinQuality { slack } => {
+                assert_eq!(slack, Slack::new(-40));
+            }
+            other => panic!("expected infeasibility, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precondition_checks_dimensions() {
+        let mut b = GraphBuilder::new();
+        b.action("x");
+        b.action("y");
+        let g = b.build().unwrap();
+        let qs = QualitySet::contiguous(0, 0).unwrap();
+        let mut pb = QualityProfile::builder(qs.clone(), 1);
+        pb.set_levels(0, &[(1, 1)]).unwrap();
+        let profile = pb.build().unwrap();
+        let deadlines = DeadlineMap::uniform(qs, vec![c(10)]);
+        assert!(matches!(
+            check_precondition(&g, &profile, &deadlines),
+            Err(SchedError::DimensionMismatch { expected: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn edf_matches_exhaustive_on_diamond() {
+        let mut b = GraphBuilder::new();
+        let s = b.action("s");
+        let l = b.action("l");
+        let r = b.action("r");
+        let t = b.action("t");
+        b.edge(s, l).unwrap();
+        b.edge(s, r).unwrap();
+        b.edge(l, t).unwrap();
+        b.edge(r, t).unwrap();
+        let g = b.build().unwrap();
+        let deadlines = [c(2), c(10), c(4), c(20)];
+        let durations = [c(2), c(3), c(2), c(4)];
+        let (edf_ok, any_ok) = edf_vs_exhaustive(&g, &deadlines, &durations, 100).unwrap();
+        assert_eq!(edf_ok, any_ok);
+        assert!(edf_ok); // s(2) r(4) l(7<=10) t(11<=20)
+    }
+}

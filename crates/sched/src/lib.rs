@@ -1,0 +1,53 @@
+//! EDF scheduling, `Best_Sched` and precomputed constraint tables.
+//!
+//! This crate is the scheduling substrate of the fine-grain QoS controller
+//! of Combaz et al. (DATE 2005, Section 2.2):
+//!
+//! * [`edf`] — earliest-deadline-first list scheduling over a precedence
+//!   graph, with the Chetto/Blazewicz deadline-modification transform for
+//!   deadline assignments that are not monotone along precedence edges;
+//! * [`BestSched`] — the paper's `Best_Sched(α, θ, i)` abstraction: compute
+//!   an optimal schedule that keeps an already-executed prefix fixed
+//!   ([`EdfScheduler`] is the paper's choice, [`FifoScheduler`] is the
+//!   naive baseline);
+//! * [`feasible`] — Definition 2.2 feasibility of schedules and the
+//!   schedulability precondition of the control problem (a feasible
+//!   schedule must exist for `Cwc_qmin` and `D_qmin`);
+//! * [`ConstraintTables`] — the "tables containing pre-computed values used
+//!   by the controller for the computation of `Qual_Constav` and
+//!   `Qual_Constwc`" produced by the prototype tool of Fig. 4, giving O(1)
+//!   per-decision constraint evaluation.
+//!
+//! # Example
+//!
+//! ```
+//! use fgqos_graph::GraphBuilder;
+//! use fgqos_time::Cycles;
+//! use fgqos_sched::{BestSched, EdfScheduler};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = GraphBuilder::new();
+//! let x = b.action("x");
+//! let y = b.action("y");
+//! let g = b.build()?; // independent actions
+//! // y has the earlier deadline: EDF runs it first.
+//! let order = EdfScheduler.best_schedule(&g, &[Cycles::new(90), Cycles::new(50)], &[])?;
+//! assert_eq!(order, vec![y, x]);
+//! # let _ = x;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod best_sched;
+mod error;
+mod tables;
+
+pub mod edf;
+pub mod feasible;
+
+pub use best_sched::{BestSched, EdfScheduler, FifoScheduler};
+pub use error::SchedError;
+pub use tables::ConstraintTables;

@@ -1,0 +1,269 @@
+//! Property tests: EDF optimality and table/definition agreement.
+
+use fgqos_graph::{ActionId, GraphBuilder, PrecedenceGraph};
+use fgqos_sched::{edf, feasible, ConstraintTables};
+use fgqos_time::series;
+use fgqos_time::{Cycles, DeadlineMap, QualityProfile, QualitySet, Slack};
+use proptest::prelude::*;
+
+fn arb_dag(max_nodes: usize) -> impl Strategy<Value = PrecedenceGraph> {
+    (2..=max_nodes)
+        .prop_flat_map(|n| {
+            let pairs: Vec<(usize, usize)> = (0..n)
+                .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+                .collect();
+            (
+                Just(n),
+                proptest::collection::vec(proptest::bool::weighted(0.4), pairs.len()).prop_map(
+                    move |mask| {
+                        pairs
+                            .iter()
+                            .zip(mask)
+                            .filter_map(|(&p, keep)| keep.then_some(p))
+                            .collect::<Vec<_>>()
+                    },
+                ),
+            )
+        })
+        .prop_map(|(n, edges)| {
+            let mut b = GraphBuilder::new();
+            let ids: Vec<ActionId> = (0..n).map(|i| b.action(format!("n{i}"))).collect();
+            for (i, j) in edges {
+                b.edge(ids[i], ids[j]).unwrap();
+            }
+            b.build().unwrap()
+        })
+}
+
+/// Random instance: graph + per-action duration and deadline tables.
+fn arb_instance(
+    max_nodes: usize,
+) -> impl Strategy<Value = (PrecedenceGraph, Vec<Cycles>, Vec<Cycles>)> {
+    arb_dag(max_nodes).prop_flat_map(|g| {
+        let n = g.len();
+        (
+            Just(g),
+            proptest::collection::vec(1u64..50, n),
+            proptest::collection::vec(1u64..400, n),
+        )
+            .prop_map(|(g, durs, dls)| {
+                let durations: Vec<Cycles> = durs.into_iter().map(Cycles::new).collect();
+                let deadlines: Vec<Cycles> = dls.into_iter().map(Cycles::new).collect();
+                (g, durations, deadlines)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Chetto+EDF is optimal: it finds a feasible order exactly when some
+    /// linear extension is feasible.
+    #[test]
+    fn edf_is_optimal_on_small_instances((g, durations, deadlines) in arb_instance(6)) {
+        let (edf_ok, any_ok) =
+            feasible::edf_vs_exhaustive(&g, &deadlines, &durations, 2000).unwrap();
+        prop_assert_eq!(edf_ok, any_ok);
+    }
+
+    /// The EDF order is always a valid schedule, regardless of feasibility.
+    #[test]
+    fn edf_order_is_always_a_schedule((g, durations, deadlines) in arb_instance(10)) {
+        let order = edf::edf_order_chetto(&g, &deadlines, &durations, &[]).unwrap();
+        g.validate_schedule(&order).unwrap();
+    }
+
+    /// Chetto modification never loosens a deadline and never changes
+    /// feasibility of a *given* order.
+    #[test]
+    fn chetto_tightens_without_breaking_feasibility(
+        (g, durations, deadlines) in arb_instance(8)
+    ) {
+        let modified = edf::chetto_deadlines(&g, &deadlines, &durations).unwrap();
+        for a in g.ids() {
+            prop_assert!(modified[a.index()] <= deadlines[a.index()]);
+        }
+        // For any valid schedule, feasibility wrt original deadlines equals
+        // feasibility wrt modified deadlines (classic Chetto property).
+        let order = g.topological_order().to_vec();
+        let orig = feasible::is_schedule_feasible(&order, &deadlines, &durations);
+        let modif = feasible::is_schedule_feasible(&order, &modified, &durations);
+        // modified feasible => original feasible always (deadlines tighter).
+        if modif {
+            prop_assert!(orig);
+        }
+    }
+}
+
+/// Direct (definition-level) evaluation of `Qual_Constav`.
+fn av_direct(
+    order: &[ActionId],
+    profile: &QualityProfile,
+    deadlines: &DeadlineMap,
+    q: fgqos_time::Quality,
+    i: usize,
+    t: Cycles,
+) -> bool {
+    let d: Vec<Cycles> = order[i..].iter().map(|a| deadlines.deadline(*a, q)).collect();
+    let c: Vec<Cycles> = order[i..].iter().map(|a| profile.avg(*a, q)).collect();
+    series::min_slack_from(t, &d, &c).is_nonnegative()
+}
+
+/// Direct (definition-level) evaluation of `Qual_Constwc` with the θ'
+/// assignment (next action at `q`, the rest at `q_min`).
+fn wc_direct(
+    order: &[ActionId],
+    profile: &QualityProfile,
+    deadlines: &DeadlineMap,
+    q: fgqos_time::Quality,
+    i: usize,
+    t: Cycles,
+) -> bool {
+    let qmin = profile.qualities().min();
+    let mut d = Vec::new();
+    let mut c = Vec::new();
+    for (k, a) in order[i..].iter().enumerate() {
+        let level = if k == 0 { q } else { qmin };
+        d.push(deadlines.deadline(*a, level));
+        c.push(profile.worst(*a, level));
+    }
+    series::min_slack_from(t, &d, &c).is_nonnegative()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The precomputed tables agree with the paper's definitions evaluated
+    /// directly, at every position, quality and a sample of times.
+    #[test]
+    fn tables_agree_with_definitions(
+        (g, durations, deadline_vals) in arb_instance(7),
+        avg_scale in 1u64..4,
+        probe in proptest::collection::vec(0u64..600, 8),
+    ) {
+        let n = g.len();
+        let qs = QualitySet::contiguous(0, 2).unwrap();
+        let mut pb = QualityProfile::builder(qs.clone(), n);
+        for a in 0..n {
+            let base = durations[a].get();
+            // avg grows with quality; wc = 2x avg.
+            let rows: Vec<(u64, u64)> = (0..3u64)
+                .map(|q| {
+                    let avg = base * (1 + q * avg_scale);
+                    (avg, avg * 2)
+                })
+                .collect();
+            pb.set_levels(a, &rows).unwrap();
+        }
+        let profile = pb.build().unwrap();
+        let deadlines = DeadlineMap::uniform(qs, deadline_vals.clone());
+        let order = g.topological_order().to_vec();
+        let tables = ConstraintTables::new(order.clone(), &profile, &deadlines).unwrap();
+
+        for i in 0..=n {
+            for (qi, q) in profile.qualities().iter().enumerate() {
+                for &tv in &probe {
+                    let t = Cycles::new(tv);
+                    prop_assert_eq!(
+                        tables.av_admits(qi, i, t),
+                        av_direct(&order, &profile, &deadlines, q, i, t),
+                        "av mismatch at i={} qi={} t={}", i, qi, tv
+                    );
+                    prop_assert_eq!(
+                        tables.wc_admits(qi, i, t),
+                        wc_direct(&order, &profile, &deadlines, q, i, t),
+                        "wc mismatch at i={} qi={} t={}", i, qi, tv
+                    );
+                }
+            }
+        }
+    }
+
+    /// max_feasible returns the maximum admissible level: everything above
+    /// fails, the returned level passes.
+    #[test]
+    fn max_feasible_is_maximal(
+        (g, durations, deadline_vals) in arb_instance(6),
+        probe in proptest::collection::vec(0u64..500, 6),
+    ) {
+        let n = g.len();
+        let qs = QualitySet::contiguous(0, 3).unwrap();
+        let mut pb = QualityProfile::builder(qs.clone(), n);
+        for a in 0..n {
+            let base = durations[a].get();
+            let rows: Vec<(u64, u64)> =
+                (1..=4u64).map(|q| (base * q, base * q * 3)).collect();
+            pb.set_levels(a, &rows).unwrap();
+        }
+        let profile = pb.build().unwrap();
+        let deadlines = DeadlineMap::uniform(qs, deadline_vals);
+        let order = g.topological_order().to_vec();
+        let tables = ConstraintTables::new(order, &profile, &deadlines).unwrap();
+        for i in 0..=n {
+            for &tv in &probe {
+                let t = Cycles::new(tv);
+                match tables.max_feasible(i, t) {
+                    Some(qi) => {
+                        prop_assert!(tables.qual_const(qi, i, t));
+                        for higher in (qi + 1)..tables.quality_count() {
+                            prop_assert!(!tables.qual_const(higher, i, t));
+                        }
+                    }
+                    None => {
+                        for qi in 0..tables.quality_count() {
+                            prop_assert!(!tables.qual_const(qi, i, t));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Monotonicity in t: once infeasible at some elapsed time, larger
+    /// elapsed times stay infeasible (budgets are upper bounds on t).
+    #[test]
+    fn admissibility_is_monotone_in_time(
+        (g, durations, deadline_vals) in arb_instance(6),
+    ) {
+        let n = g.len();
+        let qs = QualitySet::contiguous(0, 1).unwrap();
+        let mut pb = QualityProfile::builder(qs.clone(), n);
+        for a in 0..n {
+            let base = durations[a].get();
+            pb.set_levels(a, &[(base, base * 2), (base * 2, base * 4)]).unwrap();
+        }
+        let profile = pb.build().unwrap();
+        let deadlines = DeadlineMap::uniform(qs, deadline_vals);
+        let order = g.topological_order().to_vec();
+        let tables = ConstraintTables::new(order, &profile, &deadlines).unwrap();
+        for i in 0..=n {
+            for qi in 0..2 {
+                let mut was_infeasible = false;
+                for tv in (0..500).step_by(25) {
+                    let ok = tables.qual_const(qi, i, Cycles::new(tv));
+                    if was_infeasible {
+                        prop_assert!(!ok, "regained feasibility at t={tv}");
+                    }
+                    if !ok {
+                        was_infeasible = true;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn min_slack_matches_series_on_fixed_example() {
+    let mut b = GraphBuilder::new();
+    let x = b.action("x");
+    let y = b.action("y");
+    b.edge(x, y).unwrap();
+    let _ = b.build().unwrap();
+    let s = feasible::schedule_min_slack(
+        &[x, y],
+        &[Cycles::new(10), Cycles::new(9)],
+        &[Cycles::new(4), Cycles::new(4)],
+    );
+    assert_eq!(s, Slack::new(1));
+}

@@ -1,0 +1,87 @@
+//! Minimal CSV/series export for plotting the experiment results.
+//!
+//! Hand-rolled on purpose: the workspace keeps its dependency set to the
+//! approved list (rand / proptest / criterion), and the needs here are a
+//! header plus numeric rows.
+
+use std::fmt::Write as FmtWrite;
+
+/// Renders a CSV document from a header and rows of optional numbers
+/// (empty cells for `None` — gnuplot and pandas both treat them as
+/// missing data, which is how skipped frames appear in the encoding-time
+/// figures).
+///
+/// # Example
+///
+/// ```
+/// use fgqos_sim::csv::render_csv;
+///
+/// let doc = render_csv(
+///     &["frame", "mcycle"],
+///     [vec![Some(0.0), Some(311.5)], vec![Some(1.0), None]].into_iter(),
+/// );
+/// assert_eq!(doc, "frame,mcycle\n0,311.5\n1,\n");
+/// ```
+pub fn render_csv<I>(header: &[&str], rows: I) -> String
+where
+    I: Iterator<Item = Vec<Option<f64>>>,
+{
+    let mut out = String::new();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for row in rows {
+        let mut first = true;
+        for cell in row {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            if let Some(v) = cell {
+                if (v.fract()).abs() < f64::EPSILON && v.abs() < 1e15 {
+                    let _ = write!(out, "{}", v as i64);
+                } else {
+                    let _ = write!(out, "{v}");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders two aligned series as a gnuplot-ready two-column block with a
+/// `# label` comment header.
+pub fn render_series(label: &str, series: &[(usize, f64)]) -> String {
+    let mut out = format!("# {label}\n");
+    for &(x, y) in series {
+        let _ = writeln!(out, "{x} {y:.4}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_renders_missing_cells() {
+        let doc = render_csv(
+            &["a", "b"],
+            [vec![Some(1.0), None], vec![None, Some(2.5)]].into_iter(),
+        );
+        assert_eq!(doc, "a,b\n1,\n,2.5\n");
+    }
+
+    #[test]
+    fn csv_integers_render_without_decimals() {
+        let doc = render_csv(&["x"], [vec![Some(320.0)]].into_iter());
+        assert_eq!(doc, "x\n320\n");
+    }
+
+    #[test]
+    fn series_block_has_comment_label() {
+        let s = render_series("controlled", &[(0, 1.0), (1, 2.0)]);
+        assert!(s.starts_with("# controlled\n"));
+        assert!(s.contains("1 2.0000"));
+    }
+}

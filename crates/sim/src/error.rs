@@ -1,0 +1,89 @@
+//! Error type of the simulator crate.
+
+use std::error::Error;
+use std::fmt;
+
+use fgqos_core::CoreError;
+
+/// Errors produced while configuring or running simulations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Underlying controller/system error.
+    Core(CoreError),
+    /// Invalid simulation parameter.
+    InvalidConfig(&'static str),
+    /// The application reported a different body shape than configured.
+    AppShapeMismatch {
+        /// Expected actions per body.
+        expected: usize,
+        /// Reported actions per body.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Core(e) => write!(f, "controller error: {e}"),
+            SimError::InvalidConfig(what) => write!(f, "invalid simulation config: {what}"),
+            SimError::AppShapeMismatch { expected, actual } => {
+                write!(f, "application body has {actual} actions, expected {expected}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for SimError {
+    fn from(e: CoreError) -> Self {
+        SimError::Core(e)
+    }
+}
+
+impl From<fgqos_sched::SchedError> for SimError {
+    fn from(e: fgqos_sched::SchedError) -> Self {
+        SimError::Core(CoreError::Sched(e))
+    }
+}
+
+impl From<fgqos_time::TimeError> for SimError {
+    fn from(e: fgqos_time::TimeError) -> Self {
+        SimError::Core(CoreError::Time(e))
+    }
+}
+
+impl From<fgqos_graph::GraphError> for SimError {
+    fn from(e: fgqos_graph::GraphError) -> Self {
+        SimError::Core(CoreError::Graph(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = SimError::InvalidConfig("period must be positive");
+        assert!(e.to_string().contains("period"));
+        assert!(e.source().is_none());
+        let e: SimError = CoreError::NoPendingDecision.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

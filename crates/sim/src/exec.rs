@@ -1,0 +1,305 @@
+//! Actual-execution-time models.
+//!
+//! The theory (Section 2.1) treats the actual execution-time function `C`
+//! as arbitrary but bounded: `C ≤ Cwc_θ`. These models generate such
+//! functions. All of them clamp into `[1, Cwc_q(a)]`, so the safety
+//! precondition of Proposition 2.1 holds by construction; what varies is
+//! how the *average* behaves relative to the declared `Cav_q(a)` and how
+//! load fluctuates with frame content.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fgqos_graph::ActionId;
+use fgqos_time::{Cycles, Quality};
+
+/// Per-sample context handed to an execution-time model.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecCtx {
+    /// Body action being executed.
+    pub action: ActionId,
+    /// Iteration (macroblock) index inside the cycle.
+    pub iteration: usize,
+    /// Quality level chosen by the controller.
+    pub quality: Quality,
+    /// Declared average time `Cav_q(a)`.
+    pub avg: Cycles,
+    /// Declared worst case `Cwc_q(a)` (hard upper bound for the sample).
+    pub worst: Cycles,
+    /// Frame activity factor from the scenario (1.0 = nominal load).
+    pub activity: f64,
+    /// Work units actually performed by the application, when it reports
+    /// them (pixel-level encoder); `None` for timing-only apps.
+    pub work_units: Option<u64>,
+}
+
+/// A generator of actual execution times bounded by the declared worst
+/// case.
+pub trait ExecTimeModel {
+    /// Samples the actual time for one action instance.
+    ///
+    /// Implementations must return a value in `[1, ctx.worst]`.
+    fn sample(&mut self, ctx: &ExecCtx) -> Cycles;
+
+    /// Human-readable name for reports and benches.
+    fn name(&self) -> &'static str;
+}
+
+fn clamp(value: f64, worst: Cycles) -> Cycles {
+    let hi = worst.get() as f64;
+    Cycles::new(value.clamp(1.0, hi).round() as u64)
+}
+
+/// Deterministic model: every action takes exactly its declared average
+/// (scaled by activity). Useful for calibration tests.
+#[derive(Debug, Clone)]
+pub struct Deterministic {
+    use_activity: bool,
+}
+
+impl Deterministic {
+    /// Exact `Cav_q(a)` regardless of content.
+    #[must_use]
+    pub fn nominal() -> Self {
+        Deterministic {
+            use_activity: false,
+        }
+    }
+
+    /// `Cav_q(a) · activity`, clamped at the worst case.
+    #[must_use]
+    pub fn activity_scaled() -> Self {
+        Deterministic { use_activity: true }
+    }
+}
+
+impl ExecTimeModel for Deterministic {
+    fn sample(&mut self, ctx: &ExecCtx) -> Cycles {
+        let base = ctx.avg.get() as f64;
+        let v = if self.use_activity {
+            base * ctx.activity
+        } else {
+            base
+        };
+        clamp(v, ctx.worst)
+    }
+
+    fn name(&self) -> &'static str {
+        "deterministic"
+    }
+}
+
+/// The default stochastic model: log-normal-ish multiplicative jitter
+/// around `Cav_q(a) · activity`, with occasional heavy-tail excursions
+/// toward the worst case (real video encoders spike on hard macroblocks).
+///
+/// With `activity = 1`, the sample mean stays close to the declared
+/// average (see the `mean_is_calibrated` test).
+#[derive(Debug, Clone)]
+pub struct StochasticLoad {
+    rng: StdRng,
+    /// Multiplicative jitter half-width (e.g. 0.25 = ±25 %).
+    jitter: f64,
+    /// Probability of a heavy-tail excursion.
+    tail_prob: f64,
+}
+
+impl StochasticLoad {
+    /// Creates the model with paper-plausible parameters.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self::with_params(seed, 0.25, 0.02)
+    }
+
+    /// Creates the model with explicit jitter half-width and tail
+    /// probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is negative or `tail_prob` outside `[0, 1]`.
+    #[must_use]
+    pub fn with_params(seed: u64, jitter: f64, tail_prob: f64) -> Self {
+        assert!(jitter >= 0.0, "jitter must be non-negative");
+        assert!((0.0..=1.0).contains(&tail_prob), "tail_prob in [0,1]");
+        StochasticLoad {
+            rng: StdRng::seed_from_u64(seed),
+            jitter,
+            tail_prob,
+        }
+    }
+}
+
+impl ExecTimeModel for StochasticLoad {
+    fn sample(&mut self, ctx: &ExecCtx) -> Cycles {
+        let base = ctx.avg.get() as f64 * ctx.activity;
+        if self.rng.gen_bool(self.tail_prob) {
+            // Heavy tail: land uniformly in the upper half toward wc.
+            let hi = ctx.worst.get() as f64;
+            let lo = base.min(hi);
+            return clamp(self.rng.gen_range(0.5..1.0) * (hi - lo) + lo, ctx.worst);
+        }
+        let factor = 1.0 + self.rng.gen_range(-self.jitter..=self.jitter);
+        clamp(base * factor, ctx.worst)
+    }
+
+    fn name(&self) -> &'static str {
+        "stochastic"
+    }
+}
+
+/// Work-driven model: cycles are an affine function of the work units
+/// reported by the application (`base + per_unit · work`), clamped at the
+/// worst case. Falls back to [`StochasticLoad`] behaviour when the app
+/// reports no work.
+///
+/// This is how the pixel-level encoder's *content-dependent* cost reaches
+/// the timing domain: more SAD evaluations, more coded bits ⇒ more cycles.
+#[derive(Debug, Clone)]
+pub struct WorkDriven {
+    /// Fixed per-action overhead in cycles.
+    pub base_cycles: u64,
+    /// Cycles per reported work unit.
+    pub cycles_per_unit: f64,
+    fallback: StochasticLoad,
+}
+
+impl WorkDriven {
+    /// Creates a work-driven model with the given affine calibration.
+    #[must_use]
+    pub fn new(base_cycles: u64, cycles_per_unit: f64, seed: u64) -> Self {
+        WorkDriven {
+            base_cycles,
+            cycles_per_unit,
+            fallback: StochasticLoad::new(seed),
+        }
+    }
+}
+
+impl ExecTimeModel for WorkDriven {
+    fn sample(&mut self, ctx: &ExecCtx) -> Cycles {
+        match ctx.work_units {
+            Some(w) => clamp(
+                self.base_cycles as f64 + self.cycles_per_unit * w as f64,
+                ctx.worst,
+            ),
+            None => self.fallback.sample(ctx),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "work-driven"
+    }
+}
+
+/// Adversarial model: always the declared worst case (stress testing the
+/// safety constraint).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlwaysWorstCase;
+
+impl ExecTimeModel for AlwaysWorstCase {
+    fn sample(&mut self, ctx: &ExecCtx) -> Cycles {
+        ctx.worst.max(Cycles::new(1))
+    }
+
+    fn name(&self) -> &'static str {
+        "worst-case"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(avg: u64, worst: u64, activity: f64, work: Option<u64>) -> ExecCtx {
+        ExecCtx {
+            action: ActionId::from_index(0),
+            iteration: 0,
+            quality: Quality::new(3),
+            avg: Cycles::new(avg),
+            worst: Cycles::new(worst),
+            activity,
+            work_units: work,
+        }
+    }
+
+    #[test]
+    fn all_models_respect_the_worst_case_bound() {
+        let c = ctx(100_000, 150_000, 2.5, Some(1_000_000));
+        let mut models: Vec<Box<dyn ExecTimeModel>> = vec![
+            Box::new(Deterministic::nominal()),
+            Box::new(Deterministic::activity_scaled()),
+            Box::new(StochasticLoad::new(1)),
+            Box::new(WorkDriven::new(1_000, 10.0, 2)),
+            Box::new(AlwaysWorstCase),
+        ];
+        for m in &mut models {
+            for _ in 0..200 {
+                let s = m.sample(&c);
+                assert!(
+                    s >= Cycles::new(1) && s <= c.worst,
+                    "{}: sample {s} outside [1, worst]",
+                    m.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_matches_average() {
+        let mut m = Deterministic::nominal();
+        assert_eq!(m.sample(&ctx(95_000, 350_000, 1.7, None)), Cycles::new(95_000));
+        let mut m = Deterministic::activity_scaled();
+        assert_eq!(
+            m.sample(&ctx(100_000, 350_000, 1.5, None)),
+            Cycles::new(150_000)
+        );
+        // Clamped at worst.
+        assert_eq!(
+            m.sample(&ctx(300_000, 350_000, 2.0, None)),
+            Cycles::new(350_000)
+        );
+    }
+
+    #[test]
+    fn stochastic_mean_is_calibrated() {
+        let mut m = StochasticLoad::new(42);
+        let c = ctx(95_000, 350_000, 1.0, None);
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| m.sample(&c).get()).sum();
+        let mean = sum as f64 / n as f64;
+        // Within 5% of the declared average at nominal activity (the rare
+        // heavy tail biases slightly upward).
+        assert!(
+            (mean - 95_000.0).abs() / 95_000.0 < 0.05,
+            "mean {mean} too far from 95000"
+        );
+    }
+
+    #[test]
+    fn stochastic_scales_with_activity() {
+        let mut m = StochasticLoad::with_params(7, 0.1, 0.0);
+        let calm: u64 = (0..2000).map(|_| m.sample(&ctx(50_000, 500_000, 0.8, None)).get()).sum();
+        let hot: u64 = (0..2000).map(|_| m.sample(&ctx(50_000, 500_000, 1.4, None)).get()).sum();
+        assert!(hot as f64 / calm as f64 > 1.5);
+    }
+
+    #[test]
+    fn work_driven_uses_reported_work() {
+        let mut m = WorkDriven::new(1_000, 2.0, 3);
+        assert_eq!(
+            m.sample(&ctx(10_000, 100_000, 1.0, Some(4_500))),
+            Cycles::new(10_000)
+        );
+        // And clamps.
+        assert_eq!(
+            m.sample(&ctx(10_000, 20_000, 1.0, Some(1_000_000))),
+            Cycles::new(20_000)
+        );
+    }
+
+    #[test]
+    fn bad_params_panic() {
+        assert!(std::panic::catch_unwind(|| StochasticLoad::with_params(0, -0.1, 0.0)).is_err());
+        assert!(std::panic::catch_unwind(|| StochasticLoad::with_params(0, 0.1, 1.5)).is_err());
+    }
+}

@@ -1,0 +1,685 @@
+//! End-to-end stream runs: camera → buffers → (controlled | constant)
+//! encoder, producing the per-frame series behind Figs. 6–9.
+
+use fgqos_core::estimator::AvgEstimator;
+use fgqos_core::policy::{ConstantQuality, QualityPolicy};
+use fgqos_core::{safety, CycleController};
+use fgqos_graph::iterate::{IteratedGraph, IterationMode};
+use fgqos_graph::ActionId;
+use fgqos_sched::{BestSched, ConstraintTables, EdfScheduler};
+use fgqos_time::{fig5, Cycles, DeadlineMap, Quality, QualityProfile};
+
+use crate::app::VideoApp;
+use crate::exec::{ExecCtx, ExecTimeModel, StochasticLoad};
+use crate::pipeline::InputPipeline;
+use crate::SimError;
+
+/// How the per-frame budget is decomposed into action deadlines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineShape {
+    /// Every action of macroblock `k` (0-based) gets deadline
+    /// `(k+1) · B / N`: uniform pacing, the shape used for the paper's
+    /// experiments ("deadlines on the termination of actions since the
+    /// beginning of a cycle").
+    PerIteration,
+    /// Only the last macroblock's actions carry the budget `B`; everything
+    /// else is unconstrained. Gives the controller maximal freedom inside
+    /// the frame at the cost of pacing.
+    FinalOnly,
+}
+
+/// Stream-level configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Camera/display period `P` in cycles.
+    pub period: Cycles,
+    /// Input buffer capacity `K`.
+    pub input_capacity: usize,
+    /// Deadline decomposition.
+    pub deadline_shape: DeadlineShape,
+}
+
+impl RunConfig {
+    /// The paper's platform: `P` = 320 Mcycle, `K` = 1, per-iteration
+    /// deadlines.
+    #[must_use]
+    pub fn paper_defaults() -> Self {
+        RunConfig {
+            period: Cycles::new(fig5::PERIOD_CYCLES),
+            input_capacity: 1,
+            deadline_shape: DeadlineShape::PerIteration,
+        }
+    }
+
+    /// Replaces the buffer capacity `K`.
+    #[must_use]
+    pub fn with_capacity(mut self, k: usize) -> Self {
+        self.input_capacity = k;
+        self
+    }
+
+    /// Replaces the period `P`.
+    #[must_use]
+    pub fn with_period(mut self, p: Cycles) -> Self {
+        self.period = p;
+        self
+    }
+
+    /// Replaces the deadline shape.
+    #[must_use]
+    pub fn with_deadline_shape(mut self, shape: DeadlineShape) -> Self {
+        self.deadline_shape = shape;
+        self
+    }
+
+    /// Rescales the period so a frame of `n` macroblocks sees the same
+    /// per-macroblock pressure as the paper's 1584-macroblock frames
+    /// (`P' = P · n / 1584`). Use for fast, shape-preserving test runs.
+    #[must_use]
+    pub fn scaled_to_macroblocks(mut self, n: usize) -> Self {
+        let scaled =
+            (u128::from(self.period.get()) * n as u128 / fig5::MACROBLOCKS_PER_FRAME as u128)
+                .max(1);
+        self.period = Cycles::new(u64::try_from(scaled).expect("scaled period fits"));
+        self
+    }
+}
+
+/// Outcome of one camera frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameRecord {
+    /// Camera frame index.
+    pub frame: usize,
+    /// Whether the frame was dropped at the input buffer.
+    pub skipped: bool,
+    /// Whether the frame starts a scene (I-frame).
+    pub is_iframe: bool,
+    /// Absolute time encoding started (unset for skipped frames).
+    pub start: Cycles,
+    /// Cycles spent encoding (zero for skipped frames).
+    pub encode_cycles: Cycles,
+    /// Time budget the frame had (`+∞` at the unconstrained stream tail).
+    pub budget: Cycles,
+    /// Queueing latency between camera arrival and encode start.
+    pub latency: Cycles,
+    /// Mean quality level the frame was encoded at.
+    pub mean_quality: f64,
+    /// Deadline misses inside the frame (0 for controlled runs).
+    pub misses: usize,
+    /// Quality-manager fallbacks inside the frame (0 under preconditions).
+    pub fallbacks: usize,
+    /// Quality switches inside the frame (smoothness metric).
+    pub quality_switches: usize,
+    /// PSNR of the displayed frame against the source (dB).
+    pub psnr_db: f64,
+}
+
+/// Result of a whole stream run.
+#[derive(Debug, Clone)]
+pub struct StreamResult {
+    label: String,
+    period: Cycles,
+    frames: Vec<FrameRecord>,
+}
+
+impl StreamResult {
+    /// Label describing the run (policy, K, ...).
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Camera period the run used.
+    #[must_use]
+    pub fn period(&self) -> Cycles {
+        self.period
+    }
+
+    /// Per-frame records, indexed by camera frame.
+    #[must_use]
+    pub fn frames(&self) -> &[FrameRecord] {
+        &self.frames
+    }
+
+    /// Number of skipped frames.
+    #[must_use]
+    pub fn skips(&self) -> usize {
+        self.frames.iter().filter(|f| f.skipped).count()
+    }
+
+    /// Total deadline misses across encoded frames.
+    #[must_use]
+    pub fn misses(&self) -> usize {
+        self.frames.iter().map(|f| f.misses).sum()
+    }
+
+    /// Total quality-manager fallbacks.
+    #[must_use]
+    pub fn fallbacks(&self) -> usize {
+        self.frames.iter().map(|f| f.fallbacks).sum()
+    }
+
+    /// Mean PSNR over all frames (skipped frames count with their repeat
+    /// PSNR, as the paper's figures do).
+    #[must_use]
+    pub fn mean_psnr(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        self.frames.iter().map(|f| f.psnr_db).sum::<f64>() / self.frames.len() as f64
+    }
+
+    /// Mean encoding time of *encoded* frames, in Mcycle.
+    #[must_use]
+    pub fn mean_encode_mcycles(&self) -> f64 {
+        let encoded: Vec<&FrameRecord> = self.frames.iter().filter(|f| !f.skipped).collect();
+        if encoded.is_empty() {
+            return 0.0;
+        }
+        encoded
+            .iter()
+            .map(|f| f.encode_cycles.get() as f64 / 1e6)
+            .sum::<f64>()
+            / encoded.len() as f64
+    }
+
+    /// Mean quality of encoded frames.
+    #[must_use]
+    pub fn mean_quality(&self) -> f64 {
+        let encoded: Vec<&FrameRecord> = self.frames.iter().filter(|f| !f.skipped).collect();
+        if encoded.is_empty() {
+            return 0.0;
+        }
+        encoded.iter().map(|f| f.mean_quality).sum::<f64>() / encoded.len() as f64
+    }
+
+    /// `(frame, encoding Mcycle)` series; skipped frames yield `None`
+    /// (they have no encoding time — the paper's plots show them as the
+    /// gaps/bursts).
+    #[must_use]
+    pub fn encode_series(&self) -> Vec<(usize, Option<f64>)> {
+        self.frames
+            .iter()
+            .map(|f| {
+                (
+                    f.frame,
+                    (!f.skipped).then(|| f.encode_cycles.get() as f64 / 1e6),
+                )
+            })
+            .collect()
+    }
+
+    /// `(frame, PSNR dB)` series including skipped frames.
+    #[must_use]
+    pub fn psnr_series(&self) -> Vec<(usize, f64)> {
+        self.frames.iter().map(|f| (f.frame, f.psnr_db)).collect()
+    }
+
+    /// One-line human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} frames, {} skips, {} misses, mean {:.1} Mcy/frame, mean PSNR {:.2} dB, mean q {:.2}",
+            self.label,
+            self.frames.len(),
+            self.skips(),
+            self.misses(),
+            self.mean_encode_mcycles(),
+            self.mean_psnr(),
+            self.mean_quality(),
+        )
+    }
+}
+
+/// Drives a [`VideoApp`] through the pipeline under a given encoder mode.
+///
+/// Construction unrolls the body graph once (`N` macroblocks), computes
+/// the static EDF body order once and replays it per frame — the
+/// "compositional generation of EDF schedules for iterative programs"
+/// optimization of Section 4.
+pub struct Runner<A: VideoApp> {
+    app: A,
+    config: RunConfig,
+    /// Unrolled cycle graph (built once).
+    iter: IteratedGraph,
+    /// Static schedule of the unrolled graph (EDF body order replayed).
+    order: Vec<ActionId>,
+    /// Profile tiled to the unrolled graph.
+    tiled_profile: QualityProfile,
+    /// Monitor accumulating safety statistics across the run.
+    monitor: safety::SafetyMonitor,
+}
+
+impl<A: VideoApp> Runner<A> {
+    /// Prepares a runner: unrolls the body, validates shapes, computes
+    /// the static schedule.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::AppShapeMismatch`] if the app's profile does not cover
+    /// its body; propagated configuration errors otherwise.
+    pub fn new(app: A, config: RunConfig) -> Result<Self, SimError> {
+        let body = app.body().clone();
+        if app.profile().n_actions() != body.len() {
+            return Err(SimError::AppShapeMismatch {
+                expected: body.len(),
+                actual: app.profile().n_actions(),
+            });
+        }
+        if config.input_capacity == 0 {
+            return Err(SimError::InvalidConfig("buffer capacity must be positive"));
+        }
+        let n = app.iterations();
+        let iter = IteratedGraph::new(&body, n, IterationMode::Sequential)?;
+        // EDF order of the body under equal deadlines = canonical topo
+        // order; any deadline vector that is constant per iteration gives
+        // the same order, so compute once with zeros.
+        let body_deadlines = vec![Cycles::INFINITY; body.len()];
+        let body_order = EdfScheduler.best_schedule(&body, &body_deadlines, &[])?;
+        let order = iter.replay_body_schedule(&body_order)?;
+        let tiled_profile = app.profile().tile(n);
+        Ok(Runner {
+            app,
+            config,
+            iter,
+            order,
+            tiled_profile,
+            monitor: safety::SafetyMonitor::new(),
+        })
+    }
+
+    /// The application (for inspection after a run).
+    #[must_use]
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// The safety monitor accumulated across all runs of this runner.
+    #[must_use]
+    pub fn monitor(&self) -> &safety::SafetyMonitor {
+        &self.monitor
+    }
+
+    /// Per-instance deadline vector for one frame of budget `budget`.
+    fn deadline_vec(&self, budget: Cycles) -> Vec<Cycles> {
+        let n = self.iter.iterations();
+        let body_len = self.iter.body_len();
+        let mut out = vec![Cycles::INFINITY; n * body_len];
+        match self.config.deadline_shape {
+            DeadlineShape::PerIteration => {
+                if budget.is_infinite() {
+                    return out;
+                }
+                let b = budget.get();
+                for k in 0..n {
+                    let d = Cycles::new(b * (k as u64 + 1) / n as u64);
+                    for a in 0..body_len {
+                        out[k * body_len + a] = d;
+                    }
+                }
+            }
+            DeadlineShape::FinalOnly => {
+                for a in 0..body_len {
+                    out[(n - 1) * body_len + a] = budget;
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs the full stream with the paper's controlled encoder and the
+    /// default stochastic load model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller protocol errors (none occur in normal
+    /// operation).
+    pub fn run_controlled(
+        &mut self,
+        policy: &mut dyn QualityPolicy,
+        seed: u64,
+    ) -> Result<StreamResult, SimError> {
+        let mut exec = StochasticLoad::new(seed);
+        self.run(Mode::Controlled, policy, &mut exec, None)
+    }
+
+    /// Runs the full stream at a constant quality level (uncontrolled
+    /// baseline) with the default stochastic load model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller protocol errors.
+    pub fn run_constant(&mut self, q: Quality, seed: u64) -> Result<StreamResult, SimError> {
+        let mut exec = StochasticLoad::new(seed);
+        let mut policy = ConstantQuality::new(q);
+        self.run(Mode::Constant, &mut policy, &mut exec, None)
+    }
+
+    /// Fully general run: any mode, policy, execution-time model and
+    /// optional online average estimator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller protocol errors.
+    pub fn run(
+        &mut self,
+        mode: Mode,
+        policy: &mut dyn QualityPolicy,
+        exec: &mut dyn ExecTimeModel,
+        mut estimator: Option<&mut dyn AvgEstimator>,
+    ) -> Result<StreamResult, SimError> {
+        let total = self.app.stream_len();
+        let mut pipe = InputPipeline::new(self.config.period, self.config.input_capacity, total)?;
+        let mut records: Vec<Option<FrameRecord>> = vec![None; total];
+        let mut now = Cycles::ZERO;
+        let qs = self.app.profile().qualities().clone();
+        // Declared profile: drives the controller's tables (and learns
+        // from the estimator). Generative profile: drives the execution
+        // time models. They coincide unless the app declares otherwise.
+        let mut body_profile = self.app.profile().clone();
+        let gen_profile = self.app.generative_profile().clone();
+
+        loop {
+            // Equal-timestamp ordering: arrivals strictly before `now`,
+            // then the pop (an encoder finishing exactly at its budget
+            // deadline frees the slot first), then boundary arrivals.
+            for f in pipe.admit_before(now) {
+                records[f] = Some(self.skipped_record(f));
+            }
+            let popped = pipe.pop();
+            for f in pipe.admit_through(now) {
+                records[f] = Some(self.skipped_record(f));
+            }
+            let Some((frame, arrival)) = popped else {
+                if pipe.waiting() > 0 {
+                    continue; // a boundary arrival just landed: pop it now
+                }
+                match pipe.next_arrival_time() {
+                    Some(t) => {
+                        now = t;
+                        continue;
+                    }
+                    None => break,
+                }
+            };
+            let budget_abs = pipe.budget_deadline(now);
+            let budget = match budget_abs {
+                Some(d) => d - now,
+                None => Cycles::INFINITY,
+            };
+            // Uncontrolled runs do not see deadlines at all.
+            let frame_budget = match mode {
+                Mode::Controlled => budget,
+                Mode::Constant => Cycles::INFINITY,
+            };
+            // Online estimation sharpens the averages before the frame.
+            if let Some(est) = estimator.as_deref_mut() {
+                apply_estimates(est, &mut body_profile);
+                self.tiled_profile = body_profile.tile(self.iter.iterations());
+            }
+            let deadlines =
+                DeadlineMap::uniform(qs.clone(), self.deadline_vec(frame_budget));
+            let tables =
+                ConstraintTables::new(self.order.clone(), &self.tiled_profile, &deadlines)?;
+            let mut ctl = CycleController::from_tables(tables, qs.clone());
+
+            self.app.begin_frame(frame);
+            policy.on_cycle_start();
+            let activity = self.app.activity(frame);
+            let mut t = Cycles::ZERO;
+            loop {
+                let decision = ctl
+                    .decide(t, policy)
+                    .map_err(SimError::from)?;
+                let Some(d) = decision else { break };
+                let (body_action, mb) = self.iter.body_of(d.action);
+                let work = self.app.run_action(body_action, mb, d.quality);
+                let ctx = ExecCtx {
+                    action: body_action,
+                    iteration: mb,
+                    quality: d.quality,
+                    avg: gen_profile.avg(body_action, d.quality),
+                    // Clamp bound stays the *declared* worst case: the
+                    // safety theorem needs actual <= Cwc_θ as declared.
+                    worst: body_profile.worst(body_action, d.quality),
+                    activity,
+                    work_units: work,
+                };
+                let dur = exec.sample(&ctx);
+                t = t + dur;
+                ctl.complete(t).map_err(SimError::from)?;
+                if let Some(est) = estimator.as_deref_mut() {
+                    est.observe(body_action, d.quality, dur);
+                }
+            }
+            let report = ctl.finish();
+            self.monitor.record(&report);
+            let (mean_q, switches) = self.sensitive_quality_stats(&report, &body_profile);
+            let psnr = self.app.encoded_psnr(frame, mean_q, &report);
+            records[frame] = Some(FrameRecord {
+                frame,
+                skipped: false,
+                is_iframe: self.app.is_iframe(frame),
+                start: now,
+                encode_cycles: t,
+                budget,
+                latency: now - arrival,
+                mean_quality: mean_q,
+                misses: report.misses,
+                fallbacks: report.fallbacks,
+                quality_switches: switches,
+                psnr_db: psnr,
+            });
+            now = now + t;
+        }
+
+        let frames = records
+            .into_iter()
+            .enumerate()
+            .map(|(f, r)| r.unwrap_or_else(|| self.skipped_record(f)))
+            .collect();
+        let label = format!(
+            "{} (K={}, P={})",
+            policy.name(),
+            self.config.input_capacity,
+            self.config.period
+        );
+        Ok(StreamResult {
+            label,
+            period: self.config.period,
+            frames,
+        })
+    }
+
+    /// Mean level and switch count over the *quality-sensitive* actions
+    /// of the report (the whole report when no action is sensitive).
+    ///
+    /// The controller legitimately reports the maximal level at
+    /// quality-insensitive positions (their suffix constraint is the
+    /// binding one); including those levels in quality metrics would
+    /// inflate them, so figures and PSNR key on the sensitive actions —
+    /// `Motion_Estimate` in the paper's encoder.
+    fn sensitive_quality_stats(
+        &self,
+        report: &fgqos_core::CycleReport,
+        body_profile: &QualityProfile,
+    ) -> (f64, usize) {
+        let body_len = self.iter.body_len();
+        let sensitive: Vec<bool> = (0..body_len)
+            .map(|a| body_profile.quality_sensitive(a))
+            .collect();
+        if !sensitive.iter().any(|&s| s) {
+            return (report.mean_quality(), report.quality_switches);
+        }
+        let mut sum = 0u64;
+        let mut count = 0usize;
+        let mut switches = 0usize;
+        let mut prev: Option<fgqos_time::Quality> = None;
+        for r in &report.records {
+            let body_action = r.action.index() % body_len;
+            if sensitive[body_action] {
+                sum += u64::from(r.quality.level());
+                count += 1;
+                if let Some(p) = prev {
+                    if p != r.quality {
+                        switches += 1;
+                    }
+                }
+                prev = Some(r.quality);
+            }
+        }
+        if count == 0 {
+            (report.mean_quality(), report.quality_switches)
+        } else {
+            (sum as f64 / count as f64, switches)
+        }
+    }
+
+    fn skipped_record(&mut self, frame: usize) -> FrameRecord {
+        FrameRecord {
+            frame,
+            skipped: true,
+            is_iframe: self.app.is_iframe(frame),
+            start: Cycles::ZERO,
+            encode_cycles: Cycles::ZERO,
+            budget: Cycles::ZERO,
+            latency: Cycles::ZERO,
+            mean_quality: 0.0,
+            misses: 0,
+            fallbacks: 0,
+            quality_switches: 0,
+            psnr_db: self.app.skipped_psnr(frame),
+        }
+    }
+}
+
+/// Whether the encoder is the controlled build or an uncontrolled
+/// constant-quality build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// The controlled application software (deadlines from the buffer
+    /// budget; Proposition 2.1 guarantees no skips for feasible budgets).
+    Controlled,
+    /// The uncontrolled baseline (no deadlines; skips emerge from buffer
+    /// overflow).
+    Constant,
+}
+
+fn apply_estimates(est: &mut dyn AvgEstimator, profile: &mut QualityProfile) {
+    let levels: Vec<Quality> = profile.qualities().iter().collect();
+    for action in 0..profile.n_actions() {
+        for &q in &levels {
+            if let Some(e) = est.estimate(ActionId::from_index(action), q) {
+                // Clamping/monotonicity handled inside update_avg.
+                let _ = profile.update_avg(action, q, e);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::TableApp;
+    use crate::scenario::LoadScenario;
+    use fgqos_core::policy::MaxQuality;
+
+    fn small_runner(frames: usize, mb: usize, k: usize) -> Runner<TableApp> {
+        let scenario = LoadScenario::paper_benchmark(5).truncated(frames);
+        let app = TableApp::with_macroblocks(scenario, mb).unwrap();
+        let config = RunConfig::paper_defaults()
+            .scaled_to_macroblocks(mb)
+            .with_capacity(k);
+        Runner::new(app, config).unwrap()
+    }
+
+    #[test]
+    fn controlled_run_never_skips_or_misses() {
+        let mut r = small_runner(40, 12, 1);
+        let res = r.run_controlled(&mut MaxQuality::new(), 1).unwrap();
+        assert_eq!(res.skips(), 0, "{}", res.summary());
+        assert_eq!(res.misses(), 0, "{}", res.summary());
+        assert_eq!(res.fallbacks(), 0);
+        assert!(r.monitor().all_safe());
+        assert_eq!(res.frames().len(), 40);
+    }
+
+    #[test]
+    fn constant_high_quality_skips_under_load() {
+        let mut r = small_runner(60, 12, 1);
+        // q7 averages ~277k/MB versus a ~202k/MB budget: sustained
+        // overload, must skip.
+        let res = r.run_constant(Quality::new(7), 2).unwrap();
+        assert!(res.skips() > 5, "expected heavy skipping: {}", res.summary());
+    }
+
+    #[test]
+    fn constant_low_quality_keeps_up() {
+        let mut r = small_runner(60, 12, 1);
+        let res = r.run_constant(Quality::new(0), 3).unwrap();
+        assert_eq!(res.skips(), 0, "{}", res.summary());
+    }
+
+    #[test]
+    fn controlled_beats_constant_q3_on_psnr_without_skips() {
+        let mut r = small_runner(80, 12, 1);
+        let controlled = r.run_controlled(&mut MaxQuality::new(), 7).unwrap();
+        let mut r2 = small_runner(80, 12, 1);
+        let constant = r2.run_constant(Quality::new(3), 7).unwrap();
+        assert_eq!(controlled.skips(), 0);
+        assert!(
+            controlled.mean_psnr() >= constant.mean_psnr() - 0.3,
+            "controlled {} vs constant {}",
+            controlled.mean_psnr(),
+            constant.mean_psnr()
+        );
+    }
+
+    #[test]
+    fn series_accessors_cover_all_frames() {
+        let mut r = small_runner(25, 8, 1);
+        let res = r.run_controlled(&mut MaxQuality::new(), 9).unwrap();
+        assert_eq!(res.encode_series().len(), 25);
+        assert_eq!(res.psnr_series().len(), 25);
+        assert!(res.mean_encode_mcycles() > 0.0);
+        assert!(res.summary().contains("frames"));
+        assert!(res.label().contains("controlled-max"));
+    }
+
+    #[test]
+    fn estimator_runs_do_not_break_safety() {
+        use fgqos_core::estimator::EwmaEstimator;
+        let mut r = small_runner(30, 10, 1);
+        let qs = r.app().profile().qualities().clone();
+        let mut est = EwmaEstimator::new(9, qs, 0.2);
+        let mut exec = StochasticLoad::new(11);
+        let mut policy = MaxQuality::new();
+        let res = r
+            .run(Mode::Controlled, &mut policy, &mut exec, Some(&mut est))
+            .unwrap();
+        assert_eq!(res.skips(), 0);
+        assert_eq!(res.misses(), 0);
+    }
+
+    #[test]
+    fn final_only_deadlines_also_safe() {
+        let scenario = LoadScenario::paper_benchmark(5).truncated(30);
+        let app = TableApp::with_macroblocks(scenario, 10).unwrap();
+        let config = RunConfig::paper_defaults()
+            .scaled_to_macroblocks(10)
+            .with_deadline_shape(DeadlineShape::FinalOnly);
+        let mut r = Runner::new(app, config).unwrap();
+        let res = r.run_controlled(&mut MaxQuality::new(), 5).unwrap();
+        assert_eq!(res.skips(), 0, "{}", res.summary());
+        assert_eq!(res.misses(), 0);
+    }
+
+    #[test]
+    fn bigger_buffer_reduces_constant_quality_skips() {
+        let mut r1 = small_runner(80, 12, 1);
+        let k1 = r1.run_constant(Quality::new(4), 13).unwrap().skips();
+        let mut r2 = small_runner(80, 12, 2);
+        let k2 = r2.run_constant(Quality::new(4), 13).unwrap().skips();
+        assert!(k2 <= k1, "K=2 skipped {k2} vs K=1 {k1}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Error type of the time crate.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::Quality;
+
+/// Dense action index used in error payloads (mirrors
+/// `fgqos_graph::ActionId::index`).
+pub type ActionIdx = usize;
+
+/// Errors produced while building or querying time-domain structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TimeError {
+    /// A quality set must be non-empty.
+    EmptyQualitySet,
+    /// A quality level occurs twice in a set.
+    DuplicateQuality(Quality),
+    /// A quality level is not a member of the profile's quality set.
+    UnknownQuality(Quality),
+    /// An action index is out of range for the profile.
+    UnknownAction(ActionIdx),
+    /// An average execution time exceeds the worst case at the same level.
+    AvgExceedsWorst {
+        /// Dense action index.
+        action: ActionIdx,
+        /// Offending quality level.
+        quality: Quality,
+    },
+    /// Execution times must be non-decreasing in the quality level.
+    NonMonotone {
+        /// Dense action index.
+        action: ActionIdx,
+        /// First level at which monotonicity breaks.
+        quality: Quality,
+    },
+    /// Execution times must be finite.
+    InfiniteExecutionTime {
+        /// Dense action index.
+        action: ActionIdx,
+        /// Offending quality level.
+        quality: Quality,
+    },
+    /// An action was left without execution times.
+    MissingTimes(ActionIdx),
+    /// A table has the wrong number of quality levels.
+    LevelCountMismatch {
+        /// Expected `|Q|`.
+        expected: usize,
+        /// Provided count.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for TimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimeError::EmptyQualitySet => write!(f, "quality set must be non-empty"),
+            TimeError::DuplicateQuality(q) => write!(f, "duplicate quality level {q}"),
+            TimeError::UnknownQuality(q) => write!(f, "quality level {q} not in quality set"),
+            TimeError::UnknownAction(a) => write!(f, "action index {a} out of range"),
+            TimeError::AvgExceedsWorst { action, quality } => write!(
+                f,
+                "average time exceeds worst case for action {action} at {quality}"
+            ),
+            TimeError::NonMonotone { action, quality } => write!(
+                f,
+                "execution times decrease with quality for action {action} at {quality}"
+            ),
+            TimeError::InfiniteExecutionTime { action, quality } => write!(
+                f,
+                "infinite execution time for action {action} at {quality}"
+            ),
+            TimeError::MissingTimes(a) => {
+                write!(f, "no execution times provided for action {a}")
+            }
+            TimeError::LevelCountMismatch { expected, actual } => write!(
+                f,
+                "expected times for {expected} quality levels, got {actual}"
+            ),
+        }
+    }
+}
+
+impl Error for TimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = TimeError::AvgExceedsWorst {
+            action: 2,
+            quality: Quality::new(3),
+        };
+        assert!(e.to_string().contains("action 2"));
+        assert!(e.to_string().contains("q3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TimeError>();
+    }
+}

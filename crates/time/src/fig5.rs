@@ -1,0 +1,244 @@
+//! The paper's Figure 5 execution-time tables and Section 3 experiment
+//! constants.
+//!
+//! The MPEG-4 encoder benchmark of Combaz et al. runs on a single XiRisc
+//! processor at 8 GHz simulated with STMicroelectronics' eliXim tool; the
+//! time unit is one CPU cycle. Only `Motion_Estimate` has quality-dependent
+//! execution times (8 levels); the eight other actions of the Fig. 2
+//! macroblock pipeline are quality-independent.
+
+use crate::{QualityProfile, QualitySet, TimeError};
+
+/// Canonical action names of the Fig. 2 macroblock pipeline.
+pub mod names {
+    /// Reads the next macroblock from the input frame.
+    pub const GRAB: &str = "Grab_Macro_Block";
+    /// Quality-parameterized motion search against the reference frame.
+    pub const MOTION_ESTIMATE: &str = "Motion_Estimate";
+    /// Forward 8×8 DCT of the residual.
+    pub const DCT: &str = "Discrete_Cosine_Transform";
+    /// Quantization of DCT coefficients.
+    pub const QUANTIZE: &str = "Quantize";
+    /// Intra prediction (DC) for intra-coded macroblocks.
+    pub const INTRA_PREDICT: &str = "Intra_Predict";
+    /// Entropy coding of quantized coefficients into the bitstream.
+    pub const COMPRESS: &str = "Compress";
+    /// Inverse quantization (decoder loop).
+    pub const INVERSE_QUANTIZE: &str = "Inverse_Quantize";
+    /// Inverse DCT (decoder loop).
+    pub const IDCT: &str = "Inverse_Discrete_Cosine_Transform";
+    /// Rebuilds the reference macroblock from the decoded residual.
+    pub const RECONSTRUCT: &str = "Reconstruct";
+}
+
+/// Number of quality levels of the benchmark (`Q = {0, ..., 7}`).
+pub const QUALITY_LEVELS: u8 = 8;
+
+/// `(average, worst-case)` cycles of `Motion_Estimate` per quality level
+/// 0–7 (Fig. 5, upper table).
+pub const MOTION_ESTIMATE_TIMES: [(u64, u64); 8] = [
+    (215, 1_000),
+    (30_000, 100_000),
+    (50_000, 200_000),
+    (95_000, 350_000),
+    (110_000, 500_000),
+    (120_000, 1_200_000),
+    (150_000, 1_200_000),
+    (200_000, 1_500_000),
+];
+
+/// `(name, average, worst-case)` cycles of the quality-independent actions
+/// (Fig. 5, lower table).
+pub const FIXED_ACTION_TIMES: [(&str, u64, u64); 8] = [
+    (names::GRAB, 12_000, 24_000),
+    (names::DCT, 16_000, 16_000),
+    (names::QUANTIZE, 6_000, 13_000),
+    (names::INTRA_PREDICT, 4_000, 4_000),
+    (names::COMPRESS, 5_000, 50_000),
+    (names::INVERSE_QUANTIZE, 4_000, 5_000),
+    (names::IDCT, 20_000, 50_000),
+    (names::RECONSTRUCT, 10_000, 13_000),
+];
+
+/// Camera/display period `P`: one frame every 320 Mcycle (25 frame/s at
+/// 8 GHz).
+pub const PERIOD_CYCLES: u64 = 320_000_000;
+
+/// Simulated clock rate of the XiRisc platform (8 GHz).
+pub const CLOCK_HZ: u64 = 8_000_000_000;
+
+/// Length of the benchmark stream (582 frames).
+pub const FRAME_COUNT: usize = 582;
+
+/// Number of video sequences in the stream (9 sequences; a change of
+/// sequence forces an I-frame and a load jump).
+pub const SEQUENCE_COUNT: usize = 9;
+
+/// Target bitrate of the encoder (1.1 Mbit/s).
+pub const TARGET_BITRATE_BITS_PER_S: u64 = 1_100_000;
+
+/// Macroblocks per frame used for the cycle-accurate experiments.
+///
+/// The paper does not state the frame size; 1584 macroblocks (D1/PAL,
+/// 704×576) makes the Fig. 5 per-macroblock averages reproduce the
+/// encoding-time levels visible in Figs. 6–7 (constant q=3 ≈ 272 Mcycle,
+/// q=4 ≈ 296 Mcycle against `P` = 320 Mcycle).
+pub const MACROBLOCKS_PER_FRAME: usize = 1584;
+
+/// The benchmark quality set `{0, ..., 7}`.
+///
+/// # Example
+///
+/// ```
+/// use fgqos_time::fig5;
+///
+/// assert_eq!(fig5::quality_set().len(), 8);
+/// ```
+#[must_use]
+pub fn quality_set() -> QualitySet {
+    QualitySet::contiguous(0, QUALITY_LEVELS - 1).expect("0..=7 is non-empty")
+}
+
+/// `(average, worst-case)` cycles for action `name` at all 8 levels, or
+/// `None` for unknown names. Quality-independent actions report constant
+/// rows.
+#[must_use]
+pub fn times_for(name: &str) -> Option<[(u64, u64); 8]> {
+    if name == names::MOTION_ESTIMATE {
+        return Some(MOTION_ESTIMATE_TIMES);
+    }
+    FIXED_ACTION_TIMES
+        .iter()
+        .find(|&&(n, _, _)| n == name)
+        .map(|&(_, avg, wc)| [(avg, wc); 8])
+}
+
+/// Builds the Fig. 5 [`QualityProfile`] for a body whose actions are given
+/// by name in dense-id order.
+///
+/// # Errors
+///
+/// [`TimeError::MissingTimes`] if a name is not part of Fig. 5 (reported
+/// with the dense index of the offending action).
+///
+/// # Example
+///
+/// ```
+/// use fgqos_time::fig5::{self, names};
+///
+/// # fn main() -> Result<(), fgqos_time::TimeError> {
+/// let p = fig5::body_profile(&[names::GRAB, names::MOTION_ESTIMATE])?;
+/// assert_eq!(p.avg_idx(1, 3), fgqos_time::Cycles::new(95_000));
+/// assert_eq!(p.worst_idx(0, 7), fgqos_time::Cycles::new(24_000));
+/// # Ok(())
+/// # }
+/// ```
+pub fn body_profile(action_names: &[&str]) -> Result<QualityProfile, TimeError> {
+    let mut b = QualityProfile::builder(quality_set(), action_names.len());
+    for (idx, name) in action_names.iter().enumerate() {
+        let times = times_for(name).ok_or(TimeError::MissingTimes(idx))?;
+        b.set_levels(idx, &times)?;
+    }
+    b.build()
+}
+
+/// Average cycles of one whole macroblock body at constant quality `q`
+/// (all nine Fig. 2 actions).
+///
+/// # Panics
+///
+/// Panics if `q >= 8`.
+#[must_use]
+pub fn macroblock_avg_cycles(q: u8) -> u64 {
+    let fixed: u64 = FIXED_ACTION_TIMES.iter().map(|&(_, avg, _)| avg).sum();
+    fixed + MOTION_ESTIMATE_TIMES[q as usize].0
+}
+
+/// Worst-case cycles of one whole macroblock body at constant quality `q`.
+///
+/// # Panics
+///
+/// Panics if `q >= 8`.
+#[must_use]
+pub fn macroblock_worst_cycles(q: u8) -> u64 {
+    let fixed: u64 = FIXED_ACTION_TIMES.iter().map(|&(_, _, wc)| wc).sum();
+    fixed + MOTION_ESTIMATE_TIMES[q as usize].1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_are_monotone_and_consistent() {
+        for w in MOTION_ESTIMATE_TIMES.windows(2) {
+            assert!(w[0].0 <= w[1].0, "avg must be non-decreasing");
+            assert!(w[0].1 <= w[1].1, "wc must be non-decreasing");
+        }
+        for &(name, avg, wc) in &FIXED_ACTION_TIMES {
+            assert!(avg <= wc, "{name}: avg must not exceed wc");
+        }
+        for &(avg, wc) in &MOTION_ESTIMATE_TIMES {
+            assert!(avg <= wc);
+        }
+    }
+
+    #[test]
+    fn fixed_action_sums_match_paper_arithmetic() {
+        // Sum of averages of the eight quality-independent actions.
+        let fixed_avg: u64 = FIXED_ACTION_TIMES.iter().map(|&(_, a, _)| a).sum();
+        assert_eq!(fixed_avg, 77_000);
+        // Whole body at q=3 averages 172k cycles; at D1 scale that is
+        // ~272 Mcycle per frame against P = 320 Mcycle.
+        assert_eq!(macroblock_avg_cycles(3), 172_000);
+        assert_eq!(macroblock_avg_cycles(4), 187_000);
+        // Worst case at q_min stays under the per-frame period.
+        assert_eq!(macroblock_worst_cycles(0), 176_000);
+        assert!(macroblock_worst_cycles(0) * MACROBLOCKS_PER_FRAME as u64 <= PERIOD_CYCLES);
+        // ... while q=3's worst case does not (that is why static wc-based
+        // scheduling is hopeless here).
+        assert!(macroblock_worst_cycles(3) * MACROBLOCKS_PER_FRAME as u64 > PERIOD_CYCLES);
+    }
+
+    #[test]
+    fn times_for_known_and_unknown_names() {
+        assert!(times_for(names::MOTION_ESTIMATE).is_some());
+        let grab = times_for(names::GRAB).unwrap();
+        assert!(grab.iter().all(|&t| t == (12_000, 24_000)));
+        assert!(times_for("Unknown_Action").is_none());
+    }
+
+    #[test]
+    fn body_profile_reports_unknown_actions() {
+        let err = body_profile(&[names::GRAB, "Nope"]).unwrap_err();
+        assert_eq!(err, TimeError::MissingTimes(1));
+    }
+
+    #[test]
+    fn body_profile_full_pipeline() {
+        let all = [
+            names::GRAB,
+            names::MOTION_ESTIMATE,
+            names::DCT,
+            names::QUANTIZE,
+            names::INTRA_PREDICT,
+            names::COMPRESS,
+            names::INVERSE_QUANTIZE,
+            names::IDCT,
+            names::RECONSTRUCT,
+        ];
+        let p = body_profile(&all).unwrap();
+        assert_eq!(p.n_actions(), 9);
+        assert_eq!(p.total_avg(3).get(), 172_000);
+        assert_eq!(p.total_worst(0).get(), 176_000);
+    }
+
+    #[test]
+    fn experiment_constants() {
+        assert_eq!(PERIOD_CYCLES, 320_000_000);
+        // 25 frames/s at 8 GHz.
+        assert_eq!(CLOCK_HZ / PERIOD_CYCLES, 25);
+        assert_eq!(FRAME_COUNT, 582);
+        assert_eq!(SEQUENCE_COUNT, 9);
+    }
+}

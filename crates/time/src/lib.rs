@@ -1,0 +1,50 @@
+//! Time domain, quality levels, execution-time profiles and deadlines.
+//!
+//! This crate implements the quantitative half of the model of Combaz,
+//! Fernandez, Lepley and Sifakis, *"Fine Grain QoS Control for Multimedia
+//! Application Software"* (DATE 2005):
+//!
+//! * [`Cycles`] — the time domain `R+ ∪ {+∞}` of Definition 2.1, measured
+//!   in CPU cycles (the paper reads a cycle register on a simulated XiRisc);
+//! * [`Quality`] / [`QualitySet`] — the finite set `Q` of quality levels of
+//!   Definition 2.3;
+//! * [`QualityProfile`] — the families `Cav_q ≤ Cwc_q` of average and
+//!   worst-case execution-time functions, non-decreasing in `q`;
+//! * [`DeadlineMap`] — the deadline functions `D_q`;
+//! * [`series`] — the `σ̂` prefix-sum operator and the feasibility margin
+//!   `min(D(α) − Ĉ(α))` of Definition 2.2;
+//! * [`fig5`] — the paper's Figure 5 execution-time tables and the
+//!   experimental constants of Section 3.
+//!
+//! # Example
+//!
+//! ```
+//! use fgqos_time::{Cycles, QualitySet, QualityProfile};
+//!
+//! # fn main() -> Result<(), fgqos_time::TimeError> {
+//! let q = QualitySet::contiguous(0, 2)?; // {0, 1, 2}
+//! let mut b = QualityProfile::builder(q, 1);
+//! b.set_levels(0, &[(100, 200), (150, 300), (200, 400)])?;
+//! let profile = b.build()?;
+//! assert_eq!(profile.avg_idx(0, 1), Cycles::new(150));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cycles;
+mod deadline;
+mod error;
+mod profile;
+mod quality;
+
+pub mod fig5;
+pub mod series;
+
+pub use cycles::{Cycles, Slack};
+pub use deadline::DeadlineMap;
+pub use error::{ActionIdx, TimeError};
+pub use profile::{ActionTimes, ProfileBuilder, QualityProfile};
+pub use quality::{Quality, QualitySet};

@@ -1,0 +1,561 @@
+//! Quality-parameterized execution-time profiles (`Cav_q`, `Cwc_q`).
+
+use fgqos_graph::ActionId;
+
+use crate::{ActionIdx, Cycles, Quality, QualitySet, TimeError};
+
+/// Average and worst-case execution time of one action at one quality
+/// level. Invariant (checked on construction): `avg ≤ worst`, both finite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ActionTimes {
+    avg: Cycles,
+    worst: Cycles,
+}
+
+impl ActionTimes {
+    /// Creates a pair of execution times.
+    ///
+    /// # Errors
+    ///
+    /// [`TimeError::AvgExceedsWorst`] (reported with placeholder indices by
+    /// the profile builder) if `avg > worst`;
+    /// [`TimeError::InfiniteExecutionTime`] if either value is infinite.
+    pub fn new(avg: Cycles, worst: Cycles) -> Result<Self, TimeError> {
+        if avg.is_infinite() || worst.is_infinite() {
+            return Err(TimeError::InfiniteExecutionTime {
+                action: 0,
+                quality: Quality::new(0),
+            });
+        }
+        if avg > worst {
+            return Err(TimeError::AvgExceedsWorst {
+                action: 0,
+                quality: Quality::new(0),
+            });
+        }
+        Ok(ActionTimes { avg, worst })
+    }
+
+    /// The average execution time `Cav`.
+    #[must_use]
+    pub fn avg(self) -> Cycles {
+        self.avg
+    }
+
+    /// The worst-case execution time `Cwc`.
+    #[must_use]
+    pub fn worst(self) -> Cycles {
+        self.worst
+    }
+}
+
+/// The families `{Cav_q}` and `{Cwc_q}` of Definition 2.3 for all actions
+/// of an application, stored as a dense `(action, quality)` table.
+///
+/// Invariants, validated by [`ProfileBuilder::build`]:
+///
+/// * every `(action, quality)` pair has finite times with `avg ≤ worst`;
+/// * for a fixed action, both `avg` and `worst` are non-decreasing in the
+///   quality level (higher quality costs at least as much).
+///
+/// # Example
+///
+/// ```
+/// use fgqos_time::{Cycles, Quality, QualityProfile, QualitySet};
+///
+/// # fn main() -> Result<(), fgqos_time::TimeError> {
+/// let qs = QualitySet::contiguous(0, 1)?;
+/// let mut b = QualityProfile::builder(qs, 2);
+/// b.set_levels(0, &[(10, 20), (30, 60)])?;   // quality-dependent action
+/// b.set_constant(1, 5, 8)?;                  // quality-independent action
+/// let p = b.build()?;
+/// assert_eq!(p.worst_idx(0, 1), Cycles::new(60));
+/// assert_eq!(p.avg_idx(1, 0), p.avg_idx(1, 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QualityProfile {
+    qualities: QualitySet,
+    n_actions: usize,
+    /// `table[action * |Q| + quality_index]`
+    table: Vec<ActionTimes>,
+}
+
+impl QualityProfile {
+    /// Starts building a profile for `n_actions` actions over `qualities`.
+    #[must_use]
+    pub fn builder(qualities: QualitySet, n_actions: usize) -> ProfileBuilder {
+        ProfileBuilder::new(qualities, n_actions)
+    }
+
+    /// The quality set this profile is indexed by.
+    #[must_use]
+    pub fn qualities(&self) -> &QualitySet {
+        &self.qualities
+    }
+
+    /// Number of actions covered.
+    #[must_use]
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+
+    #[inline]
+    fn slot(&self, action: ActionIdx, qidx: usize) -> usize {
+        action * self.qualities.len() + qidx
+    }
+
+    /// `Cav_q(a)` by dense action index and quality level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the action index is out of range or `q` is not in the
+    /// quality set.
+    #[must_use]
+    pub fn avg_idx(&self, action: ActionIdx, q: impl Into<Quality>) -> Cycles {
+        let q = q.into();
+        let qidx = self
+            .qualities
+            .index_of(q)
+            .unwrap_or_else(|| panic!("quality {q} not in profile"));
+        self.table[self.slot(action, qidx)].avg
+    }
+
+    /// `Cwc_q(a)` by dense action index and quality level.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`QualityProfile::avg_idx`].
+    #[must_use]
+    pub fn worst_idx(&self, action: ActionIdx, q: impl Into<Quality>) -> Cycles {
+        let q = q.into();
+        let qidx = self
+            .qualities
+            .index_of(q)
+            .unwrap_or_else(|| panic!("quality {q} not in profile"));
+        self.table[self.slot(action, qidx)].worst
+    }
+
+    /// `Cav_q(a)` for a graph action id.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`QualityProfile::avg_idx`].
+    #[must_use]
+    pub fn avg(&self, action: ActionId, q: impl Into<Quality>) -> Cycles {
+        self.avg_idx(action.index(), q)
+    }
+
+    /// `Cwc_q(a)` for a graph action id.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`QualityProfile::worst_idx`].
+    #[must_use]
+    pub fn worst(&self, action: ActionId, q: impl Into<Quality>) -> Cycles {
+        self.worst_idx(action.index(), q)
+    }
+
+    /// Both times at once, by quality index (hot path for the controller's
+    /// table construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range indices.
+    #[must_use]
+    pub fn times_by_qidx(&self, action: ActionIdx, qidx: usize) -> ActionTimes {
+        self.table[self.slot(action, qidx)]
+    }
+
+    /// Sum of `Cav_q` over all actions, the expected cost of one cycle at
+    /// constant quality `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in the quality set.
+    #[must_use]
+    pub fn total_avg(&self, q: impl Into<Quality>) -> Cycles {
+        let q = q.into();
+        (0..self.n_actions).map(|a| self.avg_idx(a, q)).sum()
+    }
+
+    /// Sum of `Cwc_q` over all actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in the quality set.
+    #[must_use]
+    pub fn total_worst(&self, q: impl Into<Quality>) -> Cycles {
+        let q = q.into();
+        (0..self.n_actions).map(|a| self.worst_idx(a, q)).sum()
+    }
+
+    /// Replaces the average time of one `(action, quality)` cell, clamping
+    /// into `[0, Cwc]`, then restores monotonicity in `q` for that action's
+    /// averages by isotonic projection (running maximum, capped by each
+    /// level's worst case).
+    ///
+    /// This is the hook used by the online average-time estimators
+    /// (Section 4: "learning techniques for better estimation of the
+    /// average execution times").
+    ///
+    /// # Errors
+    ///
+    /// [`TimeError::UnknownAction`] / [`TimeError::UnknownQuality`] on bad
+    /// coordinates.
+    pub fn update_avg(
+        &mut self,
+        action: ActionIdx,
+        q: Quality,
+        new_avg: Cycles,
+    ) -> Result<(), TimeError> {
+        if action >= self.n_actions {
+            return Err(TimeError::UnknownAction(action));
+        }
+        let qidx = self
+            .qualities
+            .index_of(q)
+            .ok_or(TimeError::UnknownQuality(q))?;
+        let nq = self.qualities.len();
+        let slot = self.slot(action, qidx);
+        let capped = new_avg.min(self.table[slot].worst);
+        self.table[slot].avg = capped;
+        // Isotonic repair: sweep up enforcing avg[i] >= avg[i-1], then the
+        // per-level cap avg <= worst (worst is monotone, so capping keeps
+        // the running max monotone).
+        let base = action * nq;
+        let mut running = Cycles::ZERO;
+        for i in 0..nq {
+            let cell = &mut self.table[base + i];
+            running = running.max(cell.avg);
+            cell.avg = running.min(cell.worst);
+            running = cell.avg;
+        }
+        Ok(())
+    }
+
+    /// Whether `action`'s execution times actually vary with the quality
+    /// level. Quality-insensitive actions (all of Fig. 5 except
+    /// `Motion_Estimate`) accept any level without timing consequences;
+    /// quality *metrics* (mean level, smoothness, PSNR mapping) should
+    /// weight only sensitive actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `action` is out of range.
+    #[must_use]
+    pub fn quality_sensitive(&self, action: ActionIdx) -> bool {
+        let nq = self.qualities.len();
+        assert!(action < self.n_actions, "action index out of range");
+        let first = self.table[action * nq];
+        (1..nq).any(|qi| self.table[action * nq + qi] != first)
+    }
+
+    /// Tiles the profile `copies` times: the result covers
+    /// `copies · n_actions` actions, where the action at dense index
+    /// `k · n_actions + a` has the times of action `a`.
+    ///
+    /// This expands a per-iteration body profile (9 actions for the Fig. 2
+    /// pipeline) to the unrolled cycle graph (`N` macroblocks), matching
+    /// the id layout of `fgqos_graph::iterate::IteratedGraph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copies == 0`.
+    #[must_use]
+    pub fn tile(&self, copies: usize) -> QualityProfile {
+        assert!(copies > 0, "tile requires at least one copy");
+        let mut table = Vec::with_capacity(self.table.len() * copies);
+        for _ in 0..copies {
+            table.extend_from_slice(&self.table);
+        }
+        QualityProfile {
+            qualities: self.qualities.clone(),
+            n_actions: self.n_actions * copies,
+            table,
+        }
+    }
+
+    /// Restricts the profile to a single quality level (used to model
+    /// uncontrolled constant-quality builds).
+    ///
+    /// # Errors
+    ///
+    /// [`TimeError::UnknownQuality`] if `q` is not in the set.
+    pub fn restrict_to(&self, q: Quality) -> Result<QualityProfile, TimeError> {
+        let qidx = self
+            .qualities
+            .index_of(q)
+            .ok_or(TimeError::UnknownQuality(q))?;
+        let table = (0..self.n_actions)
+            .map(|a| self.table[self.slot(a, qidx)])
+            .collect();
+        Ok(QualityProfile {
+            qualities: QualitySet::singleton(q),
+            n_actions: self.n_actions,
+            table,
+        })
+    }
+}
+
+/// Incremental builder for [`QualityProfile`]; see the type-level example.
+#[derive(Debug, Clone)]
+pub struct ProfileBuilder {
+    qualities: QualitySet,
+    n_actions: usize,
+    table: Vec<Option<ActionTimes>>,
+}
+
+impl ProfileBuilder {
+    fn new(qualities: QualitySet, n_actions: usize) -> Self {
+        ProfileBuilder {
+            table: vec![None; n_actions * qualities.len()],
+            qualities,
+            n_actions,
+        }
+    }
+
+    /// Sets the times of `action` at one quality level.
+    ///
+    /// # Errors
+    ///
+    /// [`TimeError::UnknownAction`], [`TimeError::UnknownQuality`],
+    /// [`TimeError::AvgExceedsWorst`] or
+    /// [`TimeError::InfiniteExecutionTime`].
+    pub fn set(
+        &mut self,
+        action: ActionIdx,
+        q: Quality,
+        avg: Cycles,
+        worst: Cycles,
+    ) -> Result<&mut Self, TimeError> {
+        if action >= self.n_actions {
+            return Err(TimeError::UnknownAction(action));
+        }
+        let qidx = self
+            .qualities
+            .index_of(q)
+            .ok_or(TimeError::UnknownQuality(q))?;
+        let times = ActionTimes::new(avg, worst).map_err(|e| match e {
+            TimeError::AvgExceedsWorst { .. } => TimeError::AvgExceedsWorst { action, quality: q },
+            TimeError::InfiniteExecutionTime { .. } => {
+                TimeError::InfiniteExecutionTime { action, quality: q }
+            }
+            other => other,
+        })?;
+        self.table[action * self.qualities.len() + qidx] = Some(times);
+        Ok(self)
+    }
+
+    /// Sets `(avg, worst)` pairs for *all* quality levels of `action`, in
+    /// ascending level order.
+    ///
+    /// # Errors
+    ///
+    /// [`TimeError::LevelCountMismatch`] if `times.len() != |Q|`, plus the
+    /// conditions of [`ProfileBuilder::set`].
+    pub fn set_levels(
+        &mut self,
+        action: ActionIdx,
+        times: &[(u64, u64)],
+    ) -> Result<&mut Self, TimeError> {
+        if times.len() != self.qualities.len() {
+            return Err(TimeError::LevelCountMismatch {
+                expected: self.qualities.len(),
+                actual: times.len(),
+            });
+        }
+        let levels: Vec<Quality> = self.qualities.iter().collect();
+        for (q, &(avg, worst)) in levels.into_iter().zip(times) {
+            self.set(action, q, Cycles::new(avg), Cycles::new(worst))?;
+        }
+        Ok(self)
+    }
+
+    /// Gives `action` the same `(avg, worst)` at every quality level — the
+    /// paper's quality-independent actions (all of Fig. 5 except
+    /// `Motion_Estimate`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ProfileBuilder::set`].
+    pub fn set_constant(
+        &mut self,
+        action: ActionIdx,
+        avg: u64,
+        worst: u64,
+    ) -> Result<&mut Self, TimeError> {
+        let levels: Vec<Quality> = self.qualities.iter().collect();
+        for q in levels {
+            self.set(action, q, Cycles::new(avg), Cycles::new(worst))?;
+        }
+        Ok(self)
+    }
+
+    /// Validates completeness and monotonicity and builds the profile.
+    ///
+    /// # Errors
+    ///
+    /// [`TimeError::MissingTimes`] for uncovered cells and
+    /// [`TimeError::NonMonotone`] when times decrease with quality.
+    pub fn build(self) -> Result<QualityProfile, TimeError> {
+        let nq = self.qualities.len();
+        let mut table = Vec::with_capacity(self.table.len());
+        for (i, cell) in self.table.iter().enumerate() {
+            match cell {
+                Some(t) => table.push(*t),
+                None => return Err(TimeError::MissingTimes(i / nq)),
+            }
+        }
+        for a in 0..self.n_actions {
+            for i in 1..nq {
+                let prev = table[a * nq + i - 1];
+                let cur = table[a * nq + i];
+                if cur.avg < prev.avg || cur.worst < prev.worst {
+                    return Err(TimeError::NonMonotone {
+                        action: a,
+                        quality: self.qualities.at(i),
+                    });
+                }
+            }
+        }
+        Ok(QualityProfile {
+            qualities: self.qualities,
+            n_actions: self.n_actions,
+            table,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile2() -> QualityProfile {
+        let qs = QualitySet::contiguous(0, 2).unwrap();
+        let mut b = QualityProfile::builder(qs, 2);
+        b.set_levels(0, &[(10, 20), (30, 60), (50, 100)]).unwrap();
+        b.set_constant(1, 5, 8).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn lookup_by_index_and_id() {
+        let p = profile2();
+        assert_eq!(p.avg_idx(0, 1), Cycles::new(30));
+        assert_eq!(p.worst_idx(0, 2), Cycles::new(100));
+        assert_eq!(p.avg(ActionId::from_index(1), 2), Cycles::new(5));
+        assert_eq!(p.n_actions(), 2);
+        let t = p.times_by_qidx(0, 0);
+        assert_eq!((t.avg(), t.worst()), (Cycles::new(10), Cycles::new(20)));
+    }
+
+    #[test]
+    fn totals_sum_over_actions() {
+        let p = profile2();
+        assert_eq!(p.total_avg(0), Cycles::new(15));
+        assert_eq!(p.total_worst(2), Cycles::new(108));
+    }
+
+    #[test]
+    fn build_rejects_missing_cells() {
+        let qs = QualitySet::contiguous(0, 1).unwrap();
+        let mut b = QualityProfile::builder(qs, 2);
+        b.set_constant(0, 1, 2).unwrap();
+        assert_eq!(b.build().unwrap_err(), TimeError::MissingTimes(1));
+    }
+
+    #[test]
+    fn build_rejects_non_monotone() {
+        let qs = QualitySet::contiguous(0, 1).unwrap();
+        let mut b = QualityProfile::builder(qs, 1);
+        b.set_levels(0, &[(30, 60), (10, 60)]).unwrap();
+        assert!(matches!(
+            b.build().unwrap_err(),
+            TimeError::NonMonotone { action: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn set_rejects_avg_above_worst_and_infinities() {
+        let qs = QualitySet::contiguous(0, 0).unwrap();
+        let mut b = QualityProfile::builder(qs.clone(), 1);
+        assert!(matches!(
+            b.set(0, Quality::new(0), Cycles::new(10), Cycles::new(5)),
+            Err(TimeError::AvgExceedsWorst { action: 0, .. })
+        ));
+        let mut b = QualityProfile::builder(qs, 1);
+        assert!(matches!(
+            b.set(0, Quality::new(0), Cycles::new(1), Cycles::INFINITY),
+            Err(TimeError::InfiniteExecutionTime { .. })
+        ));
+    }
+
+    #[test]
+    fn set_rejects_bad_coordinates() {
+        let qs = QualitySet::contiguous(0, 0).unwrap();
+        let mut b = QualityProfile::builder(qs, 1);
+        assert_eq!(
+            b.set(5, Quality::new(0), Cycles::new(1), Cycles::new(2))
+                .unwrap_err(),
+            TimeError::UnknownAction(5)
+        );
+        assert_eq!(
+            b.set(0, Quality::new(9), Cycles::new(1), Cycles::new(2))
+                .unwrap_err(),
+            TimeError::UnknownQuality(Quality::new(9))
+        );
+        assert_eq!(
+            b.set_levels(0, &[(1, 2), (3, 4)]).unwrap_err(),
+            TimeError::LevelCountMismatch {
+                expected: 1,
+                actual: 2
+            }
+        );
+    }
+
+    #[test]
+    fn update_avg_clamps_and_remonotonizes() {
+        let mut p = profile2();
+        // Raise q0 average above q1's: isotonic sweep must lift q1.
+        p.update_avg(0, Quality::new(0), Cycles::new(40)).unwrap();
+        assert_eq!(p.avg_idx(0, 0), Cycles::new(20)); // capped at worst(q0)=20
+        assert!(p.avg_idx(0, 1) >= p.avg_idx(0, 0));
+        // Updates beyond worst are capped.
+        p.update_avg(0, Quality::new(2), Cycles::new(500)).unwrap();
+        assert_eq!(p.avg_idx(0, 2), Cycles::new(100));
+        // Bad coordinates are reported.
+        assert_eq!(
+            p.update_avg(7, Quality::new(0), Cycles::new(1)).unwrap_err(),
+            TimeError::UnknownAction(7)
+        );
+        assert_eq!(
+            p.update_avg(0, Quality::new(9), Cycles::new(1)).unwrap_err(),
+            TimeError::UnknownQuality(Quality::new(9))
+        );
+    }
+
+    #[test]
+    fn update_avg_keeps_invariants_under_lowering() {
+        let mut p = profile2();
+        p.update_avg(0, Quality::new(2), Cycles::new(1)).unwrap();
+        // avg(q2) must stay >= avg(q1) by isotonic repair.
+        assert!(p.avg_idx(0, 2) >= p.avg_idx(0, 1));
+        for q in 0..3u8 {
+            assert!(p.avg_idx(0, q) <= p.worst_idx(0, q));
+        }
+    }
+
+    #[test]
+    fn restrict_to_single_quality() {
+        let p = profile2();
+        let r = p.restrict_to(Quality::new(1)).unwrap();
+        assert_eq!(r.qualities().len(), 1);
+        assert_eq!(r.avg_idx(0, 1), Cycles::new(30));
+        assert!(matches!(
+            p.restrict_to(Quality::new(9)),
+            Err(TimeError::UnknownQuality(_))
+        ));
+    }
+}

@@ -1,0 +1,295 @@
+//! Quality levels and quality sets (Definition 2.3).
+
+use std::fmt;
+
+use crate::TimeError;
+
+/// One quality level, a small integer parameter of an action.
+///
+/// Higher levels mean more work and better output quality (execution times
+/// are non-decreasing in the level, Definition 2.3). The paper's encoder
+/// uses levels 0–7 for `Motion_Estimate`.
+///
+/// # Example
+///
+/// ```
+/// use fgqos_time::Quality;
+///
+/// let q = Quality::new(3);
+/// assert_eq!(q.level(), 3);
+/// assert!(Quality::new(4) > q);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Quality(u8);
+
+impl Quality {
+    /// Creates a quality level.
+    #[must_use]
+    pub fn new(level: u8) -> Self {
+        Quality(level)
+    }
+
+    /// The integer level.
+    #[must_use]
+    pub fn level(self) -> u8 {
+        self.0
+    }
+}
+
+impl fmt::Display for Quality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl From<u8> for Quality {
+    fn from(level: u8) -> Self {
+        Quality(level)
+    }
+}
+
+/// The finite, non-empty set `Q` of quality levels, sorted ascending.
+///
+/// Provides the `q_min = min(Q)` element the safety constraint falls back
+/// to, and the dense index used by quality-indexed tables.
+///
+/// # Example
+///
+/// ```
+/// use fgqos_time::{Quality, QualitySet};
+///
+/// # fn main() -> Result<(), fgqos_time::TimeError> {
+/// let q = QualitySet::contiguous(0, 7)?;
+/// assert_eq!(q.len(), 8);
+/// assert_eq!(q.min(), Quality::new(0));
+/// assert_eq!(q.index_of(Quality::new(5)), Some(5));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QualitySet {
+    levels: Vec<Quality>,
+}
+
+impl QualitySet {
+    /// Builds a quality set from arbitrary levels.
+    ///
+    /// Levels are sorted and must be distinct.
+    ///
+    /// # Errors
+    ///
+    /// [`TimeError::EmptyQualitySet`] if `levels` is empty,
+    /// [`TimeError::DuplicateQuality`] on repeated levels.
+    pub fn new(mut levels: Vec<u8>) -> Result<Self, TimeError> {
+        if levels.is_empty() {
+            return Err(TimeError::EmptyQualitySet);
+        }
+        levels.sort_unstable();
+        for w in levels.windows(2) {
+            if w[0] == w[1] {
+                return Err(TimeError::DuplicateQuality(Quality::new(w[0])));
+            }
+        }
+        Ok(QualitySet {
+            levels: levels.into_iter().map(Quality::new).collect(),
+        })
+    }
+
+    /// The contiguous set `{lo, lo+1, ..., hi}`.
+    ///
+    /// # Errors
+    ///
+    /// [`TimeError::EmptyQualitySet`] if `lo > hi`.
+    pub fn contiguous(lo: u8, hi: u8) -> Result<Self, TimeError> {
+        if lo > hi {
+            return Err(TimeError::EmptyQualitySet);
+        }
+        Ok(QualitySet {
+            levels: (lo..=hi).map(Quality::new).collect(),
+        })
+    }
+
+    /// A single-level set (degenerate control: constant quality).
+    #[must_use]
+    pub fn singleton(q: Quality) -> Self {
+        QualitySet { levels: vec![q] }
+    }
+
+    /// Number of levels `|Q|`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Quality sets are never empty; this always returns `false` and exists
+    /// for API completeness.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `q_min = min(Q)`.
+    #[must_use]
+    pub fn min(&self) -> Quality {
+        self.levels[0]
+    }
+
+    /// `max(Q)`.
+    #[must_use]
+    pub fn max(&self) -> Quality {
+        *self.levels.last().expect("quality set is non-empty")
+    }
+
+    /// Whether `q ∈ Q`.
+    #[must_use]
+    pub fn contains(&self, q: Quality) -> bool {
+        self.levels.binary_search(&q).is_ok()
+    }
+
+    /// Dense index of `q` in ascending order, if present.
+    #[must_use]
+    pub fn index_of(&self, q: Quality) -> Option<usize> {
+        self.levels.binary_search(&q).ok()
+    }
+
+    /// The level at dense index `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= len()`.
+    #[must_use]
+    pub fn at(&self, idx: usize) -> Quality {
+        self.levels[idx]
+    }
+
+    /// Iterates levels in ascending order.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = Quality> + ExactSizeIterator + '_ {
+        self.levels.iter().copied()
+    }
+
+    /// Iterates levels in descending order (the quality manager scans from
+    /// the maximum downwards).
+    pub fn descending(&self) -> impl Iterator<Item = Quality> + '_ {
+        self.levels.iter().rev().copied()
+    }
+
+    /// The greatest level strictly below `q`, if any.
+    #[must_use]
+    pub fn below(&self, q: Quality) -> Option<Quality> {
+        match self.levels.binary_search(&q) {
+            Ok(0) | Err(0) => None,
+            Ok(i) | Err(i) => Some(self.levels[i - 1]),
+        }
+    }
+
+    /// The smallest level strictly above `q`, if any.
+    #[must_use]
+    pub fn above(&self, q: Quality) -> Option<Quality> {
+        match self.levels.binary_search(&q) {
+            Ok(i) if i + 1 < self.levels.len() => Some(self.levels[i + 1]),
+            Ok(_) => None,
+            Err(i) if i < self.levels.len() => Some(self.levels[i]),
+            Err(_) => None,
+        }
+    }
+
+    /// Clamps an arbitrary level into the set (nearest member below, else
+    /// the minimum).
+    #[must_use]
+    pub fn clamp(&self, q: Quality) -> Quality {
+        match self.levels.binary_search(&q) {
+            Ok(i) => self.levels[i],
+            Err(0) => self.levels[0],
+            Err(i) => self.levels[i - 1],
+        }
+    }
+}
+
+impl fmt::Display for QualitySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, q) in self.levels.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", q.level())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_and_indexing() {
+        let q = QualitySet::contiguous(2, 5).unwrap();
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.min(), Quality::new(2));
+        assert_eq!(q.max(), Quality::new(5));
+        assert_eq!(q.index_of(Quality::new(4)), Some(2));
+        assert_eq!(q.index_of(Quality::new(9)), None);
+        assert_eq!(q.at(0), Quality::new(2));
+    }
+
+    #[test]
+    fn new_sorts_and_rejects_duplicates() {
+        let q = QualitySet::new(vec![5, 1, 3]).unwrap();
+        assert_eq!(q.iter().map(Quality::level).collect::<Vec<_>>(), [1, 3, 5]);
+        assert!(matches!(
+            QualitySet::new(vec![1, 1]),
+            Err(TimeError::DuplicateQuality(_))
+        ));
+        assert!(matches!(
+            QualitySet::new(vec![]),
+            Err(TimeError::EmptyQualitySet)
+        ));
+        assert!(matches!(
+            QualitySet::contiguous(3, 2),
+            Err(TimeError::EmptyQualitySet)
+        ));
+    }
+
+    #[test]
+    fn descending_scan() {
+        let q = QualitySet::contiguous(0, 2).unwrap();
+        let levels: Vec<u8> = q.descending().map(Quality::level).collect();
+        assert_eq!(levels, [2, 1, 0]);
+    }
+
+    #[test]
+    fn neighbours() {
+        let q = QualitySet::new(vec![0, 2, 4]).unwrap();
+        assert_eq!(q.below(Quality::new(2)), Some(Quality::new(0)));
+        assert_eq!(q.below(Quality::new(0)), None);
+        assert_eq!(q.below(Quality::new(3)), Some(Quality::new(2)));
+        assert_eq!(q.above(Quality::new(2)), Some(Quality::new(4)));
+        assert_eq!(q.above(Quality::new(4)), None);
+        assert_eq!(q.above(Quality::new(1)), Some(Quality::new(2)));
+    }
+
+    #[test]
+    fn clamp_picks_nearest_member_below() {
+        let q = QualitySet::new(vec![1, 3, 6]).unwrap();
+        assert_eq!(q.clamp(Quality::new(0)), Quality::new(1));
+        assert_eq!(q.clamp(Quality::new(3)), Quality::new(3));
+        assert_eq!(q.clamp(Quality::new(5)), Quality::new(3));
+        assert_eq!(q.clamp(Quality::new(9)), Quality::new(6));
+    }
+
+    #[test]
+    fn singleton_set() {
+        let q = QualitySet::singleton(Quality::new(3));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.min(), q.max());
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        let q = QualitySet::contiguous(0, 2).unwrap();
+        assert_eq!(q.to_string(), "{0, 1, 2}");
+        assert_eq!(Quality::new(7).to_string(), "q7");
+    }
+}

@@ -1,0 +1,219 @@
+//! Sequence algebra: the `σ̂` prefix-sum operator and feasibility margins.
+//!
+//! Definition 2.2 of the paper: a schedule `α` is feasible with respect to
+//! execution times `C` and deadlines `D` iff `min(D(α) − Ĉ(α)) ≥ 0`, where
+//! `σ̂(i) = Σ_{j≤i} σ(j)`.
+
+use crate::{Cycles, Slack};
+
+/// The `σ̂` operator: running prefix sums of a duration sequence.
+///
+/// # Example
+///
+/// ```
+/// use fgqos_time::{Cycles, series::prefix_sums};
+///
+/// let c = [3u64, 4, 5].map(Cycles::new);
+/// let hat = prefix_sums(&c);
+/// assert_eq!(hat, vec![Cycles::new(3), Cycles::new(7), Cycles::new(12)]);
+/// ```
+#[must_use]
+pub fn prefix_sums(durations: &[Cycles]) -> Vec<Cycles> {
+    let mut acc = Cycles::ZERO;
+    durations
+        .iter()
+        .map(|&c| {
+            acc += c;
+            acc
+        })
+        .collect()
+}
+
+/// `min(D(α) − Ĉ(α))`: the minimal margin of a schedule, as a signed
+/// [`Slack`].
+///
+/// Returns [`Slack::INFINITY`] for the empty sequence (nothing to violate).
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+#[must_use]
+pub fn min_slack(deadlines: &[Cycles], durations: &[Cycles]) -> Slack {
+    assert_eq!(
+        deadlines.len(),
+        durations.len(),
+        "deadline and duration sequences must align"
+    );
+    let mut acc = Cycles::ZERO;
+    let mut worst = Slack::INFINITY;
+    for (&d, &c) in deadlines.iter().zip(durations) {
+        acc += c;
+        worst = worst.min(d.slack_from(acc));
+    }
+    worst
+}
+
+/// Definition 2.2: whether the schedule respects every deadline under the
+/// given execution times.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+#[must_use]
+pub fn is_feasible(deadlines: &[Cycles], durations: &[Cycles]) -> bool {
+    min_slack(deadlines, durations).is_nonnegative()
+}
+
+/// Like [`min_slack`] but with the accumulation started at `offset` (the
+/// time already consumed before the first listed action). Used for
+/// suffix-feasibility checks from a controller state at elapsed time
+/// `t = offset`.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+#[must_use]
+pub fn min_slack_from(offset: Cycles, deadlines: &[Cycles], durations: &[Cycles]) -> Slack {
+    assert_eq!(
+        deadlines.len(),
+        durations.len(),
+        "deadline and duration sequences must align"
+    );
+    let mut acc = offset;
+    let mut worst = Slack::INFINITY;
+    for (&d, &c) in deadlines.iter().zip(durations) {
+        acc += c;
+        worst = worst.min(d.slack_from(acc));
+    }
+    worst
+}
+
+/// Suffix margin table: `out[i] = min_{j ≥ i} (D(j) − Σ_{k=i..=j} C(k))`.
+///
+/// `out[i]` is the largest elapsed time `t` at which the suffix starting at
+/// position `i` can still begin and meet all its deadlines — exactly the
+/// right-hand side of the `Qual_Const` predicates of Section 2.2. Computed
+/// in one reverse sweep using
+/// `out[i] = min(D(i), out[i+1]) − C(i)`.
+///
+/// Returns a table of length `n + 1` with `out[n] = +∞` (empty suffix).
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+#[must_use]
+pub fn suffix_budgets(deadlines: &[Cycles], durations: &[Cycles]) -> Vec<Slack> {
+    assert_eq!(
+        deadlines.len(),
+        durations.len(),
+        "deadline and duration sequences must align"
+    );
+    let n = deadlines.len();
+    let mut out = vec![Slack::INFINITY; n + 1];
+    for i in (0..n).rev() {
+        let d_i = if deadlines[i].is_infinite() {
+            Slack::INFINITY
+        } else {
+            Slack::new(i128::from(deadlines[i].get()))
+        };
+        out[i] = d_i.min(out[i + 1]).minus(durations[i]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sums_of_empty_is_empty() {
+        assert!(prefix_sums(&[]).is_empty());
+    }
+
+    #[test]
+    fn min_slack_basic() {
+        let d = [10u64, 20].map(Cycles::new);
+        let c = [4u64, 5].map(Cycles::new);
+        // completions: 4, 9 -> slacks 6, 11 -> min 6
+        assert_eq!(min_slack(&d, &c), Slack::new(6));
+        assert!(is_feasible(&d, &c));
+    }
+
+    #[test]
+    fn min_slack_detects_miss() {
+        let d = [10u64, 12].map(Cycles::new);
+        let c = [4u64, 9].map(Cycles::new);
+        // completions: 4, 13 -> slacks 6, -1
+        assert_eq!(min_slack(&d, &c), Slack::new(-1));
+        assert!(!is_feasible(&d, &c));
+    }
+
+    #[test]
+    fn infinite_deadlines_never_bind() {
+        let d = [Cycles::INFINITY, Cycles::new(100)];
+        let c = [Cycles::new(60), Cycles::new(30)];
+        assert_eq!(min_slack(&d, &c), Slack::new(10));
+    }
+
+    #[test]
+    fn empty_schedule_is_feasible() {
+        assert_eq!(min_slack(&[], &[]), Slack::INFINITY);
+        assert!(is_feasible(&[], &[]));
+    }
+
+    #[test]
+    fn offset_shifts_all_completions() {
+        let d = [10u64, 20].map(Cycles::new);
+        let c = [4u64, 5].map(Cycles::new);
+        assert_eq!(min_slack_from(Cycles::new(3), &d, &c), Slack::new(3));
+        assert_eq!(min_slack_from(Cycles::new(7), &d, &c), Slack::new(-1));
+    }
+
+    #[test]
+    fn suffix_budgets_match_direct_evaluation() {
+        let d = [10u64, 20, 25].map(Cycles::new);
+        let c = [4u64, 5, 6].map(Cycles::new);
+        let table = suffix_budgets(&d, &c);
+        // Direct: budget[i] = max t with min_slack_from(t, d[i..], c[i..]) >= 0
+        for i in 0..3 {
+            let b = table[i];
+            let t_ok = Cycles::new(u64::try_from(b.get()).unwrap());
+            assert!(
+                min_slack_from(t_ok, &d[i..], &c[i..]).is_nonnegative(),
+                "budget at {i} must admit itself"
+            );
+            let t_bad = Cycles::new(u64::try_from(b.get()).unwrap() + 1);
+            assert!(
+                !min_slack_from(t_bad, &d[i..], &c[i..]).is_nonnegative(),
+                "budget at {i} must be tight"
+            );
+        }
+        assert_eq!(table[3], Slack::INFINITY);
+    }
+
+    #[test]
+    fn suffix_budgets_with_infinite_deadlines() {
+        let d = [Cycles::INFINITY, Cycles::new(10)];
+        let c = [Cycles::new(3), Cycles::new(4)];
+        let table = suffix_budgets(&d, &c);
+        assert_eq!(table[1], Slack::new(6));
+        assert_eq!(table[0], Slack::new(3));
+        let d = [Cycles::INFINITY, Cycles::INFINITY];
+        let table = suffix_budgets(&d, &c);
+        assert_eq!(table[0], Slack::INFINITY);
+    }
+
+    #[test]
+    fn suffix_budget_can_be_negative() {
+        let d = [Cycles::new(2)];
+        let c = [Cycles::new(5)];
+        let table = suffix_budgets(&d, &c);
+        assert_eq!(table[0], Slack::new(-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_panic() {
+        let _ = min_slack(&[Cycles::new(1)], &[]);
+    }
+}

@@ -1,0 +1,168 @@
+//! Property tests for the time domain: saturating arithmetic laws,
+//! series algebra, and profile invariants under arbitrary update
+//! sequences.
+
+use fgqos_time::series::{is_feasible, min_slack, min_slack_from, prefix_sums, suffix_budgets};
+use fgqos_time::{Cycles, Quality, QualityProfile, QualitySet, Slack};
+use proptest::prelude::*;
+
+fn c(v: u64) -> Cycles {
+    Cycles::new(v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cycles_addition_is_commutative_and_monotone(a in 0u64..1u64<<40, b in 0u64..1u64<<40) {
+        prop_assert_eq!(c(a) + c(b), c(b) + c(a));
+        prop_assert!(c(a) + c(b) >= c(a));
+    }
+
+    #[test]
+    fn infinity_is_absorbing(a in 0u64..1u64<<40) {
+        prop_assert!((c(a) + Cycles::INFINITY).is_infinite());
+        prop_assert!((Cycles::INFINITY - c(a)).is_infinite());
+        prop_assert!(Cycles::INFINITY.saturating_mul(a.max(1)).is_infinite());
+    }
+
+    #[test]
+    fn subtraction_floors_at_zero(a in 0u64..1u64<<40, b in 0u64..1u64<<40) {
+        let d = c(a) - c(b);
+        if a >= b {
+            prop_assert_eq!(d, c(a - b));
+        } else {
+            prop_assert_eq!(d, Cycles::ZERO);
+        }
+    }
+
+    #[test]
+    fn slack_from_is_antisymmetric(a in 0u64..1u64<<40, b in 0u64..1u64<<40) {
+        let s1 = c(a).slack_from(c(b));
+        let s2 = c(b).slack_from(c(a));
+        prop_assert_eq!(s1.get(), -s2.get());
+        prop_assert_eq!(s1.is_nonnegative(), a >= b);
+    }
+
+    #[test]
+    fn slack_admits_iff_within_budget(bound in 0i128..1i128<<40, t in 0u64..1u64<<40) {
+        let s = Slack::new(bound);
+        prop_assert_eq!(s.admits(c(t)), i128::from(t) <= bound);
+    }
+
+    #[test]
+    fn prefix_sums_are_monotone_and_total(durs in proptest::collection::vec(0u64..1u64<<30, 0..20)) {
+        let cs: Vec<Cycles> = durs.iter().copied().map(c).collect();
+        let hat = prefix_sums(&cs);
+        prop_assert_eq!(hat.len(), cs.len());
+        for w in hat.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        if let Some(last) = hat.last() {
+            prop_assert_eq!(*last, cs.iter().copied().sum::<Cycles>());
+        }
+    }
+
+    /// The suffix-budget table is exactly the largest admissible start
+    /// time of each suffix.
+    #[test]
+    fn suffix_budgets_are_tight(
+        pairs in proptest::collection::vec((1u64..1000, 1u64..2000), 1..12)
+    ) {
+        let durations: Vec<Cycles> = pairs.iter().map(|&(d, _)| c(d)).collect();
+        let deadlines: Vec<Cycles> = pairs.iter().map(|&(_, dl)| c(dl)).collect();
+        let table = suffix_budgets(&deadlines, &durations);
+        for i in 0..durations.len() {
+            let b = table[i];
+            if b.is_nonnegative() {
+                let t = Cycles::new(u64::try_from(b.get()).unwrap());
+                prop_assert!(min_slack_from(t, &deadlines[i..], &durations[i..]).is_nonnegative());
+                prop_assert!(!min_slack_from(t + c(1), &deadlines[i..], &durations[i..]).is_nonnegative());
+            } else {
+                prop_assert!(!min_slack_from(Cycles::ZERO, &deadlines[i..], &durations[i..]).is_nonnegative());
+            }
+        }
+    }
+
+    /// min_slack is consistent with feasibility and with the offset form.
+    #[test]
+    fn min_slack_consistency(
+        pairs in proptest::collection::vec((1u64..1000, 1u64..3000), 1..12),
+        offset in 0u64..500,
+    ) {
+        let durations: Vec<Cycles> = pairs.iter().map(|&(d, _)| c(d)).collect();
+        let deadlines: Vec<Cycles> = pairs.iter().map(|&(_, dl)| c(dl)).collect();
+        prop_assert_eq!(
+            is_feasible(&deadlines, &durations),
+            min_slack(&deadlines, &durations).is_nonnegative()
+        );
+        // Offsetting by x reduces the slack by exactly x (finite case).
+        let s0 = min_slack(&deadlines, &durations);
+        let s1 = min_slack_from(c(offset), &deadlines, &durations);
+        prop_assert_eq!(s1.get(), s0.get() - i128::from(offset));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Profile invariants survive arbitrary interleavings of update_avg:
+    /// avg <= worst everywhere and monotone in the level.
+    #[test]
+    fn profile_invariants_under_random_updates(
+        base in proptest::collection::vec((1u64..500, 1u64..4), 3),
+        updates in proptest::collection::vec((0usize..3, 0u8..3, 0u64..5000), 0..40),
+    ) {
+        let qs = QualitySet::contiguous(0, 2).unwrap();
+        let mut pb = QualityProfile::builder(qs, 3);
+        for (a, &(b0, growth)) in base.iter().enumerate() {
+            let rows: Vec<(u64, u64)> = (0..3u64)
+                .map(|q| {
+                    let avg = b0 * (1 + q * growth);
+                    (avg, avg * 2)
+                })
+                .collect();
+            pb.set_levels(a, &rows).unwrap();
+        }
+        let mut p = pb.build().unwrap();
+        for &(a, q, v) in &updates {
+            p.update_avg(a, Quality::new(q), Cycles::new(v)).unwrap();
+        }
+        for a in 0..3 {
+            for q in 0..3u8 {
+                prop_assert!(p.avg_idx(a, q) <= p.worst_idx(a, q), "avg>wc at {a},{q}");
+            }
+            for q in 0..2u8 {
+                prop_assert!(
+                    p.avg_idx(a, q) <= p.avg_idx(a, q + 1),
+                    "avg not monotone at {a},{q}"
+                );
+            }
+        }
+    }
+
+    /// Tiling preserves per-copy lookups.
+    #[test]
+    fn tile_replicates_actions(copies in 1usize..6, base in 1u64..100) {
+        let qs = QualitySet::contiguous(0, 1).unwrap();
+        let mut pb = QualityProfile::builder(qs, 2);
+        pb.set_levels(0, &[(base, base * 2), (base * 2, base * 4)]).unwrap();
+        pb.set_constant(1, base + 1, base + 2).unwrap();
+        let p = pb.build().unwrap();
+        let t = p.tile(copies);
+        prop_assert_eq!(t.n_actions(), 2 * copies);
+        for k in 0..copies {
+            for a in 0..2 {
+                for q in 0..2u8 {
+                    prop_assert_eq!(t.avg_idx(k * 2 + a, q), p.avg_idx(a, q));
+                    prop_assert_eq!(t.worst_idx(k * 2 + a, q), p.worst_idx(a, q));
+                }
+            }
+        }
+        // Sensitivity classification is preserved per copy.
+        for k in 0..copies {
+            prop_assert!(t.quality_sensitive(k * 2));
+            prop_assert!(!t.quality_sensitive(k * 2 + 1));
+        }
+    }
+}

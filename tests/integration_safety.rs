@@ -1,0 +1,180 @@
+//! Cross-crate integration: Proposition 2.1 end-to-end through the full
+//! pipeline (scenario → app → runner → controller → buffers), under
+//! several execution-time models including the pure worst case.
+
+use fine_grain_qos::prelude::*;
+use fine_grain_qos::sim::exec::{AlwaysWorstCase, Deterministic, StochasticLoad};
+
+fn runner(frames: usize, mb: usize, k: usize, seed: u64) -> Runner<TableApp> {
+    let scenario = LoadScenario::paper_benchmark(seed).truncated(frames);
+    let app = TableApp::with_macroblocks(scenario, mb).expect("app");
+    let config = RunConfig::paper_defaults()
+        .scaled_to_macroblocks(mb)
+        .with_capacity(k);
+    Runner::new(app, config).expect("runner")
+}
+
+#[test]
+fn controlled_never_skips_across_seeds_and_models() {
+    for seed in [1u64, 7, 42, 1234] {
+        let mut r = runner(120, 16, 1, seed);
+        let res = r
+            .run_controlled(&mut MaxQuality::new(), seed)
+            .expect("run");
+        assert_eq!(res.skips(), 0, "seed {seed}: {}", res.summary());
+        assert_eq!(res.misses(), 0, "seed {seed}");
+        assert_eq!(res.fallbacks(), 0, "seed {seed}");
+        assert!(r.monitor().all_safe(), "seed {seed}");
+    }
+}
+
+#[test]
+fn controlled_survives_pure_worst_case_model() {
+    let mut r = runner(60, 12, 1, 3);
+    let mut exec = AlwaysWorstCase;
+    let mut policy = MaxQuality::new();
+    let res = r
+        .run(Mode::Controlled, &mut policy, &mut exec, None)
+        .expect("run");
+    assert_eq!(res.skips(), 0, "{}", res.summary());
+    assert_eq!(res.misses(), 0);
+    // Under permanent worst case the controller pins the quality of the
+    // sensitive action (Motion_Estimate) low.
+    assert!(
+        res.mean_quality() < 2.5,
+        "worst-case load should force low quality: {}",
+        res.mean_quality()
+    );
+}
+
+#[test]
+fn deterministic_nominal_load_reaches_high_quality() {
+    let mut r = runner(60, 12, 1, 3);
+    let mut exec = Deterministic::nominal();
+    let mut policy = MaxQuality::new();
+    let res = r
+        .run(Mode::Controlled, &mut policy, &mut exec, None)
+        .expect("run");
+    assert_eq!(res.misses(), 0);
+    // At exactly-average cost, q=5 is sustainable (312 vs 320 Mcycle)
+    // and the budget's first-frame bonus allows more early on.
+    assert!(
+        res.mean_quality() > 3.5,
+        "nominal load should allow high quality: {}",
+        res.mean_quality()
+    );
+}
+
+#[test]
+fn smooth_and_hysteresis_policies_stay_safe_end_to_end() {
+    let mut r = runner(80, 12, 1, 5);
+    let res = r
+        .run_controlled(&mut Smooth::new(1), 5)
+        .expect("smooth run");
+    assert_eq!(res.misses() + res.skips(), 0, "{}", res.summary());
+
+    let mut r = runner(80, 12, 1, 5);
+    let res = r
+        .run_controlled(&mut Hysteresis::new(6), 5)
+        .expect("hysteresis run");
+    assert_eq!(res.misses() + res.skips(), 0);
+}
+
+#[test]
+fn smooth_policy_bounds_upward_steps_per_decision() {
+    // The actual smoothness guarantee: consecutive decisions never climb
+    // more than `max_step` set positions (drops stay unrestricted so
+    // safety is preserved). Checked on a direct controller trace.
+    use fine_grain_qos::tool::{compile::compile, ToolSpec};
+    let spec = ToolSpec::paper_encoder(
+        8,
+        fgqos_time::fig5::PERIOD_CYCLES * 8 / fgqos_time::fig5::MACROBLOCKS_PER_FRAME as u64,
+    );
+    let app = compile(&spec).expect("compiles");
+    let mut ctl = app.controller();
+    let mut policy = Smooth::new(1);
+    let mut t = Cycles::ZERO;
+    let mut prev: Option<u8> = None;
+    while let Some(d) = ctl.decide(t, &mut policy).expect("decide") {
+        if let Some(p) = prev {
+            assert!(
+                d.quality.level() <= p + 1,
+                "climbed from q{p} to {} in one step",
+                d.quality
+            );
+        }
+        prev = Some(d.quality.level());
+        t = t + app.system().profile().avg(d.action, d.quality);
+        ctl.complete(t).expect("complete");
+    }
+    assert_eq!(ctl.finish().misses, 0);
+}
+
+#[test]
+fn estimator_improves_miscalibrated_quality_without_losing_safety() {
+    // Declared averages inflated 2x: the frozen controller is overly
+    // conservative; EWMA learns the true costs and lifts quality.
+    let make_app = |seed: u64| {
+        let scenario = LoadScenario::paper_benchmark(seed).truncated(150);
+        let app = TableApp::with_macroblocks(scenario, 12).expect("app");
+        let mut declared = app.profile().clone();
+        let levels: Vec<Quality> = declared.qualities().iter().collect();
+        for a in 0..declared.n_actions() {
+            for &q in &levels {
+                let v = declared.avg_idx(a, q);
+                let _ = declared.update_avg(a, q, Cycles::new(v.get().saturating_mul(2)));
+            }
+        }
+        app.with_profile_override(declared)
+    };
+    let config = RunConfig::paper_defaults().scaled_to_macroblocks(12);
+
+    let mut frozen_runner = Runner::new(make_app(9), config).expect("runner");
+    let mut exec = StochasticLoad::new(9);
+    let frozen = frozen_runner
+        .run(Mode::Controlled, &mut MaxQuality::new(), &mut exec, None)
+        .expect("frozen run");
+
+    let mut learn_runner = Runner::new(make_app(9), config).expect("runner");
+    let mut exec = StochasticLoad::new(9);
+    let mut est = EwmaEstimator::new(9, frozen_runner.app().profile().qualities().clone(), 0.15);
+    let learned = learn_runner
+        .run(
+            Mode::Controlled,
+            &mut MaxQuality::new(),
+            &mut exec,
+            Some(&mut est),
+        )
+        .expect("learned run");
+
+    assert_eq!(frozen.misses(), 0);
+    assert_eq!(learned.misses(), 0);
+    assert!(
+        learned.mean_quality() > frozen.mean_quality() + 0.3,
+        "learning should lift quality: frozen {:.2} vs learned {:.2}",
+        frozen.mean_quality(),
+        learned.mean_quality()
+    );
+}
+
+#[test]
+fn soft_deadline_mode_trades_misses_for_quality() {
+    let mut r = runner(100, 12, 1, 13);
+    let soft = r
+        .run_controlled(&mut SoftDeadline::new(), 13)
+        .expect("soft run");
+    let mut r = runner(100, 12, 1, 13);
+    let hard = r
+        .run_controlled(&mut MaxQuality::new(), 13)
+        .expect("hard run");
+    assert!(
+        soft.mean_quality() >= hard.mean_quality() - 1e-9,
+        "soft {:.2} vs hard {:.2}",
+        soft.mean_quality(),
+        hard.mean_quality()
+    );
+    assert_eq!(hard.misses(), 0, "hard mode never misses");
+    // Soft mode may miss; that is the documented trade-off. No assertion
+    // on the count, only that the run completes and reports it.
+    let _ = soft.misses();
+}

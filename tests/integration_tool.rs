@@ -1,0 +1,125 @@
+//! Tool-chain integration: spec → compile → controller → execution, plus
+//! codegen consistency with the live tables.
+
+use fine_grain_qos::prelude::*;
+use fine_grain_qos::time::fig5;
+use fine_grain_qos::tool::compile::compile;
+use fine_grain_qos::tool::{codegen, ToolSpec};
+
+#[test]
+fn spec_compile_run_roundtrip() {
+    let n = 12;
+    let budget = fig5::PERIOD_CYCLES * n as u64 / fig5::MACROBLOCKS_PER_FRAME as u64;
+    let spec = ToolSpec::paper_encoder(n, budget);
+
+    // Textual roundtrip survives compilation equivalence.
+    let reparsed = ToolSpec::parse(&spec.emit()).expect("emit parses");
+    assert_eq!(spec, reparsed);
+
+    let app = compile(&spec).expect("compiles");
+    let mut ctl = app.controller();
+    let mut policy = MaxQuality::new();
+    let mut t = Cycles::ZERO;
+    let mut qualities = Vec::new();
+    while let Some(d) = ctl.decide(t, &mut policy).expect("decide") {
+        qualities.push(d.quality.level());
+        // Adversarial: always the worst case of the chosen level.
+        t = t + app.system().profile().worst(d.action, d.quality);
+        ctl.complete(t).expect("complete");
+    }
+    let report = ctl.finish();
+    assert_eq!(report.misses, 0, "worst-case execution must stay safe");
+    assert_eq!(report.decisions, 9 * n);
+    // Quality must ramp up across the frame (early macroblocks are
+    // deadline-tight, later ones have accumulated slack).
+    let first_mb_max = *qualities[..9].iter().max().unwrap();
+    let last_mb_max = *qualities[qualities.len() - 9..].iter().max().unwrap();
+    assert!(
+        last_mb_max >= first_mb_max,
+        "quality should not degrade with accumulated slack under worst case"
+    );
+}
+
+#[test]
+fn codegen_matches_live_tables_on_sampled_points() {
+    let spec = ToolSpec::paper_encoder(4, 1_000_000);
+    let app = compile(&spec).expect("compiles");
+    let src = codegen::generate_rust(&app);
+    let tables = app.tables();
+
+    // Every wcmin budget value appears in the generated source.
+    for i in 0..=tables.len() {
+        let v = tables.wcmin_budget_at(i);
+        let encoded = if v == Slack::INFINITY {
+            i64::MAX
+        } else {
+            i64::try_from(v.get()).unwrap()
+        };
+        assert!(
+            src.contains(&format!("{encoded}, ")),
+            "missing WCMIN value {encoded} (position {i})"
+        );
+    }
+    // Spot-check deadlines and worst cases for the top quality.
+    let qi = tables.quality_count() - 1;
+    for i in [0usize, tables.len() / 2, tables.len() - 1] {
+        let d = tables.deadline_at(qi, i).get();
+        let w = tables.worst_at(qi, i).get();
+        assert!(src.contains(&format!("{d}, ")), "missing deadline {d}");
+        assert!(src.contains(&format!("{w}, ")), "missing worst case {w}");
+    }
+}
+
+#[test]
+fn compiled_tables_agree_with_direct_controller() {
+    // The tool's compiled controller and a controller built through the
+    // public ParamSystem/EdfScheduler path must agree on every decision.
+    let n = 8;
+    let budget = 2_500_000u64;
+    let spec = ToolSpec::paper_encoder(n, budget);
+    let app = compile(&spec).expect("compiles");
+
+    let mut direct = CycleController::new(app.system(), &EdfScheduler).expect("direct");
+    let mut compiled = app.controller();
+    let mut p1 = MaxQuality::new();
+    let mut p2 = MaxQuality::new();
+    let mut t = Cycles::ZERO;
+    loop {
+        let d1 = direct.decide(t, &mut p1).expect("direct decide");
+        let d2 = compiled.decide(t, &mut p2).expect("compiled decide");
+        match (d1, d2) {
+            (None, None) => break,
+            (Some(a), Some(b)) => {
+                assert_eq!(a.action, b.action, "schedules diverge at {t}");
+                assert_eq!(a.quality, b.quality, "qualities diverge at {t}");
+                t = t + app.system().profile().avg(a.action, a.quality);
+                direct.complete(t).expect("direct complete");
+                compiled.complete(t).expect("compiled complete");
+            }
+            (a, b) => panic!("length mismatch: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn overhead_report_satisfies_paper_bounds_for_body_artifact() {
+    use fine_grain_qos::tool::report::OverheadReport;
+    let per_mb_budget = fig5::PERIOD_CYCLES / fig5::MACROBLOCKS_PER_FRAME as u64;
+    let app = compile(&ToolSpec::paper_encoder(1, per_mb_budget)).expect("compiles");
+    let report = OverheadReport::compute(
+        &app,
+        300 * 1024,
+        4 * 1024 * 1024,
+        fig5::macroblock_avg_cycles(3),
+    );
+    assert!(
+        report.code_overhead <= 0.025,
+        "code overhead {:.3}",
+        report.code_overhead
+    );
+    assert!(
+        report.memory_overhead <= 0.01,
+        "memory overhead {:.3}",
+        report.memory_overhead
+    );
+}
