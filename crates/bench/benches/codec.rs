@@ -39,9 +39,7 @@ fn bench_motion(c: &mut Criterion) {
     for q in [0u8, 1, 3, 5, 7] {
         g.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
             let radius = radius_for_quality(q);
-            b.iter(|| {
-                std::hint::black_box(search(&current, &reference, 64, 64, radius))
-            });
+            b.iter(|| std::hint::black_box(search(&current, &reference, 64, 64, radius)));
         });
     }
     g.finish();

@@ -54,18 +54,14 @@ fn bench_table_build(c: &mut Criterion) {
             let body = fig2_body();
             let profile = fig2_profile().tile(n);
             let iter = IteratedGraph::new(&body, n, IterationMode::Sequential).unwrap();
-            let order = iter
-                .replay_body_schedule(&body.topological_order().to_vec())
-                .unwrap();
+            let order = iter.replay_body_schedule(body.topological_order()).unwrap();
             let qs = profile.qualities().clone();
             let deadlines: Vec<Cycles> = (0..n * 9)
                 .map(|i| Cycles::new(320_000_000 * (i as u64 / 9 + 1) / n as u64))
                 .collect();
             let dm = DeadlineMap::uniform(qs, deadlines);
             b.iter(|| {
-                std::hint::black_box(
-                    ConstraintTables::new(order.clone(), &profile, &dm).unwrap(),
-                )
+                std::hint::black_box(ConstraintTables::new(order.clone(), &profile, &dm).unwrap())
             });
         });
     }
@@ -83,7 +79,7 @@ fn bench_full_cycle(c: &mut Criterion) {
                 let mut t = Cycles::ZERO;
                 while let Some(d) = ctl.decide(t, &mut policy).unwrap() {
                     let dur = profile.avg_idx(d.action.index() % 9, d.quality);
-                    t = t + dur;
+                    t += dur;
                     ctl.complete(t).unwrap();
                 }
                 std::hint::black_box(ctl.finish())

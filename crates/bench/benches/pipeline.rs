@@ -20,9 +20,7 @@ fn bench_table_stream(c: &mut Criterion) {
                 let app = TableApp::with_macroblocks(scenario, n).unwrap();
                 let config = RunConfig::paper_defaults().scaled_to_macroblocks(n);
                 let mut runner = Runner::new(app, config).unwrap();
-                std::hint::black_box(
-                    runner.run_controlled(&mut MaxQuality::new(), 11).unwrap(),
-                )
+                std::hint::black_box(runner.run_controlled(&mut MaxQuality::new(), 11).unwrap())
             });
         });
     }

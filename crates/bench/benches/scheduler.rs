@@ -19,17 +19,16 @@ fn bench_edf(c: &mut Criterion) {
             .map(|i| Cycles::new((i as u64 / 9 + 1) * 1000))
             .collect();
         g.bench_with_input(BenchmarkId::new("unrolled", n_mb), &n_mb, |b, _| {
-            b.iter(|| {
-                std::hint::black_box(edf::edf_order(iter.graph(), &deadlines).unwrap())
-            });
+            b.iter(|| std::hint::black_box(edf::edf_order(iter.graph(), &deadlines).unwrap()));
         });
         // The compositional alternative: schedule the 9-action body once,
         // replay N times.
         g.bench_with_input(BenchmarkId::new("compositional", n_mb), &n_mb, |b, _| {
             let body_deadlines = vec![Cycles::new(1000); 9];
             b.iter(|| {
-                let body_order =
-                    EdfScheduler.best_schedule(&body, &body_deadlines, &[]).unwrap();
+                let body_order = EdfScheduler
+                    .best_schedule(&body, &body_deadlines, &[])
+                    .unwrap();
                 std::hint::black_box(iter.replay_body_schedule(&body_order).unwrap())
             });
         });
@@ -42,12 +41,12 @@ fn bench_chetto(c: &mut Criterion) {
     let iter = IteratedGraph::new(&body, 396, IterationMode::Sequential).unwrap();
     let n = iter.graph().len();
     let deadlines: Vec<Cycles> = (0..n).map(|i| Cycles::new((i as u64 + 1) * 500)).collect();
-    let times: Vec<Cycles> = (0..n).map(|i| Cycles::new(100 + (i as u64 % 9) * 50)).collect();
+    let times: Vec<Cycles> = (0..n)
+        .map(|i| Cycles::new(100 + (i as u64 % 9) * 50))
+        .collect();
     c.bench_function("chetto_transform_396mb", |b| {
         b.iter(|| {
-            std::hint::black_box(
-                edf::chetto_deadlines(iter.graph(), &deadlines, &times).unwrap(),
-            )
+            std::hint::black_box(edf::chetto_deadlines(iter.graph(), &deadlines, &times).unwrap())
         });
     });
 }

@@ -97,8 +97,7 @@ fn main() {
         ("final-only", DeadlineShape::FinalOnly),
     ] {
         let app = TableApp::with_macroblocks(cfg.scenario(), cfg.macroblocks).unwrap();
-        let mut runner =
-            Runner::new(app, cfg.run_config(1).with_deadline_shape(shape)).unwrap();
+        let mut runner = Runner::new(app, cfg.run_config(1).with_deadline_shape(shape)).unwrap();
         let res = runner
             .run_controlled(&mut MaxQuality::new(), cfg.seed)
             .unwrap();

@@ -22,9 +22,12 @@ fn main() {
         println!("{name:<36} {avg:>12} {wc:>12}");
     }
 
-    println!("\nDerived frame-level arithmetic (N = {} macroblocks):", cfg.macroblocks);
-    let p_eff = fig5::PERIOD_CYCLES as f64 * cfg.macroblocks as f64
-        / fig5::MACROBLOCKS_PER_FRAME as f64;
+    println!(
+        "\nDerived frame-level arithmetic (N = {} macroblocks):",
+        cfg.macroblocks
+    );
+    let p_eff =
+        fig5::PERIOD_CYCLES as f64 * cfg.macroblocks as f64 / fig5::MACROBLOCKS_PER_FRAME as f64;
     for q in 0..8u8 {
         let frame_avg = fig5::macroblock_avg_cycles(q) * cfg.macroblocks as u64;
         println!(

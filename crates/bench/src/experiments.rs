@@ -104,7 +104,7 @@ impl ExpConfig {
         // Find a wxh with w*h/256 == macroblocks, w multiple of 16.
         let mbs = self.macroblocks;
         let cols = (1..=mbs)
-            .filter(|c| mbs % c == 0)
+            .filter(|c| mbs.is_multiple_of(*c))
             .min_by_key(|&c| {
                 let rows = mbs / c;
                 (c as i64 * 9 - rows as i64 * 16).abs() // aspect ~16:9
@@ -301,12 +301,7 @@ pub fn psnr_shape_checks(pair: &RunPair) -> Vec<ShapeCheck> {
     let (wins, comparable) = {
         let mut wins = 0usize;
         let mut comparable = 0usize;
-        for (c, k) in pair
-            .controlled
-            .frames()
-            .iter()
-            .zip(pair.constant.frames())
-        {
+        for (c, k) in pair.controlled.frames().iter().zip(pair.constant.frames()) {
             if !k.skipped {
                 comparable += 1;
                 if c.psnr_db >= k.psnr_db {
@@ -344,9 +339,10 @@ pub fn write_figure_csv(
     b: &[(usize, Option<f64>)],
 ) {
     let Some(dir) = &cfg.out_dir else { return };
-    let rows = a.iter().zip(b).map(|(&(f, ya), &(_, yb))| {
-        vec![Some(f as f64), ya, yb]
-    });
+    let rows = a
+        .iter()
+        .zip(b)
+        .map(|(&(f, ya), &(_, yb))| vec![Some(f as f64), ya, yb]);
     let doc = render_csv(header, rows);
     write_out(dir, file, &doc);
 }

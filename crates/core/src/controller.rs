@@ -259,8 +259,7 @@ mod tests {
         pb.set_levels(0, &[(10, 20), (40, 80)]).unwrap();
         pb.set_levels(1, &[(10, 20), (40, 80)]).unwrap();
         let profile = pb.build().unwrap();
-        let deadlines =
-            DeadlineMap::uniform(qs, vec![Cycles::new(100), Cycles::new(200)]);
+        let deadlines = DeadlineMap::uniform(qs, vec![Cycles::new(100), Cycles::new(200)]);
         ParamSystem::new(graph, profile, deadlines).unwrap()
     }
 

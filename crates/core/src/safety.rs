@@ -35,7 +35,10 @@ impl fmt::Display for SafetyViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SafetyViolation::DeadlineMiss { position, overrun } => {
-                write!(f, "action at position {position} missed its deadline by {overrun}")
+                write!(
+                    f,
+                    "action at position {position} missed its deadline by {overrun}"
+                )
             }
             SafetyViolation::Fallback { position } => {
                 write!(f, "no admissible quality at position {position}")
@@ -236,7 +239,10 @@ mod tests {
         assert_eq!(m.worst_margin(), Slack::new(-3));
         let (cycle, v) = m.first_violation().unwrap();
         assert_eq!(*cycle, 1);
-        assert!(matches!(v, SafetyViolation::DeadlineMiss { position: 1, .. }));
+        assert!(matches!(
+            v,
+            SafetyViolation::DeadlineMiss { position: 1, .. }
+        ));
     }
 
     #[test]

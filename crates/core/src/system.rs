@@ -202,10 +202,7 @@ mod tests {
         let sys2 = sys
             .with_deadlines(DeadlineMap::uniform(qs, vec![Cycles::new(9)]))
             .unwrap();
-        assert_eq!(
-            sys2.deadlines().deadline_idx(0, 0),
-            Cycles::new(9)
-        );
+        assert_eq!(sys2.deadlines().deadline_idx(0, 0), Cycles::new(9));
         // Original untouched.
         assert_eq!(sys.deadlines().deadline_idx(0, 0), Cycles::new(5));
     }

@@ -101,7 +101,7 @@ fn drive_cycle(
         // fraction in 0..=100 of the worst case, at least 1 cycle.
         let f = u64::from(fractions[k % fractions.len()]) % 101;
         let dur = (wc.get() * f / 100).max(1);
-        t = t + Cycles::new(dur);
+        t += Cycles::new(dur);
         ctl.complete(t).unwrap();
         k += 1;
     }
@@ -169,8 +169,7 @@ proptest! {
         let mut ctl = CycleController::new(&sys, &EdfScheduler).unwrap();
         let mut t = Cycles::ZERO;
         let mut k = 0usize;
-        loop {
-            let Some(d) = ctl.decide(t, &mut policy).unwrap() else { break };
+        while let Some(d) = ctl.decide(t, &mut policy).unwrap() {
             // The decision must match the tables' maximal admissible level.
             let expected = ctl
                 .tables()
@@ -180,7 +179,7 @@ proptest! {
             prop_assert_eq!(d.feasible_max, expected);
             let wc = sys.profile().worst(d.action, d.quality);
             let f = u64::from(fractions[k % fractions.len()]) % 101;
-            t = t + Cycles::new((wc.get() * f / 100).max(1));
+            t += Cycles::new((wc.get() * f / 100).max(1));
             ctl.complete(t).unwrap();
             k += 1;
         }

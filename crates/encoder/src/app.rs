@@ -145,7 +145,11 @@ impl EncoderApp {
         height: usize,
         seed: u64,
     ) -> Result<Self, SimError> {
-        if width == 0 || height == 0 || width % MB_SIZE != 0 || height % MB_SIZE != 0 {
+        if width == 0
+            || height == 0
+            || !width.is_multiple_of(MB_SIZE)
+            || !height.is_multiple_of(MB_SIZE)
+        {
             return Err(SimError::InvalidConfig(
                 "frame dimensions must be positive multiples of 16",
             ));
@@ -156,8 +160,7 @@ impl EncoderApp {
         let ids = Fig2Ids::resolve(&body);
         let d1_pixels = 704.0 * 576.0;
         let ratio = (width * height) as f64 / d1_pixels;
-        let per_frame =
-            ((fig5::TARGET_BITRATE_BITS_PER_S as f64 / 25.0) * ratio).max(512.0) as u64;
+        let per_frame = ((fig5::TARGET_BITRATE_BITS_PER_S as f64 / 25.0) * ratio).max(512.0) as u64;
         Ok(EncoderApp {
             camera,
             scenario,
@@ -283,8 +286,11 @@ impl EncoderApp {
 
     fn run_dct(&mut self) -> u64 {
         let mut residual = [0i16; 256];
-        for i in 0..256 {
-            residual[i] = i16::from(self.mb.target[i]) - i16::from(self.mb.prediction[i]);
+        for (r, (&t, &p)) in residual
+            .iter_mut()
+            .zip(self.mb.target.iter().zip(self.mb.prediction.iter()))
+        {
+            *r = i16::from(t) - i16::from(p);
         }
         self.mb.residual = residual;
         let blocks = dct::split_macroblock(&residual);
@@ -330,8 +336,8 @@ impl EncoderApp {
 
     fn run_idct(&mut self) -> u64 {
         let mut blocks = [[0i16; 64]; 4];
-        for b in 0..4 {
-            blocks[b] = dct::inverse(&self.mb.deq[b]);
+        for (block, deq) in blocks.iter_mut().zip(self.mb.deq.iter()) {
+            *block = dct::inverse(deq);
         }
         self.mb.residual = dct::merge_macroblock(&blocks);
         timing::idct_cycles(self.mb.nnz)
@@ -340,9 +346,12 @@ impl EncoderApp {
     fn run_reconstruct(&mut self, mb: usize) -> u64 {
         let (ox, oy) = self.mb_origin(mb);
         let mut block = [0u8; 256];
-        for i in 0..256 {
-            let v = i32::from(self.mb.prediction[i]) + i32::from(self.mb.residual[i]);
-            block[i] = v.clamp(0, 255) as u8;
+        for (out, (&p, &r)) in block
+            .iter_mut()
+            .zip(self.mb.prediction.iter().zip(self.mb.residual.iter()))
+        {
+            let v = i32::from(p) + i32::from(r);
+            *out = v.clamp(0, 255) as u8;
         }
         self.recon.write_block(ox, oy, &block);
         timing::reconstruct_cycles(self.mb.nnz)

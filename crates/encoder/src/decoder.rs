@@ -28,7 +28,11 @@ pub struct DecodeError {
 
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "bitstream truncated or malformed at macroblock {}", self.macroblock)
+        write!(
+            f,
+            "bitstream truncated or malformed at macroblock {}",
+            self.macroblock
+        )
     }
 }
 
@@ -111,6 +115,7 @@ mod tests {
         let reference = Frame::new(16, 16);
         let mut w = BitWriter::new();
         w.put_bit(false); // intra
+
         // Residual: all 32 against the DC prediction of 128.
         let mut res = [32i16; 256];
         // Make it less trivial.

@@ -51,7 +51,7 @@ impl BitWriter {
 
     /// Appends one bit.
     pub fn put_bit(&mut self, bit: bool) {
-        if self.bit_len % 8 == 0 {
+        if self.bit_len.is_multiple_of(8) {
             self.bytes.push(0);
         }
         if bit {
@@ -143,11 +143,8 @@ impl<'a> BitReader<'a> {
     /// Reads an unsigned Exp-Golomb code.
     pub fn ue(&mut self) -> Option<u64> {
         let mut zeros = 0u32;
-        loop {
-            match self.bit()? {
-                false => zeros += 1,
-                true => break,
-            }
+        while !self.bit()? {
+            zeros += 1;
             if zeros > 63 {
                 return None;
             }
@@ -160,7 +157,7 @@ impl<'a> BitReader<'a> {
     pub fn se(&mut self) -> Option<i64> {
         let v = self.ue()?;
         Some(if v % 2 == 1 {
-            ((v + 1) / 2) as i64
+            v.div_ceil(2) as i64
         } else {
             -((v / 2) as i64)
         })

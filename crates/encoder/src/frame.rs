@@ -34,7 +34,10 @@ impl Frame {
     #[must_use]
     pub fn new(width: usize, height: usize) -> Self {
         assert!(
-            width > 0 && height > 0 && width % MB_SIZE == 0 && height % MB_SIZE == 0,
+            width > 0
+                && height > 0
+                && width.is_multiple_of(MB_SIZE)
+                && height.is_multiple_of(MB_SIZE),
             "frame dimensions must be positive multiples of {MB_SIZE}"
         );
         Frame {
@@ -123,8 +126,7 @@ impl Frame {
         let mut out = [0u8; MB_SIZE * MB_SIZE];
         for dy in 0..MB_SIZE {
             let row = (oy + dy) * self.width + ox;
-            out[dy * MB_SIZE..(dy + 1) * MB_SIZE]
-                .copy_from_slice(&self.data[row..row + MB_SIZE]);
+            out[dy * MB_SIZE..(dy + 1) * MB_SIZE].copy_from_slice(&self.data[row..row + MB_SIZE]);
         }
         out
     }
@@ -151,8 +153,7 @@ impl Frame {
         assert!(ox + MB_SIZE <= self.width && oy + MB_SIZE <= self.height);
         for dy in 0..MB_SIZE {
             let row = (oy + dy) * self.width + ox;
-            self.data[row..row + MB_SIZE]
-                .copy_from_slice(&block[dy * MB_SIZE..(dy + 1) * MB_SIZE]);
+            self.data[row..row + MB_SIZE].copy_from_slice(&block[dy * MB_SIZE..(dy + 1) * MB_SIZE]);
         }
     }
 

@@ -30,11 +30,9 @@ pub fn dc_predict(recon: &Frame, ox: usize, oy: usize) -> [u8; MB_SIZE * MB_SIZE
             count += 1;
         }
     }
-    let dc = if count == 0 {
-        128
-    } else {
-        u8::try_from(sum / count).unwrap_or(255)
-    };
+    let dc = sum
+        .checked_div(count)
+        .map_or(128, |v| u8::try_from(v).unwrap_or(255));
     [dc; MB_SIZE * MB_SIZE]
 }
 

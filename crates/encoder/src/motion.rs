@@ -120,6 +120,7 @@ mod tests {
     fn finds_exact_translation_within_radius() {
         let reference = frame_with_square(16, 16);
         let current = frame_with_square(20, 18); // moved by (+4, +2)
+
         // MB at (16,16) in current contains part of the square; its true
         // match in the reference is at offset (-4, -2)... search from the
         // current square MB (20 rounds to MB at 16): use MB origin 16,16.

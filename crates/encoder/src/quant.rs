@@ -118,8 +118,15 @@ mod tests {
         for qp in [2u8, 8, 24, 40] {
             let deq = dequantize(&quantize(&coeffs, qp), qp);
             for (i, (&a, &b)) in coeffs.iter().zip(deq.iter()).enumerate() {
-                let step = if i == 0 { f32::from(qp) } else { f32::from(qp) * 2.0 };
-                assert!((a - b).abs() <= step / 2.0 + 0.01, "qp={qp} i={i}: {a} vs {b}");
+                let step = if i == 0 {
+                    f32::from(qp)
+                } else {
+                    f32::from(qp) * 2.0
+                };
+                assert!(
+                    (a - b).abs() <= step / 2.0 + 0.01,
+                    "qp={qp} i={i}: {a} vs {b}"
+                );
             }
         }
     }

@@ -179,9 +179,8 @@ impl SyntheticCamera {
             }
         }
         // Sensor noise: deterministic per (seed, frame).
-        let mut rng = StdRng::seed_from_u64(
-            self.seed ^ (f as u64).wrapping_mul(0xD134_2543_DE82_EF95),
-        );
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (f as u64).wrapping_mul(0xD134_2543_DE82_EF95));
         let amp = scene.noise_amp;
         for p in out.data_mut() {
             let n = rng.gen_range(-amp..=amp);
@@ -234,12 +233,20 @@ mod tests {
         let within: u64 = {
             let a = cam.frame(56);
             let b = cam.frame(57);
-            a.data().iter().zip(b.data()).map(|(&x, &y)| u64::from(x.abs_diff(y))).sum()
+            a.data()
+                .iter()
+                .zip(b.data())
+                .map(|(&x, &y)| u64::from(x.abs_diff(y)))
+                .sum()
         };
         let across: u64 = {
             let a = cam.frame(57);
             let b = cam.frame(58);
-            a.data().iter().zip(b.data()).map(|(&x, &y)| u64::from(x.abs_diff(y))).sum()
+            a.data()
+                .iter()
+                .zip(b.data())
+                .map(|(&x, &y)| u64::from(x.abs_diff(y)))
+                .sum()
         };
         assert!(
             across > within * 2,

@@ -115,10 +115,7 @@ mod tests {
             // Full search = typical / 0.7 ≈ 1.43x the average — well
             // under every Fig. 5 worst case (wc/avg >= 3.5 at q>=1). At
             // q0 a single evaluation is the whole window.
-            assert!(
-                cycles <= wc,
-                "q{q}: full search {cycles} exceeds wc {wc}"
-            );
+            assert!(cycles <= wc, "q{q}: full search {cycles} exceeds wc {wc}");
         }
     }
 

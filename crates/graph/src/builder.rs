@@ -134,7 +134,10 @@ mod tests {
         let mut b = GraphBuilder::new();
         let a = b.action("a");
         let ghost = ActionId::from_index(7);
-        assert_eq!(b.edge(a, ghost).unwrap_err(), GraphError::UnknownAction(ghost));
+        assert_eq!(
+            b.edge(a, ghost).unwrap_err(),
+            GraphError::UnknownAction(ghost)
+        );
     }
 
     #[test]

@@ -155,7 +155,10 @@ impl IteratedGraph {
     /// Panics if `inst` is outside the unrolled graph.
     #[must_use]
     pub fn body_of(&self, inst: ActionId) -> (ActionId, usize) {
-        assert!(inst.index() < self.graph.len(), "action {inst} outside graph");
+        assert!(
+            inst.index() < self.graph.len(),
+            "action {inst} outside graph"
+        );
         (
             ActionId::from_index(inst.index() % self.body_len),
             inst.index() / self.body_len,

@@ -108,9 +108,7 @@ impl ExecutionSequence {
     /// (Section 2.2).
     #[must_use]
     pub fn shares_prefix(&self, other: &ExecutionSequence, i: usize) -> bool {
-        i <= self.len()
-            && i <= other.len()
-            && self.actions[..i] == other.actions[..i]
+        i <= self.len() && i <= other.len() && self.actions[..i] == other.actions[..i]
     }
 
     /// Consumes the sequence and returns the raw action vector.

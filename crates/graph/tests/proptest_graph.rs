@@ -13,15 +13,16 @@ fn arb_dag(max_nodes: usize) -> impl Strategy<Value = PrecedenceGraph> {
             let pairs: Vec<(usize, usize)> = (0..n)
                 .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
                 .collect();
-            (Just(n), proptest::collection::vec(any::<bool>(), pairs.len()).prop_map(
-                move |mask| {
+            (
+                Just(n),
+                proptest::collection::vec(any::<bool>(), pairs.len()).prop_map(move |mask| {
                     pairs
                         .iter()
                         .zip(mask)
                         .filter_map(|(&p, keep)| keep.then_some(p))
                         .collect::<Vec<_>>()
-                },
-            ))
+                }),
+            )
         })
         .prop_map(|(n, edges)| {
             let mut b = GraphBuilder::new();

@@ -130,9 +130,7 @@ mod tests {
             assert_eq!(s[0], y);
             assert_eq!(s.len(), 2);
             let _ = x;
-            assert!(sched
-                .best_schedule(&g, &[Cycles::new(1)], &[])
-                .is_err());
+            assert!(sched.best_schedule(&g, &[Cycles::new(1)], &[]).is_err());
         }
     }
 

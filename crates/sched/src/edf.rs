@@ -31,7 +31,10 @@ fn check_len(graph: &PrecedenceGraph, table: &[Cycles]) -> Result<(), SchedError
 /// # Errors
 ///
 /// [`SchedError::DimensionMismatch`] if `deadlines.len() != graph.len()`.
-pub fn edf_order(graph: &PrecedenceGraph, deadlines: &[Cycles]) -> Result<Vec<ActionId>, SchedError> {
+pub fn edf_order(
+    graph: &PrecedenceGraph,
+    deadlines: &[Cycles],
+) -> Result<Vec<ActionId>, SchedError> {
     edf_order_with_prefix(graph, deadlines, &[])
 }
 

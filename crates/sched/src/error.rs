@@ -35,7 +35,10 @@ impl fmt::Display for SchedError {
         match self {
             SchedError::Graph(e) => write!(f, "graph error: {e}"),
             SchedError::DimensionMismatch { expected, actual } => {
-                write!(f, "per-action table has {actual} entries, graph has {expected}")
+                write!(
+                    f,
+                    "per-action table has {actual} entries, graph has {expected}"
+                )
             }
             SchedError::InfeasibleAtMinQuality { slack } => write!(
                 f,

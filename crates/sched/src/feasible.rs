@@ -14,11 +14,7 @@ use crate::{edf, SchedError};
 ///
 /// Panics if `order` references actions outside the tables.
 #[must_use]
-pub fn schedule_min_slack(
-    order: &[ActionId],
-    deadlines: &[Cycles],
-    durations: &[Cycles],
-) -> Slack {
+pub fn schedule_min_slack(order: &[ActionId], deadlines: &[Cycles], durations: &[Cycles]) -> Slack {
     let d: Vec<Cycles> = order.iter().map(|a| deadlines[a.index()]).collect();
     let c: Vec<Cycles> = order.iter().map(|a| durations[a.index()]).collect();
     series::min_slack(&d, &c)

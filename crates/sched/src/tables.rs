@@ -200,7 +200,10 @@ impl ConstraintTables {
     /// Panics if `qi >= quality_count()` or `i > len()`.
     #[must_use]
     pub fn av_admits(&self, qi: usize, i: usize, t: Cycles) -> bool {
-        assert!(qi < self.nq && i <= self.n, "table coordinates out of range");
+        assert!(
+            qi < self.nq && i <= self.n,
+            "table coordinates out of range"
+        );
         self.av_budget[qi * (self.n + 1) + i].admits(t)
     }
 
@@ -215,7 +218,10 @@ impl ConstraintTables {
     /// Panics if `qi >= quality_count()` or `i > len()`.
     #[must_use]
     pub fn wc_admits(&self, qi: usize, i: usize, t: Cycles) -> bool {
-        assert!(qi < self.nq && i <= self.n, "table coordinates out of range");
+        assert!(
+            qi < self.nq && i <= self.n,
+            "table coordinates out of range"
+        );
         if i == self.n {
             return true;
         }
@@ -299,7 +305,10 @@ impl ConstraintTables {
     /// Panics if `qi >= quality_count()` or `i > len()`.
     #[must_use]
     pub fn av_budget_at(&self, qi: usize, i: usize) -> Slack {
-        assert!(qi < self.nq && i <= self.n, "table coordinates out of range");
+        assert!(
+            qi < self.nq && i <= self.n,
+            "table coordinates out of range"
+        );
         self.av_budget[qi * (self.n + 1) + i]
     }
 

@@ -104,7 +104,10 @@ fn av_direct(
     i: usize,
     t: Cycles,
 ) -> bool {
-    let d: Vec<Cycles> = order[i..].iter().map(|a| deadlines.deadline(*a, q)).collect();
+    let d: Vec<Cycles> = order[i..]
+        .iter()
+        .map(|a| deadlines.deadline(*a, q))
+        .collect();
     let c: Vec<Cycles> = order[i..].iter().map(|a| profile.avg(*a, q)).collect();
     series::min_slack_from(t, &d, &c).is_nonnegative()
 }
@@ -144,8 +147,8 @@ proptest! {
         let n = g.len();
         let qs = QualitySet::contiguous(0, 2).unwrap();
         let mut pb = QualityProfile::builder(qs.clone(), n);
-        for a in 0..n {
-            let base = durations[a].get();
+        for (a, dur) in durations.iter().enumerate().take(n) {
+            let base = dur.get();
             // avg grows with quality; wc = 2x avg.
             let rows: Vec<(u64, u64)> = (0..3u64)
                 .map(|q| {
@@ -189,8 +192,8 @@ proptest! {
         let n = g.len();
         let qs = QualitySet::contiguous(0, 3).unwrap();
         let mut pb = QualityProfile::builder(qs.clone(), n);
-        for a in 0..n {
-            let base = durations[a].get();
+        for (a, dur) in durations.iter().enumerate().take(n) {
+            let base = dur.get();
             let rows: Vec<(u64, u64)> =
                 (1..=4u64).map(|q| (base * q, base * q * 3)).collect();
             pb.set_levels(a, &rows).unwrap();
@@ -228,8 +231,8 @@ proptest! {
         let n = g.len();
         let qs = QualitySet::contiguous(0, 1).unwrap();
         let mut pb = QualityProfile::builder(qs.clone(), n);
-        for a in 0..n {
-            let base = durations[a].get();
+        for (a, dur) in durations.iter().enumerate().take(n) {
+            let base = dur.get();
             pb.set_levels(a, &[(base, base * 2), (base * 2, base * 4)]).unwrap();
         }
         let profile = pb.build().unwrap();

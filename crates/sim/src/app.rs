@@ -1,8 +1,8 @@
 //! The application abstraction driven by the runner, and the timing-only
 //! reference application.
 
-use fgqos_graph::{ActionId, GraphBuilder, PrecedenceGraph};
 use fgqos_core::CycleReport;
+use fgqos_graph::{ActionId, GraphBuilder, PrecedenceGraph};
 use fgqos_time::fig5;
 use fgqos_time::QualityProfile;
 
@@ -45,12 +45,7 @@ pub trait VideoApp {
     /// Performs the real work of `action` for macroblock `mb` at quality
     /// `q`; returns work units for work-driven timing (`None` when the
     /// app does not measure work).
-    fn run_action(
-        &mut self,
-        action: ActionId,
-        mb: usize,
-        q: fgqos_time::Quality,
-    ) -> Option<u64>;
+    fn run_action(&mut self, action: ActionId, mb: usize, q: fgqos_time::Quality) -> Option<u64>;
 
     /// PSNR (dB) of the encoded frame `f` against its source.
     ///
@@ -114,20 +109,23 @@ pub fn fig2_body() -> PrecedenceGraph {
 #[must_use]
 pub fn fig2_profile() -> QualityProfile {
     let g = fig2_body();
-    let names: Vec<&str> = g.ids().map(|a| {
-        // Names are 'static in fig5; map back through the graph's storage.
-        match g.name(a) {
-            n if n == fig5::names::GRAB => fig5::names::GRAB,
-            n if n == fig5::names::MOTION_ESTIMATE => fig5::names::MOTION_ESTIMATE,
-            n if n == fig5::names::DCT => fig5::names::DCT,
-            n if n == fig5::names::QUANTIZE => fig5::names::QUANTIZE,
-            n if n == fig5::names::INTRA_PREDICT => fig5::names::INTRA_PREDICT,
-            n if n == fig5::names::COMPRESS => fig5::names::COMPRESS,
-            n if n == fig5::names::INVERSE_QUANTIZE => fig5::names::INVERSE_QUANTIZE,
-            n if n == fig5::names::IDCT => fig5::names::IDCT,
-            _ => fig5::names::RECONSTRUCT,
-        }
-    }).collect();
+    let names: Vec<&str> = g
+        .ids()
+        .map(|a| {
+            // Names are 'static in fig5; map back through the graph's storage.
+            match g.name(a) {
+                n if n == fig5::names::GRAB => fig5::names::GRAB,
+                n if n == fig5::names::MOTION_ESTIMATE => fig5::names::MOTION_ESTIMATE,
+                n if n == fig5::names::DCT => fig5::names::DCT,
+                n if n == fig5::names::QUANTIZE => fig5::names::QUANTIZE,
+                n if n == fig5::names::INTRA_PREDICT => fig5::names::INTRA_PREDICT,
+                n if n == fig5::names::COMPRESS => fig5::names::COMPRESS,
+                n if n == fig5::names::INVERSE_QUANTIZE => fig5::names::INVERSE_QUANTIZE,
+                n if n == fig5::names::IDCT => fig5::names::IDCT,
+                _ => fig5::names::RECONSTRUCT,
+            }
+        })
+        .collect();
     fig5::body_profile(&names).expect("fig5 covers the fig2 pipeline")
 }
 
@@ -161,16 +159,13 @@ impl TableApp {
     /// # Errors
     ///
     /// [`SimError::InvalidConfig`] if `macroblocks == 0`.
-    pub fn with_macroblocks(
-        scenario: LoadScenario,
-        macroblocks: usize,
-    ) -> Result<Self, SimError> {
+    pub fn with_macroblocks(scenario: LoadScenario, macroblocks: usize) -> Result<Self, SimError> {
         if macroblocks == 0 {
             return Err(SimError::InvalidConfig("macroblocks must be positive"));
         }
         let body = fig2_body();
         let profile = fig2_profile();
-        let psnr = PsnrModel::paper_like(profile.qualities(), 0xF16_5);
+        let psnr = PsnrModel::paper_like(profile.qualities(), 0xF165);
         Ok(TableApp {
             body,
             profile,
@@ -287,7 +282,9 @@ mod tests {
         assert_eq!(app.stream_len(), 20);
         assert!(app.is_iframe(0));
         assert!(app.activity(3) > 0.0);
-        assert!(app.run_action(ActionId::from_index(0), 0, fgqos_time::Quality::new(1)).is_none());
+        assert!(app
+            .run_action(ActionId::from_index(0), 0, fgqos_time::Quality::new(1))
+            .is_none());
         let report = CycleReport::from_records(vec![], 0);
         let db = app.encoded_psnr(5, 3.0, &report);
         assert!((20.0..50.0).contains(&db));

@@ -28,7 +28,10 @@ impl fmt::Display for SimError {
             SimError::Core(e) => write!(f, "controller error: {e}"),
             SimError::InvalidConfig(what) => write!(f, "invalid simulation config: {what}"),
             SimError::AppShapeMismatch { expected, actual } => {
-                write!(f, "application body has {actual} actions, expected {expected}")
+                write!(
+                    f,
+                    "application body has {actual} actions, expected {expected}"
+                )
             }
         }
     }

@@ -247,7 +247,10 @@ mod tests {
     #[test]
     fn deterministic_matches_average() {
         let mut m = Deterministic::nominal();
-        assert_eq!(m.sample(&ctx(95_000, 350_000, 1.7, None)), Cycles::new(95_000));
+        assert_eq!(
+            m.sample(&ctx(95_000, 350_000, 1.7, None)),
+            Cycles::new(95_000)
+        );
         let mut m = Deterministic::activity_scaled();
         assert_eq!(
             m.sample(&ctx(100_000, 350_000, 1.5, None)),
@@ -278,8 +281,12 @@ mod tests {
     #[test]
     fn stochastic_scales_with_activity() {
         let mut m = StochasticLoad::with_params(7, 0.1, 0.0);
-        let calm: u64 = (0..2000).map(|_| m.sample(&ctx(50_000, 500_000, 0.8, None)).get()).sum();
-        let hot: u64 = (0..2000).map(|_| m.sample(&ctx(50_000, 500_000, 1.4, None)).get()).sum();
+        let calm: u64 = (0..2000)
+            .map(|_| m.sample(&ctx(50_000, 500_000, 0.8, None)).get())
+            .sum();
+        let hot: u64 = (0..2000)
+            .map(|_| m.sample(&ctx(50_000, 500_000, 1.4, None)).get())
+            .sum();
         assert!(hot as f64 / calm as f64 > 1.5);
     }
 

@@ -66,7 +66,9 @@ impl InputPipeline {
     /// count.
     pub fn new(period: Cycles, capacity: usize, total_frames: usize) -> Result<Self, SimError> {
         if period == Cycles::ZERO || period.is_infinite() {
-            return Err(SimError::InvalidConfig("period must be positive and finite"));
+            return Err(SimError::InvalidConfig(
+                "period must be positive and finite",
+            ));
         }
         if capacity == 0 {
             return Err(SimError::InvalidConfig("buffer capacity must be positive"));
@@ -238,7 +240,10 @@ mod tests {
         let (f, _) = pipe.pop().unwrap();
         assert_eq!(f, 1);
         // now=199, buffer empty: next arrivals 200 (fills), 300 (drops).
-        assert_eq!(pipe.budget_deadline(Cycles::new(199)), Some(Cycles::new(300)));
+        assert_eq!(
+            pipe.budget_deadline(Cycles::new(199)),
+            Some(Cycles::new(300))
+        );
     }
 
     #[test]
@@ -251,7 +256,10 @@ mod tests {
         // With one frame already waiting the budget shrinks by P.
         pipe.admit_through(Cycles::new(100));
         assert_eq!(pipe.waiting(), 1);
-        assert_eq!(pipe.budget_deadline(Cycles::new(100)), Some(Cycles::new(300)));
+        assert_eq!(
+            pipe.budget_deadline(Cycles::new(100)),
+            Some(Cycles::new(300))
+        );
     }
 
     #[test]
@@ -272,6 +280,7 @@ mod tests {
         let mut pipe = p(100, 1, 5);
         pipe.admit_through(Cycles::ZERO);
         pipe.pop().unwrap(); // encoding frame 0
+
         // Encoder finishes exactly at 200 (= budget deadline is 200).
         // Pop-first convention: admit arrivals strictly before 200, pop,
         // then admit through 200.

@@ -77,9 +77,9 @@ impl RunConfig {
     /// (`P' = P · n / 1584`). Use for fast, shape-preserving test runs.
     #[must_use]
     pub fn scaled_to_macroblocks(mut self, n: usize) -> Self {
-        let scaled =
-            (u128::from(self.period.get()) * n as u128 / fig5::MACROBLOCKS_PER_FRAME as u128)
-                .max(1);
+        let scaled = (u128::from(self.period.get()) * n as u128
+            / fig5::MACROBLOCKS_PER_FRAME as u128)
+            .max(1);
         self.period = Cycles::new(u64::try_from(scaled).expect("scaled period fits"));
         self
     }
@@ -417,8 +417,7 @@ impl<A: VideoApp> Runner<A> {
                 apply_estimates(est, &mut body_profile);
                 self.tiled_profile = body_profile.tile(self.iter.iterations());
             }
-            let deadlines =
-                DeadlineMap::uniform(qs.clone(), self.deadline_vec(frame_budget));
+            let deadlines = DeadlineMap::uniform(qs.clone(), self.deadline_vec(frame_budget));
             let tables =
                 ConstraintTables::new(self.order.clone(), &self.tiled_profile, &deadlines)?;
             let mut ctl = CycleController::from_tables(tables, qs.clone());
@@ -428,9 +427,7 @@ impl<A: VideoApp> Runner<A> {
             let activity = self.app.activity(frame);
             let mut t = Cycles::ZERO;
             loop {
-                let decision = ctl
-                    .decide(t, policy)
-                    .map_err(SimError::from)?;
+                let decision = ctl.decide(t, policy).map_err(SimError::from)?;
                 let Some(d) = decision else { break };
                 let (body_action, mb) = self.iter.body_of(d.action);
                 let work = self.app.run_action(body_action, mb, d.quality);
@@ -446,7 +443,7 @@ impl<A: VideoApp> Runner<A> {
                     work_units: work,
                 };
                 let dur = exec.sample(&ctx);
-                t = t + dur;
+                t += dur;
                 ctl.complete(t).map_err(SimError::from)?;
                 if let Some(est) = estimator.as_deref_mut() {
                     est.observe(body_action, d.quality, dur);
@@ -470,7 +467,7 @@ impl<A: VideoApp> Runner<A> {
                 quality_switches: switches,
                 psnr_db: psnr,
             });
-            now = now + t;
+            now += t;
         }
 
         let frames = records
@@ -610,7 +607,11 @@ mod tests {
         // q7 averages ~277k/MB versus a ~202k/MB budget: sustained
         // overload, must skip.
         let res = r.run_constant(Quality::new(7), 2).unwrap();
-        assert!(res.skips() > 5, "expected heavy skipping: {}", res.summary());
+        assert!(
+            res.skips() > 5,
+            "expected heavy skipping: {}",
+            res.summary()
+        );
     }
 
     #[test]

@@ -131,13 +131,15 @@ impl LoadScenario {
         ];
         let scenes = spec
             .iter()
-            .map(|&(frames, base_activity, motion, texture, psnr_base)| SceneProfile {
-                frames,
-                base_activity,
-                motion,
-                texture,
-                psnr_base,
-            })
+            .map(
+                |&(frames, base_activity, motion, texture, psnr_base)| SceneProfile {
+                    frames,
+                    base_activity,
+                    motion,
+                    texture,
+                    psnr_base,
+                },
+            )
             .collect();
         let s = Self::from_scenes(scenes, seed);
         debug_assert_eq!(s.frames(), 582);
@@ -280,9 +282,7 @@ mod tests {
         assert_eq!(s.frames(), 582);
         assert_eq!(s.scene_count(), 9);
         // Exactly 9 I-frames, at scene starts.
-        let iframes: Vec<usize> = (0..s.frames())
-            .filter(|&f| s.frame(f).is_iframe)
-            .collect();
+        let iframes: Vec<usize> = (0..s.frames()).filter(|&f| s.frame(f).is_iframe).collect();
         assert_eq!(iframes.len(), 9);
         assert_eq!(iframes[0], 0);
         // Mean activity near 1: the Fig. 5 averages stay representative.
@@ -393,8 +393,7 @@ mod tests {
             activity: 1.5,
             ..calm
         };
-        let calm_db: f64 =
-            (0..32).map(|_| m.encoded_psnr(&calm, 3.0)).sum::<f64>() / 32.0;
+        let calm_db: f64 = (0..32).map(|_| m.encoded_psnr(&calm, 3.0)).sum::<f64>() / 32.0;
         let hot_db: f64 = (0..32).map(|_| m.encoded_psnr(&hot, 3.0)).sum::<f64>() / 32.0;
         assert!(calm_db > hot_db + 0.5);
     }

@@ -33,7 +33,7 @@ proptest! {
                     encoded += 1;
                     let d = encode_times[k % encode_times.len()];
                     k += 1;
-                    now = now + Cycles::new(d);
+                    now += Cycles::new(d);
                 }
                 None if pipe.waiting() > 0 => continue,
                 None => match pipe.next_arrival_time() {
@@ -77,7 +77,7 @@ proptest! {
                                 "budget below one period");
                             now = deadline; // finish exactly at the deadline
                         }
-                        None => now = now + Cycles::new(period), // tail
+                        None => now += Cycles::new(period), // tail
                     }
                 }
                 None if pipe.waiting() > 0 => continue,

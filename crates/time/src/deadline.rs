@@ -276,11 +276,8 @@ mod tests {
 
     #[test]
     fn min_over_qualities_takes_pointwise_min() {
-        let d = DeadlineMap::per_quality(
-            qs2(),
-            vec![vec![Cycles::new(50), Cycles::new(30)]],
-        )
-        .unwrap();
+        let d =
+            DeadlineMap::per_quality(qs2(), vec![vec![Cycles::new(50), Cycles::new(30)]]).unwrap();
         assert_eq!(d.min_over_qualities(0), Cycles::new(30));
         let d = DeadlineMap::uniform(qs2(), vec![Cycles::INFINITY]);
         assert_eq!(d.min_over_qualities(0), Cycles::INFINITY);

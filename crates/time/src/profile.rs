@@ -527,11 +527,13 @@ mod tests {
         assert_eq!(p.avg_idx(0, 2), Cycles::new(100));
         // Bad coordinates are reported.
         assert_eq!(
-            p.update_avg(7, Quality::new(0), Cycles::new(1)).unwrap_err(),
+            p.update_avg(7, Quality::new(0), Cycles::new(1))
+                .unwrap_err(),
             TimeError::UnknownAction(7)
         );
         assert_eq!(
-            p.update_avg(0, Quality::new(9), Cycles::new(1)).unwrap_err(),
+            p.update_avg(0, Quality::new(9), Cycles::new(1))
+                .unwrap_err(),
             TimeError::UnknownQuality(Quality::new(9))
         );
     }

@@ -124,15 +124,22 @@ pub fn compile(spec: &ToolSpec) -> Result<ControlledApp, CompileError> {
         .map(|(name, _)| gb.action(name.clone()))
         .collect();
     for (from, to) in &spec.edges {
-        let f = spec.actions.iter().position(|(n, _)| n == from).expect("validated");
-        let t = spec.actions.iter().position(|(n, _)| n == to).expect("validated");
+        let f = spec
+            .actions
+            .iter()
+            .position(|(n, _)| n == from)
+            .expect("validated");
+        let t = spec
+            .actions
+            .iter()
+            .position(|(n, _)| n == to)
+            .expect("validated");
         gb.edge(ids[f], ids[t]).map_err(model_err)?;
     }
     let body = gb.build().map_err(model_err)?;
 
     // Quality set + body profile.
-    let qualities =
-        QualitySet::contiguous(spec.quality.0, spec.quality.1).map_err(model_err)?;
+    let qualities = QualitySet::contiguous(spec.quality.0, spec.quality.1).map_err(model_err)?;
     let mut pb = QualityProfile::builder(qualities.clone(), spec.actions.len());
     for (idx, (_, times)) in spec.actions.iter().enumerate() {
         match times {
@@ -147,8 +154,8 @@ pub fn compile(spec: &ToolSpec) -> Result<ControlledApp, CompileError> {
     let body_profile = pb.build().map_err(model_err)?;
 
     // Unroll.
-    let iter = IteratedGraph::new(&body, spec.iterations, IterationMode::Sequential)
-        .map_err(model_err)?;
+    let iter =
+        IteratedGraph::new(&body, spec.iterations, IterationMode::Sequential).map_err(model_err)?;
     let tiled = body_profile.tile(spec.iterations);
 
     // Deadlines from the budget.
@@ -179,8 +186,7 @@ pub fn compile(spec: &ToolSpec) -> Result<ControlledApp, CompileError> {
         return Err(CompileError::QualityDependentDeadlineOrder);
     }
 
-    let system = ParamSystem::new(iter.graph().clone(), tiled, deadlines)
-        .map_err(model_err)?;
+    let system = ParamSystem::new(iter.graph().clone(), tiled, deadlines).map_err(model_err)?;
     system
         .check_schedulable()
         .map_err(CompileError::Infeasible)?;
@@ -248,7 +254,7 @@ mod tests {
         while let Some(d) = ctl.decide(t, &mut policy).unwrap() {
             // Execute at declared average.
             let dur = app.system().profile().avg(d.action, d.quality);
-            t = t + dur;
+            t += dur;
             ctl.complete(t).unwrap();
         }
         let report = ctl.finish();

@@ -86,10 +86,7 @@ impl OverheadReport {
             ),
             controller_cycles_per_frame,
             application_cycles_per_frame: avg_cycle_cycles,
-            runtime_overhead: ratio(
-                controller_cycles_per_frame as f64,
-                avg_cycle_cycles as f64,
-            ),
+            runtime_overhead: ratio(controller_cycles_per_frame as f64, avg_cycle_cycles as f64),
         }
     }
 
@@ -97,9 +94,7 @@ impl OverheadReport {
     /// (2 % code, 1 % memory, 1.5 % runtime).
     #[must_use]
     pub fn within_paper_bounds(&self) -> bool {
-        self.code_overhead <= 0.02
-            && self.memory_overhead <= 0.01
-            && self.runtime_overhead <= 0.015
+        self.code_overhead <= 0.02 && self.memory_overhead <= 0.01 && self.runtime_overhead <= 0.015
     }
 }
 
@@ -183,10 +178,12 @@ mod tests {
             r.controller_cycles_per_frame,
             (app.schedule().len() as u64) * DECISION_COST_CYCLES
         );
-        assert!((r.code_overhead
-            - r.instrumentation_code_bytes as f64 / r.application_code_bytes as f64)
-            .abs()
-            < 1e-12);
+        assert!(
+            (r.code_overhead
+                - r.instrumentation_code_bytes as f64 / r.application_code_bytes as f64)
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -112,7 +112,9 @@ impl ToolSpec {
             let keyword = words.next().expect("non-empty line has a word");
             match keyword {
                 "system" => {
-                    let n = words.next().ok_or_else(|| err(line_no, "missing system name"))?;
+                    let n = words
+                        .next()
+                        .ok_or_else(|| err(line_no, "missing system name"))?;
                     name = Some(n.to_owned());
                 }
                 "quality" => {
@@ -141,7 +143,9 @@ impl ToolSpec {
                     if actions.iter().any(|(n, _)| *n == action_name) {
                         return Err(err(line_no, format!("duplicate action {action_name}")));
                     }
-                    let kind = words.next().ok_or_else(|| err(line_no, "missing times kind"))?;
+                    let kind = words
+                        .next()
+                        .ok_or_else(|| err(line_no, "missing times kind"))?;
                     let times = match kind {
                         "const" => {
                             let avg: u64 = words
@@ -176,8 +180,12 @@ impl ToolSpec {
                     actions.push((action_name, times));
                 }
                 "edge" => {
-                    let from = words.next().ok_or_else(|| err(line_no, "edge needs two names"))?;
-                    let to = words.next().ok_or_else(|| err(line_no, "edge needs two names"))?;
+                    let from = words
+                        .next()
+                        .ok_or_else(|| err(line_no, "edge needs two names"))?;
+                    let to = words
+                        .next()
+                        .ok_or_else(|| err(line_no, "edge needs two names"))?;
                     edges.push((from.to_owned(), to.to_owned()));
                 }
                 "iterations" => {
@@ -192,10 +200,7 @@ impl ToolSpec {
                         Some("per-iteration") => DeadlineSpec::PerIteration,
                         Some("final-only") => DeadlineSpec::FinalOnly,
                         other => {
-                            return Err(err(
-                                line_no,
-                                format!("unknown deadline shape {other:?}"),
-                            ))
+                            return Err(err(line_no, format!("unknown deadline shape {other:?}")))
                         }
                     };
                 }
@@ -227,7 +232,10 @@ impl ToolSpec {
                 if pairs.len() != nq {
                     return Err(err(
                         0,
-                        format!("action {n} declares {} levels, quality set has {nq}", pairs.len()),
+                        format!(
+                            "action {n} declares {} levels, quality set has {nq}",
+                            pairs.len()
+                        ),
                     ));
                 }
             }
@@ -414,7 +422,10 @@ budget 1000
         assert!(ToolSpec::parse(bad).unwrap_err().message.contains("budget"));
         // Trailing garbage.
         let bad = "system x y\nquality 0..0\naction a const 1 2\nbudget 5";
-        assert!(ToolSpec::parse(bad).unwrap_err().message.contains("trailing"));
+        assert!(ToolSpec::parse(bad)
+            .unwrap_err()
+            .message
+            .contains("trailing"));
         // Empty quality range.
         let bad = "system x\nquality 3..1\naction a const 1 2\nbudget 5";
         assert!(ToolSpec::parse(bad).unwrap_err().message.contains("empty"));

@@ -64,7 +64,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .collect();
             fr.iter().sum::<f64>() / fr.len().max(1) as f64
         };
-        println!("{:>6}   {:>6.2}  {:>7.2}", w, slice(&frozen), slice(&learned));
+        println!(
+            "{:>6}   {:>6.2}  {:>7.2}",
+            w,
+            slice(&frozen),
+            slice(&learned)
+        );
     }
     assert_eq!(frozen.misses(), 0);
     assert_eq!(learned.misses(), 0);

@@ -8,7 +8,11 @@
 
 use fine_grain_qos::prelude::*;
 
-fn run(label: &str, constant: Option<u8>, k: usize) -> Result<StreamResult, Box<dyn std::error::Error>> {
+fn run(
+    label: &str,
+    constant: Option<u8>,
+    k: usize,
+) -> Result<StreamResult, Box<dyn std::error::Error>> {
     let mb = 48; // scaled-down frames; per-MB pressure preserved
     let scenario = LoadScenario::paper_benchmark(2005).truncated(582);
     let app = TableApp::with_macroblocks(scenario, mb)?;
@@ -51,5 +55,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn min_psnr(r: &StreamResult) -> f64 {
-    r.frames().iter().map(|f| f.psnr_db).fold(f64::INFINITY, f64::min)
+    r.frames()
+        .iter()
+        .map(|f| f.psnr_db)
+        .fold(f64::INFINITY, f64::min)
 }

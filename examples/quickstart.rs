@@ -47,9 +47,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             } else {
                 system.profile().avg(d.action, d.quality)
             };
-            t = t + dur;
+            t += dur;
             ctl.complete(t)?;
-            println!("  {name:<8} at {:<3} took {dur:>7} (deadline {})", d.quality.to_string(), d.deadline);
+            println!(
+                "  {name:<8} at {:<3} took {dur:>7} (deadline {})",
+                d.quality.to_string(),
+                d.deadline
+            );
         }
         let report = ctl.finish();
         println!(

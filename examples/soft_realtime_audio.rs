@@ -27,11 +27,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut pb = QualityProfile::builder(qs.clone(), 5);
     pb.set_constant(capture.index(), 20_000, 30_000)?;
     // Denoise: from a simple gate (q0) to spectral subtraction (q3).
-    pb.set_levels(denoise.index(), &[(30_000, 50_000), (80_000, 140_000), (150_000, 260_000), (240_000, 420_000)])?;
+    pb.set_levels(
+        denoise.index(),
+        &[
+            (30_000, 50_000),
+            (80_000, 140_000),
+            (150_000, 260_000),
+            (240_000, 420_000),
+        ],
+    )?;
     // Equalizer: more bands at higher quality.
-    pb.set_levels(eq.index(), &[(20_000, 30_000), (40_000, 60_000), (70_000, 110_000), (110_000, 170_000)])?;
+    pb.set_levels(
+        eq.index(),
+        &[
+            (20_000, 30_000),
+            (40_000, 60_000),
+            (70_000, 110_000),
+            (110_000, 170_000),
+        ],
+    )?;
     // Encoder: bigger psychoacoustic model at higher quality.
-    pb.set_levels(encode.index(), &[(50_000, 90_000), (90_000, 160_000), (140_000, 250_000), (200_000, 360_000)])?;
+    pb.set_levels(
+        encode.index(),
+        &[
+            (50_000, 90_000),
+            (90_000, 160_000),
+            (140_000, 250_000),
+            (200_000, 360_000),
+        ],
+    )?;
     pb.set_constant(packetize.index(), 15_000, 25_000)?;
     let profile = pb.build()?;
 
@@ -55,7 +79,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let avg = system.profile().avg(d.action, d.quality).get() as f64;
             let wc = system.profile().worst(d.action, d.quality).get();
             let dur = (avg * rng.gen_range(0.7..1.5)) as u64;
-            t = t + Cycles::new(dur.clamp(1, wc));
+            t += Cycles::new(dur.clamp(1, wc));
             ctl.complete(t)?;
             chosen.push((d.action, d.quality));
         }

@@ -45,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:>5}  {}  {:>8.3}  {:>6.3}  {:>6.2}  {:>5.1}",
             f.frame,
-            if f.is_iframe { "I-frame   " } else { "P-frame   " },
+            if f.is_iframe {
+                "I-frame   "
+            } else {
+                "P-frame   "
+            },
             f.encode_cycles.get() as f64 / 1e6,
             f.budget.get() as f64 / 1e6,
             f.mean_quality,

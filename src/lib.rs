@@ -85,7 +85,5 @@ pub mod prelude {
     pub use fgqos_sim::app::{TableApp, VideoApp};
     pub use fgqos_sim::runner::{Mode, RunConfig, Runner, StreamResult};
     pub use fgqos_sim::scenario::LoadScenario;
-    pub use fgqos_time::{
-        Cycles, DeadlineMap, Quality, QualityProfile, QualitySet, Slack,
-    };
+    pub use fgqos_time::{Cycles, DeadlineMap, Quality, QualityProfile, QualitySet, Slack};
 }

@@ -2,9 +2,7 @@
 //! reduced-but-faithful scale (per-macroblock pressure preserved by
 //! scaling the period with the macroblock count).
 
-use fgqos_bench::experiments::{
-    budget_shape_checks, psnr_shape_checks, run_pair, ExpConfig,
-};
+use fgqos_bench::experiments::{budget_shape_checks, psnr_shape_checks, run_pair, ExpConfig};
 
 fn cfg(frames: usize, mb: usize) -> ExpConfig {
     ExpConfig {

@@ -18,9 +18,7 @@ fn runner(frames: usize, mb: usize, k: usize, seed: u64) -> Runner<TableApp> {
 fn controlled_never_skips_across_seeds_and_models() {
     for seed in [1u64, 7, 42, 1234] {
         let mut r = runner(120, 16, 1, seed);
-        let res = r
-            .run_controlled(&mut MaxQuality::new(), seed)
-            .expect("run");
+        let res = r.run_controlled(&mut MaxQuality::new(), seed).expect("run");
         assert_eq!(res.skips(), 0, "seed {seed}: {}", res.summary());
         assert_eq!(res.misses(), 0, "seed {seed}");
         assert_eq!(res.fallbacks(), 0, "seed {seed}");
@@ -104,7 +102,7 @@ fn smooth_policy_bounds_upward_steps_per_decision() {
             );
         }
         prev = Some(d.quality.level());
-        t = t + app.system().profile().avg(d.action, d.quality);
+        t += app.system().profile().avg(d.action, d.quality);
         ctl.complete(t).expect("complete");
     }
     assert_eq!(ctl.finish().misses, 0);

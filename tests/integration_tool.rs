@@ -24,7 +24,7 @@ fn spec_compile_run_roundtrip() {
     while let Some(d) = ctl.decide(t, &mut policy).expect("decide") {
         qualities.push(d.quality.level());
         // Adversarial: always the worst case of the chosen level.
-        t = t + app.system().profile().worst(d.action, d.quality);
+        t += app.system().profile().worst(d.action, d.quality);
         ctl.complete(t).expect("complete");
     }
     let report = ctl.finish();
@@ -92,7 +92,7 @@ fn compiled_tables_agree_with_direct_controller() {
             (Some(a), Some(b)) => {
                 assert_eq!(a.action, b.action, "schedules diverge at {t}");
                 assert_eq!(a.quality, b.quality, "qualities diverge at {t}");
-                t = t + app.system().profile().avg(a.action, a.quality);
+                t += app.system().profile().avg(a.action, a.quality);
                 direct.complete(t).expect("direct complete");
                 compiled.complete(t).expect("compiled complete");
             }

@@ -1,0 +1,85 @@
+//! Workspace smoke test: the `examples/quickstart.rs` path, end-to-end.
+//!
+//! Builds the three-stage fetch → process → emit pipeline through the
+//! umbrella prelude, runs controlled cycles under calm and loaded
+//! conditions, and asserts the Proposition 2.1 outcome: a [`CycleReport`]
+//! with zero deadline misses, with every action covered by a record.
+
+use fine_grain_qos::prelude::*;
+
+/// Build the quickstart system: 3 actions, 3 quality levels on `process`.
+fn quickstart_system() -> Result<(ParamSystem, ActionId), Box<dyn std::error::Error>> {
+    let mut b = GraphBuilder::new();
+    let fetch = b.action("fetch");
+    let process = b.action("process");
+    let emit = b.action("emit");
+    b.chain(&[fetch, process, emit])?;
+    let graph = b.build()?;
+
+    let qs = QualitySet::contiguous(0, 2)?;
+    let mut pb = QualityProfile::builder(qs.clone(), 3);
+    pb.set_constant(fetch.index(), 100, 150)?;
+    pb.set_levels(process.index(), &[(200, 400), (500, 900), (900, 1600)])?;
+    pb.set_constant(emit.index(), 80, 120)?;
+    let profile = pb.build()?;
+
+    let deadlines = DeadlineMap::uniform(
+        qs,
+        vec![Cycles::new(400), Cycles::new(1700), Cycles::new(2000)],
+    );
+    Ok((ParamSystem::new(graph, profile, deadlines)?, fetch))
+}
+
+/// Run one controlled cycle where `fetch` takes `fetch_time` and the other
+/// actions consume their declared average for the chosen quality.
+fn run_cycle(
+    system: &ParamSystem,
+    fetch: ActionId,
+    fetch_time: u64,
+) -> Result<CycleReport, Box<dyn std::error::Error>> {
+    let mut ctl = CycleController::new(system, &EdfScheduler)?;
+    let mut policy = MaxQuality::new();
+    let mut t = Cycles::ZERO;
+    while let Some(d) = ctl.decide(t, &mut policy)? {
+        let dur = if d.action == fetch {
+            Cycles::new(fetch_time)
+        } else {
+            system.profile().avg(d.action, d.quality)
+        };
+        t += dur;
+        ctl.complete(t)?;
+    }
+    Ok(ctl.finish())
+}
+
+#[test]
+fn quickstart_path_reports_zero_misses() -> Result<(), Box<dyn std::error::Error>> {
+    let (system, fetch) = quickstart_system()?;
+    system.check_schedulable()?;
+
+    for fetch_time in [100u64, 150] {
+        let report = run_cycle(&system, fetch, fetch_time)?;
+
+        // Proposition 2.1: no deadline miss as long as C <= Cwc_theta.
+        assert_eq!(report.misses, 0, "fetch_time={fetch_time}");
+        assert!(report.records.iter().all(|r| r.met_deadline()));
+
+        // One record per action, finished within the cycle budget.
+        assert_eq!(report.records.len(), 3);
+        assert_eq!(report.decisions, 3);
+        assert!(report.total_time <= report.final_deadline);
+        assert!(report.utilization() > 0.0 && report.utilization() <= 1.0);
+    }
+
+    // Load reaction: the loaded cycle must not pick a better (or equal
+    // total) quality than the calm one on the quality-bearing action.
+    let calm = run_cycle(&system, fetch, 100)?;
+    let loaded = run_cycle(&system, fetch, 150)?;
+    assert!(
+        loaded.mean_quality() <= calm.mean_quality(),
+        "loaded cycle ({}) should not out-quality calm cycle ({})",
+        loaded.mean_quality(),
+        calm.mean_quality()
+    );
+    Ok(())
+}

@@ -1,0 +1,310 @@
+//! Vendored minimal stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, written for this workspace's offline build environment.
+//!
+//! It measures wall-clock time with `std::time::Instant`: a short warm-up,
+//! then `sample_size` samples of an auto-scaled iteration batch, reporting
+//! min/mean/max per-iteration times to stdout. No statistics beyond that,
+//! no HTML reports, no comparison with saved baselines.
+//!
+//! Supported surface: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`] (with `sample_size`, `bench_function`,
+//! `bench_with_input`, `finish`), [`Bencher::iter`],
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`BatchSize`], [`black_box`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! `cargo bench -- <filter>` runs only benchmarks whose name contains one
+//! of the given substrings; `--test` (passed by `cargo test --benches`)
+//! runs each benchmark exactly once.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark (kept small: this is a smoke
+/// harness, not a statistics engine).
+const TARGET_SAMPLE_TIME: Duration = Duration::from_millis(40);
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+
+/// How the batch size of [`Bencher::iter_batched`] is chosen. Only used as
+/// a marker here; batches are always run one setup per routine call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch (marker only).
+    SmallInput,
+    /// Large inputs: few per batch (marker only).
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            name: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id that is just a parameter (inside a named group).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self { name: name.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { name }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    iters_hint: u64,
+    samples: Vec<Duration>,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Time `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        // Warm-up + auto-scale: find an iteration count that fills the
+        // target sample time.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET_SAMPLE_TIME / 4 || iters >= 1 << 24 {
+                let per_iter = elapsed / iters as u32;
+                self.samples.push(per_iter);
+                self.iters_hint = iters;
+                break;
+            }
+            iters = iters.saturating_mul(4);
+        }
+        for _ in 1..DEFAULT_SAMPLE_SIZE.min(self.iters_hint as usize + 2) {
+            let start = Instant::now();
+            for _ in 0..self.iters_hint {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / self.iters_hint as u32);
+        }
+    }
+
+    /// Time `routine` on fresh inputs produced by `setup` (setup excluded
+    /// from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            let input = setup();
+            black_box(routine(input));
+            self.samples.push(Duration::ZERO);
+            return;
+        }
+        let deadline = Instant::now() + TARGET_SAMPLE_TIME;
+        let mut measured = 0usize;
+        while measured < DEFAULT_SAMPLE_SIZE.max(3) && Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+            measured += 1;
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(full_name: &str, test_mode: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        iters_hint: 1,
+        samples: Vec::new(),
+        test_mode,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("{full_name}: ok (test mode)");
+        return;
+    }
+    if bencher.samples.is_empty() {
+        println!("{full_name}: no samples");
+        return;
+    }
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    let max = bencher.samples.iter().max().copied().unwrap_or_default();
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    println!(
+        "{full_name}: [{} {} {}] ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        bencher.samples.len(),
+    );
+}
+
+/// The benchmark driver (the real crate's `Criterion<M>`).
+#[derive(Default)]
+pub struct Criterion {
+    filters: Vec<String>,
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Apply command-line arguments (`--test`, name filters; everything
+    /// else criterion-specific is accepted and ignored).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--nocapture" | "--quiet" | "--verbose" | "-v" | "--noplot" => {}
+                "--sample-size" | "--warm-up-time" | "--measurement-time" | "--save-baseline"
+                | "--baseline" | "--profile-time" => {
+                    args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => self.filters.push(s.to_string()),
+            }
+        }
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        if self.matches(&id.name) {
+            run_one(&id.name, self.test_mode, &mut f);
+        }
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Print the final summary (no-op in this stand-in).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count (accepted for API compatibility; the stand-in
+    /// keeps its own small fixed sample count).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().name);
+        if self.criterion.matches(&full) {
+            run_one(&full, self.criterion.test_mode, &mut f);
+        }
+        self
+    }
+
+    /// Benchmark a function parameterized by an input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().name);
+        if self.criterion.matches(&full) {
+            run_one(&full, self.criterion.test_mode, &mut |b| f(b, input));
+        }
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

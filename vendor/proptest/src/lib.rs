@@ -1,0 +1,197 @@
+//! Vendored minimal stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate, written for this workspace's offline build environment.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **no shrinking** — a failing case reports the seed and case index so it
+//!   can be replayed, but is not minimized;
+//! * **deterministic** — the RNG seed is derived from the test name and case
+//!   index, so every run explores the same inputs (CI stability);
+//! * the number of cases is capped by the `PROPTEST_CASES` environment
+//!   variable when set, e.g. `PROPTEST_CASES=8 cargo test -q` for a quick
+//!   smoke pass.
+//!
+//! Only the API surface the workspace uses is provided: [`Strategy`] with
+//! `prop_map` / `prop_flat_map` / `prop_filter`, strategies for integer and
+//! float ranges, tuples, [`Just`], [`any`], [`collection::vec`],
+//! [`bool::weighted`], and the [`proptest!`], [`prop_assert!`],
+//! [`prop_assert_eq!`], [`prop_assert_ne!`] and [`prop_assume!`] macros.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection;
+
+/// Strategies over `bool` (the real crate's `proptest::bool` module).
+pub mod bool {
+    use crate::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A `bool` strategy that is `true` with probability `p`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Weighted(pub f64);
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn try_gen(&self, rng: &mut TestRng) -> Option<bool> {
+            Some(rng.gen_bool(self.0))
+        }
+    }
+
+    /// `true` with probability `p`, `false` otherwise.
+    pub fn weighted(p: f64) -> Weighted {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "bool::weighted: probability out of range"
+        );
+        Weighted(p)
+    }
+}
+
+/// Everything a test module normally imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+pub use strategy::{any, Just, Strategy};
+pub use test_runner::Config as ProptestConfig;
+
+/// Define property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_property(x in 0u64..100, (a, b) in my_strategy()) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                $crate::test_runner::run_cases(
+                    &config,
+                    stringify!($name),
+                    |__proptest_rng| {
+                        $(
+                            let $arg = match $crate::strategy::Strategy::try_gen(
+                                &($strat),
+                                __proptest_rng,
+                            ) {
+                                Some(v) => v,
+                                None => return $crate::test_runner::CaseOutcome::Reject,
+                            };
+                        )+
+                        let __proptest_result: ::std::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > = (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                        match __proptest_result {
+                            ::std::result::Result::Ok(()) =>
+                                $crate::test_runner::CaseOutcome::Pass,
+                            ::std::result::Result::Err(
+                                $crate::test_runner::TestCaseError::Reject(_),
+                            ) => $crate::test_runner::CaseOutcome::Reject,
+                            ::std::result::Result::Err(
+                                $crate::test_runner::TestCaseError::Fail(msg),
+                            ) => $crate::test_runner::CaseOutcome::Fail(msg),
+                        }
+                    },
+                );
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n{}",
+            stringify!($left), stringify!($right), l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Discard the current case unless `cond` holds (does not count as a run).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,124 @@
+//! The case runner behind the `proptest!` macro.
+
+use rand::SeedableRng;
+
+use crate::strategy::TestRng;
+
+/// Per-test configuration (the real crate's `ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum number of rejected cases before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl Config {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a test body stopped early.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case does not apply (`prop_assume!` failed); try another input.
+    Reject(String),
+    /// A property was violated (`prop_assert!` failed).
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection (input discarded, not counted) with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// Outcome of running one generated case.
+#[derive(Debug)]
+pub enum CaseOutcome {
+    /// The property held.
+    Pass,
+    /// The input was rejected (filter or assumption); does not count.
+    Reject,
+    /// The property was violated.
+    Fail(String),
+}
+
+/// FNV-1a, used to derive a per-test seed from its name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Effective case count: the config value, capped by `PROPTEST_CASES` if set.
+fn effective_cases(config: &Config) -> u32 {
+    match std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+    {
+        Some(cap) => config.cases.min(cap.max(1)),
+        None => config.cases,
+    }
+}
+
+/// Run `case` until `config.cases` successful executions (deterministic).
+///
+/// Panics with a replayable description on the first failing case.
+pub fn run_cases(
+    config: &Config,
+    test_name: &str,
+    mut case: impl FnMut(&mut TestRng) -> CaseOutcome,
+) {
+    let cases = effective_cases(config);
+    let base_seed = fnv1a(test_name.as_bytes());
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut attempt: u64 = 0;
+    while passed < cases {
+        let seed = base_seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        match case(&mut rng) {
+            CaseOutcome::Pass => passed += 1,
+            CaseOutcome::Reject => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest '{test_name}': too many rejected inputs \
+                         ({rejected} rejects for {passed}/{cases} passes)"
+                    );
+                }
+            }
+            CaseOutcome::Fail(msg) => {
+                panic!(
+                    "proptest '{test_name}' failed at case {passed} \
+                     (attempt {attempt}, seed {seed:#x}):\n{msg}"
+                );
+            }
+        }
+        attempt += 1;
+    }
+}
