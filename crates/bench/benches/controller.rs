@@ -68,6 +68,21 @@ fn bench_table_build(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_shared_tables(c: &mut Criterion) {
+    // The per-frame cost once tables are cached: an Arc clone + controller
+    // construction, versus the full rebuild measured in `table_build`.
+    let (tables, qs) = tables_for(396, 80_000_000);
+    let shared = std::sync::Arc::new(tables);
+    c.bench_function("controller_from_shared_tables_396mb", |b| {
+        b.iter(|| {
+            std::hint::black_box(CycleController::from_shared(
+                std::sync::Arc::clone(&shared),
+                qs.clone(),
+            ))
+        });
+    });
+}
+
 fn bench_full_cycle(c: &mut Criterion) {
     let (tables, qs) = tables_for(99, 20_000_000);
     let profile = fig2_profile();
@@ -99,6 +114,7 @@ criterion_group!(
     benches,
     bench_decision,
     bench_table_build,
+    bench_shared_tables,
     bench_full_cycle,
     bench_scenario
 );

@@ -7,8 +7,8 @@ use fgqos_core::policy::{ConstantQuality, MaxQuality};
 use fgqos_encoder::app::EncoderApp;
 use fgqos_sim::app::TableApp;
 use fgqos_sim::csv::render_csv;
-use fgqos_sim::exec::WorkDriven;
 use fgqos_sim::runner::{Mode, RunConfig, Runner, StreamResult};
+use fgqos_sim::runtime::VirtualClock;
 use fgqos_sim::scenario::LoadScenario;
 use fgqos_time::{fig5, Quality};
 
@@ -156,18 +156,27 @@ fn run_one(cfg: &ExpConfig, constant: Option<Quality>, k: usize) -> StreamResult
         let (w, h) = cfg.pixel_dims();
         let app = EncoderApp::new(scenario, w, h, cfg.seed).expect("pixel app");
         let mut runner = Runner::new(app, config).expect("runner");
-        let mut exec = WorkDriven::new(0, 1.0, cfg.seed);
+        // Pixel runs go through the explicit runtime seam: deterministic
+        // virtual clock, work-driven costs (reported work = cycles).
+        let mut clock = VirtualClock::new();
+        let mut backend = EncoderApp::work_backend(cfg.seed);
         match constant {
             Some(q) => {
                 let mut policy = ConstantQuality::new(q);
                 runner
-                    .run(Mode::Constant, &mut policy, &mut exec, None)
+                    .run_on(&mut clock, &mut backend, Mode::Constant, &mut policy, None)
                     .expect("constant pixel run")
             }
             None => {
                 let mut policy = MaxQuality::new();
                 runner
-                    .run(Mode::Controlled, &mut policy, &mut exec, None)
+                    .run_on(
+                        &mut clock,
+                        &mut backend,
+                        Mode::Controlled,
+                        &mut policy,
+                        None,
+                    )
                     .expect("controlled pixel run")
             }
         }

@@ -1,5 +1,7 @@
 //! The cycle controller: the abstract control algorithm of Section 2.2.
 
+use std::sync::Arc;
+
 use fgqos_graph::ActionId;
 use fgqos_sched::{BestSched, ConstraintTables};
 use fgqos_time::{Cycles, Quality, QualitySet};
@@ -41,7 +43,9 @@ pub struct Decision {
 /// [`finish`]: CycleController::finish
 #[derive(Debug, Clone)]
 pub struct CycleController {
-    tables: ConstraintTables,
+    /// Shared so cyclic streams can reuse one table set across every
+    /// frame with the same budget (the controller never mutates tables).
+    tables: Arc<ConstraintTables>,
     qualities: QualitySet,
     pos: usize,
     pending: Option<Decision>,
@@ -80,15 +84,10 @@ impl CycleController {
     pub fn with_order(system: &ParamSystem, order: Vec<ActionId>) -> Result<Self, CoreError> {
         system.graph().validate_schedule(&order)?;
         let tables = ConstraintTables::new(order, system.profile(), system.deadlines())?;
-        Ok(CycleController {
-            tables,
-            qualities: system.qualities().clone(),
-            pos: 0,
-            pending: None,
-            last_time: Cycles::ZERO,
-            records: Vec::with_capacity(system.graph().len()),
-            fallbacks: 0,
-        })
+        Ok(Self::from_shared(
+            Arc::new(tables),
+            system.qualities().clone(),
+        ))
     }
 
     /// Builds a controller directly from precomputed constraint tables.
@@ -100,6 +99,17 @@ impl CycleController {
     /// [`CycleController::with_order`] when in doubt.
     #[must_use]
     pub fn from_tables(tables: ConstraintTables, qualities: QualitySet) -> Self {
+        Self::from_shared(Arc::new(tables), qualities)
+    }
+
+    /// Builds a controller over *shared* tables without copying them.
+    ///
+    /// Frames with the same budget see identical deadlines, so their
+    /// tables are identical too; a stream runner builds them once per
+    /// budget and hands every controller an [`Arc`] clone. Same caveats
+    /// as [`CycleController::from_tables`].
+    #[must_use]
+    pub fn from_shared(tables: Arc<ConstraintTables>, qualities: QualitySet) -> Self {
         let n = tables.len();
         CycleController {
             tables,

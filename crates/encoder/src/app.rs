@@ -5,9 +5,18 @@
 //! order. The app carries real codec state (reference frame,
 //! reconstruction in progress, bitstream, rate control); `run_action`
 //! performs the actual signal processing and reports its work converted
-//! to cycles via [`crate::timing`] (pair the app with
-//! [`fgqos_sim::exec::WorkDriven::new(0, 1.0, seed)`] so reported work
-//! *is* the actual execution time, clamped at the declared worst case).
+//! to cycles via [`crate::timing`].
+//!
+//! Two runtime pairings (see [`fgqos_sim::runtime`]):
+//!
+//! * simulation — [`EncoderApp::work_backend`] on a
+//!   [`fgqos_sim::runtime::VirtualClock`]: reported work *is* the
+//!   execution time, clamped at the declared worst case, fully
+//!   deterministic;
+//! * live — [`fgqos_sim::runtime::MeasuredBackend`] on a
+//!   [`fgqos_sim::runtime::WallClock`] calibrated with
+//!   [`crate::timing::wall_rate`]: actions cost the real time they took
+//!   (see `examples/live_encoder.rs`).
 
 use fgqos_core::CycleReport;
 use fgqos_graph::{ActionId, PrecedenceGraph};
@@ -185,6 +194,16 @@ impl EncoderApp {
             last_frame_qp: 12,
             prev_reference: Frame::new(width, height),
         })
+    }
+
+    /// The simulation backend matching this app: the work reported by
+    /// `run_action` *is* the execution time in cycles (base 0, one cycle
+    /// per unit), clamped at the declared worst case by the model.
+    #[must_use]
+    pub fn work_backend(
+        seed: u64,
+    ) -> fgqos_sim::runtime::ModelBackend<fgqos_sim::exec::WorkDriven> {
+        fgqos_sim::runtime::ModelBackend::new(fgqos_sim::exec::WorkDriven::new(0, 1.0, seed))
     }
 
     /// Total bits produced so far (rate-control telemetry).
@@ -469,18 +488,27 @@ mod tests {
 
     /// End-to-end: the controlled pixel encoder over a short stream
     /// produces decodable quality (PSNR well above the skip level) and no
-    /// skips.
+    /// skips. Runs through the explicit runtime seam (virtual clock +
+    /// work backend) — the configuration every figure binary uses.
     #[test]
     fn controlled_pixel_run_is_safe_and_decent() {
+        use fgqos_sim::runtime::VirtualClock;
         let scenario = LoadScenario::paper_benchmark(3).truncated(12);
         let app = EncoderApp::new(scenario, 48, 32, 5).unwrap();
         let n = app.iterations();
         let config = RunConfig::paper_defaults().scaled_to_macroblocks(n);
         let mut runner = Runner::new(app, config).unwrap();
         let mut policy = MaxQuality::new();
-        let mut exec = WorkDriven::new(0, 1.0, 3);
+        let mut clock = VirtualClock::new();
+        let mut backend = EncoderApp::work_backend(3);
         let res = runner
-            .run(Mode::Controlled, &mut policy, &mut exec, None)
+            .run_on(
+                &mut clock,
+                &mut backend,
+                Mode::Controlled,
+                &mut policy,
+                None,
+            )
             .unwrap();
         assert_eq!(res.skips(), 0, "{}", res.summary());
         assert_eq!(res.misses(), 0);

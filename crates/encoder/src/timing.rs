@@ -10,6 +10,8 @@
 //! Calibration constants assume the representative workloads documented
 //! on each function; `EXPERIMENTS.md` records the measured averages.
 
+use std::time::Duration;
+
 use fgqos_time::fig5;
 
 use crate::motion::{radius_for_quality, RADIUS_BY_QUALITY};
@@ -92,6 +94,29 @@ pub fn reconstruct_cycles(nonzeros: u32) -> u64 {
     9_600 + 5 * u64::from(nonzeros)
 }
 
+/// Wall-clock calibration: the cycles-per-second rate at which a frame of
+/// `macroblocks` macroblocks — carrying its proportional share of the
+/// paper's 320 Mcycle period — spans exactly `wall_period` of real time.
+///
+/// At the paper's own scale this recovers the 8 GHz platform
+/// (`wall_rate(1584, 40ms) == fig5::CLOCK_HZ`); smaller frames or longer
+/// wall periods scale the rate down, which is how the live example runs
+/// the pixel encoder on commodity hardware without violating deadlines.
+/// Feed the result to `fgqos_sim::runtime::WallClock::new`.
+///
+/// # Panics
+///
+/// Panics if `macroblocks` is zero or `wall_period` is zero.
+#[must_use]
+pub fn wall_rate(macroblocks: usize, wall_period: Duration) -> u64 {
+    assert!(macroblocks > 0, "macroblocks must be positive");
+    let period_cycles = (u128::from(fig5::PERIOD_CYCLES) * macroblocks as u128
+        / fig5::MACROBLOCKS_PER_FRAME as u128) as u64;
+    // The rate arithmetic lives in one place: WallClock::scaled.
+    fgqos_sim::runtime::WallClock::scaled(fgqos_time::Cycles::new(period_cycles), wall_period)
+        .cycles_per_sec()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -137,6 +162,28 @@ mod tests {
         assert_eq!(grab_cycles(), 12_000);
         assert_eq!(dct_cycles(), 16_000);
         assert_eq!(intra_cycles(), 4_000);
+    }
+
+    #[test]
+    fn wall_rate_recovers_the_paper_platform() {
+        // Full-size frames at the camera's real 40 ms period = 8 GHz.
+        assert_eq!(
+            wall_rate(fig5::MACROBLOCKS_PER_FRAME, Duration::from_millis(40)),
+            fig5::CLOCK_HZ
+        );
+        // Stretching the period 1000x slows the platform 1000x.
+        assert_eq!(
+            wall_rate(fig5::MACROBLOCKS_PER_FRAME, Duration::from_secs(40)),
+            fig5::CLOCK_HZ / 1000
+        );
+        // Rates never collapse to zero.
+        assert!(wall_rate(1, Duration::from_secs(3600)) >= 1);
+    }
+
+    #[test]
+    fn wall_rate_rejects_degenerate_inputs() {
+        assert!(std::panic::catch_unwind(|| wall_rate(0, Duration::from_millis(1))).is_err());
+        assert!(std::panic::catch_unwind(|| wall_rate(10, Duration::ZERO)).is_err());
     }
 
     #[test]

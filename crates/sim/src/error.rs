@@ -20,6 +20,8 @@ pub enum SimError {
         /// Reported actions per body.
         actual: usize,
     },
+    /// A text input (trace CSV) could not be parsed.
+    Parse(String),
 }
 
 impl fmt::Display for SimError {
@@ -33,6 +35,7 @@ impl fmt::Display for SimError {
                     "application body has {actual} actions, expected {expected}"
                 )
             }
+            SimError::Parse(what) => write!(f, "parse error: {what}"),
         }
     }
 }

@@ -45,6 +45,16 @@ pub trait ExecTimeModel {
     fn name(&self) -> &'static str;
 }
 
+impl<T: ExecTimeModel + ?Sized> ExecTimeModel for &mut T {
+    fn sample(&mut self, ctx: &ExecCtx) -> Cycles {
+        (**self).sample(ctx)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 fn clamp(value: f64, worst: Cycles) -> Cycles {
     let hi = worst.get() as f64;
     Cycles::new(value.clamp(1.0, hi).round() as u64)

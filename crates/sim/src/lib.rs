@@ -19,11 +19,16 @@
 //!   buffer(K) → display loop of Fig. 3, including the frame-skip rule
 //!   (a camera frame is dropped when the input buffer is full) and the
 //!   occupancy-dependent per-frame time budget (average `P`);
+//! * [`runtime`] — the pluggable runtime layer: the [`runtime::Clock`]
+//!   trait (deterministic [`runtime::VirtualClock`], calibrated
+//!   [`runtime::WallClock`]) and the [`runtime::ExecBackend`] seam
+//!   separating "execute action, report cost" from "decide quality";
 //! * [`runner`] — end-to-end runs of a controlled or constant-quality
 //!   encoder over a stream, producing per-frame records
 //!   ([`runner::StreamResult`]) from which every figure of Section 3 is
-//!   regenerated;
-//! * [`csv`] — plain-text series export for plotting.
+//!   regenerated; backend-generic via [`runner::Runner::run_on`];
+//! * [`csv`] — plain-text series export for plotting, and the trace
+//!   parser behind [`scenario::LoadScenario::from_trace_csv`].
 //!
 //! # Example
 //!
@@ -55,6 +60,7 @@ pub mod csv;
 pub mod exec;
 pub mod pipeline;
 pub mod runner;
+pub mod runtime;
 pub mod scenario;
 
 pub use error::SimError;

@@ -1,5 +1,16 @@
 //! End-to-end stream runs: camera → buffers → (controlled | constant)
 //! encoder, producing the per-frame series behind Figs. 6–9.
+//!
+//! The runner owns only the *policy loop*: how frames flow through the
+//! Fig. 3 pipeline and how the controller interleaves with the
+//! application. Where time comes from and what actions cost is delegated
+//! to the [`crate::runtime`] layer — [`Runner::run_on`] accepts any
+//! [`Clock`] + [`ExecBackend`] pair, and the historical entry points
+//! ([`Runner::run`], [`Runner::run_controlled`], [`Runner::run_constant`])
+//! are the deterministic virtual-clock special case.
+
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use fgqos_core::estimator::AvgEstimator;
 use fgqos_core::policy::{ConstantQuality, QualityPolicy};
@@ -12,6 +23,7 @@ use fgqos_time::{fig5, Cycles, DeadlineMap, Quality, QualityProfile};
 use crate::app::VideoApp;
 use crate::exec::{ExecCtx, ExecTimeModel, StochasticLoad};
 use crate::pipeline::InputPipeline;
+use crate::runtime::{Clock, ExecBackend, ModelBackend, VirtualClock};
 use crate::SimError;
 
 /// How the per-frame budget is decomposed into action deadlines.
@@ -248,7 +260,26 @@ pub struct Runner<A: VideoApp> {
     tiled_profile: QualityProfile,
     /// Monitor accumulating safety statistics across the run.
     monitor: safety::SafetyMonitor,
+    /// Constraint tables shared across frames, keyed by the frame budget
+    /// they were built for. The tables depend only on the system model
+    /// (order, tiled profile, deadline shape) and the budget — not on the
+    /// stream — so every frame with a repeated budget reuses the `Arc`
+    /// instead of rebuilding: uncontrolled runs (budget `+∞`) and paced
+    /// controlled runs build exactly once. Bounded (saturated controlled
+    /// runs pop at stochastic instants, so their budgets rarely repeat)
+    /// and cleared whenever an online estimator rewrites the profile.
+    tables_cache: HashMap<Cycles, Arc<ConstraintTables>>,
+    /// Insertion order of `tables_cache` keys, oldest first (FIFO
+    /// eviction: a burst of unique budgets must not flush the hot
+    /// recurring entries all at once).
+    tables_cache_order: std::collections::VecDeque<Cycles>,
 }
+
+/// Cap on distinct budgets cached at once. At the paper's scale one table
+/// set is megabytes; the cap keeps worst-case memory flat when every
+/// frame's budget is unique while still covering the common case (a
+/// handful of recurring budgets per run).
+const TABLES_CACHE_CAP: usize = 8;
 
 impl<A: VideoApp> Runner<A> {
     /// Prepares a runner: unrolls the body, validates shapes, computes
@@ -285,6 +316,8 @@ impl<A: VideoApp> Runner<A> {
             order,
             tiled_profile,
             monitor: safety::SafetyMonitor::new(),
+            tables_cache: HashMap::new(),
+            tables_cache_order: std::collections::VecDeque::new(),
         })
     }
 
@@ -298,6 +331,41 @@ impl<A: VideoApp> Runner<A> {
     #[must_use]
     pub fn monitor(&self) -> &safety::SafetyMonitor {
         &self.monitor
+    }
+
+    /// Number of distinct frame budgets whose constraint tables are
+    /// currently cached (diagnostics: a steady-state run needs only a
+    /// handful — typically `P`, the first frame's `2P`, and the
+    /// unconstrained tail).
+    #[must_use]
+    pub fn cached_tables(&self) -> usize {
+        self.tables_cache.len()
+    }
+
+    /// The shared constraint tables for one frame budget, built on first
+    /// use and reused for every later frame with the same budget.
+    fn tables_for(
+        &mut self,
+        frame_budget: Cycles,
+        qs: &fgqos_time::QualitySet,
+    ) -> Result<Arc<ConstraintTables>, SimError> {
+        if let Some(t) = self.tables_cache.get(&frame_budget) {
+            return Ok(Arc::clone(t));
+        }
+        let deadlines = DeadlineMap::uniform(qs.clone(), self.deadline_vec(frame_budget));
+        let tables = Arc::new(ConstraintTables::new(
+            self.order.clone(),
+            &self.tiled_profile,
+            &deadlines,
+        )?);
+        if self.tables_cache.len() >= TABLES_CACHE_CAP {
+            if let Some(oldest) = self.tables_cache_order.pop_front() {
+                self.tables_cache.remove(&oldest);
+            }
+        }
+        self.tables_cache.insert(frame_budget, Arc::clone(&tables));
+        self.tables_cache_order.push_back(frame_budget);
+        Ok(tables)
     }
 
     /// Per-instance deadline vector for one frame of budget `budget`.
@@ -355,8 +423,12 @@ impl<A: VideoApp> Runner<A> {
         self.run(Mode::Constant, &mut policy, &mut exec, None)
     }
 
-    /// Fully general run: any mode, policy, execution-time model and
-    /// optional online average estimator.
+    /// Fully general virtual-clock run: any mode, policy, execution-time
+    /// model and optional online average estimator.
+    ///
+    /// Equivalent to [`Runner::run_on`] with a fresh
+    /// [`VirtualClock`] and a [`ModelBackend`] over `exec` — the
+    /// deterministic configuration every figure and test uses.
     ///
     /// # Errors
     ///
@@ -366,12 +438,35 @@ impl<A: VideoApp> Runner<A> {
         mode: Mode,
         policy: &mut dyn QualityPolicy,
         exec: &mut dyn ExecTimeModel,
+        estimator: Option<&mut dyn AvgEstimator>,
+    ) -> Result<StreamResult, SimError> {
+        let mut clock = VirtualClock::new();
+        let mut backend = ModelBackend::new(exec);
+        self.run_on(&mut clock, &mut backend, mode, policy, estimator)
+    }
+
+    /// Runs the full stream on an explicit runtime: any [`Clock`] (virtual
+    /// or wall) and any [`ExecBackend`] (modeled or measured costs).
+    ///
+    /// On a [`VirtualClock`] this reproduces [`Runner::run`]
+    /// byte-for-byte; on a [`crate::runtime::WallClock`] the pipeline
+    /// waits for real camera arrivals and deadline misses reflect the
+    /// host's actual timing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller protocol errors.
+    pub fn run_on(
+        &mut self,
+        clock: &mut dyn Clock,
+        backend: &mut dyn ExecBackend,
+        mode: Mode,
+        policy: &mut dyn QualityPolicy,
         mut estimator: Option<&mut dyn AvgEstimator>,
     ) -> Result<StreamResult, SimError> {
         let total = self.app.stream_len();
         let mut pipe = InputPipeline::new(self.config.period, self.config.input_capacity, total)?;
         let mut records: Vec<Option<FrameRecord>> = vec![None; total];
-        let mut now = Cycles::ZERO;
         let qs = self.app.profile().qualities().clone();
         // Declared profile: drives the controller's tables (and learns
         // from the estimator). Generative profile: drives the execution
@@ -380,6 +475,7 @@ impl<A: VideoApp> Runner<A> {
         let gen_profile = self.app.generative_profile().clone();
 
         loop {
+            let now = clock.now();
             // Equal-timestamp ordering: arrivals strictly before `now`,
             // then the pop (an encoder finishing exactly at its budget
             // deadline frees the slot first), then boundary arrivals.
@@ -396,7 +492,7 @@ impl<A: VideoApp> Runner<A> {
                 }
                 match pipe.next_arrival_time() {
                     Some(t) => {
-                        now = t;
+                        clock.sleep_until(t);
                         continue;
                     }
                     None => break,
@@ -412,24 +508,27 @@ impl<A: VideoApp> Runner<A> {
                 Mode::Controlled => budget,
                 Mode::Constant => Cycles::INFINITY,
             };
-            // Online estimation sharpens the averages before the frame.
+            // Online estimation sharpens the averages before the frame;
+            // cached tables were built from the old profile, drop them.
             if let Some(est) = estimator.as_deref_mut() {
                 apply_estimates(est, &mut body_profile);
                 self.tiled_profile = body_profile.tile(self.iter.iterations());
+                self.tables_cache.clear();
+                self.tables_cache_order.clear();
             }
-            let deadlines = DeadlineMap::uniform(qs.clone(), self.deadline_vec(frame_budget));
-            let tables =
-                ConstraintTables::new(self.order.clone(), &self.tiled_profile, &deadlines)?;
-            let mut ctl = CycleController::from_tables(tables, qs.clone());
+            let tables = self.tables_for(frame_budget, &qs)?;
+            let mut ctl = CycleController::from_shared(tables, qs.clone());
 
             self.app.begin_frame(frame);
             policy.on_cycle_start();
             let activity = self.app.activity(frame);
+            let frame_start = now;
             let mut t = Cycles::ZERO;
             loop {
                 let decision = ctl.decide(t, policy).map_err(SimError::from)?;
                 let Some(d) = decision else { break };
                 let (body_action, mb) = self.iter.body_of(d.action);
+                let started = frame_start + t;
                 let work = self.app.run_action(body_action, mb, d.quality);
                 let ctx = ExecCtx {
                     action: body_action,
@@ -442,7 +541,7 @@ impl<A: VideoApp> Runner<A> {
                     activity,
                     work_units: work,
                 };
-                let dur = exec.sample(&ctx);
+                let dur = backend.elapse(clock, started, &ctx);
                 t += dur;
                 ctl.complete(t).map_err(SimError::from)?;
                 if let Some(est) = estimator.as_deref_mut() {
@@ -467,7 +566,6 @@ impl<A: VideoApp> Runner<A> {
                 quality_switches: switches,
                 psnr_db: psnr,
             });
-            now += t;
         }
 
         let frames = records
@@ -673,6 +771,131 @@ mod tests {
         let res = r.run_controlled(&mut MaxQuality::new(), 5).unwrap();
         assert_eq!(res.skips(), 0, "{}", res.summary());
         assert_eq!(res.misses(), 0);
+    }
+
+    #[test]
+    fn run_on_virtual_clock_matches_legacy_run() {
+        use crate::runtime::{ModelBackend, VirtualClock};
+        let mut legacy = small_runner(50, 10, 1);
+        let expected = legacy.run_controlled(&mut MaxQuality::new(), 21).unwrap();
+        let mut seam = small_runner(50, 10, 1);
+        let mut clock = VirtualClock::new();
+        let mut backend = ModelBackend::new(StochasticLoad::new(21));
+        let actual = seam
+            .run_on(
+                &mut clock,
+                &mut backend,
+                Mode::Controlled,
+                &mut MaxQuality::new(),
+                None,
+            )
+            .unwrap();
+        // The explicit seam is the same computation: every per-frame
+        // record is identical, not just the aggregates.
+        assert_eq!(expected.frames(), actual.frames());
+    }
+
+    #[test]
+    fn constant_runs_share_one_table_across_all_frames() {
+        // Uncontrolled frames all see budget +inf: 60 frames, 1 build.
+        let mut r = small_runner(60, 12, 1);
+        let res = r.run_constant(Quality::new(0), 4).unwrap();
+        assert_eq!(res.frames().len(), 60);
+        assert_eq!(r.cached_tables(), 1, "one budget, one table");
+        // Re-running reuses the cached table (the PSNR noise stream is
+        // stateful across runs, so only timing fields are compared).
+        let res2 = r.run_constant(Quality::new(0), 4).unwrap();
+        assert_eq!(r.cached_tables(), 1);
+        for (a, b) in res.frames().iter().zip(res2.frames()) {
+            assert_eq!(a.encode_cycles, b.encode_cycles);
+            assert_eq!(a.budget, b.budget);
+        }
+    }
+
+    #[test]
+    fn controlled_runs_keep_the_tables_cache_bounded() {
+        // Saturated controlled runs pop at stochastic instants, so most
+        // budgets are unique; the cache must stay capped, not grow per
+        // frame.
+        let mut r = small_runner(60, 12, 1);
+        let res = r.run_controlled(&mut MaxQuality::new(), 4).unwrap();
+        assert_eq!(res.skips(), 0);
+        assert!(
+            r.cached_tables() <= TABLES_CACHE_CAP,
+            "cache grew past its cap: {}",
+            r.cached_tables()
+        );
+    }
+
+    #[test]
+    fn paced_controlled_runs_reuse_tables_across_frames() {
+        use crate::exec::Deterministic;
+        // A deterministic, under-loaded encoder finishes each frame before
+        // the next arrival, so every steady-state frame pops at an exact
+        // camera instant and sees the same budget: tables build O(1)
+        // times for 50 frames.
+        let scenario = LoadScenario::paper_benchmark(5).truncated(50);
+        let app = TableApp::with_macroblocks(scenario, 12).unwrap();
+        // Double the period: comfortable slack at every quality.
+        let base = RunConfig::paper_defaults().scaled_to_macroblocks(12);
+        let config = base.with_period(base.period.saturating_mul(2));
+        let mut r = Runner::new(app, config).unwrap();
+        let mut exec = Deterministic::nominal();
+        let mut policy = MaxQuality::new();
+        let res = r
+            .run(Mode::Controlled, &mut policy, &mut exec, None)
+            .unwrap();
+        assert_eq!(res.skips(), 0);
+        assert!(
+            r.cached_tables() <= 3,
+            "paced run should reuse tables, built {}",
+            r.cached_tables()
+        );
+    }
+
+    #[test]
+    fn estimator_runs_invalidate_the_tables_cache() {
+        use fgqos_core::estimator::EwmaEstimator;
+        let mut r = small_runner(20, 8, 1);
+        let qs = r.app().profile().qualities().clone();
+        let mut est = EwmaEstimator::new(9, qs, 0.3);
+        let mut exec = StochasticLoad::new(17);
+        let mut policy = MaxQuality::new();
+        r.run(Mode::Controlled, &mut policy, &mut exec, Some(&mut est))
+            .unwrap();
+        // The estimator rewrites the profile every frame; only the last
+        // frame's tables may remain cached.
+        assert!(r.cached_tables() <= 1, "got {}", r.cached_tables());
+    }
+
+    #[test]
+    fn wall_clock_run_completes_without_skips() {
+        use crate::runtime::{MeasuredBackend, WallClock};
+        // 6-macroblock frames, 5 frames, 10 ms per period: the measured
+        // cost of TableApp's no-op actions is microseconds against a
+        // multi-millisecond budget, so even a loaded host keeps up.
+        let scenario = LoadScenario::paper_benchmark(5).truncated(5);
+        let app = TableApp::with_macroblocks(scenario, 6).unwrap();
+        let period = RunConfig::paper_defaults().scaled_to_macroblocks(6).period;
+        let config = RunConfig::paper_defaults()
+            .scaled_to_macroblocks(6)
+            .with_capacity(1);
+        let mut r = Runner::new(app, config).unwrap();
+        let mut clock = WallClock::scaled(period, std::time::Duration::from_millis(10));
+        let mut backend = MeasuredBackend::new();
+        let res = r
+            .run_on(
+                &mut clock,
+                &mut backend,
+                Mode::Controlled,
+                &mut MaxQuality::new(),
+                None,
+            )
+            .unwrap();
+        assert_eq!(res.frames().len(), 5);
+        assert_eq!(res.skips(), 0, "{}", res.summary());
+        // Real time actually passed: 5 frames x 10 ms of camera pacing.
+        assert!(clock.now() >= period.saturating_mul(4));
     }
 
     #[test]

@@ -20,6 +20,9 @@ use rand::{Rng, SeedableRng};
 
 use fgqos_time::QualitySet;
 
+use crate::csv::{parse_csv, render_csv};
+use crate::SimError;
+
 /// Static description of one video sequence (scene).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SceneProfile {
@@ -201,6 +204,139 @@ impl LoadScenario {
     pub fn mean_activity(&self) -> f64 {
         self.frames.iter().map(|f| f.activity).sum::<f64>() / self.frames.len() as f64
     }
+
+    /// Columns of the trace-CSV interchange format, in order.
+    pub const TRACE_COLUMNS: [&'static str; 6] = [
+        "scene",
+        "iframe",
+        "activity",
+        "motion",
+        "texture",
+        "psnr_base",
+    ];
+
+    /// Serializes the per-frame trace as CSV (one row per frame, columns
+    /// [`LoadScenario::TRACE_COLUMNS`]). Numbers render in Rust's
+    /// shortest-round-trip form, so
+    /// [`LoadScenario::from_trace_csv`] reproduces the frames exactly.
+    #[must_use]
+    pub fn to_trace_csv(&self) -> String {
+        render_csv(
+            &Self::TRACE_COLUMNS,
+            self.frames.iter().map(|f| {
+                vec![
+                    Some(f.scene as f64),
+                    Some(f64::from(u8::from(f.is_iframe))),
+                    Some(f.activity),
+                    Some(f.motion),
+                    Some(f.texture),
+                    Some(f.psnr_base),
+                ]
+            }),
+        )
+    }
+
+    /// Trace replay: builds a scenario from a per-frame CSV (captured
+    /// from a real stream, exported by [`LoadScenario::to_trace_csv`], or
+    /// written by hand). Expects the [`LoadScenario::TRACE_COLUMNS`]
+    /// columns in any order; extra columns are ignored. Frames belong to
+    /// the scene named by their `scene` cell; scene indices must start at
+    /// 0 and increase contiguously. Scene profiles are summarized from
+    /// the frames (mean activity; motion/texture/PSNR base from the
+    /// scene's first frame).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Parse`] on malformed CSV, missing columns, empty
+    /// traces, or non-contiguous scene numbering.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fgqos_sim::scenario::LoadScenario;
+    ///
+    /// let csv = "scene,iframe,activity,motion,texture,psnr_base\n\
+    ///            0,1,1.2,0.4,0.5,36\n\
+    ///            0,0,0.9,0.4,0.5,36\n\
+    ///            1,1,1.1,0.7,0.6,35\n";
+    /// let s = LoadScenario::from_trace_csv(csv).unwrap();
+    /// assert_eq!(s.frames(), 3);
+    /// assert_eq!(s.scene_count(), 2);
+    /// assert!(s.frame(2).is_iframe);
+    /// ```
+    pub fn from_trace_csv(text: &str) -> Result<Self, SimError> {
+        let doc = parse_csv(text)?;
+        let cols: Vec<usize> = Self::TRACE_COLUMNS
+            .iter()
+            .map(|name| doc.column(name))
+            .collect::<Result<_, _>>()?;
+        let [scene_c, iframe_c, activity_c, motion_c, texture_c, psnr_c] =
+            cols.try_into().expect("six trace columns");
+        if doc.rows.is_empty() {
+            return Err(SimError::Parse("trace has no frames".to_owned()));
+        }
+        // One linear pass: frames, per-scene running counters, and scene
+        // summaries (mean activity; motion/texture/PSNR base from each
+        // scene's first frame) all accumulate together, so 100k-frame
+        // captured traces parse in O(frames).
+        let mut frames: Vec<FrameInfo> = Vec::with_capacity(doc.rows.len());
+        let mut scenes: Vec<SceneProfile> = Vec::new();
+        let mut index_in_scene = 0usize;
+        for row in 0..doc.rows.len() {
+            let line = doc.line(row);
+            let scene_f = doc.required(row, scene_c)?;
+            if scene_f < 0.0 || scene_f.fract() != 0.0 {
+                return Err(SimError::Parse(format!(
+                    "line {line}: scene index must be a non-negative integer, got {scene_f}"
+                )));
+            }
+            let scene = scene_f as usize;
+            // Contiguity: the first frame opens scene 0; later frames
+            // stay in the current scene or open the next one.
+            if scene != scenes.len().saturating_sub(1) && scene != scenes.len() {
+                return Err(SimError::Parse(format!(
+                    "line {line}: scene {scene} does not continue the trace contiguously",
+                )));
+            }
+            let activity = doc.required(row, activity_c)?;
+            if activity <= 0.0 {
+                return Err(SimError::Parse(format!(
+                    "line {line}: activity must be positive, got {activity}"
+                )));
+            }
+            let info = FrameInfo {
+                scene,
+                index_in_scene: 0, // fixed up below once the scene is known
+                is_iframe: doc.required(row, iframe_c)? != 0.0,
+                activity,
+                motion: doc.required(row, motion_c)?,
+                texture: doc.required(row, texture_c)?,
+                psnr_base: doc.required(row, psnr_c)?,
+            };
+            if scene == scenes.len() {
+                index_in_scene = 0;
+                scenes.push(SceneProfile {
+                    frames: 0,
+                    base_activity: 0.0,
+                    motion: info.motion,
+                    texture: info.texture,
+                    psnr_base: info.psnr_base,
+                });
+            }
+            let profile = scenes.last_mut().expect("scene just ensured");
+            profile.frames += 1;
+            profile.base_activity += info.activity; // sum; divided below
+            frames.push(FrameInfo {
+                index_in_scene,
+                ..info
+            });
+            index_in_scene += 1;
+        }
+        for s in &mut scenes {
+            s.base_activity /= s.frames as f64;
+        }
+        Ok(LoadScenario { scenes, frames })
+    }
 }
 
 /// Analytic PSNR model for timing-only runs (no pixel encoder).
@@ -349,6 +485,86 @@ mod tests {
         assert_eq!(t.frames(), 100);
         assert_eq!(t.frame(57), s.frame(57));
         assert!(t.scene_count() <= s.scene_count());
+    }
+
+    #[test]
+    fn trace_csv_round_trips_every_frame_exactly() {
+        let s = LoadScenario::paper_benchmark(12);
+        let csv = s.to_trace_csv();
+        let back = LoadScenario::from_trace_csv(&csv).unwrap();
+        assert_eq!(back.frames(), s.frames());
+        assert_eq!(back.scene_count(), s.scene_count());
+        for f in 0..s.frames() {
+            assert_eq!(back.frame(f), s.frame(f), "frame {f}");
+        }
+        // Scene shapes survive too (base activity is re-summarized from
+        // the frames, everything else is exact).
+        for (a, b) in s.scenes().iter().zip(back.scenes()) {
+            assert_eq!(a.frames, b.frames);
+            assert_eq!(a.motion, b.motion);
+            assert_eq!(a.texture, b.texture);
+            assert_eq!(a.psnr_base, b.psnr_base);
+        }
+        // And a second round trip is a fixed point.
+        assert_eq!(back.to_trace_csv(), csv);
+    }
+
+    #[test]
+    fn trace_replay_runs_through_the_runner() {
+        use crate::app::TableApp;
+        use crate::runner::{RunConfig, Runner};
+        use fgqos_core::policy::MaxQuality;
+        let trace = LoadScenario::paper_benchmark(8)
+            .truncated(30)
+            .to_trace_csv();
+        let replay = LoadScenario::from_trace_csv(&trace).unwrap();
+        let app = TableApp::with_macroblocks(replay, 8).unwrap();
+        let config = RunConfig::paper_defaults().scaled_to_macroblocks(8);
+        let mut runner = Runner::new(app, config).unwrap();
+        let res = runner.run_controlled(&mut MaxQuality::new(), 3).unwrap();
+        assert_eq!(res.frames().len(), 30);
+        assert_eq!(res.skips(), 0);
+        assert_eq!(res.misses(), 0);
+    }
+
+    #[test]
+    fn trace_csv_rejects_malformed_traces() {
+        let header = "scene,iframe,activity,motion,texture,psnr_base\n";
+        // Missing column.
+        assert!(LoadScenario::from_trace_csv("scene,iframe\n0,1\n").is_err());
+        // No frames.
+        assert!(LoadScenario::from_trace_csv(header).is_err());
+        // Scene indices must be contiguous from zero.
+        let skip = format!("{header}0,1,1,0.1,0.1,36\n2,1,1,0.1,0.1,36\n");
+        assert!(LoadScenario::from_trace_csv(&skip).is_err());
+        let neg = format!("{header}-1,1,1,0.1,0.1,36\n");
+        assert!(LoadScenario::from_trace_csv(&neg).is_err());
+        // A first row that opens any scene but 0 is an error, not a panic.
+        let late_start = format!("{header}1,1,1,0.1,0.1,36\n");
+        assert!(matches!(
+            LoadScenario::from_trace_csv(&late_start),
+            Err(SimError::Parse(_))
+        ));
+        // Activity must be positive.
+        let flat = format!("{header}0,1,0,0.1,0.1,36\n");
+        assert!(LoadScenario::from_trace_csv(&flat).is_err());
+        // Empty required cell.
+        let hole = format!("{header}0,1,,0.1,0.1,36\n");
+        assert!(LoadScenario::from_trace_csv(&hole).is_err());
+    }
+
+    #[test]
+    fn trace_csv_accepts_extra_columns_and_comments() {
+        let csv = "# captured 2026-07-28\nframe,scene,iframe,activity,motion,texture,psnr_base\n\
+                   0,0,1,1.25,0.4,0.5,36.5\n\
+                   1,0,0,0.95,0.4,0.5,36.5\n";
+        let s = LoadScenario::from_trace_csv(csv).unwrap();
+        assert_eq!(s.frames(), 2);
+        assert!(s.frame(0).is_iframe);
+        assert!(!s.frame(1).is_iframe);
+        assert_eq!(s.frame(1).index_in_scene, 1);
+        assert_eq!(s.scenes()[0].frames, 2);
+        assert!((s.scenes()[0].base_activity - 1.1).abs() < 1e-12);
     }
 
     #[test]

@@ -83,7 +83,10 @@ pub mod prelude {
     pub use fgqos_graph::{ActionId, ExecutionSequence, GraphBuilder, PrecedenceGraph};
     pub use fgqos_sched::{BestSched, ConstraintTables, EdfScheduler, FifoScheduler};
     pub use fgqos_sim::app::{TableApp, VideoApp};
-    pub use fgqos_sim::runner::{Mode, RunConfig, Runner, StreamResult};
+    pub use fgqos_sim::runner::{DeadlineShape, Mode, RunConfig, Runner, StreamResult};
+    pub use fgqos_sim::runtime::{
+        Clock, ExecBackend, MeasuredBackend, ModelBackend, VirtualClock, WallClock,
+    };
     pub use fgqos_sim::scenario::LoadScenario;
     pub use fgqos_time::{Cycles, DeadlineMap, Quality, QualityProfile, QualitySet, Slack};
 }

@@ -6,6 +6,72 @@ use fine_grain_qos::time::fig5;
 use fine_grain_qos::tool::compile::compile;
 use fine_grain_qos::tool::{codegen, ToolSpec};
 
+/// The checked-in golden module emitted by `fgqos-tool` for the paper
+/// encoder at 2 macroblocks / 1 Mcycle budget. Including it here means
+/// the generated source is *compiled* on every test run, not just
+/// string-compared; [`golden_generated_module_is_current`] keeps the file
+/// in sync with codegen and [`golden_module_agrees_with_live_tables`]
+/// checks its semantics.
+#[allow(dead_code, clippy::all)]
+mod generated {
+    include!("golden/generated_controller.rs");
+}
+
+const GOLDEN_MACROBLOCKS: usize = 2;
+const GOLDEN_BUDGET: u64 = 1_000_000;
+
+fn golden_app() -> fine_grain_qos::tool::compile::ControlledApp {
+    compile(&ToolSpec::paper_encoder(GOLDEN_MACROBLOCKS, GOLDEN_BUDGET)).expect("compiles")
+}
+
+#[test]
+fn golden_generated_module_is_current() {
+    let src = codegen::generate_rust(&golden_app());
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write("tests/golden/generated_controller.rs", &src).expect("update golden");
+        return;
+    }
+    let golden = include_str!("golden/generated_controller.rs");
+    assert_eq!(
+        src, golden,
+        "codegen output drifted from tests/golden/generated_controller.rs;\n\
+         run `UPDATE_GOLDEN=1 cargo test --test integration_tool` and commit the result"
+    );
+}
+
+#[test]
+fn golden_module_agrees_with_live_tables() {
+    let app = golden_app();
+    let tables = app.tables();
+    assert_eq!(generated::N_ACTIONS, tables.len());
+    assert_eq!(generated::N_QUALITIES, tables.quality_count());
+    for (i, a) in tables.order().iter().enumerate() {
+        assert_eq!(generated::SCHEDULE[i], u32::try_from(a.index()).unwrap());
+    }
+    // The compiled `qual_const`/`max_feasible` agree with the live tables
+    // on a grid of elapsed times spanning the whole budget and beyond.
+    let times = [
+        0u64, 1_000, 50_000, 200_000, 500_000, 999_999, 1_000_000, 5_000_000,
+    ];
+    for i in 0..=tables.len() {
+        for &t in &times {
+            let tc = Cycles::new(t);
+            for qi in 0..tables.quality_count() {
+                assert_eq!(
+                    generated::qual_const(qi, i, t),
+                    tables.qual_const(qi, i, tc),
+                    "qual_const diverges at q{qi}, position {i}, t={t}"
+                );
+            }
+            assert_eq!(
+                generated::max_feasible(i, t),
+                tables.max_feasible(i, tc),
+                "max_feasible diverges at position {i}, t={t}"
+            );
+        }
+    }
+}
+
 #[test]
 fn spec_compile_run_roundtrip() {
     let n = 12;
