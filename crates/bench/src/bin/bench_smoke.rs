@@ -1,0 +1,199 @@
+//! CI perf smoke: measures the parallel runner against the sequential
+//! baseline and the controller hot path, writes machine-readable
+//! `BENCH_parallel.json` / `BENCH_controller.json` (uploaded as CI
+//! artifacts to seed the perf trajectory), and fails when the parallel
+//! runner is *slower* than sequential at ≥ 4 workers on a host that
+//! actually has ≥ 4 cores.
+//!
+//! Usage: `bench_smoke [out_dir]` (default `.`). Exit code 1 on gate
+//! failure or determinism violation.
+
+use std::time::{Duration, Instant};
+
+use fgqos_core::policy::MaxQuality;
+use fgqos_encoder::app::EncoderApp;
+use fgqos_graph::iterate::IterationMode;
+use fgqos_sim::app::{TableApp, VideoApp};
+use fgqos_sim::runner::{Mode, RunConfig, Runner, StreamResult};
+use fgqos_sim::runtime::{MeasuredBackend, VirtualClock, WallClock};
+use fgqos_sim::scenario::LoadScenario;
+
+/// Pixel workload shape: 8×6 macroblocks is enough wavefront width for
+/// 4 workers while keeping the smoke run in seconds.
+const W: usize = 128;
+const H: usize = 96;
+const FRAMES: usize = 12;
+/// Timed repetitions per configuration (best-of to shed scheduler noise).
+const REPS: usize = 3;
+
+fn pixel_runner(seed: u64) -> Runner<EncoderApp> {
+    let scenario = LoadScenario::paper_benchmark(seed).truncated(FRAMES);
+    let app = EncoderApp::new(scenario, W, H, seed).expect("app");
+    let n = app.iterations();
+    let config = RunConfig::paper_defaults()
+        .scaled_to_macroblocks(n)
+        .with_iteration_mode(IterationMode::Pipelined);
+    Runner::new(app, config).expect("runner")
+}
+
+/// Best-of-`REPS` wall time of a full deterministic pixel run; returns
+/// the result of the last run for series checks.
+fn time_pixel(workers: Option<usize>) -> (Duration, StreamResult) {
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..REPS {
+        let mut r = pixel_runner(7);
+        let mut clock = VirtualClock::new();
+        let mut backend = EncoderApp::work_backend(7);
+        let start = Instant::now();
+        let res = match workers {
+            None => r
+                .run_on(
+                    &mut clock,
+                    &mut backend,
+                    Mode::Controlled,
+                    &mut MaxQuality::new(),
+                    None,
+                )
+                .expect("sequential run"),
+            Some(w) => r
+                .run_parallel_on(
+                    &mut clock,
+                    &mut backend,
+                    Mode::Controlled,
+                    &mut MaxQuality::new(),
+                    None,
+                    w,
+                )
+                .expect("parallel run"),
+        };
+        best = best.min(start.elapsed());
+        last = Some(res);
+    }
+    (best, last.expect("ran at least once"))
+}
+
+/// Live smoke on the measured backend: a wall clock scaled so the camera
+/// is saturating, workers at the host width. Reported, not gated (wall
+/// results depend on the runner's host).
+fn live_measured(workers: usize) -> (Duration, StreamResult) {
+    let mut r = pixel_runner(11);
+    let n = r.app().iterations();
+    let period = RunConfig::paper_defaults().scaled_to_macroblocks(n).period;
+    // 2 ms per frame: far below the encode cost of a debug-or-release
+    // host, so the pipeline never idles and wall time measures compute.
+    let mut clock = WallClock::scaled(period, Duration::from_millis(2));
+    let mut backend = MeasuredBackend::new();
+    let start = Instant::now();
+    let res = r
+        .run_parallel_on(
+            &mut clock,
+            &mut backend,
+            Mode::Controlled,
+            &mut MaxQuality::new(),
+            None,
+            workers,
+        )
+        .expect("live run");
+    (start.elapsed(), res)
+}
+
+fn fps(frames: usize, d: Duration) -> f64 {
+    frames as f64 / d.as_secs_f64().max(1e-9)
+}
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    // --- Parallel runner vs sequential (deterministic pixel workload).
+    let (t_seq, seq_res) = time_pixel(None);
+    let worker_counts = [1usize, 2, 4];
+    let mut entries = String::new();
+    let mut speedup_at_4 = f64::NAN;
+    let mut deterministic = true;
+    for &w in &worker_counts {
+        let (t, res) = time_pixel(Some(w));
+        let speedup = t_seq.as_secs_f64() / t.as_secs_f64().max(1e-9);
+        if w == 4 {
+            speedup_at_4 = speedup;
+        }
+        deterministic &= res.frames() == seq_res.frames();
+        entries.push_str(&format!(
+            "    {{\"workers\": {w}, \"wall_ms\": {:.3}, \"frames_per_sec\": {:.2}, \"speedup_vs_sequential\": {:.3}}},\n",
+            t.as_secs_f64() * 1e3,
+            fps(FRAMES, t),
+            speedup
+        ));
+    }
+    let entries = entries.trim_end_matches(",\n").to_string() + "\n";
+    let (t_live, live_res) = live_measured(cores.min(4));
+    let gate_enforced = cores >= 4;
+    let gate_pass = !gate_enforced || speedup_at_4 >= 1.0;
+
+    let parallel_json = format!(
+        "{{\n  \"workload\": \"pixel {W}x{H}, {FRAMES} frames, pipelined wavefront\",\n  \
+         \"host_cores\": {cores},\n  \
+         \"sequential_wall_ms\": {:.3},\n  \
+         \"sequential_frames_per_sec\": {:.2},\n  \
+         \"mean_encode_mcycles\": {:.3},\n  \
+         \"deterministic_vs_sequential\": {deterministic},\n  \
+         \"parallel\": [\n{entries}  ],\n  \
+         \"live_measured\": {{\"workers\": {}, \"wall_ms\": {:.3}, \"frames_per_sec\": {:.2}, \"skips\": {}}},\n  \
+         \"gate\": {{\"enforced\": {gate_enforced}, \"speedup_at_4_workers\": {:.3}, \"pass\": {gate_pass}}}\n}}\n",
+        t_seq.as_secs_f64() * 1e3,
+        fps(FRAMES, t_seq),
+        seq_res.mean_encode_mcycles(),
+        cores.min(4),
+        t_live.as_secs_f64() * 1e3,
+        fps(FRAMES, t_live),
+        live_res.skips(),
+        if speedup_at_4.is_nan() { 0.0 } else { speedup_at_4 },
+    );
+
+    // --- Controller hot path (timing-only table workload at scale).
+    let scenario = LoadScenario::paper_benchmark(5).truncated(60);
+    let app = TableApp::with_macroblocks(scenario, 396).expect("app");
+    let config = RunConfig::paper_defaults().scaled_to_macroblocks(396);
+    let mut r = Runner::new(app, config).expect("runner");
+    let start = Instant::now();
+    let res = r
+        .run_controlled(&mut MaxQuality::new(), 5)
+        .expect("controlled run");
+    let t_ctl = start.elapsed();
+    let controller_json = format!(
+        "{{\n  \"workload\": \"table 396 macroblocks, 60 frames, controlled-max\",\n  \
+         \"wall_ms\": {:.3},\n  \
+         \"frames_per_sec\": {:.2},\n  \
+         \"mean_encode_mcycles\": {:.3},\n  \
+         \"skips\": {},\n  \"misses\": {},\n  \
+         \"cached_table_sets\": {}\n}}\n",
+        t_ctl.as_secs_f64() * 1e3,
+        fps(60, t_ctl),
+        res.mean_encode_mcycles(),
+        res.skips(),
+        res.misses(),
+        r.cached_tables(),
+    );
+
+    std::fs::write(format!("{out_dir}/BENCH_parallel.json"), &parallel_json)
+        .expect("write BENCH_parallel.json");
+    std::fs::write(format!("{out_dir}/BENCH_controller.json"), &controller_json)
+        .expect("write BENCH_controller.json");
+    print!("{parallel_json}\n{controller_json}");
+
+    if !deterministic {
+        eprintln!("FAIL: parallel series diverged from sequential");
+        std::process::exit(1);
+    }
+    if !gate_pass {
+        eprintln!(
+            "FAIL: parallel runner slower than sequential at 4 workers \
+             (speedup {speedup_at_4:.3}) on a {cores}-core host"
+        );
+        std::process::exit(1);
+    }
+    if !gate_enforced {
+        eprintln!("note: <4 cores available; speedup gate reported but not enforced");
+    }
+}

@@ -7,6 +7,26 @@
 //! performs the actual signal processing and reports its work converted
 //! to cycles via [`crate::timing`].
 //!
+//! # Parallel structure
+//!
+//! The per-macroblock working state lives in one lock per macroblock
+//! ([`MbState`]), and every action is split along the
+//! [`fgqos_sim::runtime::ParallelApp`] contract:
+//!
+//! * [`ParallelApp::kernel`] — the pure signal processing, `&self` only:
+//!   reads the frame-constant source/reference/QP, its own macroblock
+//!   state, and (for intra prediction) the *reconstruction blocks* of the
+//!   left/above macroblocks, which it declares as data dependencies;
+//! * [`ParallelApp::apply`] — the sequential side effects: bit
+//!   accounting after `Compress`, writing the reconstruction block into
+//!   the shared frame after `Reconstruct`.
+//!
+//! This is the classic macroblock wavefront: with
+//! [`fgqos_graph::iterate::IterationMode::Pipelined`] unrolling, the
+//! runner's work-stealing executor overlaps macroblocks diagonally while
+//! [`fgqos_sim::runner::Runner::run_parallel_on`] keeps the controller's
+//! timeline and quality decisions byte-identical to the sequential run.
+//!
 //! Two runtime pairings (see [`fgqos_sim::runtime`]):
 //!
 //! * simulation — [`EncoderApp::work_backend`] on a
@@ -18,9 +38,12 @@
 //!   [`crate::timing::wall_rate`]: actions cost the real time they took
 //!   (see `examples/live_encoder.rs`).
 
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
 use fgqos_core::CycleReport;
 use fgqos_graph::{ActionId, PrecedenceGraph};
 use fgqos_sim::app::{fig2_body, fig2_profile, VideoApp};
+use fgqos_sim::runtime::ParallelApp;
 use fgqos_sim::scenario::LoadScenario;
 use fgqos_sim::SimError;
 use fgqos_time::{fig5, Quality, QualityProfile};
@@ -28,7 +51,7 @@ use fgqos_time::{fig5, Quality, QualityProfile};
 use crate::dct;
 use crate::entropy::{encode_block, encode_mv, BitWriter};
 use crate::frame::{Frame, MB_SIZE};
-use crate::intra::{dc_predict, decide_mode, MbMode};
+use crate::intra::{dc_predict_blocks, decide_mode, MbMode};
 use crate::motion::{predict, radius_for_quality, search};
 use crate::psnr::psnr;
 use crate::quant::{dequantize, nonzeros, quantize, RateController};
@@ -66,9 +89,13 @@ impl Fig2Ids {
     }
 }
 
-/// Per-macroblock working state threaded between actions.
-#[derive(Debug, Clone)]
-struct MbState {
+/// Per-macroblock working state threaded between actions. One instance
+/// per macroblock, behind its own lock, so kernels of different
+/// macroblocks run concurrently. Opaque outside this module; public only
+/// as the [`ParallelApp::Snapshot`] type (the runner compares snapshots
+/// around re-executions to cut mis-speculation cascades).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MbState {
     target: [u8; 256],
     inter_pred: [u8; 256],
     inter_sad: u32,
@@ -78,8 +105,23 @@ struct MbState {
     coeffs: [[f32; 64]; 4],
     levels: [[i16; 64]; 4],
     deq: [[f32; 64]; 4],
+    /// Prediction residual produced by `DCT` (its input to the forward
+    /// transform). `IDCT` writes its roundtripped residual to
+    /// `recon_residual` instead: every field has exactly one writing
+    /// action per frame, so a re-executed kernel can never clobber the
+    /// speculated output of a *later* cache-committed one.
     residual: [i16; 256],
+    /// Quantization-roundtripped residual produced by `IDCT`, read by
+    /// `Reconstruct`.
+    recon_residual: [i16; 256],
     nnz: u32,
+    /// Reconstruction of this macroblock (written by `Reconstruct`, read
+    /// by the right/below neighbours' intra prediction).
+    recon_block: [u8; 256],
+    /// This macroblock's bitstream (written by `Compress`).
+    stream: Vec<u8>,
+    /// Bits in `stream` (committed to the frame counters on apply).
+    bits: u64,
 }
 
 impl Default for MbState {
@@ -95,13 +137,17 @@ impl Default for MbState {
             levels: [[0; 64]; 4],
             deq: [[0.0; 64]; 4],
             residual: [0; 256],
+            recon_residual: [0; 256],
             nnz: 0,
+            recon_block: [0; 256],
+            stream: Vec::new(),
+            bits: 0,
         }
     }
 }
 
 /// Pixel-level encoder application (see module docs).
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct EncoderApp {
     camera: SyntheticCamera,
     scenario: LoadScenario,
@@ -124,10 +170,8 @@ pub struct EncoderApp {
     frame_bits: u64,
     total_bits: u64,
     frames_encoded: usize,
-    mb: MbState,
-    /// Per-macroblock bitstreams of the frame in progress (kept so the
-    /// decoder can verify the stream; see `crate::decoder`).
-    mb_streams: Vec<Vec<u8>>,
+    /// Per-macroblock working state, one lock per macroblock.
+    mb_states: Vec<Mutex<MbState>>,
     /// Finished streams of the last completed frame.
     last_frame_streams: Vec<Vec<u8>>,
     /// QP the last completed frame was coded at.
@@ -170,6 +214,7 @@ impl EncoderApp {
         let d1_pixels = 704.0 * 576.0;
         let ratio = (width * height) as f64 / d1_pixels;
         let per_frame = ((fig5::TARGET_BITRATE_BITS_PER_S as f64 / 25.0) * ratio).max(512.0) as u64;
+        let macroblocks = (width / MB_SIZE) * (height / MB_SIZE);
         Ok(EncoderApp {
             camera,
             scenario,
@@ -188,8 +233,9 @@ impl EncoderApp {
             frame_bits: 0,
             total_bits: 0,
             frames_encoded: 0,
-            mb: MbState::default(),
-            mb_streams: Vec::new(),
+            mb_states: (0..macroblocks)
+                .map(|_| Mutex::new(MbState::default()))
+                .collect(),
             last_frame_streams: Vec::new(),
             last_frame_qp: 12,
             prev_reference: Frame::new(width, height),
@@ -261,119 +307,141 @@ impl EncoderApp {
         self.source.mb_origin(mb)
     }
 
-    fn run_grab(&mut self, mb: usize) -> u64 {
+    /// Locks one macroblock's working state. Locks never nest (neighbour
+    /// reads copy their data out before the own-state lock is taken), so
+    /// ordering is trivial; a poisoned lock only means a sibling kernel
+    /// panicked mid-frame, and the state is still well-formed bytes.
+    fn lock_mb(&self, mb: usize) -> MutexGuard<'_, MbState> {
+        self.mb_states[mb]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Reconstruction blocks of the above/left neighbours of `mb`
+    /// (`None` at frame borders). Data-dependency edges guarantee those
+    /// macroblocks' `Reconstruct` kernels already ran.
+    fn neighbour_recon(&self, mb: usize) -> (Option<[u8; 256]>, Option<[u8; 256]>) {
+        let cols = self.source.mb_cols();
+        let above = (mb >= cols).then(|| self.lock_mb(mb - cols).recon_block);
+        let left = (!mb.is_multiple_of(cols)).then(|| self.lock_mb(mb - 1).recon_block);
+        (above, left)
+    }
+
+    fn run_grab(&self, st: &mut MbState, mb: usize) -> u64 {
         let (ox, oy) = self.mb_origin(mb);
-        self.mb = MbState {
+        *st = MbState {
             target: self.source.block(ox, oy),
             ..MbState::default()
         };
         timing::grab_cycles()
     }
 
-    fn run_motion(&mut self, mb: usize, q: Quality) -> u64 {
+    fn run_motion(&self, st: &mut MbState, mb: usize, q: Quality) -> u64 {
         if self.force_intra || !self.has_reference {
             // I-frames skip the search: the trivial level-0 check.
-            self.mb.inter_sad = u32::MAX;
-            self.mb.inter_mv = (0, 0);
+            st.inter_sad = u32::MAX;
+            st.inter_mv = (0, 0);
             return timing::motion_cycles(0, 1);
         }
         let (ox, oy) = self.mb_origin(mb);
         let radius = radius_for_quality(q.level());
         let result = search(&self.source, &self.reference, ox, oy, radius);
-        self.mb.inter_mv = result.mv;
-        self.mb.inter_sad = result.sad;
-        self.mb.inter_pred = predict(&self.reference, ox, oy, result.mv);
+        st.inter_mv = result.mv;
+        st.inter_sad = result.sad;
+        st.inter_pred = predict(&self.reference, ox, oy, result.mv);
         timing::motion_cycles(q.level(), result.evaluations)
     }
 
-    fn run_intra(&mut self, mb: usize) -> u64 {
-        let (ox, oy) = self.mb_origin(mb);
-        let intra_pred = dc_predict(&self.recon, ox, oy);
-        if self.force_intra || !self.has_reference || self.mb.inter_sad == u32::MAX {
-            self.mb.mode = MbMode::Intra;
-            self.mb.prediction = intra_pred;
+    fn run_intra(
+        &self,
+        st: &mut MbState,
+        above: Option<&[u8; 256]>,
+        left: Option<&[u8; 256]>,
+    ) -> u64 {
+        let intra_pred = dc_predict_blocks(above, left);
+        if self.force_intra || !self.has_reference || st.inter_sad == u32::MAX {
+            st.mode = MbMode::Intra;
+            st.prediction = intra_pred;
         } else {
-            let (mode, _) = decide_mode(&self.mb.target, &intra_pred, self.mb.inter_sad);
-            self.mb.mode = mode;
-            self.mb.prediction = match mode {
+            let (mode, _) = decide_mode(&st.target, &intra_pred, st.inter_sad);
+            st.mode = mode;
+            st.prediction = match mode {
                 MbMode::Intra => intra_pred,
-                MbMode::Inter => self.mb.inter_pred,
+                MbMode::Inter => st.inter_pred,
             };
         }
         timing::intra_cycles()
     }
 
-    fn run_dct(&mut self) -> u64 {
+    fn run_dct(&self, st: &mut MbState) -> u64 {
         let mut residual = [0i16; 256];
         for (r, (&t, &p)) in residual
             .iter_mut()
-            .zip(self.mb.target.iter().zip(self.mb.prediction.iter()))
+            .zip(st.target.iter().zip(st.prediction.iter()))
         {
             *r = i16::from(t) - i16::from(p);
         }
-        self.mb.residual = residual;
+        st.residual = residual;
         let blocks = dct::split_macroblock(&residual);
         for (b, block) in blocks.iter().enumerate() {
-            self.mb.coeffs[b] = dct::forward(block);
+            st.coeffs[b] = dct::forward(block);
         }
         timing::dct_cycles()
     }
 
-    fn run_quantize(&mut self) -> u64 {
+    fn run_quantize(&self, st: &mut MbState) -> u64 {
         let mut nnz = 0u32;
         for b in 0..4 {
-            self.mb.levels[b] = quantize(&self.mb.coeffs[b], self.qp);
-            nnz += nonzeros(&self.mb.levels[b]);
+            st.levels[b] = quantize(&st.coeffs[b], self.qp);
+            nnz += nonzeros(&st.levels[b]);
         }
-        self.mb.nnz = nnz;
+        st.nnz = nnz;
         timing::quantize_cycles(nnz)
     }
 
-    fn run_compress(&mut self) -> u64 {
+    fn run_compress(&self, st: &mut MbState) -> u64 {
         let mut w = BitWriter::new();
         // 1 mode bit + MV for inter blocks + 4 coefficient blocks.
-        w.put_bit(matches!(self.mb.mode, MbMode::Inter));
-        if matches!(self.mb.mode, MbMode::Inter) {
-            encode_mv(&mut w, self.mb.inter_mv);
+        w.put_bit(matches!(st.mode, MbMode::Inter));
+        if matches!(st.mode, MbMode::Inter) {
+            encode_mv(&mut w, st.inter_mv);
         }
         for b in 0..4 {
-            encode_block(&mut w, &self.mb.levels[b]);
+            encode_block(&mut w, &st.levels[b]);
         }
         let bits = w.bit_len() as u64;
-        self.frame_bits += bits;
-        self.total_bits += bits;
-        self.mb_streams.push(w.into_bytes());
+        st.bits = bits;
+        st.stream = w.into_bytes();
         timing::compress_cycles(bits as u32)
     }
 
-    fn run_inverse_quantize(&mut self) -> u64 {
+    fn run_inverse_quantize(&self, st: &mut MbState) -> u64 {
         for b in 0..4 {
-            self.mb.deq[b] = dequantize(&self.mb.levels[b], self.qp);
+            st.deq[b] = dequantize(&st.levels[b], self.qp);
         }
-        timing::inverse_quantize_cycles(self.mb.nnz)
+        timing::inverse_quantize_cycles(st.nnz)
     }
 
-    fn run_idct(&mut self) -> u64 {
+    fn run_idct(&self, st: &mut MbState) -> u64 {
         let mut blocks = [[0i16; 64]; 4];
-        for (block, deq) in blocks.iter_mut().zip(self.mb.deq.iter()) {
+        for (block, deq) in blocks.iter_mut().zip(st.deq.iter()) {
             *block = dct::inverse(deq);
         }
-        self.mb.residual = dct::merge_macroblock(&blocks);
-        timing::idct_cycles(self.mb.nnz)
+        st.recon_residual = dct::merge_macroblock(&blocks);
+        timing::idct_cycles(st.nnz)
     }
 
-    fn run_reconstruct(&mut self, mb: usize) -> u64 {
-        let (ox, oy) = self.mb_origin(mb);
+    fn run_reconstruct(&self, st: &mut MbState) -> u64 {
         let mut block = [0u8; 256];
         for (out, (&p, &r)) in block
             .iter_mut()
-            .zip(self.mb.prediction.iter().zip(self.mb.residual.iter()))
+            .zip(st.prediction.iter().zip(st.recon_residual.iter()))
         {
             let v = i32::from(p) + i32::from(r);
             *out = v.clamp(0, 255) as u8;
         }
-        self.recon.write_block(ox, oy, &block);
-        timing::reconstruct_cycles(self.mb.nnz)
+        st.recon_block = block;
+        timing::reconstruct_cycles(st.nnz)
     }
 }
 
@@ -404,32 +472,15 @@ impl VideoApp for EncoderApp {
         self.force_intra = self.scenario.frame(frame).is_iframe || !self.has_reference;
         self.qp = self.rc.qp();
         self.frame_bits = 0;
-        self.mb_streams.clear();
     }
 
     fn run_action(&mut self, action: ActionId, mb: usize, q: Quality) -> Option<u64> {
-        let cycles = if action == self.ids.grab {
-            self.run_grab(mb)
-        } else if action == self.ids.me {
-            self.run_motion(mb, q)
-        } else if action == self.ids.intra {
-            self.run_intra(mb)
-        } else if action == self.ids.dct {
-            self.run_dct()
-        } else if action == self.ids.quant {
-            self.run_quantize()
-        } else if action == self.ids.compress {
-            self.run_compress()
-        } else if action == self.ids.invq {
-            self.run_inverse_quantize()
-        } else if action == self.ids.idct {
-            self.run_idct()
-        } else if action == self.ids.recon {
-            self.run_reconstruct(mb)
-        } else {
-            unreachable!("unknown action handed to encoder app");
-        };
-        Some(cycles)
+        // The sequential path is the fused form of the parallel contract:
+        // pure kernel, then side effects — one code path for both
+        // runners, which is what makes them byte-identical.
+        let work = self.kernel(action, mb, q);
+        self.apply(action, mb);
+        work
     }
 
     fn encoded_psnr(&mut self, frame: usize, _quality_index: f64, _report: &CycleReport) -> f64 {
@@ -438,7 +489,16 @@ impl VideoApp for EncoderApp {
         // quality index is implicit in the motion search already done.
         debug_assert_eq!(frame, self.frame_idx);
         let db = psnr(&self.source, &self.recon);
-        self.last_frame_streams = std::mem::take(&mut self.mb_streams);
+        self.last_frame_streams = self
+            .mb_states
+            .iter()
+            .map(|m| {
+                m.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .stream
+                    .clone()
+            })
+            .collect();
         self.last_frame_qp = self.qp;
         self.prev_reference = std::mem::replace(&mut self.reference, self.recon.clone());
         self.displayed = self.recon.clone();
@@ -455,6 +515,104 @@ impl VideoApp for EncoderApp {
 
     fn stream_len(&self) -> usize {
         self.scenario.frames()
+    }
+}
+
+impl ParallelApp for EncoderApp {
+    type Snapshot = MbState;
+
+    fn snapshot(&self, mb: usize) -> MbState {
+        self.lock_mb(mb).clone()
+    }
+
+    fn data_preds(&self, action: ActionId, mb: usize) -> Vec<(ActionId, usize)> {
+        // The *exact* read set of every kernel, beyond the direct Fig. 2
+        // edges: taint tracking relies on it. Declaring only the graph
+        // edges would let a re-validated intermediary hide a changed
+        // input from a downstream cached result — e.g. an intra mode
+        // flip with unchanged prediction bytes re-validates DCT, yet
+        // Compress reads the mode directly and must be invalidated.
+        let ids = self.ids;
+        if action == ids.intra {
+            // Own target + inter SAD/prediction (ME and Intra_Predict
+            // are incomparable in the body graph), plus the left/above
+            // reconstructions — the macroblock wavefront.
+            let cols = self.source.mb_cols();
+            let mut deps = vec![(ids.grab, mb), (ids.me, mb)];
+            if !mb.is_multiple_of(cols) {
+                deps.push((ids.recon, mb - 1));
+            }
+            if mb >= cols {
+                deps.push((ids.recon, mb - cols));
+            }
+            deps
+        } else if action == ids.dct {
+            // Reads the grabbed target directly (no grab → DCT edge).
+            vec![(ids.grab, mb)]
+        } else if action == ids.compress {
+            // Reads the coding mode and motion vector directly.
+            vec![(ids.me, mb), (ids.intra, mb)]
+        } else if action == ids.recon {
+            // Reads the prediction directly.
+            vec![(ids.intra, mb)]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn kernel_class(&self, action: ActionId, _mb: usize, q: Quality) -> u64 {
+        // Only the P-frame motion search depends on the quality level,
+        // and only through its search radius: speculation at a level with
+        // the same radius still hits.
+        if action == self.ids.me && !self.force_intra && self.has_reference {
+            1 + radius_for_quality(q.level()) as u64
+        } else {
+            0
+        }
+    }
+
+    fn kernel(&self, action: ActionId, mb: usize, q: Quality) -> Option<u64> {
+        let cycles = if action == self.ids.intra {
+            // Copy neighbour context before taking the own-state lock:
+            // locks stay leaf-level, no ordering discipline needed.
+            let (above, left) = self.neighbour_recon(mb);
+            let mut st = self.lock_mb(mb);
+            self.run_intra(&mut st, above.as_ref(), left.as_ref())
+        } else {
+            let mut st = self.lock_mb(mb);
+            if action == self.ids.grab {
+                self.run_grab(&mut st, mb)
+            } else if action == self.ids.me {
+                self.run_motion(&mut st, mb, q)
+            } else if action == self.ids.dct {
+                self.run_dct(&mut st)
+            } else if action == self.ids.quant {
+                self.run_quantize(&mut st)
+            } else if action == self.ids.compress {
+                self.run_compress(&mut st)
+            } else if action == self.ids.invq {
+                self.run_inverse_quantize(&mut st)
+            } else if action == self.ids.idct {
+                self.run_idct(&mut st)
+            } else if action == self.ids.recon {
+                self.run_reconstruct(&mut st)
+            } else {
+                unreachable!("unknown action handed to encoder app");
+            }
+        };
+        Some(cycles)
+    }
+
+    fn apply(&mut self, action: ActionId, mb: usize) {
+        if action == self.ids.compress {
+            let bits = self.lock_mb(mb).bits;
+            self.frame_bits += bits;
+            self.total_bits += bits;
+        } else if action == self.ids.recon {
+            let block = self.lock_mb(mb).recon_block;
+            let (ox, oy) = self.mb_origin(mb);
+            self.recon.write_block(ox, oy, &block);
+        }
     }
 }
 
@@ -578,5 +736,50 @@ mod tests {
         let work = app.run_action(app.ids.me, 0, Quality::new(7)).unwrap();
         // Trivial level-0 search cost, not a q7 search.
         assert!(work < 1_000, "I-frame ME cost {work}");
+    }
+
+    #[test]
+    fn data_preds_form_the_macroblock_wavefront() {
+        let app = tiny_app(4); // 3x2 macroblocks
+        let ids = app.ids;
+        // Top-left: only the same-iteration inputs.
+        assert_eq!(
+            app.data_preds(ids.intra, 0),
+            vec![(ids.grab, 0), (ids.me, 0)]
+        );
+        // Interior bottom-middle (mb 4 = row 1, col 1): + left + above.
+        assert_eq!(
+            app.data_preds(ids.intra, 4),
+            vec![(ids.grab, 4), (ids.me, 4), (ids.recon, 3), (ids.recon, 1)]
+        );
+        // Kernels whose reads bypass the body edges declare them.
+        assert_eq!(
+            app.data_preds(ids.compress, 4),
+            vec![(ids.me, 4), (ids.intra, 4)]
+        );
+        assert_eq!(app.data_preds(ids.recon, 4), vec![(ids.intra, 4)]);
+        assert_eq!(app.data_preds(ids.dct, 4), vec![(ids.grab, 4)]);
+        // Pure-chain kernels need nothing extra.
+        assert!(app.data_preds(ids.quant, 4).is_empty());
+        assert!(app.data_preds(ids.idct, 4).is_empty());
+    }
+
+    #[test]
+    fn kernel_class_tracks_the_search_radius_on_p_frames() {
+        let mut app = tiny_app(8);
+        app.begin_frame(0);
+        // I-frame: the search is quality-blind.
+        assert_eq!(app.kernel_class(app.ids.me, 0, Quality::new(0)), 0);
+        assert_eq!(app.kernel_class(app.ids.me, 0, Quality::new(7)), 0);
+        app.has_reference = true;
+        app.force_intra = false;
+        // P-frame: distinct radii, distinct classes; q0 radius is 0 but
+        // the class is still distinct from the I-frame constant.
+        let c0 = app.kernel_class(app.ids.me, 0, Quality::new(0));
+        let c7 = app.kernel_class(app.ids.me, 0, Quality::new(7));
+        assert_ne!(c0, 0);
+        assert_ne!(c0, c7);
+        // Non-ME kernels are quality-blind everywhere.
+        assert_eq!(app.kernel_class(app.ids.dct, 0, Quality::new(7)), 0);
     }
 }

@@ -36,6 +36,40 @@ pub fn dc_predict(recon: &Frame, ox: usize, oy: usize) -> [u8; MB_SIZE * MB_SIZE
     [dc; MB_SIZE * MB_SIZE]
 }
 
+/// DC intra prediction from neighbour macroblock *reconstruction blocks*
+/// instead of a whole frame: the mean of the bottom row of the block
+/// above and the right column of the block to the left (128 when neither
+/// exists).
+///
+/// Produces exactly the pixels [`dc_predict`] reads out of the
+/// reconstructed frame — this is the form the parallel wavefront executor
+/// uses, where neighbour reconstructions live in per-macroblock working
+/// state rather than a shared frame.
+#[must_use]
+pub fn dc_predict_blocks(
+    above: Option<&[u8; MB_SIZE * MB_SIZE]>,
+    left: Option<&[u8; MB_SIZE * MB_SIZE]>,
+) -> [u8; MB_SIZE * MB_SIZE] {
+    let mut sum = 0u32;
+    let mut count = 0u32;
+    if let Some(a) = above {
+        for dx in 0..MB_SIZE {
+            sum += u32::from(a[(MB_SIZE - 1) * MB_SIZE + dx]);
+            count += 1;
+        }
+    }
+    if let Some(l) = left {
+        for dy in 0..MB_SIZE {
+            sum += u32::from(l[dy * MB_SIZE + MB_SIZE - 1]);
+            count += 1;
+        }
+    }
+    let dc = sum
+        .checked_div(count)
+        .map_or(128, |v| u8::try_from(v).unwrap_or(255));
+    [dc; MB_SIZE * MB_SIZE]
+}
+
 /// Chooses between the intra (DC) and inter (motion-compensated)
 /// prediction by SAD, with a small bias toward inter (its motion vector
 /// costs bits but tracks content better). Returns the mode and its SAD.
@@ -77,6 +111,31 @@ mod tests {
         }
         let p = dc_predict(&recon, 16, 16);
         assert!(p.iter().all(|&v| v == 150));
+    }
+
+    #[test]
+    fn block_form_matches_frame_form() {
+        // A frame with distinct neighbour content around MB (16, 16).
+        let mut recon = Frame::new(48, 48);
+        for dx in 0..16 {
+            recon.set(16 + dx, 15, 40 + dx as u8);
+        }
+        for dy in 0..16 {
+            recon.set(15, 16 + dy, 200 - dy as u8);
+        }
+        let above = recon.block(16, 0);
+        let left = recon.block(0, 16);
+        assert_eq!(
+            dc_predict(&recon, 16, 16),
+            dc_predict_blocks(Some(&above), Some(&left))
+        );
+        // Borders: no neighbours at all.
+        assert_eq!(dc_predict(&recon, 0, 0), dc_predict_blocks(None, None));
+        // Top row: left only.
+        assert_eq!(
+            dc_predict(&recon, 16, 0),
+            dc_predict_blocks(None, Some(&recon.block(0, 0)))
+        );
     }
 
     #[test]

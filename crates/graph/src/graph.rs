@@ -281,6 +281,46 @@ impl PrecedenceGraph {
         Reachability { words, reach }
     }
 
+    /// Iterator over the graph's *wavefronts*: wavefront 0 is the set of
+    /// sources, wavefront `w + 1` is the set of actions whose in-degree
+    /// drops to zero once wavefronts `0..=w` are removed.
+    ///
+    /// Each wavefront is an antichain (no precedence between its members,
+    /// so they may execute concurrently), every action's direct
+    /// predecessors lie in strictly earlier wavefronts, and the
+    /// concatenation of all wavefronts is a topological partition of the
+    /// graph. Members are yielded sorted by id, so the layering is
+    /// deterministic.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fgqos_graph::GraphBuilder;
+    ///
+    /// # fn main() -> Result<(), fgqos_graph::GraphError> {
+    /// let mut b = GraphBuilder::new();
+    /// let s = b.action("s");
+    /// let l = b.action("l");
+    /// let r = b.action("r");
+    /// b.edge(s, l)?;
+    /// b.edge(s, r)?;
+    /// let g = b.build()?;
+    /// let waves: Vec<_> = g.wavefronts().collect();
+    /// assert_eq!(waves, vec![vec![s], vec![l, r]]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn wavefronts(&self) -> Wavefronts<'_> {
+        let indeg: Vec<usize> = self.preds.iter().map(Vec::len).collect();
+        let frontier: Vec<ActionId> = self.ids().filter(|a| indeg[a.index()] == 0).collect();
+        Wavefronts {
+            graph: self,
+            indeg,
+            frontier,
+        }
+    }
+
     /// Validates that `seq` is an execution sequence of this graph:
     /// distinct actions, order compatible with `→`, and every prefix
     /// downward closed (each action's direct predecessors occur earlier).
@@ -337,6 +377,36 @@ impl fmt::Display for PrecedenceGraph {
             self.len(),
             self.edge_count()
         )
+    }
+}
+
+/// Iterator over the in-degree-zero frontiers of a [`PrecedenceGraph`];
+/// see [`PrecedenceGraph::wavefronts`].
+#[derive(Debug, Clone)]
+pub struct Wavefronts<'g> {
+    graph: &'g PrecedenceGraph,
+    indeg: Vec<usize>,
+    frontier: Vec<ActionId>,
+}
+
+impl Iterator for Wavefronts<'_> {
+    type Item = Vec<ActionId>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.frontier.is_empty() {
+            return None;
+        }
+        let wave = std::mem::take(&mut self.frontier);
+        for &a in &wave {
+            for &s in self.graph.successors(a) {
+                self.indeg[s.index()] -= 1;
+                if self.indeg[s.index()] == 0 {
+                    self.frontier.push(s);
+                }
+            }
+        }
+        self.frontier.sort_unstable();
+        Some(wave)
     }
 }
 
@@ -518,6 +588,27 @@ mod tests {
         assert!(g.sources().is_empty());
         assert!(g.sinks().is_empty());
         g.validate_schedule(&[]).unwrap();
+    }
+
+    #[test]
+    fn wavefronts_partition_the_diamond() {
+        let (g, [s, l, r, t]) = diamond();
+        let waves: Vec<_> = g.wavefronts().collect();
+        assert_eq!(waves, vec![vec![s], vec![l, r], vec![t]]);
+        // No precedence inside a wavefront.
+        for w in &waves {
+            for &a in w {
+                for &b in w {
+                    assert!(!g.precedes(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wavefronts_of_empty_graph_are_empty() {
+        let g = GraphBuilder::new().build().unwrap();
+        assert_eq!(g.wavefronts().count(), 0);
     }
 
     #[test]

@@ -165,6 +165,28 @@ impl IteratedGraph {
         )
     }
 
+    /// Iterator over the ready wavefronts of the unrolled graph: the
+    /// in-degree-zero frontier, then what it releases, and so on (see
+    /// [`PrecedenceGraph::wavefronts`]).
+    ///
+    /// Under [`IterationMode::Pipelined`] a wavefront contains at most one
+    /// instance per body action and spans *distinct iterations* — the
+    /// macroblock rows that may execute concurrently between sync points.
+    /// Under [`IterationMode::Sequential`] every wavefront stays inside a
+    /// single iteration (iterations are totally ordered).
+    #[must_use]
+    pub fn wavefronts(&self) -> crate::Wavefronts<'_> {
+        self.graph.wavefronts()
+    }
+
+    /// One wavefront decoded to `(body action, iteration)` pairs — the
+    /// per-row view of a frontier produced by
+    /// [`IteratedGraph::wavefronts`].
+    #[must_use]
+    pub fn rows_of(&self, wavefront: &[ActionId]) -> Vec<(ActionId, usize)> {
+        wavefront.iter().map(|&a| self.body_of(a)).collect()
+    }
+
     /// Replays a schedule of the body once per iteration, producing a
     /// schedule of the unrolled graph without re-running the scheduler —
     /// the "compositional generation of EDF schedules for iterative
@@ -271,6 +293,46 @@ mod tests {
         it.graph().validate_schedule(&replayed).unwrap();
         // wrong length is reported
         assert!(it.replay_body_schedule(&[g]).is_err());
+    }
+
+    #[test]
+    fn sequential_wavefronts_stay_inside_one_iteration() {
+        let (bd, _) = body();
+        let it = IteratedGraph::new(&bd, 3, IterationMode::Sequential).unwrap();
+        let mut seen = 0usize;
+        for wave in it.wavefronts() {
+            let rows = it.rows_of(&wave);
+            let k0 = rows[0].1;
+            assert!(rows.iter().all(|&(_, k)| k == k0), "crossed iterations");
+            seen += wave.len();
+        }
+        assert_eq!(seen, it.graph().len());
+    }
+
+    #[test]
+    fn pipelined_wavefronts_span_distinct_iterations() {
+        let (bd, _) = body();
+        let it = IteratedGraph::new(&bd, 4, IterationMode::Pipelined).unwrap();
+        let waves: Vec<Vec<ActionId>> = it.wavefronts().collect();
+        // Steady state: several iterations in flight at once.
+        assert!(waves.iter().any(|w| {
+            let rows = it.rows_of(w);
+            let mut ks: Vec<usize> = rows.iter().map(|&(_, k)| k).collect();
+            ks.sort_unstable();
+            ks.dedup();
+            ks.len() > 1
+        }));
+        // Each wavefront holds at most one instance of each body action
+        // and at most one action per iteration (the diagonal).
+        for w in &waves {
+            let rows = it.rows_of(w);
+            let mut actions: Vec<_> = rows.iter().map(|&(a, _)| a).collect();
+            actions.sort_unstable();
+            actions.dedup();
+            assert_eq!(actions.len(), rows.len());
+        }
+        let total: usize = waves.iter().map(Vec::len).sum();
+        assert_eq!(total, it.graph().len());
     }
 
     #[test]

@@ -50,5 +50,5 @@ pub mod topo;
 pub use action::ActionId;
 pub use builder::GraphBuilder;
 pub use error::GraphError;
-pub use graph::{PrecedenceGraph, Reachability};
+pub use graph::{PrecedenceGraph, Reachability, Wavefronts};
 pub use sequence::ExecutionSequence;

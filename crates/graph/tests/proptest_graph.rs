@@ -116,4 +116,73 @@ proptest! {
         let replayed = it.replay_body_schedule(&body_sched).unwrap();
         it.graph().validate_schedule(&replayed).unwrap();
     }
+
+    /// The wavefronts of an iterated graph are a *topological partition*
+    /// of the unrolled graph, for random bodies, iteration counts and
+    /// both unrolling modes:
+    /// 1. every instance appears in exactly one wavefront (partition);
+    /// 2. no precedence holds inside a wavefront (each is an antichain,
+    ///    so its members may execute concurrently);
+    /// 3. every direct predecessor lies in a strictly earlier wavefront
+    ///    (concatenating the wavefronts yields a valid schedule).
+    #[test]
+    fn wavefronts_are_a_topological_partition_of_the_unrolled_graph(
+        g in arb_dag(6),
+        n in 1usize..5,
+        pipelined in any::<bool>(),
+    ) {
+        let mode = if pipelined { IterationMode::Pipelined } else { IterationMode::Sequential };
+        let it = IteratedGraph::new(&g, n, mode).unwrap();
+        let unrolled = it.graph();
+        let waves: Vec<Vec<ActionId>> = it.wavefronts().collect();
+
+        // (1) Partition: disjoint and complete.
+        let mut wave_of = vec![usize::MAX; unrolled.len()];
+        for (w, wave) in waves.iter().enumerate() {
+            for &a in wave {
+                prop_assert_eq!(wave_of[a.index()], usize::MAX, "instance in two wavefronts");
+                wave_of[a.index()] = w;
+            }
+        }
+        prop_assert!(wave_of.iter().all(|&w| w != usize::MAX), "instance missing");
+
+        // (2) Antichain: no precedence inside a wavefront.
+        let reach = unrolled.reachability();
+        for wave in &waves {
+            for &a in wave {
+                for &b in wave {
+                    prop_assert!(!reach.precedes(a, b), "precedence inside wavefront");
+                }
+            }
+        }
+
+        // (3) Direct predecessors lie strictly earlier, so the
+        // concatenation is a schedule.
+        for a in unrolled.ids() {
+            for &p in unrolled.predecessors(a) {
+                prop_assert!(wave_of[p.index()] < wave_of[a.index()]);
+            }
+        }
+        let flat: Vec<ActionId> = waves.into_iter().flatten().collect();
+        unrolled.validate_schedule(&flat).unwrap();
+
+        // Mode-specific row structure: pipelined wavefronts never hold
+        // two instances of the same body action; sequential wavefronts
+        // never span two iterations.
+        for wave in it.wavefronts() {
+            let rows = it.rows_of(&wave);
+            match mode {
+                IterationMode::Pipelined => {
+                    let mut actions: Vec<_> = rows.iter().map(|&(a, _)| a).collect();
+                    actions.sort_unstable();
+                    actions.dedup();
+                    prop_assert_eq!(actions.len(), rows.len());
+                }
+                IterationMode::Sequential => {
+                    let k0 = rows[0].1;
+                    prop_assert!(rows.iter().all(|&(_, k)| k == k0));
+                }
+            }
+        }
+    }
 }

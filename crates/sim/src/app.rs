@@ -243,6 +243,22 @@ impl VideoApp for TableApp {
     }
 }
 
+/// Timing-only actions do no work, so they trivially satisfy the
+/// kernel/apply contract: kernels are no-ops (quality-blind, class 0) and
+/// speculation never misses. This makes every fig6/fig8 table run
+/// exercisable through [`crate::runner::Runner::run_parallel_on`].
+impl crate::runtime::ParallelApp for TableApp {
+    type Snapshot = ();
+
+    fn snapshot(&self, _mb: usize) {}
+
+    fn kernel(&self, _action: ActionId, _mb: usize, _q: fgqos_time::Quality) -> Option<u64> {
+        None
+    }
+
+    fn apply(&mut self, _action: ActionId, _mb: usize) {}
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,22 +8,30 @@
 //! [`Clock`] + [`ExecBackend`] pair, and the historical entry points
 //! ([`Runner::run`], [`Runner::run_controlled`], [`Runner::run_constant`])
 //! are the deterministic virtual-clock special case.
+//!
+//! For apps implementing the [`ParallelApp`] kernel/apply contract,
+//! [`Runner::run_parallel_on`] executes each frame's macroblock wavefront
+//! on a [`WorkStealingPool`] while reproducing the sequential timeline
+//! and quality decisions byte-for-byte (see [`crate::runtime::parallel`]).
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use fgqos_core::estimator::AvgEstimator;
 use fgqos_core::policy::{ConstantQuality, QualityPolicy};
-use fgqos_core::{safety, CycleController};
+use fgqos_core::{safety, CycleController, Decision};
 use fgqos_graph::iterate::{IteratedGraph, IterationMode};
 use fgqos_graph::ActionId;
 use fgqos_sched::{BestSched, ConstraintTables, EdfScheduler};
-use fgqos_time::{fig5, Cycles, DeadlineMap, Quality, QualityProfile};
+use fgqos_time::{fig5, Cycles, DeadlineMap, Quality, QualityProfile, QualitySet};
 
 use crate::app::VideoApp;
 use crate::exec::{ExecCtx, ExecTimeModel, StochasticLoad};
 use crate::pipeline::InputPipeline;
-use crate::runtime::{Clock, ExecBackend, ModelBackend, VirtualClock};
+use crate::runtime::parallel::{FramePlan, SpecSlot};
+use crate::runtime::{
+    Clock, ExecBackend, ModelBackend, ParallelApp, VirtualClock, WorkStealingPool,
+};
 use crate::SimError;
 
 /// How the per-frame budget is decomposed into action deadlines.
@@ -49,17 +57,27 @@ pub struct RunConfig {
     pub input_capacity: usize,
     /// Deadline decomposition.
     pub deadline_shape: DeadlineShape,
+    /// How macroblock iterations are ordered in the unrolled cycle graph.
+    ///
+    /// The *timeline and quality decisions are identical* under both
+    /// modes — the controller follows the same static EDF order either
+    /// way — but the mode bounds what [`Runner::run_parallel_on`] may
+    /// overlap: [`IterationMode::Sequential`] confines parallelism to one
+    /// macroblock, [`IterationMode::Pipelined`] frees distinct macroblock
+    /// rows between data-dependency sync points.
+    pub iteration_mode: IterationMode,
 }
 
 impl RunConfig {
     /// The paper's platform: `P` = 320 Mcycle, `K` = 1, per-iteration
-    /// deadlines.
+    /// deadlines, sequential macroblock order.
     #[must_use]
     pub fn paper_defaults() -> Self {
         RunConfig {
             period: Cycles::new(fig5::PERIOD_CYCLES),
             input_capacity: 1,
             deadline_shape: DeadlineShape::PerIteration,
+            iteration_mode: IterationMode::Sequential,
         }
     }
 
@@ -81,6 +99,13 @@ impl RunConfig {
     #[must_use]
     pub fn with_deadline_shape(mut self, shape: DeadlineShape) -> Self {
         self.deadline_shape = shape;
+        self
+    }
+
+    /// Replaces the iteration mode (see [`RunConfig::iteration_mode`]).
+    #[must_use]
+    pub fn with_iteration_mode(mut self, mode: IterationMode) -> Self {
+        self.iteration_mode = mode;
         self
     }
 
@@ -256,6 +281,8 @@ pub struct Runner<A: VideoApp> {
     iter: IteratedGraph,
     /// Static schedule of the unrolled graph (EDF body order replayed).
     order: Vec<ActionId>,
+    /// `order_pos[instance] = position of that instance in `order``.
+    order_pos: Vec<usize>,
     /// Profile tiled to the unrolled graph.
     tiled_profile: QualityProfile,
     /// Monitor accumulating safety statistics across the run.
@@ -269,10 +296,20 @@ pub struct Runner<A: VideoApp> {
     /// runs pop at stochastic instants, so their budgets rarely repeat)
     /// and cleared whenever an online estimator rewrites the profile.
     tables_cache: HashMap<Cycles, Arc<ConstraintTables>>,
-    /// Insertion order of `tables_cache` keys, oldest first (FIFO
-    /// eviction: a burst of unique budgets must not flush the hot
-    /// recurring entries all at once).
+    /// Recency order of `tables_cache` keys, least recently used first
+    /// (hits move a key to the back, so a burst of unique budgets evicts
+    /// the stale entries while the hot recurring ones survive).
     tables_cache_order: std::collections::VecDeque<Cycles>,
+    /// Kernel DAG for [`Runner::run_parallel_on`], built on first use
+    /// (static across frames).
+    parallel_plan: Option<Arc<FramePlan>>,
+    /// Speculation seed: the quality committed at each unrolled instance
+    /// during the most recent parallel frame.
+    last_spec: Option<Vec<Quality>>,
+    /// Parallel speculation diagnostics: kernels consumed from cache.
+    spec_hits: u64,
+    /// Parallel speculation diagnostics: kernels re-executed at commit.
+    spec_misses: u64,
 }
 
 /// Cap on distinct budgets cached at once. At the paper's scale one table
@@ -301,23 +338,32 @@ impl<A: VideoApp> Runner<A> {
             return Err(SimError::InvalidConfig("buffer capacity must be positive"));
         }
         let n = app.iterations();
-        let iter = IteratedGraph::new(&body, n, IterationMode::Sequential)?;
+        let iter = IteratedGraph::new(&body, n, config.iteration_mode)?;
         // EDF order of the body under equal deadlines = canonical topo
         // order; any deadline vector that is constant per iteration gives
         // the same order, so compute once with zeros.
         let body_deadlines = vec![Cycles::INFINITY; body.len()];
         let body_order = EdfScheduler.best_schedule(&body, &body_deadlines, &[])?;
         let order = iter.replay_body_schedule(&body_order)?;
+        let mut order_pos = vec![0usize; order.len()];
+        for (p, a) in order.iter().enumerate() {
+            order_pos[a.index()] = p;
+        }
         let tiled_profile = app.profile().tile(n);
         Ok(Runner {
             app,
             config,
             iter,
             order,
+            order_pos,
             tiled_profile,
             monitor: safety::SafetyMonitor::new(),
             tables_cache: HashMap::new(),
             tables_cache_order: std::collections::VecDeque::new(),
+            parallel_plan: None,
+            last_spec: None,
+            spec_hits: 0,
+            spec_misses: 0,
         })
     }
 
@@ -331,6 +377,14 @@ impl<A: VideoApp> Runner<A> {
     #[must_use]
     pub fn monitor(&self) -> &safety::SafetyMonitor {
         &self.monitor
+    }
+
+    /// Speculation diagnostics of all [`Runner::run_parallel_on`] calls
+    /// so far: `(kernels consumed from the speculative phase, kernels
+    /// re-executed at commit)`. Both zero for purely sequential runs.
+    #[must_use]
+    pub fn speculation(&self) -> (u64, u64) {
+        (self.spec_hits, self.spec_misses)
     }
 
     /// Number of distinct frame budgets whose constraint tables are
@@ -347,9 +401,19 @@ impl<A: VideoApp> Runner<A> {
     fn tables_for(
         &mut self,
         frame_budget: Cycles,
-        qs: &fgqos_time::QualitySet,
+        qs: &QualitySet,
     ) -> Result<Arc<ConstraintTables>, SimError> {
         if let Some(t) = self.tables_cache.get(&frame_budget) {
+            // Refresh recency: the recurring budget must outlive a burst
+            // of unique ones.
+            if let Some(pos) = self
+                .tables_cache_order
+                .iter()
+                .position(|&b| b == frame_budget)
+            {
+                self.tables_cache_order.remove(pos);
+                self.tables_cache_order.push_back(frame_budget);
+            }
             return Ok(Arc::clone(t));
         }
         let deadlines = DeadlineMap::uniform(qs.clone(), self.deadline_vec(frame_budget));
@@ -474,6 +538,52 @@ impl<A: VideoApp> Runner<A> {
         let mut body_profile = self.app.profile().clone();
         let gen_profile = self.app.generative_profile().clone();
 
+        while let Some((frame, arrival, now)) = self.next_frame(clock, &mut pipe, &mut records) {
+            let budget = match pipe.budget_deadline(now) {
+                Some(d) => d - now,
+                None => Cycles::INFINITY,
+            };
+            // Uncontrolled runs do not see deadlines at all.
+            let frame_budget = match mode {
+                Mode::Controlled => budget,
+                Mode::Constant => Cycles::INFINITY,
+            };
+            let tables =
+                self.prepare_frame(&mut estimator, &mut body_profile, &qs, frame_budget)?;
+            let mut ctl = CycleController::from_shared(tables, qs.clone());
+
+            self.app.begin_frame(frame);
+            policy.on_cycle_start();
+            let activity = self.app.activity(frame);
+            let t = drive_cycle(
+                &mut self.app,
+                &self.iter,
+                &mut ctl,
+                clock,
+                backend,
+                policy,
+                &mut estimator,
+                &gen_profile,
+                &body_profile,
+                activity,
+                now,
+                &mut |app, d, body_action, mb| app.run_action(body_action, mb, d.quality),
+            )?;
+            records[frame] =
+                Some(self.finish_frame(ctl, &body_profile, frame, now, arrival, budget, t));
+        }
+        Ok(self.collect_result(policy.name(), records))
+    }
+
+    /// Advances the pipeline to the next encodable frame: admits arrivals
+    /// (recording overflow skips), pops, and idles the clock to the next
+    /// arrival when the buffer is empty. `None` when the stream is done.
+    fn next_frame(
+        &mut self,
+        clock: &mut dyn Clock,
+        pipe: &mut InputPipeline,
+        records: &mut [Option<FrameRecord>],
+    ) -> Option<(usize, Cycles, Cycles)> {
         loop {
             let now = clock.now();
             // Equal-timestamp ordering: arrivals strictly before `now`,
@@ -486,88 +596,83 @@ impl<A: VideoApp> Runner<A> {
             for f in pipe.admit_through(now) {
                 records[f] = Some(self.skipped_record(f));
             }
-            let Some((frame, arrival)) = popped else {
-                if pipe.waiting() > 0 {
-                    continue; // a boundary arrival just landed: pop it now
-                }
-                match pipe.next_arrival_time() {
-                    Some(t) => {
-                        clock.sleep_until(t);
-                        continue;
+            match popped {
+                Some((frame, arrival)) => return Some((frame, arrival, now)),
+                None => {
+                    if pipe.waiting() > 0 {
+                        continue; // a boundary arrival just landed: pop it now
                     }
-                    None => break,
-                }
-            };
-            let budget_abs = pipe.budget_deadline(now);
-            let budget = match budget_abs {
-                Some(d) => d - now,
-                None => Cycles::INFINITY,
-            };
-            // Uncontrolled runs do not see deadlines at all.
-            let frame_budget = match mode {
-                Mode::Controlled => budget,
-                Mode::Constant => Cycles::INFINITY,
-            };
-            // Online estimation sharpens the averages before the frame;
-            // cached tables were built from the old profile, drop them.
-            if let Some(est) = estimator.as_deref_mut() {
-                apply_estimates(est, &mut body_profile);
-                self.tiled_profile = body_profile.tile(self.iter.iterations());
-                self.tables_cache.clear();
-                self.tables_cache_order.clear();
-            }
-            let tables = self.tables_for(frame_budget, &qs)?;
-            let mut ctl = CycleController::from_shared(tables, qs.clone());
-
-            self.app.begin_frame(frame);
-            policy.on_cycle_start();
-            let activity = self.app.activity(frame);
-            let frame_start = now;
-            let mut t = Cycles::ZERO;
-            loop {
-                let decision = ctl.decide(t, policy).map_err(SimError::from)?;
-                let Some(d) = decision else { break };
-                let (body_action, mb) = self.iter.body_of(d.action);
-                let started = frame_start + t;
-                let work = self.app.run_action(body_action, mb, d.quality);
-                let ctx = ExecCtx {
-                    action: body_action,
-                    iteration: mb,
-                    quality: d.quality,
-                    avg: gen_profile.avg(body_action, d.quality),
-                    // Clamp bound stays the *declared* worst case: the
-                    // safety theorem needs actual <= Cwc_θ as declared.
-                    worst: body_profile.worst(body_action, d.quality),
-                    activity,
-                    work_units: work,
-                };
-                let dur = backend.elapse(clock, started, &ctx);
-                t += dur;
-                ctl.complete(t).map_err(SimError::from)?;
-                if let Some(est) = estimator.as_deref_mut() {
-                    est.observe(body_action, d.quality, dur);
+                    match pipe.next_arrival_time() {
+                        Some(t) => {
+                            clock.sleep_until(t);
+                            continue;
+                        }
+                        None => return None,
+                    }
                 }
             }
-            let report = ctl.finish();
-            self.monitor.record(&report);
-            let (mean_q, switches) = self.sensitive_quality_stats(&report, &body_profile);
-            let psnr = self.app.encoded_psnr(frame, mean_q, &report);
-            records[frame] = Some(FrameRecord {
-                frame,
-                skipped: false,
-                is_iframe: self.app.is_iframe(frame),
-                start: now,
-                encode_cycles: t,
-                budget,
-                latency: now - arrival,
-                mean_quality: mean_q,
-                misses: report.misses,
-                fallbacks: report.fallbacks,
-                quality_switches: switches,
-                psnr_db: psnr,
-            });
         }
+    }
 
+    /// Refreshes the declared profile from the online estimator (dropping
+    /// stale cached tables) and returns the constraint tables for this
+    /// frame's budget.
+    fn prepare_frame(
+        &mut self,
+        estimator: &mut Option<&mut dyn AvgEstimator>,
+        body_profile: &mut QualityProfile,
+        qs: &QualitySet,
+        frame_budget: Cycles,
+    ) -> Result<Arc<ConstraintTables>, SimError> {
+        // Online estimation sharpens the averages before the frame;
+        // cached tables were built from the old profile, drop them.
+        if let Some(est) = estimator.as_deref_mut() {
+            apply_estimates(est, body_profile);
+            self.tiled_profile = body_profile.tile(self.iter.iterations());
+            self.tables_cache.clear();
+            self.tables_cache_order.clear();
+        }
+        self.tables_for(frame_budget, qs)
+    }
+
+    /// Closes one encoded frame: safety accounting, quality stats, PSNR.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_frame(
+        &mut self,
+        ctl: CycleController,
+        body_profile: &QualityProfile,
+        frame: usize,
+        now: Cycles,
+        arrival: Cycles,
+        budget: Cycles,
+        t: Cycles,
+    ) -> FrameRecord {
+        let report = ctl.finish();
+        self.monitor.record(&report);
+        let (mean_q, switches) = self.sensitive_quality_stats(&report, body_profile);
+        let psnr = self.app.encoded_psnr(frame, mean_q, &report);
+        FrameRecord {
+            frame,
+            skipped: false,
+            is_iframe: self.app.is_iframe(frame),
+            start: now,
+            encode_cycles: t,
+            budget,
+            latency: now - arrival,
+            mean_quality: mean_q,
+            misses: report.misses,
+            fallbacks: report.fallbacks,
+            quality_switches: switches,
+            psnr_db: psnr,
+        }
+    }
+
+    /// Fills never-encoded frames as skips and labels the result.
+    fn collect_result(
+        &mut self,
+        policy_name: &str,
+        records: Vec<Option<FrameRecord>>,
+    ) -> StreamResult {
         let frames = records
             .into_iter()
             .enumerate()
@@ -575,15 +680,13 @@ impl<A: VideoApp> Runner<A> {
             .collect();
         let label = format!(
             "{} (K={}, P={})",
-            policy.name(),
-            self.config.input_capacity,
-            self.config.period
+            policy_name, self.config.input_capacity, self.config.period
         );
-        Ok(StreamResult {
+        StreamResult {
             label,
             period: self.config.period,
             frames,
-        })
+        }
     }
 
     /// Mean level and switch count over the *quality-sensitive* actions
@@ -646,6 +749,226 @@ impl<A: VideoApp> Runner<A> {
             psnr_db: self.app.skipped_psnr(frame),
         }
     }
+}
+
+impl<A: ParallelApp> Runner<A> {
+    /// Controlled parallel run on the deterministic virtual runtime —
+    /// [`Runner::run_controlled`] with `workers` threads executing each
+    /// frame's macroblock wavefront. Produces byte-identical results at
+    /// any worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller protocol and plan-validation errors.
+    pub fn run_parallel(
+        &mut self,
+        policy: &mut dyn QualityPolicy,
+        seed: u64,
+        workers: usize,
+    ) -> Result<StreamResult, SimError> {
+        let mut exec = StochasticLoad::new(seed);
+        let mut clock = VirtualClock::new();
+        let mut backend = ModelBackend::new(&mut exec);
+        self.run_parallel_on(
+            &mut clock,
+            &mut backend,
+            Mode::Controlled,
+            policy,
+            None,
+            workers,
+        )
+    }
+
+    /// Runs the full stream like [`Runner::run_on`], but executes each
+    /// frame's action kernels on a [`WorkStealingPool`] of `workers`
+    /// threads before replaying the controller loop sequentially.
+    ///
+    /// # Determinism contract
+    ///
+    /// On a [`VirtualClock`] with a [`ModelBackend`], the returned
+    /// [`StreamResult`] — every per-frame record, the safety monitor, the
+    /// quality decisions — is byte-identical to [`Runner::run_on`] for
+    /// *any* worker count, including 1. Speculatively computed kernels
+    /// are only consumed when their quality class matches the
+    /// controller's actual decision and all their data inputs were valid;
+    /// everything else is re-executed in schedule order (see
+    /// [`crate::runtime::parallel`]). On a wall clock the speedup is
+    /// real: the pixel math has already run concurrently, so the commit
+    /// loop is a cheap replay.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller protocol errors, and
+    /// [`SimError::InvalidConfig`] if the app declares inconsistent data
+    /// dependencies.
+    pub fn run_parallel_on(
+        &mut self,
+        clock: &mut dyn Clock,
+        backend: &mut dyn ExecBackend,
+        mode: Mode,
+        policy: &mut dyn QualityPolicy,
+        mut estimator: Option<&mut dyn AvgEstimator>,
+        workers: usize,
+    ) -> Result<StreamResult, SimError> {
+        let pool = WorkStealingPool::new(workers);
+        if self.parallel_plan.is_none() {
+            self.parallel_plan = Some(Arc::new(FramePlan::build(
+                &self.app,
+                &self.iter,
+                &self.order_pos,
+            )?));
+        }
+        let plan = Arc::clone(self.parallel_plan.as_ref().expect("plan just built"));
+        let n_inst = self.iter.graph().len();
+        let qs = self.app.profile().qualities().clone();
+        // Speculation seed: the level committed at the same instance one
+        // frame earlier; before any parallel frame, the maximal level
+        // (mis-speculation only costs a re-execution, never correctness).
+        let mut spec_q = self
+            .last_spec
+            .take()
+            .filter(|v| v.len() == n_inst)
+            .unwrap_or_else(|| vec![qs.max(); n_inst]);
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+
+        let total = self.app.stream_len();
+        let mut pipe = InputPipeline::new(self.config.period, self.config.input_capacity, total)?;
+        let mut records: Vec<Option<FrameRecord>> = vec![None; total];
+        let mut body_profile = self.app.profile().clone();
+        let gen_profile = self.app.generative_profile().clone();
+
+        while let Some((frame, arrival, now)) = self.next_frame(clock, &mut pipe, &mut records) {
+            let budget = match pipe.budget_deadline(now) {
+                Some(d) => d - now,
+                None => Cycles::INFINITY,
+            };
+            let frame_budget = match mode {
+                Mode::Controlled => budget,
+                Mode::Constant => Cycles::INFINITY,
+            };
+            let tables =
+                self.prepare_frame(&mut estimator, &mut body_profile, &qs, frame_budget)?;
+            let mut ctl = CycleController::from_shared(tables, qs.clone());
+
+            self.app.begin_frame(frame);
+            policy.on_cycle_start();
+            let activity = self.app.activity(frame);
+
+            // Phase 1: speculative wavefront execution. Kernels run as
+            // their data dependencies complete, at last frame's quality.
+            let slots: Vec<OnceLock<SpecSlot>> = (0..n_inst).map(|_| OnceLock::new()).collect();
+            {
+                let app = &self.app;
+                let iter = &self.iter;
+                let spec = &spec_q;
+                pool.run_dag(&plan.indegree, &plan.succs, |i| {
+                    let (a, mb) = iter.body_of(ActionId::from_index(i));
+                    let q = spec[i];
+                    let slot = SpecSlot {
+                        class: app.kernel_class(a, mb, q),
+                        work: app.kernel(a, mb, q),
+                    };
+                    slots[i].set(slot).expect("each kernel runs once");
+                });
+            }
+
+            // Phase 2: sequential commit in static EDF order — identical
+            // state transitions to the sequential runner.
+            let mut valid = vec![false; n_inst];
+            let t = drive_cycle(
+                &mut self.app,
+                &self.iter,
+                &mut ctl,
+                clock,
+                backend,
+                policy,
+                &mut estimator,
+                &gen_profile,
+                &body_profile,
+                activity,
+                now,
+                &mut |app, d, body_action, mb| {
+                    let i = d.action.index();
+                    spec_q[i] = d.quality;
+                    let slot = slots[i].get().expect("phase 1 ran every kernel");
+                    let cache_ok = plan.taint_preds[i].iter().all(|&p| valid[p])
+                        && app.kernel_class(body_action, mb, d.quality) == slot.class;
+                    if cache_ok {
+                        valid[i] = true;
+                        hits += 1;
+                        app.apply(body_action, mb);
+                        slot.work
+                    } else {
+                        // Re-execute, then re-validate: if the rerun
+                        // reproduced exactly the state the speculative
+                        // phase left (a smaller search radius finding
+                        // the same motion vector, say), every phase-1
+                        // reader of this instance saw correct inputs
+                        // and the mis-speculation cascade stops here.
+                        misses += 1;
+                        let before = app.snapshot(mb);
+                        let work = app.run_action(body_action, mb, d.quality);
+                        valid[i] = app.snapshot(mb) == before;
+                        work
+                    }
+                },
+            )?;
+            records[frame] =
+                Some(self.finish_frame(ctl, &body_profile, frame, now, arrival, budget, t));
+        }
+        self.last_spec = Some(spec_q);
+        self.spec_hits += hits;
+        self.spec_misses += misses;
+        Ok(self.collect_result(policy.name(), records))
+    }
+}
+
+/// The per-frame controller loop shared by the sequential and parallel
+/// runners: decide → obtain work → charge the backend → complete, until
+/// the cycle is finished. `work_of` is the only difference between the
+/// two paths (direct execution vs. speculation cache).
+#[allow(clippy::too_many_arguments)]
+fn drive_cycle<A: VideoApp>(
+    app: &mut A,
+    iter: &IteratedGraph,
+    ctl: &mut CycleController,
+    clock: &mut dyn Clock,
+    backend: &mut dyn ExecBackend,
+    policy: &mut dyn QualityPolicy,
+    estimator: &mut Option<&mut dyn AvgEstimator>,
+    gen_profile: &QualityProfile,
+    body_profile: &QualityProfile,
+    activity: f64,
+    frame_start: Cycles,
+    work_of: &mut dyn FnMut(&mut A, &Decision, ActionId, usize) -> Option<u64>,
+) -> Result<Cycles, SimError> {
+    let mut t = Cycles::ZERO;
+    loop {
+        let decision = ctl.decide(t, policy).map_err(SimError::from)?;
+        let Some(d) = decision else { break };
+        let (body_action, mb) = iter.body_of(d.action);
+        let started = frame_start + t;
+        let work = work_of(app, &d, body_action, mb);
+        let ctx = ExecCtx {
+            action: body_action,
+            iteration: mb,
+            quality: d.quality,
+            avg: gen_profile.avg(body_action, d.quality),
+            // Clamp bound stays the *declared* worst case: the
+            // safety theorem needs actual <= Cwc_θ as declared.
+            worst: body_profile.worst(body_action, d.quality),
+            activity,
+            work_units: work,
+        };
+        let dur = backend.elapse(clock, started, &ctx);
+        t += dur;
+        ctl.complete(t).map_err(SimError::from)?;
+        if let Some(est) = estimator.as_deref_mut() {
+            est.observe(body_action, d.quality, dur);
+        }
+    }
+    Ok(t)
 }
 
 /// Whether the encoder is the controlled build or an uncontrolled
@@ -796,6 +1119,58 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_mode_reproduces_the_sequential_series() {
+        // The unrolling mode affects which *parallel* executions are
+        // legal, not the controller: the static order and tables are
+        // identical, so the series is too.
+        let mut seq = small_runner(40, 10, 1);
+        let expected = seq.run_controlled(&mut MaxQuality::new(), 33).unwrap();
+        let scenario = LoadScenario::paper_benchmark(5).truncated(40);
+        let app = TableApp::with_macroblocks(scenario, 10).unwrap();
+        let config = RunConfig::paper_defaults()
+            .scaled_to_macroblocks(10)
+            .with_iteration_mode(IterationMode::Pipelined);
+        let mut pip = Runner::new(app, config).unwrap();
+        let actual = pip.run_controlled(&mut MaxQuality::new(), 33).unwrap();
+        assert_eq!(expected.frames(), actual.frames());
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_at_every_worker_count() {
+        let mut seq = small_runner(40, 10, 1);
+        let expected = seq.run_controlled(&mut MaxQuality::new(), 13).unwrap();
+        for workers in [1, 2, 8] {
+            let mut par = small_runner(40, 10, 1);
+            let actual = par
+                .run_parallel(&mut MaxQuality::new(), 13, workers)
+                .unwrap();
+            assert_eq!(
+                expected.frames(),
+                actual.frames(),
+                "divergence at {workers} workers"
+            );
+            // TableApp kernels are quality-blind: speculation never
+            // misses.
+            assert_eq!(par.speculation().1, 0);
+        }
+    }
+
+    #[test]
+    fn parallel_run_in_pipelined_mode_matches_too() {
+        let mut seq = small_runner(30, 8, 1);
+        let expected = seq.run_controlled(&mut MaxQuality::new(), 29).unwrap();
+        let scenario = LoadScenario::paper_benchmark(5).truncated(30);
+        let app = TableApp::with_macroblocks(scenario, 8).unwrap();
+        let config = RunConfig::paper_defaults()
+            .scaled_to_macroblocks(8)
+            .with_iteration_mode(IterationMode::Pipelined);
+        let mut par = Runner::new(app, config).unwrap();
+        let actual = par.run_parallel(&mut MaxQuality::new(), 29, 4).unwrap();
+        assert_eq!(expected.frames(), actual.frames());
+        assert!(par.monitor().all_safe());
+    }
+
+    #[test]
     fn constant_runs_share_one_table_across_all_frames() {
         // Uncontrolled frames all see budget +inf: 60 frames, 1 build.
         let mut r = small_runner(60, 12, 1);
@@ -825,6 +1200,31 @@ mod tests {
             "cache grew past its cap: {}",
             r.cached_tables()
         );
+    }
+
+    #[test]
+    fn table_eviction_is_lru_not_fifo() {
+        // The recurring budget is touched between bursts of unique
+        // budgets, so it must survive eviction even though it was
+        // inserted first.
+        let mut r = small_runner(10, 8, 1);
+        let qs = r.app().profile().qualities().clone();
+        let hot = Cycles::new(1_000_000);
+        r.tables_for(hot, &qs).unwrap();
+        let hot_arc = Arc::clone(r.tables_cache.get(&hot).unwrap());
+        for burst in 0..2 {
+            for i in 0..(TABLES_CACHE_CAP - 1) {
+                let unique = Cycles::new(2_000_000 + (burst * 100 + i) as u64);
+                r.tables_for(unique, &qs).unwrap();
+            }
+            // Touch the hot entry: must still be the same cached tables.
+            let again = r.tables_for(hot, &qs).unwrap();
+            assert!(
+                Arc::ptr_eq(&hot_arc, &again),
+                "hot budget was evicted by a burst of unique budgets"
+            );
+        }
+        assert!(r.cached_tables() <= TABLES_CACHE_CAP);
     }
 
     #[test]

@@ -75,22 +75,57 @@ impl<M: ExecTimeModel> ExecBackend for ModelBackend<M> {
 /// ([`crate::runtime::WallClock`]); on a virtual clock every action would
 /// appear free. Costs include everything the host did in between —
 /// controller overhead, preemption — which is exactly what a live
-/// deadline check must account for. Each action is charged at least one
-/// cycle so progress is visible even below the clock's resolution.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct MeasuredBackend;
+/// deadline check must account for. Each action is charged at least the
+/// configured *floor* (one cycle by default) so progress is visible even
+/// below the clock's resolution; tests and paced replays inject a larger
+/// floor instead of sleeping real time (see
+/// [`MeasuredBackend::with_floor`]).
+#[derive(Debug, Clone, Copy)]
+pub struct MeasuredBackend {
+    floor: Cycles,
+}
+
+impl Default for MeasuredBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl MeasuredBackend {
-    /// Creates the measuring backend.
+    /// Creates the measuring backend with the default one-cycle floor.
     #[must_use]
     pub fn new() -> Self {
-        MeasuredBackend
+        Self::with_floor(Cycles::new(1))
+    }
+
+    /// Creates a measuring backend whose per-action charge is at least
+    /// `floor` cycles. This makes the charge injectable: a test can
+    /// assert exact timing on a [`crate::runtime::VirtualClock`] (where
+    /// observed time is zero and every action costs exactly the floor)
+    /// instead of sleeping wall time and hoping the host is idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floor` is zero or infinite.
+    #[must_use]
+    pub fn with_floor(floor: Cycles) -> Self {
+        assert!(
+            floor.is_finite() && floor > Cycles::ZERO,
+            "floor must be positive and finite"
+        );
+        MeasuredBackend { floor }
+    }
+
+    /// The configured minimum per-action charge.
+    #[must_use]
+    pub fn floor(&self) -> Cycles {
+        self.floor
     }
 }
 
 impl ExecBackend for MeasuredBackend {
     fn elapse(&mut self, clock: &mut dyn Clock, started: Cycles, _ctx: &ExecCtx) -> Cycles {
-        (clock.now() - started).max(Cycles::new(1))
+        (clock.now() - started).max(self.floor)
     }
 
     fn name(&self) -> &'static str {
@@ -164,12 +199,33 @@ mod tests {
     }
 
     #[test]
+    fn injected_floor_makes_charges_exact_without_sleeping() {
+        // On a virtual clock nothing moves by itself, so the charge is
+        // exactly the injected floor — no wall time, no flakiness.
+        let mut clock = VirtualClock::new();
+        let mut backend = MeasuredBackend::with_floor(Cycles::new(2_000_000));
+        assert_eq!(backend.floor(), Cycles::new(2_000_000));
+        let cost = backend.elapse(&mut clock, Cycles::ZERO, &ctx(1, 2));
+        assert_eq!(cost, Cycles::new(2_000_000));
+    }
+
+    #[test]
+    fn bad_floors_panic() {
+        assert!(std::panic::catch_unwind(|| MeasuredBackend::with_floor(Cycles::ZERO)).is_err());
+        assert!(
+            std::panic::catch_unwind(|| MeasuredBackend::with_floor(Cycles::INFINITY)).is_err()
+        );
+    }
+
+    #[test]
     fn measured_backend_observes_wall_time() {
+        // Lower bound only: a loaded host can only make the observed
+        // time larger, never smaller, so this cannot flake.
         let mut clock = WallClock::new(1_000_000_000);
         let started = clock.now();
-        std::thread::sleep(std::time::Duration::from_millis(2));
+        std::thread::sleep(std::time::Duration::from_millis(1));
         let mut backend = MeasuredBackend::new();
         let cost = backend.elapse(&mut clock, started, &ctx(1, 2));
-        assert!(cost >= Cycles::new(2_000_000), "measured {cost}");
+        assert!(cost >= Cycles::new(1_000_000), "measured {cost}");
     }
 }

@@ -11,7 +11,11 @@
 //!   calibrated cycles-per-second ratio;
 //! * [`ExecBackend`] — where costs come from: [`ModelBackend`] samples an
 //!   [`crate::exec::ExecTimeModel`] (simulation), [`MeasuredBackend`]
-//!   charges observed wall time (live runs).
+//!   charges observed wall time (live runs);
+//! * [`parallel`] — the deterministic parallel frame executor: the
+//!   [`ParallelApp`] kernel/apply contract and the speculative wavefront
+//!   machinery behind [`crate::runner::Runner::run_parallel_on`], driven
+//!   by the hand-rolled [`WorkStealingPool`].
 //!
 //! [`crate::runner::Runner::run_on`] accepts any (clock, backend) pair;
 //! the legacy [`crate::runner::Runner::run`] is the virtual-clock,
@@ -51,6 +55,10 @@
 
 mod backend;
 mod clock;
+pub mod parallel;
+mod pool;
 
 pub use backend::{ExecBackend, MeasuredBackend, ModelBackend};
 pub use clock::{Clock, VirtualClock, WallClock};
+pub use parallel::ParallelApp;
+pub use pool::WorkStealingPool;

@@ -1,0 +1,361 @@
+//! The deterministic parallel frame executor: app contract and kernel DAG.
+//!
+//! # The determinism problem
+//!
+//! The controller of Section 2.2 is inherently sequential: the quality it
+//! picks for step `i` depends on the elapsed cycle time after steps
+//! `0..i`, which depends on every earlier action's cost, which (for
+//! work-driven models) depends on the pixels those actions produced. A
+//! naive parallel executor would change the timeline and therefore the
+//! quality decisions — the controller's guarantees would no longer be the
+//! ones proved for the sequential runner.
+//!
+//! [`Runner::run_parallel_on`] keeps the guarantees by splitting a frame
+//! into two phases:
+//!
+//! 1. **Speculative execution** — every action instance's *pure
+//!    computation* (its [`ParallelApp::kernel`]) runs on a
+//!    [`WorkStealingPool`] as soon as its *data* dependencies are done,
+//!    at a speculated quality (the level the controller chose at the same
+//!    schedule position one frame earlier).
+//! 2. **Sequential commit** — the controller loop replays in the static
+//!    EDF order exactly as in [`Runner::run_on`]: each decision either
+//!    consumes the speculated kernel result (when the decided quality
+//!    falls in the same [`ParallelApp::kernel_class`] and every data
+//!    input was itself valid) and applies its side effects via
+//!    [`ParallelApp::apply`], or discards it and re-executes the action
+//!    in place via [`crate::app::VideoApp::run_action`].
+//!
+//! Because phase 2 performs the *same* state transitions in the *same*
+//! order with the *same* inputs as the sequential runner — mis-speculated
+//! work is simply thrown away — the per-frame series is byte-identical at
+//! any worker count on a [`crate::runtime::VirtualClock`] +
+//! [`crate::runtime::ModelBackend`] runtime. On a wall clock the benefit
+//! is real: the heavy pixel math has already happened concurrently, so
+//! phase 2 is a cheap replay.
+//!
+//! # What may run in parallel
+//!
+//! The kernel DAG is *not* the unrolled precedence graph verbatim. Under
+//! [`IterationMode::Pipelined`] the cross-iteration `a@k → a@k+1` edges
+//! only pace the *timeline* (which phase 2 enforces exactly); they carry
+//! no data, so phase 1 drops them and schedules on the body's
+//! same-iteration edges plus the app's declared
+//! [`ParallelApp::data_preds`] — for the pixel encoder, the classic
+//! macroblock wavefront (intra prediction reads the left and above
+//! reconstructions). Under [`IterationMode::Sequential`] the iteration
+//! barrier edges are kept, so parallelism stays inside one iteration —
+//! the conservative mode for apps whose cross-iteration data flow is
+//! undeclared.
+//!
+//! [`Runner::run_parallel_on`]: crate::runner::Runner::run_parallel_on
+//! [`Runner::run_on`]: crate::runner::Runner::run_on
+//! [`WorkStealingPool`]: crate::runtime::WorkStealingPool
+//! [`IterationMode::Pipelined`]: fgqos_graph::iterate::IterationMode::Pipelined
+//! [`IterationMode::Sequential`]: fgqos_graph::iterate::IterationMode::Sequential
+
+use fgqos_graph::iterate::{IteratedGraph, IterationMode};
+use fgqos_graph::ActionId;
+use fgqos_time::Quality;
+
+use crate::app::VideoApp;
+use crate::SimError;
+
+/// A [`VideoApp`] whose per-action work can execute off-thread.
+///
+/// # Contract
+///
+/// `run_action(a, mb, q)` **must** be observationally equivalent to
+/// `let w = kernel(a, mb, q); apply(a, mb); w` — the runner uses the
+/// split form on cache hits and the fused form on mis-speculation, and
+/// determinism rests on both paths performing identical state
+/// transitions.
+///
+/// [`ParallelApp::kernel`] takes `&self` and may be called from several
+/// worker threads at once; per-macroblock working state must live behind
+/// interior locks keyed by `mb` (see `fgqos-encoder`'s `EncoderApp`). A
+/// kernel may read only
+///
+/// * shared state that is constant for the duration of the frame (the
+///   source image, the previous reference frame, the frame QP),
+/// * its own macroblock's working state, and
+/// * working state written by instances it declared in
+///   [`ParallelApp::data_preds`] (or by same-iteration predecessors in
+///   the body graph).
+///
+/// Two structural rules keep the commit phase sound:
+///
+/// * **exact read sets** — [`ParallelApp::data_preds`] must cover every
+///   working-state read that is not a *direct* body-graph edge. Relying
+///   on transitive graph coverage is incorrect: output re-validation can
+///   confirm an intermediary while an input that bypasses it changed;
+/// * **single writer per field** — within one iteration, each
+///   working-state field may be written by exactly one action. Otherwise
+///   a re-executed early action could clobber the speculated output of a
+///   later action that commits from cache without rewriting its fields.
+pub trait ParallelApp: VideoApp + Sync {
+    /// A comparable copy of one macroblock's working state, taken with
+    /// [`ParallelApp::snapshot`]. The runner uses it to *re-validate*
+    /// mis-speculated work: if re-executing an action reproduces exactly
+    /// the state the speculative phase left behind, every downstream
+    /// kernel read correct inputs and its cached result stays usable —
+    /// without this, one mis-speculated motion search would taint its
+    /// entire dependency cone and serialize the rest of the frame.
+    type Snapshot: PartialEq;
+
+    /// Copies macroblock `mb`'s working state for equality comparison
+    /// around a re-execution.
+    fn snapshot(&self, mb: usize) -> Self::Snapshot;
+
+    /// Direct *data* predecessors of the kernel for `(action, mb)` that
+    /// are not same-iteration body-graph edges: pairs of (producer body
+    /// action, producer iteration). Producer iterations must not exceed
+    /// `mb`, and same-iteration entries must precede `action` in the
+    /// body's EDF order.
+    fn data_preds(&self, action: ActionId, mb: usize) -> Vec<(ActionId, usize)> {
+        let _ = (action, mb);
+        Vec::new()
+    }
+
+    /// Fingerprint of the kernel's quality sensitivity: two qualities
+    /// with equal fingerprints must make `kernel(action, mb, ·)` produce
+    /// identical outputs (state writes and work units). Quality-blind
+    /// kernels return a constant — their speculation never misses.
+    fn kernel_class(&self, action: ActionId, mb: usize, q: Quality) -> u64 {
+        let _ = (action, mb, q);
+        0
+    }
+
+    /// The pure computation of one action instance; returns the work
+    /// units [`VideoApp::run_action`] would report.
+    fn kernel(&self, action: ActionId, mb: usize, q: Quality) -> Option<u64>;
+
+    /// Applies the sequential side effects of a completed kernel (bit
+    /// accounting, reconstruction writes, ...). Called in static schedule
+    /// order with `&mut self`.
+    fn apply(&mut self, action: ActionId, mb: usize);
+}
+
+/// One speculated kernel result (filled during phase 1).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SpecSlot {
+    /// Fingerprint of the quality the kernel actually ran at.
+    pub class: u64,
+    /// Work units it reported.
+    pub work: Option<u64>,
+}
+
+/// The static per-frame kernel DAG of a runner: execution edges for
+/// phase 1 and validity (taint) edges for phase 2. Instances are indexed
+/// iteration-major (`mb * body_len + action`), matching
+/// [`IteratedGraph::instance`].
+#[derive(Debug, Clone)]
+pub(crate) struct FramePlan {
+    /// In-degree of each instance in the execution DAG.
+    pub indegree: Vec<usize>,
+    /// Successors of each instance in the execution DAG.
+    pub succs: Vec<Vec<usize>>,
+    /// Kernel-input predecessors: a cached result is valid only if every
+    /// taint predecessor's committed result was itself valid.
+    pub taint_preds: Vec<Vec<usize>>,
+}
+
+impl FramePlan {
+    /// Builds the plan for `app` over the unrolled graph `iter`, given
+    /// the static schedule positions `order_pos[instance] = position`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] if a declared data dependency points
+    /// outside the graph or does not precede its consumer in the static
+    /// schedule (which would break both phase-1 scheduling and phase-2
+    /// re-execution).
+    pub fn build<A: ParallelApp>(
+        app: &A,
+        iter: &IteratedGraph,
+        order_pos: &[usize],
+    ) -> Result<Self, SimError> {
+        let body_len = iter.body_len();
+        let n = iter.graph().len();
+        let mut indegree = vec![0usize; n];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut taint_preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+        let add_edge =
+            |from: usize, to: usize, succs: &mut Vec<Vec<usize>>, indegree: &mut Vec<usize>| {
+                if !succs[from].contains(&to) {
+                    succs[from].push(to);
+                    indegree[to] += 1;
+                }
+            };
+
+        for (from, to) in iter.graph().edges() {
+            let (fa, fk) = iter.body_of(from);
+            let (ta, tk) = iter.body_of(to);
+            let same_iteration = fk == tk;
+            // Pipelined cross-iteration edges (`a@k → a@k+1`) order the
+            // timeline, not data: phase 2 enforces them, phase 1 drops
+            // them. Sequential barrier edges are kept — without declared
+            // data deps, iteration k+1 must assume it reads everything.
+            if !same_iteration && iter.mode() == IterationMode::Pipelined && fa == ta {
+                continue;
+            }
+            add_edge(from.index(), to.index(), &mut succs, &mut indegree);
+            if same_iteration {
+                taint_preds[to.index()].push(from.index());
+            }
+        }
+
+        for mb in 0..iter.iterations() {
+            for a in (0..body_len).map(ActionId::from_index) {
+                let inst = iter.instance(a, mb).index();
+                for (pa, pk) in app.data_preds(a, mb) {
+                    if pa.index() >= body_len || pk > mb {
+                        return Err(SimError::InvalidConfig(
+                            "data dependency outside the unrolled graph",
+                        ));
+                    }
+                    let pred = iter.instance(pa, pk).index();
+                    if order_pos[pred] >= order_pos[inst] {
+                        return Err(SimError::InvalidConfig(
+                            "data dependency does not precede its consumer in the schedule",
+                        ));
+                    }
+                    add_edge(pred, inst, &mut succs, &mut indegree);
+                    if !taint_preds[inst].contains(&pred) {
+                        taint_preds[inst].push(pred);
+                    }
+                }
+            }
+        }
+        Ok(FramePlan {
+            indegree,
+            succs,
+            taint_preds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::TableApp;
+    use crate::scenario::LoadScenario;
+
+    fn order_pos(iter: &IteratedGraph) -> Vec<usize> {
+        // Iteration-major identity (instances are laid out that way).
+        (0..iter.graph().len()).collect()
+    }
+
+    fn table_app(mb: usize) -> TableApp {
+        let scenario = LoadScenario::paper_benchmark(1).truncated(4);
+        TableApp::with_macroblocks(scenario, mb).unwrap()
+    }
+
+    #[test]
+    fn sequential_plan_keeps_iteration_barriers() {
+        let app = table_app(3);
+        let iter = IteratedGraph::new(app.body(), 3, IterationMode::Sequential).unwrap();
+        let plan = FramePlan::build(&app, &iter, &order_pos(&iter)).unwrap();
+        // Exactly the unrolled graph (no data deps declared, nothing
+        // dropped in sequential mode).
+        let edges: usize = plan.succs.iter().map(Vec::len).sum();
+        assert_eq!(edges, iter.graph().edge_count());
+        assert_eq!(plan.indegree.iter().sum::<usize>(), edges);
+    }
+
+    #[test]
+    fn pipelined_plan_drops_pacing_edges() {
+        let app = table_app(3);
+        let iter = IteratedGraph::new(app.body(), 3, IterationMode::Pipelined).unwrap();
+        let plan = FramePlan::build(&app, &iter, &order_pos(&iter)).unwrap();
+        let body_edges = app.body().edge_count();
+        let edges: usize = plan.succs.iter().map(Vec::len).sum();
+        // Only the per-iteration body edges remain: iterations fully
+        // independent for a TableApp (no data flow between macroblocks).
+        assert_eq!(edges, body_edges * 3);
+        // Every iteration's source is immediately ready.
+        let ready = plan.indegree.iter().filter(|&&d| d == 0).count();
+        assert_eq!(ready, 3 * app.body().sources().len());
+    }
+
+    #[test]
+    fn taint_preds_are_same_iteration_only_for_table_app() {
+        let app = table_app(2);
+        let iter = IteratedGraph::new(app.body(), 2, IterationMode::Sequential).unwrap();
+        let plan = FramePlan::build(&app, &iter, &order_pos(&iter)).unwrap();
+        let body_len = iter.body_len();
+        for (inst, preds) in plan.taint_preds.iter().enumerate() {
+            for &p in preds {
+                assert_eq!(p / body_len, inst / body_len, "taint crossed iterations");
+            }
+        }
+    }
+
+    /// An app declaring an out-of-order data dep is rejected.
+    #[test]
+    fn bad_data_deps_are_rejected() {
+        struct BadApp(TableApp);
+        impl VideoApp for BadApp {
+            fn body(&self) -> &fgqos_graph::PrecedenceGraph {
+                self.0.body()
+            }
+            fn iterations(&self) -> usize {
+                self.0.iterations()
+            }
+            fn profile(&self) -> &fgqos_time::QualityProfile {
+                self.0.profile()
+            }
+            fn activity(&self, frame: usize) -> f64 {
+                self.0.activity(frame)
+            }
+            fn is_iframe(&self, frame: usize) -> bool {
+                self.0.is_iframe(frame)
+            }
+            fn begin_frame(&mut self, frame: usize) {
+                self.0.begin_frame(frame);
+            }
+            fn run_action(&mut self, a: ActionId, mb: usize, q: Quality) -> Option<u64> {
+                self.0.run_action(a, mb, q)
+            }
+            fn encoded_psnr(
+                &mut self,
+                frame: usize,
+                q: f64,
+                report: &fgqos_core::CycleReport,
+            ) -> f64 {
+                self.0.encoded_psnr(frame, q, report)
+            }
+            fn skipped_psnr(&mut self, frame: usize) -> f64 {
+                self.0.skipped_psnr(frame)
+            }
+            fn stream_len(&self) -> usize {
+                self.0.stream_len()
+            }
+        }
+        impl ParallelApp for BadApp {
+            type Snapshot = ();
+            fn snapshot(&self, _mb: usize) {}
+            fn data_preds(&self, action: ActionId, mb: usize) -> Vec<(ActionId, usize)> {
+                // Claims every action reads the *last* action of the
+                // same iteration: self-inconsistent with the schedule.
+                let last = ActionId::from_index(self.body().len() - 1);
+                if action != last {
+                    vec![(last, mb)]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn kernel(&self, _a: ActionId, _mb: usize, _q: Quality) -> Option<u64> {
+                None
+            }
+            fn apply(&mut self, _a: ActionId, _mb: usize) {}
+        }
+        let app = BadApp(table_app(2));
+        let iter = IteratedGraph::new(app.body(), 2, IterationMode::Sequential).unwrap();
+        assert!(matches!(
+            FramePlan::build(&app, &iter, &order_pos(&iter)),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+}

@@ -1,0 +1,81 @@
+//! The pixel encoder on the work-stealing parallel runner: sweeps worker
+//! counts, verifies the determinism contract (every per-frame record
+//! byte-identical to the sequential run), and reports wall-clock times.
+//!
+//! ```sh
+//! cargo run --release --example parallel_encoder
+//! ```
+
+use std::time::Instant;
+
+use fine_grain_qos::encoder::app::EncoderApp;
+use fine_grain_qos::prelude::*;
+
+fn runner(mode: IterationMode) -> Result<Runner<EncoderApp>, Box<dyn std::error::Error>> {
+    let scenario = LoadScenario::paper_benchmark(4).truncated(10);
+    let app = EncoderApp::new(scenario, 96, 64, 4)?;
+    let n = app.iterations();
+    let config = RunConfig::paper_defaults()
+        .scaled_to_macroblocks(n)
+        .with_iteration_mode(mode);
+    Ok(Runner::new(app, config)?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!("pixel encoder, 96x64 (24 macroblocks), 10 frames, {cores} host cores\n");
+
+    // Sequential baseline.
+    let mut seq = runner(IterationMode::Sequential)?;
+    let mut clock = VirtualClock::new();
+    let mut backend = EncoderApp::work_backend(4);
+    let start = Instant::now();
+    let baseline = seq.run_on(
+        &mut clock,
+        &mut backend,
+        Mode::Controlled,
+        &mut MaxQuality::new(),
+        None,
+    )?;
+    let t_seq = start.elapsed();
+    println!(
+        "sequential            {:>8.2} ms   {}",
+        t_seq.as_secs_f64() * 1e3,
+        baseline.summary()
+    );
+
+    // Parallel wavefront sweep: 1..=max(4, cores) workers, all
+    // byte-identical to the baseline.
+    let max_workers = cores.max(4);
+    for workers in 1..=max_workers {
+        let mut par = runner(IterationMode::Pipelined)?;
+        let mut clock = VirtualClock::new();
+        let mut backend = EncoderApp::work_backend(4);
+        let start = Instant::now();
+        let res = par.run_parallel_on(
+            &mut clock,
+            &mut backend,
+            Mode::Controlled,
+            &mut MaxQuality::new(),
+            None,
+            workers,
+        )?;
+        let t = start.elapsed();
+        assert_eq!(
+            baseline.frames(),
+            res.frames(),
+            "determinism contract violated at {workers} workers"
+        );
+        let (hits, misses) = par.speculation();
+        println!(
+            "workers={workers:<2}            {:>8.2} ms   speedup {:>5.2}x   identical series ✓   speculation {hits} hit / {misses} re-run",
+            t.as_secs_f64() * 1e3,
+            t_seq.as_secs_f64() / t.as_secs_f64().max(1e-9),
+        );
+    }
+    println!(
+        "\nThe virtual-clock timeline and every quality decision are \
+         byte-identical at any worker count; only host wall time changes."
+    );
+    Ok(())
+}

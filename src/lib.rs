@@ -80,12 +80,14 @@ pub mod prelude {
         ConstantQuality, Hysteresis, MaxQuality, QualityPolicy, Smooth, SoftDeadline,
     };
     pub use fgqos_core::{CycleController, CycleReport, Decision, ParamSystem};
+    pub use fgqos_graph::iterate::IterationMode;
     pub use fgqos_graph::{ActionId, ExecutionSequence, GraphBuilder, PrecedenceGraph};
     pub use fgqos_sched::{BestSched, ConstraintTables, EdfScheduler, FifoScheduler};
     pub use fgqos_sim::app::{TableApp, VideoApp};
     pub use fgqos_sim::runner::{DeadlineShape, Mode, RunConfig, Runner, StreamResult};
     pub use fgqos_sim::runtime::{
-        Clock, ExecBackend, MeasuredBackend, ModelBackend, VirtualClock, WallClock,
+        Clock, ExecBackend, MeasuredBackend, ModelBackend, ParallelApp, VirtualClock, WallClock,
+        WorkStealingPool,
     };
     pub use fgqos_sim::scenario::LoadScenario;
     pub use fgqos_time::{Cycles, DeadlineMap, Quality, QualityProfile, QualitySet, Slack};
