@@ -1,0 +1,367 @@
+//! Priority admission control: who gets on the machine, and at what
+//! quality ceiling.
+//!
+//! A shared machine cannot promise the paper's per-stream guarantees to
+//! an unbounded number of streams: the controller keeps each *admitted*
+//! stream safe, but admitting more aggregate demand than the platform has
+//! cycles would starve every stream at once. Following the congestion
+//! management literature (see PAPERS.md, "A New Approach to Manage QoS in
+//! Distributed Multimedia Systems"), admission is resolved *before*
+//! serving starts, deterministically:
+//!
+//! 1. Every candidate stream declares its utilization demand per quality
+//!    level — `U(q) = Σ_a avg(a, q) · N / P`, the fraction of one core
+//!    the stream needs to sustain its camera rate at level `q`.
+//! 2. Candidates are ranked by priority (descending), ties broken by
+//!    submission order — a total order, so the outcome is a pure function
+//!    of the specs.
+//! 3. Each candidate in rank order is **admitted** if its full-quality
+//!    demand fits the remaining capacity, **degraded** to the highest
+//!    quality ceiling that fits otherwise, and **rejected** if not even
+//!    its minimum level fits.
+//!
+//! Degradation composes with the per-stream controllers rather than
+//! replacing them: a degraded stream runs with a quality *ceiling*
+//! ([`crate::server::CeilingPolicy`]), and its fine-grain controller
+//! still adapts frame by frame below that ceiling. The admission layer
+//! hands out long-term budget shares; the controllers handle the
+//! fine-grain, per-action adaptation the paper is about.
+
+use fgqos_time::Quality;
+
+/// What the admission layer granted one stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionDecision {
+    /// Admitted at full quality range.
+    Admit,
+    /// Admitted with a quality ceiling: the stream's policy may never
+    /// pick a level above it.
+    Degrade(Quality),
+    /// Not admitted: even the minimum level does not fit the remaining
+    /// capacity.
+    Reject,
+}
+
+impl AdmissionDecision {
+    /// Whether the stream runs at all.
+    #[must_use]
+    pub fn is_admitted(&self) -> bool {
+        !matches!(self, AdmissionDecision::Reject)
+    }
+}
+
+/// One candidate stream's declared demand.
+#[derive(Debug, Clone)]
+pub struct StreamDemand {
+    /// Submission index (position in the spec list).
+    pub index: usize,
+    /// Priority; higher is served first.
+    pub priority: u8,
+    /// `(quality, utilization)` per level, ascending by quality.
+    /// Utilization is the fraction of one core needed to sustain the
+    /// stream's camera rate at that level.
+    pub utilization: Vec<(Quality, f64)>,
+}
+
+impl StreamDemand {
+    /// Demand at the maximal level.
+    #[must_use]
+    pub fn at_max(&self) -> f64 {
+        self.utilization.last().map_or(f64::INFINITY, |&(_, u)| u)
+    }
+}
+
+/// Per-stream admission outcome with the numbers behind it.
+#[derive(Debug, Clone)]
+pub struct AdmissionRecord {
+    /// Submission index of the stream.
+    pub index: usize,
+    /// Priority it was ranked at.
+    pub priority: u8,
+    /// The grant.
+    pub decision: AdmissionDecision,
+    /// Utilization the stream asked for (maximal quality).
+    pub demand_at_max: f64,
+    /// Utilization actually charged against the capacity (0 when
+    /// rejected).
+    pub granted_utilization: f64,
+}
+
+/// The full admission outcome: per-stream records in decision order plus
+/// aggregate counters.
+#[derive(Debug, Clone)]
+pub struct AdmissionReport {
+    records: Vec<AdmissionRecord>,
+    capacity: f64,
+    used: f64,
+}
+
+impl AdmissionReport {
+    /// Per-stream records, in decision (rank) order.
+    #[must_use]
+    pub fn records(&self) -> &[AdmissionRecord] {
+        &self.records
+    }
+
+    /// The record of the stream submitted at `index`.
+    #[must_use]
+    pub fn for_stream(&self, index: usize) -> Option<&AdmissionRecord> {
+        self.records.iter().find(|r| r.index == index)
+    }
+
+    /// Streams admitted at full quality.
+    #[must_use]
+    pub fn admitted(&self) -> usize {
+        self.count(|d| matches!(d, AdmissionDecision::Admit))
+    }
+
+    /// Streams admitted with a quality ceiling.
+    #[must_use]
+    pub fn degraded(&self) -> usize {
+        self.count(|d| matches!(d, AdmissionDecision::Degrade(_)))
+    }
+
+    /// Streams turned away.
+    #[must_use]
+    pub fn rejected(&self) -> usize {
+        self.count(|d| matches!(d, AdmissionDecision::Reject))
+    }
+
+    fn count(&self, pred: impl Fn(&AdmissionDecision) -> bool) -> usize {
+        self.records.iter().filter(|r| pred(&r.decision)).count()
+    }
+
+    /// Capacity the decisions were made against, in cores.
+    #[must_use]
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Total utilization granted, in cores.
+    #[must_use]
+    pub fn granted_utilization(&self) -> f64 {
+        self.used
+    }
+
+    /// The decision sequence in rank order — the determinism witness
+    /// compared across worker counts and thread settings in tests.
+    #[must_use]
+    pub fn sequence(&self) -> Vec<(usize, AdmissionDecision)> {
+        self.records.iter().map(|r| (r.index, r.decision)).collect()
+    }
+
+    /// One-line human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "admission: {} admitted, {} degraded, {} rejected; {:.2}/{:.2} cores granted",
+            self.admitted(),
+            self.degraded(),
+            self.rejected(),
+            self.used,
+            self.capacity
+        )
+    }
+}
+
+/// The deterministic greedy admission controller described in the module
+/// docs.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionController {
+    capacity: f64,
+}
+
+impl AdmissionController {
+    /// A controller over `capacity` cores' worth of sustained demand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not finite and positive.
+    #[must_use]
+    pub fn new(capacity: f64) -> Self {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "capacity must be positive and finite"
+        );
+        AdmissionController { capacity }
+    }
+
+    /// The natural capacity of a `workers`-wide pool: one core each.
+    #[must_use]
+    pub fn for_workers(workers: usize) -> Self {
+        Self::new(workers.max(1) as f64)
+    }
+
+    /// The capacity in cores.
+    #[must_use]
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Decides every candidate. Pure: the outcome depends only on the
+    /// demands (and this controller's capacity), never on thread timing,
+    /// worker counts or map iteration order.
+    #[must_use]
+    pub fn decide(&self, demands: &[StreamDemand]) -> AdmissionReport {
+        let mut rank: Vec<usize> = (0..demands.len()).collect();
+        rank.sort_by(|&a, &b| {
+            demands[b]
+                .priority
+                .cmp(&demands[a].priority)
+                .then(demands[a].index.cmp(&demands[b].index))
+        });
+        let mut used = 0.0f64;
+        let mut records = Vec::with_capacity(demands.len());
+        for i in rank {
+            let d = &demands[i];
+            let demand_at_max = d.at_max();
+            let (decision, granted) = if d.utilization.is_empty() {
+                (AdmissionDecision::Reject, 0.0)
+            } else if used + demand_at_max <= self.capacity {
+                (AdmissionDecision::Admit, demand_at_max)
+            } else {
+                // Highest ceiling that still fits, if any (max level
+                // excluded — that would be a full admit).
+                match d
+                    .utilization
+                    .iter()
+                    .rev()
+                    .skip(1)
+                    .find(|&&(_, u)| used + u <= self.capacity)
+                {
+                    Some(&(q, u)) => (AdmissionDecision::Degrade(q), u),
+                    None => (AdmissionDecision::Reject, 0.0),
+                }
+            };
+            used += granted;
+            records.push(AdmissionRecord {
+                index: d.index,
+                priority: d.priority,
+                decision,
+                demand_at_max,
+                granted_utilization: granted,
+            });
+        }
+        AdmissionReport {
+            records,
+            capacity: self.capacity,
+            used,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(index: usize, priority: u8, levels: &[f64]) -> StreamDemand {
+        StreamDemand {
+            index,
+            priority,
+            utilization: levels
+                .iter()
+                .enumerate()
+                .map(|(q, &u)| (Quality::new(q as u8), u))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn under_capacity_everyone_is_admitted() {
+        let ctl = AdmissionController::for_workers(4);
+        let report = ctl.decide(&[
+            demand(0, 1, &[0.2, 0.5, 1.0]),
+            demand(1, 5, &[0.2, 0.5, 1.0]),
+            demand(2, 3, &[0.2, 0.5, 1.0]),
+        ]);
+        assert_eq!(report.admitted(), 3);
+        assert_eq!(report.degraded(), 0);
+        assert_eq!(report.rejected(), 0);
+        assert!((report.granted_utilization() - 3.0).abs() < 1e-12);
+        // Rank order: priority desc, then index.
+        let seq = report.sequence();
+        assert_eq!(seq[0].0, 1);
+        assert_eq!(seq[1].0, 2);
+        assert_eq!(seq[2].0, 0);
+    }
+
+    #[test]
+    fn overload_degrades_then_rejects_lowest_priority_first() {
+        // Capacity 2.0; three streams wanting 1.0 each at max, 0.4 at
+        // q1, 0.2 at q0.
+        let ctl = AdmissionController::new(2.0);
+        let report = ctl.decide(&[
+            demand(0, 9, &[0.2, 0.4, 1.0]),
+            demand(1, 9, &[0.2, 0.4, 1.0]),
+            demand(2, 1, &[0.2, 0.4, 1.0]),
+            demand(3, 0, &[1.5, 1.7, 2.0]),
+        ]);
+        // 0 and 1 admit (2.0 used); 2 degrades to q1 (0.4 doesn't fit —
+        // nothing fits! 2.0 + 0.2 > 2.0) → reject; 3 rejects.
+        assert_eq!(
+            report.for_stream(0).unwrap().decision,
+            AdmissionDecision::Admit
+        );
+        assert_eq!(
+            report.for_stream(1).unwrap().decision,
+            AdmissionDecision::Admit
+        );
+        assert_eq!(
+            report.for_stream(2).unwrap().decision,
+            AdmissionDecision::Reject
+        );
+        assert_eq!(
+            report.for_stream(3).unwrap().decision,
+            AdmissionDecision::Reject
+        );
+    }
+
+    #[test]
+    fn degradation_grants_the_highest_fitting_ceiling() {
+        let ctl = AdmissionController::new(1.5);
+        let report = ctl.decide(&[
+            demand(0, 2, &[0.2, 0.5, 1.0]),
+            demand(1, 1, &[0.1, 0.4, 0.9]),
+        ]);
+        assert_eq!(
+            report.for_stream(0).unwrap().decision,
+            AdmissionDecision::Admit
+        );
+        let r1 = report.for_stream(1).unwrap();
+        assert_eq!(r1.decision, AdmissionDecision::Degrade(Quality::new(1)));
+        assert!((r1.granted_utilization - 0.4).abs() < 1e-12);
+        assert!(report.summary().contains("1 degraded"));
+    }
+
+    #[test]
+    fn decisions_are_a_pure_function_of_the_demands() {
+        let demands = vec![
+            demand(0, 3, &[0.3, 0.8, 1.4]),
+            demand(1, 3, &[0.3, 0.8, 1.4]),
+            demand(2, 7, &[0.2, 0.6, 1.2]),
+            demand(3, 1, &[0.1, 0.2, 0.3]),
+        ];
+        let ctl = AdmissionController::new(2.5);
+        let a = ctl.decide(&demands).sequence();
+        for _ in 0..10 {
+            assert_eq!(ctl.decide(&demands).sequence(), a);
+        }
+    }
+
+    #[test]
+    fn empty_demand_is_rejected() {
+        let ctl = AdmissionController::new(1.0);
+        let report = ctl.decide(&[StreamDemand {
+            index: 0,
+            priority: 0,
+            utilization: Vec::new(),
+        }]);
+        assert_eq!(report.rejected(), 1);
+    }
+
+    #[test]
+    fn bad_capacity_panics() {
+        assert!(std::panic::catch_unwind(|| AdmissionController::new(0.0)).is_err());
+        assert!(std::panic::catch_unwind(|| AdmissionController::new(f64::NAN)).is_err());
+    }
+}

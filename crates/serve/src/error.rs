@@ -1,0 +1,41 @@
+//! Serving-layer errors.
+
+use std::fmt;
+
+use fgqos_sim::SimError;
+
+/// Errors of the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Underlying simulation/controller error of one stream.
+    Sim(SimError),
+    /// Invalid server or stream configuration.
+    InvalidConfig(&'static str),
+    /// A frame source failed to deliver a usable stream.
+    Source(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Sim(e) => write!(f, "stream error: {e}"),
+            ServeError::InvalidConfig(what) => write!(f, "invalid serving config: {what}"),
+            ServeError::Source(what) => write!(f, "frame source error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for ServeError {
+    fn from(e: SimError) -> Self {
+        ServeError::Sim(e)
+    }
+}

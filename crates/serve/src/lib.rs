@@ -1,0 +1,71 @@
+//! Multi-stream serving layer for the fine-grain QoS controller.
+//!
+//! The paper controls *one* stream on *one* machine. This crate scales
+//! that guarantee out: a [`server::StreamServer`] runs N concurrent
+//! streams — each with its own [`fgqos_sim::runner::Runner`], controller
+//! and virtual timeline — over **one shared**
+//! [`fgqos_sim::runtime::WorkStealingPool`], with a deterministic
+//! priority [`admission`] layer deciding who gets on the machine under
+//! overload and a pluggable [`source::FrameSource`] abstraction replacing
+//! the synthetic camera.
+//!
+//! Three guarantees define the subsystem (all test-enforced):
+//!
+//! * **Isolation** — an admitted stream's per-frame series, quality
+//!   decisions and safety verdicts are byte-identical to running the
+//!   stream alone: sharing the pool is invisible in the results
+//!   (`tests/integration_serve.rs`, workers 1/2/8);
+//! * **Deterministic admission** — the admit/degrade/reject sequence is a
+//!   pure function of the submitted specs, stable across worker counts
+//!   and test-thread settings;
+//! * **Per-stream safety under overload** — degradation caps quality
+//!   ceilings, never disables the fine-grain controller, so admitted
+//!   streams keep the paper's no-miss/no-skip guarantees even when the
+//!   batch as a whole oversubscribes the machine.
+//!
+//! # Example
+//!
+//! ```
+//! use fgqos_serve::server::{StreamServer, StreamSpec};
+//! use fgqos_serve::source::PacedSource;
+//! use fgqos_sim::runner::RunConfig;
+//! use fgqos_sim::scenario::LoadScenario;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let server = StreamServer::new(2);
+//! let config = RunConfig::paper_defaults().scaled_to_macroblocks(8);
+//! let specs = vec![
+//!     StreamSpec::new(
+//!         "news",
+//!         5,
+//!         1,
+//!         config,
+//!         Box::new(PacedSource::new(LoadScenario::paper_benchmark(1).truncated(12))),
+//!     ),
+//!     StreamSpec::new(
+//!         "sports",
+//!         3,
+//!         2,
+//!         config,
+//!         Box::new(PacedSource::new(LoadScenario::adversarial(2).truncated(12))),
+//!     ),
+//! ];
+//! let report = server.serve_tables(specs, 8)?;
+//! assert_eq!(report.outcomes().len(), 2);
+//! assert!(report.all_safe());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admission;
+mod error;
+pub mod server;
+pub mod source;
+
+pub use admission::{AdmissionController, AdmissionDecision, AdmissionReport};
+pub use error::ServeError;
+pub use server::{CeilingPolicy, ServeReport, StreamOutcome, StreamServer, StreamSpec};
+pub use source::{ChannelSource, FrameProducer, FrameSource, PacedSource, TraceSource};

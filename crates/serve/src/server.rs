@@ -1,0 +1,610 @@
+//! The stream server: N concurrent QoS-controlled streams over one
+//! shared work-stealing pool.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  StreamSpec (priority, seed, FrameSource) ──┐
+//!  StreamSpec ────────────────────────────────┤  materialize sources,
+//!  StreamSpec ────────────────────────────────┤  build one Runner each
+//!                                             ▼
+//!                                   AdmissionController
+//!                            admit / degrade(q-ceiling) / reject
+//!                                             │
+//!              ┌──────────────────────────────┴─────────────┐
+//!              ▼ per admitted stream                        │
+//!   Runner + ParallelStream + VirtualClock + backend        │ rejected:
+//!              │                                            │ reported,
+//!              ▼  every server tick                         │ never run
+//!   1. next_parallel_frame()        (per stream, sequential)
+//!   2. merge per-stream Phase1Views into ONE kernel DAG
+//!      and run it on the shared WorkStealingPool  ◄── the only shared
+//!   3. commit_parallel_frame()      (per stream, sequential)  resource
+//! ```
+//!
+//! Phase-1 kernels of *different streams* interleave freely on the pool
+//! workers — that is where the machine sharing happens. Everything a
+//! stream's quality decisions depend on (its clock, controller, pipeline,
+//! speculation state) is private to the stream, and its phase-2 commit
+//! replays sequentially, so each stream's [`StreamResult`] is
+//! byte-identical to running that stream alone through
+//! [`Runner::run_parallel_on`] — the *isolation contract*, verified at 1,
+//! 2 and 8 workers in `tests/integration_serve.rs`.
+//!
+//! Admission interacts with the per-stream controllers through a quality
+//! *ceiling* only ([`CeilingPolicy`]): a degraded stream still runs the
+//! paper's fine-grain controller below its ceiling, so per-action safety
+//! is untouched; the ceiling just bounds its long-term demand to the
+//! share the admission layer granted.
+
+use fgqos_core::estimator::AvgEstimator;
+use fgqos_core::policy::{Choice, MaxQuality, PolicyCtx, QualityPolicy};
+use fgqos_core::safety::SafetyMonitor;
+use fgqos_sim::exec::StochasticLoad;
+use fgqos_sim::runner::{Mode, ParallelStream, RunConfig, Runner, StreamResult};
+use fgqos_sim::runtime::{ExecBackend, ModelBackend, ParallelApp, VirtualClock, WorkStealingPool};
+use fgqos_sim::scenario::LoadScenario;
+use fgqos_sim::SimError;
+use fgqos_time::Quality;
+
+use crate::admission::{AdmissionController, AdmissionDecision, AdmissionReport, StreamDemand};
+use crate::error::ServeError;
+use crate::source::FrameSource;
+
+/// Specification of one stream submitted to the server.
+pub struct StreamSpec {
+    /// Human-readable stream name (reports, logs).
+    pub name: String,
+    /// Admission priority; higher wins under overload.
+    pub priority: u8,
+    /// Seed for the stream's execution-time model.
+    pub seed: u64,
+    /// Camera period, buffer capacity, deadline shape, iteration mode.
+    pub config: RunConfig,
+    /// Where the stream's frames come from.
+    pub source: Box<dyn FrameSource>,
+}
+
+impl StreamSpec {
+    /// Builds a spec.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        priority: u8,
+        seed: u64,
+        config: RunConfig,
+        source: Box<dyn FrameSource>,
+    ) -> Self {
+        StreamSpec {
+            name: name.into(),
+            priority,
+            seed,
+            config,
+            source,
+        }
+    }
+}
+
+/// [`MaxQuality`] under an admission ceiling: picks the maximal
+/// *feasible* level, clamped to the granted ceiling. The fine-grain
+/// controller still degrades below the ceiling whenever the constraints
+/// require it — admission only caps the top.
+#[derive(Debug, Clone, Copy)]
+pub struct CeilingPolicy {
+    inner: MaxQuality,
+    cap: Quality,
+}
+
+impl CeilingPolicy {
+    /// A max-quality policy capped at `cap`.
+    #[must_use]
+    pub fn new(cap: Quality) -> Self {
+        CeilingPolicy {
+            inner: MaxQuality::new(),
+            cap,
+        }
+    }
+
+    /// The ceiling.
+    #[must_use]
+    pub fn cap(&self) -> Quality {
+        self.cap
+    }
+}
+
+impl QualityPolicy for CeilingPolicy {
+    fn choose(&mut self, ctx: &PolicyCtx<'_>) -> Choice {
+        let mut c = self.inner.choose(ctx);
+        if !c.fallback && c.quality > self.cap {
+            // Feasibility is monotone in the level: the ceiling is below
+            // a feasible level, so it is feasible too.
+            c.quality = self.cap;
+        }
+        c
+    }
+
+    fn name(&self) -> &'static str {
+        "controlled-capped"
+    }
+}
+
+/// Outcome of one submitted stream.
+#[derive(Debug)]
+pub struct StreamOutcome {
+    /// Stream name from the spec.
+    pub name: String,
+    /// Priority from the spec.
+    pub priority: u8,
+    /// What admission granted.
+    pub decision: AdmissionDecision,
+    /// Kind of source the stream was fed from.
+    pub source_kind: &'static str,
+    /// Frames the source delivered.
+    pub frames: usize,
+    /// The served result; `None` for rejected streams.
+    pub result: Option<StreamResult>,
+    /// The stream's safety monitor after serving; `None` for rejected
+    /// streams. Safety is per stream: sharing the pool must not change
+    /// any verdict.
+    pub monitor: Option<SafetyMonitor>,
+}
+
+/// The server's report: outcomes in submission order plus the admission
+/// report.
+#[derive(Debug)]
+pub struct ServeReport {
+    outcomes: Vec<StreamOutcome>,
+    admission: AdmissionReport,
+    workers: usize,
+}
+
+impl ServeReport {
+    /// Per-stream outcomes, in submission order.
+    #[must_use]
+    pub fn outcomes(&self) -> &[StreamOutcome] {
+        &self.outcomes
+    }
+
+    /// Outcome of the stream named `name`, if any.
+    #[must_use]
+    pub fn outcome(&self, name: &str) -> Option<&StreamOutcome> {
+        self.outcomes.iter().find(|o| o.name == name)
+    }
+
+    /// The admission decisions and counters.
+    #[must_use]
+    pub fn admission(&self) -> &AdmissionReport {
+        &self.admission
+    }
+
+    /// Pool width the streams shared.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Whether every served stream kept every safety guarantee.
+    #[must_use]
+    pub fn all_safe(&self) -> bool {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.monitor.as_ref())
+            .all(SafetyMonitor::all_safe)
+    }
+
+    /// Multi-line human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut s = format!("{} ({} workers)\n", self.admission.summary(), self.workers);
+        for o in &self.outcomes {
+            match &o.result {
+                Some(r) => s.push_str(&format!(
+                    "  [{}] p{} {:?} ({}, {} frames): {}\n",
+                    o.name,
+                    o.priority,
+                    o.decision,
+                    o.source_kind,
+                    o.frames,
+                    r.summary()
+                )),
+                None => s.push_str(&format!(
+                    "  [{}] p{} rejected ({}, {} frames)\n",
+                    o.name, o.priority, o.source_kind, o.frames
+                )),
+            }
+        }
+        s
+    }
+}
+
+/// A server over one shared [`WorkStealingPool`]. See the module docs.
+#[derive(Debug, Clone)]
+pub struct StreamServer {
+    pool: WorkStealingPool,
+    admission: AdmissionController,
+}
+
+impl StreamServer {
+    /// A server with `workers` pool threads and the matching default
+    /// capacity (one core's worth of sustained demand per worker).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        StreamServer {
+            pool: WorkStealingPool::new(workers),
+            admission: AdmissionController::for_workers(workers),
+        }
+    }
+
+    /// A server with an explicit admission capacity (in cores), e.g. to
+    /// leave headroom or to oversubscribe deliberately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not finite and positive.
+    #[must_use]
+    pub fn with_capacity(workers: usize, capacity: f64) -> Self {
+        StreamServer {
+            pool: WorkStealingPool::new(workers),
+            admission: AdmissionController::new(capacity),
+        }
+    }
+
+    /// Pool width.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Admission capacity in cores.
+    #[must_use]
+    pub fn capacity(&self) -> f64 {
+        self.admission.capacity()
+    }
+
+    /// Serves timing-only [`fgqos_sim::app::TableApp`] streams with the
+    /// paper's stochastic load model seeded per stream — the common
+    /// configuration for experiments and tests.
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamServer::serve`].
+    pub fn serve_tables(
+        &self,
+        specs: Vec<StreamSpec>,
+        macroblocks: usize,
+    ) -> Result<ServeReport, ServeError> {
+        self.serve(
+            specs,
+            |scenario, _spec| fgqos_sim::app::TableApp::with_macroblocks(scenario, macroblocks),
+            |spec| Box::new(ModelBackend::new(StochasticLoad::new(spec.seed))),
+        )
+    }
+
+    /// Serves a batch of streams to completion on the shared pool.
+    ///
+    /// `make_app` builds each stream's application from its materialized
+    /// scenario (all streams share the app *type*, never app *state*);
+    /// `make_backend` supplies the stream's execution backend. Streams
+    /// run on private [`VirtualClock`]s in [`Mode::Controlled`], stepped
+    /// one frame per server tick; every tick merges the pending frames'
+    /// kernel DAGs into a single task graph for the pool.
+    ///
+    /// # Determinism
+    ///
+    /// The report — admission sequence, every stream's per-frame series,
+    /// every safety verdict — is a pure function of the specs: worker
+    /// count and host scheduling cannot change a byte.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] on an empty batch,
+    /// [`ServeError::Source`] when a source yields a malformed stream,
+    /// and propagated per-stream simulation errors.
+    pub fn serve<A, FA, FB>(
+        &self,
+        specs: Vec<StreamSpec>,
+        mut make_app: FA,
+        mut make_backend: FB,
+    ) -> Result<ServeReport, ServeError>
+    where
+        A: ParallelApp,
+        FA: FnMut(LoadScenario, &StreamSpec) -> Result<A, SimError>,
+        FB: FnMut(&StreamSpec) -> Box<dyn ExecBackend>,
+    {
+        if specs.is_empty() {
+            return Err(ServeError::InvalidConfig("no streams submitted"));
+        }
+
+        // Materialize every source and build each candidate's runner; the
+        // declared profile is what admission prices.
+        struct Candidate<A: ParallelApp> {
+            name: String,
+            priority: u8,
+            source_kind: &'static str,
+            frames: usize,
+            runner: Runner<A>,
+            backend: Box<dyn ExecBackend>,
+        }
+        let mut candidates: Vec<Candidate<A>> = Vec::with_capacity(specs.len());
+        let mut demands: Vec<StreamDemand> = Vec::with_capacity(specs.len());
+        for (index, mut spec) in specs.into_iter().enumerate() {
+            let scenario = spec.source.collect_scenario()?;
+            let frames = scenario.frames();
+            let app = make_app(scenario, &spec).map_err(ServeError::Sim)?;
+            let backend = make_backend(&spec);
+            let runner = Runner::new(app, spec.config).map_err(ServeError::Sim)?;
+            let profile = runner.app().profile();
+            let n = runner.app().iterations() as f64;
+            let period = spec.config.period.get() as f64;
+            let utilization = profile
+                .qualities()
+                .iter()
+                .map(|q| (q, profile.total_avg(q).get() as f64 * n / period))
+                .collect();
+            demands.push(StreamDemand {
+                index,
+                priority: spec.priority,
+                utilization,
+            });
+            candidates.push(Candidate {
+                name: spec.name,
+                priority: spec.priority,
+                source_kind: spec.source.kind(),
+                frames,
+                runner,
+                backend,
+            });
+        }
+
+        let admission = self.admission.decide(&demands);
+
+        // Streams that run: spawn their serving state in submission
+        // order (ranking only affects who gets capacity, not the
+        // deterministic tick order).
+        struct Active<A: ParallelApp> {
+            index: usize,
+            runner: Runner<A>,
+            st: ParallelStream,
+            clock: VirtualClock,
+            backend: Box<dyn ExecBackend>,
+            policy: Box<dyn QualityPolicy>,
+            done: bool,
+        }
+        let mut outcomes: Vec<Option<StreamOutcome>> = Vec::new();
+        let mut active: Vec<Active<A>> = Vec::new();
+        for (index, c) in candidates.into_iter().enumerate() {
+            let decision = admission
+                .for_stream(index)
+                .expect("every candidate has a record")
+                .decision;
+            match decision {
+                AdmissionDecision::Reject => outcomes.push(Some(StreamOutcome {
+                    name: c.name,
+                    priority: c.priority,
+                    decision,
+                    source_kind: c.source_kind,
+                    frames: c.frames,
+                    result: None,
+                    monitor: None,
+                })),
+                AdmissionDecision::Admit | AdmissionDecision::Degrade(_) => {
+                    let policy: Box<dyn QualityPolicy> = match decision {
+                        AdmissionDecision::Degrade(cap) => Box::new(CeilingPolicy::new(cap)),
+                        _ => Box::new(MaxQuality::new()),
+                    };
+                    let mut runner = c.runner;
+                    let st = runner.start_parallel(Mode::Controlled)?;
+                    outcomes.push(Some(StreamOutcome {
+                        name: c.name,
+                        priority: c.priority,
+                        decision,
+                        source_kind: c.source_kind,
+                        frames: c.frames,
+                        result: None,
+                        monitor: None,
+                    }));
+                    active.push(Active {
+                        index,
+                        runner,
+                        st,
+                        clock: VirtualClock::new(),
+                        backend: c.backend,
+                        policy,
+                        done: false,
+                    });
+                }
+            }
+        }
+
+        // The serving loop: one frame per stream per tick. The merged
+        // task graph is a pure function of *which* streams are live
+        // (each stream's kernel DAG is static across its frames), so it
+        // is cached and rebuilt only when a stream finishes.
+        struct MergedDag {
+            live: Vec<usize>,
+            offsets: Vec<usize>,
+            indegree: Vec<usize>,
+            succs: Vec<Vec<usize>>,
+        }
+        let mut merged: Option<MergedDag> = None;
+        loop {
+            // 1. Prepare the next frame of every live stream
+            //    (sequential; touches only per-stream state).
+            for s in active.iter_mut().filter(|s| !s.done) {
+                let mut est: Option<&mut dyn AvgEstimator> = None;
+                let more = s.runner.next_parallel_frame(
+                    &mut s.st,
+                    &mut s.clock,
+                    s.policy.as_mut(),
+                    &mut est,
+                )?;
+                if !more {
+                    s.done = true;
+                }
+            }
+
+            // 2. Merge the pending frames' kernel DAGs into one task
+            //    graph and run it on the shared pool: this is where the
+            //    streams actually share the machine.
+            let (live, views): (Vec<usize>, Vec<_>) = active
+                .iter()
+                .filter_map(|s| s.runner.parallel_kernels(&s.st).map(|v| (s.index, v)))
+                .unzip();
+            if views.is_empty() {
+                break; // every stream exhausted
+            }
+            if merged.as_ref().is_none_or(|m| m.live != live) {
+                let mut offsets = Vec::with_capacity(views.len());
+                let mut total = 0usize;
+                for v in &views {
+                    offsets.push(total);
+                    total += v.len();
+                }
+                let mut indegree = Vec::with_capacity(total);
+                let mut succs: Vec<Vec<usize>> = Vec::with_capacity(total);
+                for (v, &off) in views.iter().zip(&offsets) {
+                    indegree.extend_from_slice(v.indegree());
+                    for s in v.succs() {
+                        succs.push(s.iter().map(|&x| x + off).collect());
+                    }
+                }
+                merged = Some(MergedDag {
+                    live,
+                    offsets,
+                    indegree,
+                    succs,
+                });
+            }
+            let m = merged.as_ref().expect("merged DAG just ensured");
+            self.pool.run_dag(&m.indegree, &m.succs, |g| {
+                let vi = m.offsets.partition_point(|&o| o <= g) - 1;
+                views[vi].run_kernel(g - m.offsets[vi]);
+            });
+            drop(views);
+
+            // 3. Commit each pending frame sequentially — the same state
+            //    transitions, in the same order, as a solo run.
+            for s in active.iter_mut().filter(|s| s.st.has_pending_frame()) {
+                let mut est: Option<&mut dyn AvgEstimator> = None;
+                s.runner.commit_parallel_frame(
+                    &mut s.st,
+                    &mut s.clock,
+                    s.backend.as_mut(),
+                    s.policy.as_mut(),
+                    &mut est,
+                )?;
+            }
+        }
+
+        for s in active {
+            let mut runner = s.runner;
+            let result = runner.finish_parallel(s.st, s.policy.name());
+            let slot = outcomes[s.index].as_mut().expect("outcome pre-filled");
+            slot.result = Some(result);
+            slot.monitor = Some(runner.monitor().clone());
+        }
+
+        Ok(ServeReport {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("every stream has an outcome"))
+                .collect(),
+            admission,
+            workers: self.pool.workers(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::PacedSource;
+    use fgqos_sim::runner::RunConfig;
+
+    fn spec(name: &str, priority: u8, seed: u64, frames: usize, mb: usize) -> StreamSpec {
+        let scenario = LoadScenario::paper_benchmark(seed).truncated(frames);
+        StreamSpec::new(
+            name,
+            priority,
+            seed,
+            RunConfig::paper_defaults().scaled_to_macroblocks(mb),
+            Box::new(PacedSource::new(scenario)),
+        )
+    }
+
+    #[test]
+    fn empty_batch_is_rejected() {
+        let server = StreamServer::new(2);
+        assert!(matches!(
+            server.serve_tables(Vec::new(), 8),
+            Err(ServeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn two_streams_complete_with_full_quality_under_capacity() {
+        let server = StreamServer::new(4);
+        let report = server
+            .serve_tables(vec![spec("a", 1, 3, 20, 8), spec("b", 2, 4, 25, 8)], 8)
+            .unwrap();
+        assert_eq!(report.outcomes().len(), 2);
+        assert_eq!(report.admission().admitted(), 2);
+        assert!(report.all_safe());
+        let a = report.outcome("a").unwrap();
+        let b = report.outcome("b").unwrap();
+        assert_eq!(a.result.as_ref().unwrap().frames().len(), 20);
+        assert_eq!(b.result.as_ref().unwrap().frames().len(), 25);
+        assert_eq!(a.result.as_ref().unwrap().skips(), 0);
+        assert_eq!(b.result.as_ref().unwrap().skips(), 0);
+        assert!(report.summary().contains("[a]"));
+    }
+
+    #[test]
+    fn tight_capacity_degrades_or_rejects_low_priority() {
+        // A paper-shaped stream wants ~1.37 cores at max quality (q7);
+        // a 1.5-core server can take one at full quality but has only
+        // ~0.13 left — below even the q0 demand of a second stream.
+        let server = StreamServer::with_capacity(2, 1.5);
+        let report = server
+            .serve_tables(vec![spec("lo", 1, 5, 15, 8), spec("hi", 9, 6, 15, 8)], 8)
+            .unwrap();
+        let hi = report.outcome("hi").unwrap();
+        let lo = report.outcome("lo").unwrap();
+        assert_eq!(hi.decision, AdmissionDecision::Admit);
+        assert!(matches!(
+            lo.decision,
+            AdmissionDecision::Degrade(_) | AdmissionDecision::Reject
+        ));
+        // The high-priority stream is untouched by the neighbour.
+        assert_eq!(hi.result.as_ref().unwrap().skips(), 0);
+        assert!(report.all_safe());
+    }
+
+    #[test]
+    fn degraded_stream_respects_its_ceiling() {
+        // hi admits at 1.37; the remaining ~0.73 fits the q2 demand
+        // (0.63) but not q3 (0.85): lo degrades to a q2 ceiling.
+        let server = StreamServer::with_capacity(2, 2.1);
+        let report = server
+            .serve_tables(vec![spec("hi", 9, 6, 15, 8), spec("lo", 1, 5, 15, 8)], 8)
+            .unwrap();
+        let lo = report.outcome("lo").unwrap();
+        let AdmissionDecision::Degrade(cap) = lo.decision else {
+            panic!("expected degradation, got {:?}", lo.decision);
+        };
+        let res = lo.result.as_ref().unwrap();
+        // Mean quality cannot exceed the ceiling, and the stream still
+        // never skips or misses (the fine-grain controller runs under
+        // the cap).
+        assert!(res.mean_quality() <= f64::from(cap.level()) + 1e-9);
+        assert_eq!(res.skips(), 0);
+        assert_eq!(res.misses(), 0);
+    }
+
+    #[test]
+    fn ceiling_policy_caps_without_breaking_fallback() {
+        let p = CeilingPolicy::new(Quality::new(2));
+        assert_eq!(p.cap(), Quality::new(2));
+        assert_eq!(p.name(), "controlled-capped");
+    }
+}

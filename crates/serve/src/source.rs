@@ -1,0 +1,300 @@
+//! Frame sources: where a served stream's camera frames come from.
+//!
+//! The single-stream runner is wired to a *synthetic camera*: the
+//! [`LoadScenario`] baked into the application. A server needs the
+//! camera abstracted — some streams replay captured traces, some are
+//! generated, and some are fed live by an external producer. The
+//! [`FrameSource`] trait captures the contract: a pull-based supplier of
+//! [`FrameInfo`] descriptors, drained by the server when the stream is
+//! admitted.
+//!
+//! Three implementations ship here:
+//!
+//! * [`PacedSource`] — the synthetic camera: frames of a pre-built
+//!   [`LoadScenario`] delivered in order (one per camera period once
+//!   serving starts);
+//! * [`TraceSource`] — trace replay: a per-frame CSV capture parsed with
+//!   [`LoadScenario::from_trace_csv`];
+//! * [`ChannelSource`] — an asynchronous, channel-backed source: any
+//!   thread holding the matching [`FrameProducer`] can feed frames while
+//!   the server runs; the stream ends when every producer handle is
+//!   dropped.
+
+use std::sync::mpsc;
+
+use fgqos_sim::scenario::{FrameInfo, LoadScenario};
+
+use crate::error::ServeError;
+
+/// A pull-based supplier of camera frames for one stream.
+///
+/// The server drains the source at admission time into the stream's
+/// scenario (the virtual-time simulation needs the arrival schedule up
+/// front); a source is therefore the *session* of one stream, not a
+/// long-lived connection. Sources must be `Send` so stream specs can be
+/// built on producer threads.
+pub trait FrameSource: Send {
+    /// The next frame descriptor, or `None` when the stream has ended.
+    fn next_frame(&mut self) -> Option<FrameInfo>;
+
+    /// Number of frames still to come, when the source knows it.
+    fn len_hint(&self) -> Option<usize> {
+        None
+    }
+
+    /// Human-readable kind, for reports ("paced", "trace", "channel").
+    fn kind(&self) -> &'static str;
+
+    /// Drains the source into the scenario the stream will be served
+    /// from. The default collects [`FrameSource::next_frame`] until
+    /// exhaustion; sources that already hold a scenario override this to
+    /// return it losslessly.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Source`] when the drained frames do not form a
+    /// well-formed stream (no frames, non-contiguous scenes, ...).
+    fn collect_scenario(&mut self) -> Result<LoadScenario, ServeError> {
+        drain_into_scenario(self)
+    }
+}
+
+/// The one drain-and-wrap path behind every `collect_scenario`: collects
+/// the remaining frames and reports failures as `"<kind> source: ..."`.
+fn drain_into_scenario<S: FrameSource + ?Sized>(src: &mut S) -> Result<LoadScenario, ServeError> {
+    let mut frames = Vec::new();
+    while let Some(f) = src.next_frame() {
+        frames.push(f);
+    }
+    LoadScenario::from_frames(frames)
+        .map_err(|e| ServeError::Source(format!("{} source: {e}", src.kind())))
+}
+
+/// The synthetic camera as a source: a pre-built scenario delivered
+/// frame by frame.
+#[derive(Debug, Clone)]
+pub struct PacedSource {
+    scenario: LoadScenario,
+    next: usize,
+}
+
+impl PacedSource {
+    /// Wraps a scenario.
+    #[must_use]
+    pub fn new(scenario: LoadScenario) -> Self {
+        PacedSource { scenario, next: 0 }
+    }
+}
+
+impl FrameSource for PacedSource {
+    fn next_frame(&mut self) -> Option<FrameInfo> {
+        let f = (self.next < self.scenario.frames()).then(|| self.scenario.frame(self.next));
+        self.next += f.is_some() as usize;
+        f
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        Some(self.scenario.frames() - self.next)
+    }
+
+    fn kind(&self) -> &'static str {
+        "paced"
+    }
+
+    fn collect_scenario(&mut self) -> Result<LoadScenario, ServeError> {
+        if self.next == 0 {
+            // Lossless: keep the declared scene profiles instead of
+            // re-summarizing them from the frames.
+            self.next = self.scenario.frames();
+            return Ok(self.scenario.clone());
+        }
+        drain_into_scenario(self)
+    }
+}
+
+/// Trace replay as a source: a CSV capture in the
+/// [`LoadScenario::TRACE_COLUMNS`] format.
+#[derive(Debug, Clone)]
+pub struct TraceSource {
+    inner: PacedSource,
+}
+
+impl TraceSource {
+    /// Parses a trace CSV into a source.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Source`] on malformed traces.
+    pub fn from_csv(text: &str) -> Result<Self, ServeError> {
+        let scenario = LoadScenario::from_trace_csv(text)
+            .map_err(|e| ServeError::Source(format!("trace: {e}")))?;
+        Ok(TraceSource {
+            inner: PacedSource::new(scenario),
+        })
+    }
+}
+
+impl FrameSource for TraceSource {
+    fn next_frame(&mut self) -> Option<FrameInfo> {
+        self.inner.next_frame()
+    }
+
+    fn len_hint(&self) -> Option<usize> {
+        self.inner.len_hint()
+    }
+
+    fn kind(&self) -> &'static str {
+        "trace"
+    }
+
+    fn collect_scenario(&mut self) -> Result<LoadScenario, ServeError> {
+        self.inner.collect_scenario()
+    }
+}
+
+/// The sending half of a [`ChannelSource`]: hand it to any producer
+/// thread; drop every clone to end the stream.
+#[derive(Debug, Clone)]
+pub struct FrameProducer {
+    tx: mpsc::Sender<FrameInfo>,
+}
+
+impl FrameProducer {
+    /// Feeds one frame. Returns `false` when the consuming source was
+    /// dropped (the stream is gone; producers should stop).
+    pub fn send(&self, frame: FrameInfo) -> bool {
+        self.tx.send(frame).is_ok()
+    }
+
+    /// Feeds every frame of a scenario, in order. Returns `false` on a
+    /// dropped consumer.
+    pub fn feed_scenario(&self, scenario: &LoadScenario) -> bool {
+        scenario.iter().all(|f| self.send(*f))
+    }
+}
+
+/// An asynchronous source fed through a channel by external producers.
+///
+/// # Example
+///
+/// ```
+/// use fgqos_serve::source::{ChannelSource, FrameSource};
+/// use fgqos_sim::scenario::LoadScenario;
+///
+/// let (producer, mut source) = ChannelSource::new();
+/// let scenario = LoadScenario::paper_benchmark(1).truncated(10);
+/// let feeder = std::thread::spawn(move || producer.feed_scenario(&scenario));
+/// let collected = source.collect_scenario().unwrap();
+/// assert!(feeder.join().unwrap());
+/// assert_eq!(collected.frames(), 10);
+/// ```
+#[derive(Debug)]
+pub struct ChannelSource {
+    rx: mpsc::Receiver<FrameInfo>,
+}
+
+impl ChannelSource {
+    /// Creates a connected producer/source pair.
+    #[must_use]
+    pub fn new() -> (FrameProducer, Self) {
+        let (tx, rx) = mpsc::channel();
+        (FrameProducer { tx }, ChannelSource { rx })
+    }
+}
+
+impl FrameSource for ChannelSource {
+    fn next_frame(&mut self) -> Option<FrameInfo> {
+        // Blocks until a producer sends or the last producer hangs up —
+        // the asynchronous boundary between external feeders and the
+        // serving loop.
+        self.rx.recv().ok()
+    }
+
+    fn kind(&self) -> &'static str {
+        "channel"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paced_source_is_lossless() {
+        let scenario = LoadScenario::paper_benchmark(4).truncated(25);
+        let mut src = PacedSource::new(scenario.clone());
+        assert_eq!(src.len_hint(), Some(25));
+        assert_eq!(src.kind(), "paced");
+        let back = src.collect_scenario().unwrap();
+        assert_eq!(back.frames(), scenario.frames());
+        for f in 0..25 {
+            assert_eq!(back.frame(f), scenario.frame(f));
+        }
+        // Scene profiles survive exactly (not re-summarized).
+        assert_eq!(back.scenes().len(), scenario.scenes().len());
+        assert_eq!(
+            back.scenes()[0].base_activity,
+            scenario.scenes()[0].base_activity
+        );
+        // Drained: nothing left.
+        assert!(src.next_frame().is_none());
+        assert!(src.collect_scenario().is_err());
+    }
+
+    #[test]
+    fn paced_source_partial_drain_keeps_the_tail() {
+        let scenario = LoadScenario::paper_benchmark(4).truncated(10);
+        let mut src = PacedSource::new(scenario.clone());
+        let first = src.next_frame().unwrap();
+        assert_eq!(first, scenario.frame(0));
+        let rest = src.collect_scenario().unwrap();
+        assert_eq!(rest.frames(), 9);
+        assert_eq!(rest.frame(0).activity, scenario.frame(1).activity);
+    }
+
+    #[test]
+    fn trace_source_round_trips_a_capture() {
+        let scenario = LoadScenario::paper_benchmark(9).truncated(30);
+        let csv = scenario.to_trace_csv();
+        let mut src = TraceSource::from_csv(&csv).unwrap();
+        assert_eq!(src.kind(), "trace");
+        assert_eq!(src.len_hint(), Some(30));
+        let back = src.collect_scenario().unwrap();
+        for f in 0..30 {
+            assert_eq!(back.frame(f), scenario.frame(f));
+        }
+        assert!(TraceSource::from_csv("scene,iframe\n0,1\n").is_err());
+    }
+
+    #[test]
+    fn channel_source_collects_from_a_producer_thread() {
+        let (producer, mut source) = ChannelSource::new();
+        let scenario = LoadScenario::paper_benchmark(2).truncated(40);
+        let expected = scenario.clone();
+        let feeder = std::thread::spawn(move || producer.feed_scenario(&scenario));
+        let collected = source.collect_scenario().unwrap();
+        assert!(feeder.join().unwrap());
+        assert_eq!(collected.frames(), 40);
+        for f in 0..40 {
+            assert_eq!(collected.frame(f), expected.frame(f));
+        }
+    }
+
+    #[test]
+    fn channel_source_rejects_an_empty_feed() {
+        let (producer, mut source) = ChannelSource::new();
+        drop(producer);
+        assert!(matches!(
+            source.collect_scenario(),
+            Err(ServeError::Source(_))
+        ));
+    }
+
+    #[test]
+    fn channel_producer_reports_a_dropped_consumer() {
+        let (producer, source) = ChannelSource::new();
+        let frame = LoadScenario::paper_benchmark(1).frame(0);
+        drop(source);
+        assert!(!producer.send(frame));
+    }
+}

@@ -26,7 +26,9 @@
 //! * [`runner`] — end-to-end runs of a controlled or constant-quality
 //!   encoder over a stream, producing per-frame records
 //!   ([`runner::StreamResult`]) from which every figure of Section 3 is
-//!   regenerated; backend-generic via [`runner::Runner::run_on`];
+//!   regenerated; backend-generic via [`runner::Runner::run_on`], and
+//!   steppable frame by frame via [`runner::stepper`] (the seam the
+//!   `fgqos-serve` multi-stream server multiplexes on);
 //! * [`csv`] — plain-text series export for plotting, and the trace
 //!   parser behind [`scenario::LoadScenario::from_trace_csv`].
 //!

@@ -14,8 +14,10 @@
 //! on a [`WorkStealingPool`] while reproducing the sequential timeline
 //! and quality decisions byte-for-byte (see [`crate::runtime::parallel`]).
 
+pub mod stepper;
+
 use std::collections::HashMap;
-use std::sync::{Arc, OnceLock};
+use std::sync::Arc;
 
 use fgqos_core::estimator::AvgEstimator;
 use fgqos_core::policy::{ConstantQuality, QualityPolicy};
@@ -28,11 +30,13 @@ use fgqos_time::{fig5, Cycles, DeadlineMap, Quality, QualityProfile, QualitySet}
 use crate::app::VideoApp;
 use crate::exec::{ExecCtx, ExecTimeModel, StochasticLoad};
 use crate::pipeline::InputPipeline;
-use crate::runtime::parallel::{FramePlan, SpecSlot};
+use crate::runtime::parallel::FramePlan;
 use crate::runtime::{
     Clock, ExecBackend, ModelBackend, ParallelApp, VirtualClock, WorkStealingPool,
 };
 use crate::SimError;
+
+pub use stepper::{ParallelStream, Phase1View};
 
 /// How the per-frame budget is decomposed into action deadlines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -810,117 +814,21 @@ impl<A: ParallelApp> Runner<A> {
         mut estimator: Option<&mut dyn AvgEstimator>,
         workers: usize,
     ) -> Result<StreamResult, SimError> {
+        // The whole-stream driver is a thin loop over the frame-stepping
+        // seam (see [`stepper`]): the multi-stream server drives the same
+        // steps, so "served" and "alone" are the same computation.
         let pool = WorkStealingPool::new(workers);
-        if self.parallel_plan.is_none() {
-            self.parallel_plan = Some(Arc::new(FramePlan::build(
-                &self.app,
-                &self.iter,
-                &self.order_pos,
-            )?));
-        }
-        let plan = Arc::clone(self.parallel_plan.as_ref().expect("plan just built"));
-        let n_inst = self.iter.graph().len();
-        let qs = self.app.profile().qualities().clone();
-        // Speculation seed: the level committed at the same instance one
-        // frame earlier; before any parallel frame, the maximal level
-        // (mis-speculation only costs a re-execution, never correctness).
-        let mut spec_q = self
-            .last_spec
-            .take()
-            .filter(|v| v.len() == n_inst)
-            .unwrap_or_else(|| vec![qs.max(); n_inst]);
-        let mut hits = 0u64;
-        let mut misses = 0u64;
-
-        let total = self.app.stream_len();
-        let mut pipe = InputPipeline::new(self.config.period, self.config.input_capacity, total)?;
-        let mut records: Vec<Option<FrameRecord>> = vec![None; total];
-        let mut body_profile = self.app.profile().clone();
-        let gen_profile = self.app.generative_profile().clone();
-
-        while let Some((frame, arrival, now)) = self.next_frame(clock, &mut pipe, &mut records) {
-            let budget = match pipe.budget_deadline(now) {
-                Some(d) => d - now,
-                None => Cycles::INFINITY,
-            };
-            let frame_budget = match mode {
-                Mode::Controlled => budget,
-                Mode::Constant => Cycles::INFINITY,
-            };
-            let tables =
-                self.prepare_frame(&mut estimator, &mut body_profile, &qs, frame_budget)?;
-            let mut ctl = CycleController::from_shared(tables, qs.clone());
-
-            self.app.begin_frame(frame);
-            policy.on_cycle_start();
-            let activity = self.app.activity(frame);
-
+        let mut st = self.start_parallel(mode)?;
+        while self.next_parallel_frame(&mut st, clock, policy, &mut estimator)? {
             // Phase 1: speculative wavefront execution. Kernels run as
             // their data dependencies complete, at last frame's quality.
-            let slots: Vec<OnceLock<SpecSlot>> = (0..n_inst).map(|_| OnceLock::new()).collect();
-            {
-                let app = &self.app;
-                let iter = &self.iter;
-                let spec = &spec_q;
-                pool.run_dag(&plan.indegree, &plan.succs, |i| {
-                    let (a, mb) = iter.body_of(ActionId::from_index(i));
-                    let q = spec[i];
-                    let slot = SpecSlot {
-                        class: app.kernel_class(a, mb, q),
-                        work: app.kernel(a, mb, q),
-                    };
-                    slots[i].set(slot).expect("each kernel runs once");
-                });
-            }
-
+            let view = self.parallel_kernels(&st).expect("frame just prepared");
+            pool.run_dag(view.indegree(), view.succs(), |i| view.run_kernel(i));
             // Phase 2: sequential commit in static EDF order — identical
             // state transitions to the sequential runner.
-            let mut valid = vec![false; n_inst];
-            let t = drive_cycle(
-                &mut self.app,
-                &self.iter,
-                &mut ctl,
-                clock,
-                backend,
-                policy,
-                &mut estimator,
-                &gen_profile,
-                &body_profile,
-                activity,
-                now,
-                &mut |app, d, body_action, mb| {
-                    let i = d.action.index();
-                    spec_q[i] = d.quality;
-                    let slot = slots[i].get().expect("phase 1 ran every kernel");
-                    let cache_ok = plan.taint_preds[i].iter().all(|&p| valid[p])
-                        && app.kernel_class(body_action, mb, d.quality) == slot.class;
-                    if cache_ok {
-                        valid[i] = true;
-                        hits += 1;
-                        app.apply(body_action, mb);
-                        slot.work
-                    } else {
-                        // Re-execute, then re-validate: if the rerun
-                        // reproduced exactly the state the speculative
-                        // phase left (a smaller search radius finding
-                        // the same motion vector, say), every phase-1
-                        // reader of this instance saw correct inputs
-                        // and the mis-speculation cascade stops here.
-                        misses += 1;
-                        let before = app.snapshot(mb);
-                        let work = app.run_action(body_action, mb, d.quality);
-                        valid[i] = app.snapshot(mb) == before;
-                        work
-                    }
-                },
-            )?;
-            records[frame] =
-                Some(self.finish_frame(ctl, &body_profile, frame, now, arrival, budget, t));
+            self.commit_parallel_frame(&mut st, clock, backend, policy, &mut estimator)?;
         }
-        self.last_spec = Some(spec_q);
-        self.spec_hits += hits;
-        self.spec_misses += misses;
-        Ok(self.collect_result(policy.name(), records))
+        Ok(self.finish_parallel(st, policy.name()))
     }
 }
 

@@ -1,0 +1,386 @@
+//! Frame-by-frame stepping of a parallel run — the seam the multi-stream
+//! serving layer multiplexes on.
+//!
+//! [`Runner::run_parallel_on`] executes a whole stream in one call: for
+//! every frame it runs the speculative kernel wavefront on a pool
+//! (phase 1), then replays the controller loop sequentially (phase 2).
+//! A stream *server* needs to interleave many such runs over one shared
+//! pool, which requires splitting the per-frame loop into externally
+//! driven steps:
+//!
+//! 1. [`Runner::start_parallel`] — open a [`ParallelStream`]: the
+//!    portable state of one in-flight run (pipeline, records, speculation
+//!    seed);
+//! 2. [`Runner::next_parallel_frame`] — advance to the next encodable
+//!    frame and prepare its controller: after this, the frame's kernels
+//!    are exposed as a [`Phase1View`];
+//! 3. [`Runner::parallel_kernels`] — an immutable, [`Sync`] view of the
+//!    pending frame's kernel DAG. The caller executes the tasks on any
+//!    executor it likes — a dedicated pool, or a [`super::WorkStealingPool`]
+//!    shared with *other streams' frames* (the server merges several
+//!    views into one task graph);
+//! 4. [`Runner::commit_parallel_frame`] — the sequential phase-2 commit:
+//!    identical state transitions to the solo runner, consuming cached
+//!    kernels only when valid;
+//! 5. [`Runner::finish_parallel`] — close the stream and collect its
+//!    [`StreamResult`].
+//!
+//! # Isolation
+//!
+//! Everything a frame's decisions depend on lives in the
+//! [`ParallelStream`] and its runner — nothing is shared between streams
+//! except the executor that happens to run the (pure, data-complete)
+//! phase-1 kernels. A stream stepped through this API on a
+//! [`VirtualClock`] + [`crate::runtime::ModelBackend`] therefore produces
+//! the same bytes no matter how many other streams share the pool, which
+//! is the serving layer's isolation contract.
+//! [`Runner::run_parallel_on`] itself is implemented over these steps, so
+//! "byte-identical to running alone" is equality by construction, not by
+//! test alone.
+//!
+//! [`VirtualClock`]: crate::runtime::VirtualClock
+
+use std::sync::{Arc, OnceLock};
+
+use fgqos_core::estimator::AvgEstimator;
+use fgqos_core::policy::QualityPolicy;
+use fgqos_core::CycleController;
+use fgqos_graph::ActionId;
+use fgqos_time::{Cycles, Quality, QualityProfile, QualitySet};
+
+use super::{drive_cycle, FrameRecord, Mode, Runner, StreamResult};
+use crate::pipeline::InputPipeline;
+use crate::runtime::parallel::{FramePlan, SpecSlot};
+use crate::runtime::{Clock, ExecBackend, ParallelApp};
+use crate::SimError;
+
+/// The portable state of one in-flight parallel run, stepped frame by
+/// frame by its [`Runner`]. Create with [`Runner::start_parallel`].
+///
+/// The struct is intentionally runner-agnostic (no generic parameter):
+/// a server holds one per stream next to the stream's runner, clock and
+/// backend, and the compiler cannot mix the pair up because every
+/// stepping method takes both.
+pub struct ParallelStream {
+    mode: Mode,
+    qs: QualitySet,
+    pipe: InputPipeline,
+    records: Vec<Option<FrameRecord>>,
+    /// Declared profile (drives tables; learns from the estimator).
+    body_profile: QualityProfile,
+    /// Generative profile (drives execution-time models).
+    gen_profile: QualityProfile,
+    plan: Arc<FramePlan>,
+    /// Speculation seed: the quality committed at each unrolled instance
+    /// during the most recent frame.
+    spec_q: Vec<Quality>,
+    hits: u64,
+    misses: u64,
+    pending: Option<PendingFrame>,
+}
+
+/// A frame that has been prepared but not yet committed.
+struct PendingFrame {
+    frame: usize,
+    arrival: Cycles,
+    now: Cycles,
+    budget: Cycles,
+    ctl: CycleController,
+    activity: f64,
+    slots: Vec<OnceLock<SpecSlot>>,
+}
+
+impl ParallelStream {
+    /// Whether a prepared frame is awaiting [`Runner::commit_parallel_frame`].
+    #[must_use]
+    pub fn has_pending_frame(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Camera frame index of the pending frame, if any.
+    #[must_use]
+    pub fn pending_frame(&self) -> Option<usize> {
+        self.pending.as_ref().map(|p| p.frame)
+    }
+
+    /// Frames committed so far (diagnostics; skipped frames excluded).
+    #[must_use]
+    pub fn committed_frames(&self) -> usize {
+        self.records.iter().flatten().filter(|r| !r.skipped).count()
+    }
+}
+
+/// An immutable, [`Sync`] view of one pending frame's kernel DAG:
+/// everything an external executor needs to run phase 1.
+///
+/// Task indices are instance indices of the runner's unrolled graph
+/// (`0..len()`); [`Phase1View::indegree`]/[`Phase1View::succs`] describe
+/// the dependency DAG and [`Phase1View::run_kernel`] executes one task.
+/// Each task must run exactly once, after all its predecessors; a
+/// [`super::WorkStealingPool`] does exactly that, but so does any other
+/// scheduler — including one interleaving the tasks of *several* views
+/// from different streams.
+pub struct Phase1View<'a, A: ParallelApp> {
+    app: &'a A,
+    iter: &'a fgqos_graph::iterate::IteratedGraph,
+    plan: &'a FramePlan,
+    spec: &'a [Quality],
+    slots: &'a [OnceLock<SpecSlot>],
+}
+
+impl<A: ParallelApp> Phase1View<'_, A> {
+    /// Number of kernel tasks (instances in the unrolled frame graph).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the frame has no kernels (never the case for a valid app).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// In-degree of each task in the execution DAG.
+    #[must_use]
+    pub fn indegree(&self) -> &[usize] {
+        &self.plan.indegree
+    }
+
+    /// Successors of each task in the execution DAG.
+    #[must_use]
+    pub fn succs(&self) -> &[Vec<usize>] {
+        &self.plan.succs
+    }
+
+    /// Executes kernel task `i` at its speculated quality and stores the
+    /// result for the commit phase. Must be called exactly once per task,
+    /// only after every predecessor in [`Phase1View::succs`] completed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same task is executed twice.
+    pub fn run_kernel(&self, i: usize) {
+        let (a, mb) = self.iter.body_of(ActionId::from_index(i));
+        let q = self.spec[i];
+        let slot = SpecSlot {
+            class: self.app.kernel_class(a, mb, q),
+            work: self.app.kernel(a, mb, q),
+        };
+        self.slots[i]
+            .set(slot)
+            .expect("each kernel task runs exactly once");
+    }
+}
+
+impl<A: ParallelApp> Runner<A> {
+    /// Opens a steppable parallel run over this runner's stream.
+    ///
+    /// The caller then alternates [`Runner::next_parallel_frame`] /
+    /// phase-1 execution via [`Runner::parallel_kernels`] /
+    /// [`Runner::commit_parallel_frame`], and closes the run with
+    /// [`Runner::finish_parallel`]. See the module docs for the protocol;
+    /// [`Runner::run_parallel_on`] is the single-stream reference driver.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline configuration and kernel-DAG validation
+    /// errors.
+    pub fn start_parallel(&mut self, mode: Mode) -> Result<ParallelStream, SimError> {
+        if self.parallel_plan.is_none() {
+            self.parallel_plan = Some(Arc::new(FramePlan::build(
+                &self.app,
+                &self.iter,
+                &self.order_pos,
+            )?));
+        }
+        let plan = Arc::clone(self.parallel_plan.as_ref().expect("plan just built"));
+        let n_inst = self.iter.graph().len();
+        let qs = self.app.profile().qualities().clone();
+        // Speculation seed: the level committed at the same instance one
+        // frame earlier; before any parallel frame, the maximal level
+        // (mis-speculation only costs a re-execution, never correctness).
+        let spec_q = self
+            .last_spec
+            .take()
+            .filter(|v| v.len() == n_inst)
+            .unwrap_or_else(|| vec![qs.max(); n_inst]);
+        let total = self.app.stream_len();
+        let pipe = InputPipeline::new(self.config.period, self.config.input_capacity, total)?;
+        Ok(ParallelStream {
+            mode,
+            qs,
+            pipe,
+            records: vec![None; total],
+            body_profile: self.app.profile().clone(),
+            gen_profile: self.app.generative_profile().clone(),
+            plan,
+            spec_q,
+            hits: 0,
+            misses: 0,
+            pending: None,
+        })
+    }
+
+    /// Advances the stream to its next encodable frame and prepares the
+    /// frame's controller and speculation slots. Returns `false` when the
+    /// stream is exhausted (nothing prepared; call
+    /// [`Runner::finish_parallel`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] if the previous frame has not been
+    /// committed yet; propagated controller errors otherwise.
+    pub fn next_parallel_frame(
+        &mut self,
+        st: &mut ParallelStream,
+        clock: &mut dyn Clock,
+        policy: &mut dyn QualityPolicy,
+        estimator: &mut Option<&mut dyn AvgEstimator>,
+    ) -> Result<bool, SimError> {
+        if st.pending.is_some() {
+            return Err(SimError::InvalidConfig(
+                "previous frame not committed before preparing the next",
+            ));
+        }
+        let Some((frame, arrival, now)) = self.next_frame(clock, &mut st.pipe, &mut st.records)
+        else {
+            return Ok(false);
+        };
+        let budget = match st.pipe.budget_deadline(now) {
+            Some(d) => d - now,
+            None => Cycles::INFINITY,
+        };
+        // Uncontrolled runs do not see deadlines at all.
+        let frame_budget = match st.mode {
+            Mode::Controlled => budget,
+            Mode::Constant => Cycles::INFINITY,
+        };
+        let qs = st.qs.clone();
+        let tables = self.prepare_frame(estimator, &mut st.body_profile, &qs, frame_budget)?;
+        let ctl = CycleController::from_shared(tables, qs);
+        self.app.begin_frame(frame);
+        policy.on_cycle_start();
+        let activity = self.app.activity(frame);
+        let n_inst = self.iter.graph().len();
+        st.pending = Some(PendingFrame {
+            frame,
+            arrival,
+            now,
+            budget,
+            ctl,
+            activity,
+            slots: (0..n_inst).map(|_| OnceLock::new()).collect(),
+        });
+        Ok(true)
+    }
+
+    /// The pending frame's kernel DAG, ready for an external executor.
+    /// `None` when no frame is pending.
+    #[must_use]
+    pub fn parallel_kernels<'s>(&'s self, st: &'s ParallelStream) -> Option<Phase1View<'s, A>> {
+        st.pending.as_ref().map(|p| Phase1View {
+            app: &self.app,
+            iter: &self.iter,
+            plan: &st.plan,
+            spec: &st.spec_q,
+            slots: &p.slots,
+        })
+    }
+
+    /// Commits the pending frame: replays the controller loop in static
+    /// EDF order (phase 2), consuming speculated kernels when their
+    /// quality class matches and their inputs were valid, re-executing
+    /// otherwise — the same state transitions as the sequential runner.
+    ///
+    /// Kernels that phase 1 has not executed are simply re-executed here,
+    /// so a caller may legally skip phase 1 altogether (it then pays the
+    /// sequential cost).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidConfig`] if no frame is pending; propagated
+    /// controller protocol errors otherwise.
+    pub fn commit_parallel_frame(
+        &mut self,
+        st: &mut ParallelStream,
+        clock: &mut dyn Clock,
+        backend: &mut dyn ExecBackend,
+        policy: &mut dyn QualityPolicy,
+        estimator: &mut Option<&mut dyn AvgEstimator>,
+    ) -> Result<(), SimError> {
+        let mut p = st
+            .pending
+            .take()
+            .ok_or(SimError::InvalidConfig("no pending frame to commit"))?;
+        let n_inst = self.iter.graph().len();
+        let mut valid = vec![false; n_inst];
+        let spec_q = &mut st.spec_q;
+        let plan = &st.plan;
+        let slots = &p.slots;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let t = drive_cycle(
+            &mut self.app,
+            &self.iter,
+            &mut p.ctl,
+            clock,
+            backend,
+            policy,
+            estimator,
+            &st.gen_profile,
+            &st.body_profile,
+            p.activity,
+            p.now,
+            &mut |app, d, body_action, mb| {
+                let i = d.action.index();
+                spec_q[i] = d.quality;
+                let cached = slots[i].get();
+                let cache_ok = cached.is_some_and(|slot| {
+                    plan.taint_preds[i].iter().all(|&pr| valid[pr])
+                        && app.kernel_class(body_action, mb, d.quality) == slot.class
+                });
+                if cache_ok {
+                    valid[i] = true;
+                    hits += 1;
+                    app.apply(body_action, mb);
+                    slots[i].get().expect("checked above").work
+                } else {
+                    // Re-execute, then re-validate: if the rerun
+                    // reproduced exactly the state the speculative
+                    // phase left (a smaller search radius finding
+                    // the same motion vector, say), every phase-1
+                    // reader of this instance saw correct inputs
+                    // and the mis-speculation cascade stops here.
+                    misses += 1;
+                    let before = app.snapshot(mb);
+                    let work = app.run_action(body_action, mb, d.quality);
+                    valid[i] = app.snapshot(mb) == before;
+                    work
+                }
+            },
+        )?;
+        st.hits += hits;
+        st.misses += misses;
+        st.records[p.frame] = Some(self.finish_frame(
+            p.ctl,
+            &st.body_profile,
+            p.frame,
+            p.now,
+            p.arrival,
+            p.budget,
+            t,
+        ));
+        Ok(())
+    }
+
+    /// Closes a stepped run: fills never-encoded frames as skips, stores
+    /// the speculation seed and diagnostics back on the runner, and
+    /// returns the stream's result.
+    pub fn finish_parallel(&mut self, st: ParallelStream, policy_name: &str) -> StreamResult {
+        self.last_spec = Some(st.spec_q);
+        self.spec_hits += st.hits;
+        self.spec_misses += st.misses;
+        self.collect_result(policy_name, st.records)
+    }
+}

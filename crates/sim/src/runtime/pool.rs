@@ -13,11 +13,20 @@
 //! laundering: the task closure may borrow the caller's stack. Spawn cost
 //! is a few tens of microseconds per worker — negligible against a frame
 //! of macroblock kernels, which is the intended granularity.
+//!
+//! Idle workers *park* on a condvar rather than spinning: after a short
+//! bounded spin (to catch the common releases cheaply) a worker with no
+//! runnable task blocks until another worker publishes one, so a pool
+//! shared by several streams leaves its cores to whoever has work. The
+//! wakeup protocol is epoch-based — every task release bumps an epoch
+//! counter under the park mutex before notifying, and a parking worker
+//! re-checks for work after recording the epoch it saw — which makes lost
+//! wakeups impossible without timed waits.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 /// A fixed-width work-stealing pool executing dependency DAGs of indexed
 /// tasks.
@@ -94,8 +103,8 @@ impl WorkStealingPool {
             return;
         }
         // Reject cyclic graphs up front (Kahn peel over a scratch copy):
-        // workers park by spinning until `done == total`, so a cycle
-        // discovered mid-run would hang them forever instead of failing.
+        // workers park until `done == total`, so a cycle discovered
+        // mid-run would hang them forever instead of failing.
         {
             let mut indeg = indegree.to_vec();
             let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
@@ -124,6 +133,9 @@ impl WorkStealingPool {
             total: n,
             poisoned: AtomicBool::new(false),
             deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleepers: AtomicUsize::new(0),
+            park_epoch: Mutex::new(0),
+            park_cv: Condvar::new(),
             run: &run,
         };
         // Seed the initial frontier round-robin across workers.
@@ -160,8 +172,21 @@ struct DagRun<'a, F> {
     total: usize,
     poisoned: AtomicBool,
     deques: Vec<Mutex<VecDeque<usize>>>,
+    /// Workers currently parked (or about to park) on `park_cv`. Lets the
+    /// release fast path skip the mutex entirely while everyone is busy.
+    sleepers: AtomicUsize,
+    /// Wakeup epoch: bumped under the lock by every event a parked worker
+    /// may be waiting for (task release, poison, completion).
+    park_epoch: Mutex<u64>,
+    park_cv: Condvar,
     run: &'a F,
 }
+
+/// Failed `find_task` probes before a worker gives up its core and parks.
+/// Releases typically land within a task's span of its siblings, so a
+/// short spin catches them without a syscall; anything longer means the
+/// DAG is genuinely narrow and the core is better spent elsewhere.
+const SPINS_BEFORE_PARK: u32 = 32;
 
 impl<F: Fn(usize) + Sync> DagRun<'_, F> {
     fn deque(&self, w: usize) -> std::sync::MutexGuard<'_, VecDeque<usize>> {
@@ -186,28 +211,88 @@ impl<F: Fn(usize) + Sync> DagRun<'_, F> {
         None
     }
 
+    /// Whether the run is over (successfully or by poisoning).
+    ///
+    /// SeqCst, matching the SeqCst `sleepers` traffic: the `wake()` fast
+    /// path may only skip the lock when "I finished the last task" and "a
+    /// worker registered as sleeper" are totally ordered against each
+    /// other, so one of the two sides always observes the other.
+    fn finished(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst) || self.done.load(Ordering::SeqCst) == self.total
+    }
+
+    /// Whether any deque currently holds a task.
+    fn has_work(&self) -> bool {
+        (0..self.deques.len()).any(|w| !self.deque(w).is_empty())
+    }
+
+    /// Wakes parked workers after publishing an event they wait on. The
+    /// epoch bump happens under the lock, so a worker that recorded the
+    /// pre-bump epoch either sees the new state in its re-check or
+    /// observes the bump and retries — a wakeup cannot fall between.
+    fn wake(&self) {
+        if self.sleepers.load(Ordering::SeqCst) == 0 {
+            // Nobody is parked or committing to park: a worker that
+            // registers after this load re-checks the deques/finish flag
+            // before waiting, so it cannot miss the event either.
+            return;
+        }
+        let mut epoch = self
+            .park_epoch
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *epoch += 1;
+        self.park_cv.notify_all();
+    }
+
+    /// Blocks until a new task may be available or the run finished.
+    fn park(&self) {
+        self.sleepers.fetch_add(1, Ordering::SeqCst);
+        let mut epoch = self
+            .park_epoch
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let seen = *epoch;
+        // Re-check while registered: any release that happened before we
+        // acquired the lock is visible in the deques or the finish flag;
+        // any release after it will bump the epoch and notify.
+        while !self.finished() && !self.has_work() && *epoch == seen {
+            epoch = self
+                .park_cv
+                .wait(epoch)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        drop(epoch);
+        self.sleepers.fetch_sub(1, Ordering::SeqCst);
+    }
+
     fn worker(&self, me: usize) {
         let mut idle_spins = 0u32;
         loop {
-            if self.poisoned.load(Ordering::Acquire)
-                || self.done.load(Ordering::Acquire) == self.total
-            {
+            if self.finished() {
+                // Wake the others so they observe completion/poisoning
+                // instead of sleeping on it.
+                self.wake();
                 return;
             }
             let Some(task) = self.find_task(me) else {
                 // Nothing to do yet: another worker is still releasing
-                // successors. Spin briefly, then yield the time slice.
+                // successors. Spin briefly, then park — a blocked worker
+                // costs nothing, which is what lets several streams
+                // share one pool-sized set of cores.
                 idle_spins += 1;
-                if idle_spins < 64 {
+                if idle_spins < SPINS_BEFORE_PARK {
                     std::hint::spin_loop();
                 } else {
-                    std::thread::yield_now();
+                    idle_spins = 0;
+                    self.park();
                 }
                 continue;
             };
             idle_spins = 0;
             if catch_unwind(AssertUnwindSafe(|| (self.run)(task))).is_err() {
-                self.poisoned.store(true, Ordering::Release);
+                self.poisoned.store(true, Ordering::SeqCst);
+                self.wake();
                 return;
             }
             for &s in &self.succs[task] {
@@ -215,9 +300,12 @@ impl<F: Fn(usize) + Sync> DagRun<'_, F> {
                 // whichever worker later runs the released successor.
                 if self.pending[s].fetch_sub(1, Ordering::AcqRel) == 1 {
                     self.deque(me).push_back(s);
+                    self.wake();
                 }
             }
-            self.done.fetch_add(1, Ordering::AcqRel);
+            if self.done.fetch_add(1, Ordering::SeqCst) + 1 == self.total {
+                self.wake();
+            }
         }
     }
 }
@@ -362,5 +450,65 @@ mod tests {
     #[test]
     fn host_sized_pool_has_workers() {
         assert!(WorkStealingPool::host_sized().workers() >= 1);
+    }
+
+    /// Alternating narrow/wide stages: during every narrow stage all but
+    /// one worker must park, and the following wide stage must wake them
+    /// all. Exercises the park/wake protocol under oversubscription far
+    /// beyond a single frame's width.
+    #[test]
+    fn repeated_narrow_wide_transitions_run_to_completion() {
+        let stages = 20usize;
+        let width = 16usize;
+        // Stage 2s: one gate task; stage 2s+1: `width` fan tasks. Each
+        // fan task depends on the gate; the next gate depends on the
+        // whole fan.
+        let per_stage = 1 + width;
+        let n = stages * per_stage;
+        let gate = |s: usize| s * per_stage;
+        let mut succs = vec![Vec::new(); n];
+        let mut indeg = vec![0usize; n];
+        for s in 0..stages {
+            for f in 0..width {
+                succs[gate(s)].push(gate(s) + 1 + f);
+                indeg[gate(s) + 1 + f] += 1;
+                if s + 1 < stages {
+                    succs[gate(s) + 1 + f].push(gate(s + 1));
+                    indeg[gate(s + 1)] += 1;
+                }
+            }
+        }
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        WorkStealingPool::new(8).run_dag(&indeg, &succs, |i| {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    /// Concurrent `run_dag` calls on one pool value (each call spawns its
+    /// own scoped workers): parking in one run must not interfere with
+    /// another — the regime of a stream server sharing pool width.
+    #[test]
+    fn independent_runs_do_not_interfere() {
+        let pool = WorkStealingPool::new(4);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let pool = &pool;
+                let total = &total;
+                s.spawn(move || {
+                    let n = 64;
+                    let succs: Vec<Vec<usize>> = (0..n)
+                        .map(|i| if i + 1 < n { vec![i + 1] } else { vec![] })
+                        .collect();
+                    let mut indeg = vec![1usize; n];
+                    indeg[0] = 0;
+                    pool.run_dag(&indeg, &succs, |_| {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 3 * 64);
     }
 }

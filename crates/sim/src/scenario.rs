@@ -149,6 +149,139 @@ impl LoadScenario {
         s
     }
 
+    /// Builds a scenario directly from per-frame infos — the entry point
+    /// for frame sources that are not generated by [`LoadScenario::from_scenes`]
+    /// (trace replay, channel-fed producers, adversarial generators).
+    ///
+    /// Frames belong to the scene named by their `scene` field; scene
+    /// indices must start at 0 and increase contiguously. Each frame's
+    /// `index_in_scene` is recomputed (the input values are ignored), and
+    /// scene profiles are summarized from the frames: mean activity;
+    /// motion/texture/PSNR base from the scene's first frame.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Parse`] if `frames` is empty, a frame's activity is
+    /// not positive, or scene numbering is not contiguous from zero.
+    pub fn from_frames(frames: Vec<FrameInfo>) -> Result<Self, SimError> {
+        if frames.is_empty() {
+            return Err(SimError::Parse("scenario has no frames".to_owned()));
+        }
+        let mut out: Vec<FrameInfo> = Vec::with_capacity(frames.len());
+        let mut scenes: Vec<SceneProfile> = Vec::new();
+        let mut index_in_scene = 0usize;
+        for (f, info) in frames.into_iter().enumerate() {
+            if info.activity <= 0.0 {
+                return Err(SimError::Parse(format!(
+                    "frame {f}: activity must be positive, got {}",
+                    info.activity
+                )));
+            }
+            // Contiguity: the first frame opens scene 0; later frames
+            // stay in the current scene or open the next one.
+            if info.scene != scenes.len().saturating_sub(1) && info.scene != scenes.len() {
+                return Err(SimError::Parse(format!(
+                    "frame {f}: scene {} does not continue the stream contiguously",
+                    info.scene
+                )));
+            }
+            if info.scene == scenes.len() {
+                index_in_scene = 0;
+                scenes.push(SceneProfile {
+                    frames: 0,
+                    base_activity: 0.0,
+                    motion: info.motion,
+                    texture: info.texture,
+                    psnr_base: info.psnr_base,
+                });
+            }
+            let profile = scenes.last_mut().expect("scene just ensured");
+            profile.frames += 1;
+            profile.base_activity += info.activity; // sum; divided below
+            out.push(FrameInfo {
+                index_in_scene,
+                ..info
+            });
+            index_in_scene += 1;
+        }
+        for s in &mut scenes {
+            s.base_activity /= s.frames as f64;
+        }
+        Ok(LoadScenario {
+            scenes,
+            frames: out,
+        })
+    }
+
+    /// An adversarial stream built to stress the safety argument: the
+    /// worst load shapes a camera can produce within the model's bounds.
+    ///
+    /// Six scenes, ~190 frames: a *lull* (sustained under-load luring any
+    /// adaptive layer toward high quality), a *step* into sustained
+    /// overload, a frame-rate *square oscillation* between extremes
+    /// (maximal pressure on quality-switch smoothness), repeating
+    /// *sawtooth ramps*, an *impulse train* of isolated spikes on a
+    /// nominal base, and a calm recovery tail. Magnitudes and phase
+    /// lengths are jittered deterministically from `seed` within
+    /// worst-case bounds, so different seeds give different — equally
+    /// hostile — streams.
+    ///
+    /// The controller's guarantees must survive every one of them: actual
+    /// execution times remain clamped at the declared worst case, so a
+    /// controlled run still never misses or skips, while constant-quality
+    /// baselines collapse (see the `adversarial_*` tests and the server
+    /// overload tests).
+    #[must_use]
+    pub fn adversarial(seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xAD5E_7A11);
+        let mut frames: Vec<FrameInfo> = Vec::new();
+        let push = |frames: &mut Vec<FrameInfo>, scene: usize, activity: f64, motion: f64| {
+            let first = frames.last().is_none_or(|f: &FrameInfo| f.scene != scene);
+            frames.push(FrameInfo {
+                scene,
+                index_in_scene: 0, // recomputed by from_frames
+                is_iframe: first,
+                activity: activity.max(0.35),
+                motion,
+                texture: 0.7,
+                psnr_base: 35.0,
+            });
+        };
+        // Scene 0 — lull: sustained under-load.
+        let lull = 0.5 + rng.gen_range(0.0..0.1);
+        for _ in 0..(28 + (seed as usize % 5)) {
+            push(&mut frames, 0, lull + rng.gen_range(-0.05..0.05), 0.1);
+        }
+        // Scene 1 — step: sustained overload, no warning.
+        let step = 1.55 + rng.gen_range(0.0..0.2);
+        for _ in 0..36 {
+            push(&mut frames, 1, step + rng.gen_range(-0.05..0.05), 0.9);
+        }
+        // Scene 2 — square oscillation at frame rate.
+        let lo = 0.45 + rng.gen_range(0.0..0.1);
+        let hi = 1.7 + rng.gen_range(0.0..0.2);
+        for k in 0..40 {
+            push(&mut frames, 2, if k % 2 == 0 { hi } else { lo }, 0.85);
+        }
+        // Scene 3 — sawtooth ramps: three 10-frame climbs, instant drop.
+        let peak = 1.7 + rng.gen_range(0.0..0.15);
+        for k in 0..30 {
+            let phase = (k % 10) as f64 / 9.0;
+            push(&mut frames, 3, 0.5 + (peak - 0.5) * phase, 0.8);
+        }
+        // Scene 4 — impulse train: isolated worst-case spikes.
+        let spike = 1.9 + rng.gen_range(0.0..0.2);
+        for k in 0..36 {
+            let a = if k % 4 == 0 { spike } else { 1.0 };
+            push(&mut frames, 4, a, 0.75);
+        }
+        // Scene 5 — recovery tail.
+        for _ in 0..20 {
+            push(&mut frames, 5, 0.9 + rng.gen_range(-0.05..0.05), 0.2);
+        }
+        Self::from_frames(frames).expect("generator emits a well-formed stream")
+    }
+
     /// A copy truncated to the first `n` frames (test-scale runs).
     ///
     /// # Panics
@@ -275,13 +408,13 @@ impl LoadScenario {
         if doc.rows.is_empty() {
             return Err(SimError::Parse("trace has no frames".to_owned()));
         }
-        // One linear pass: frames, per-scene running counters, and scene
-        // summaries (mean activity; motion/texture/PSNR base from each
-        // scene's first frame) all accumulate together, so 100k-frame
-        // captured traces parse in O(frames).
+        // Row-level validation stays here (it can name the source line);
+        // scene summarization lives in [`LoadScenario::from_frames`],
+        // shared with every other frame source. Contiguity is checked in
+        // both places: here for the line-numbered diagnostic, there as
+        // the structural invariant every source goes through.
         let mut frames: Vec<FrameInfo> = Vec::with_capacity(doc.rows.len());
-        let mut scenes: Vec<SceneProfile> = Vec::new();
-        let mut index_in_scene = 0usize;
+        let mut scenes_seen = 0usize;
         for row in 0..doc.rows.len() {
             let line = doc.line(row);
             let scene_f = doc.required(row, scene_c)?;
@@ -291,51 +424,29 @@ impl LoadScenario {
                 )));
             }
             let scene = scene_f as usize;
-            // Contiguity: the first frame opens scene 0; later frames
-            // stay in the current scene or open the next one.
-            if scene != scenes.len().saturating_sub(1) && scene != scenes.len() {
+            if scene != scenes_seen.saturating_sub(1) && scene != scenes_seen {
                 return Err(SimError::Parse(format!(
-                    "line {line}: scene {scene} does not continue the trace contiguously",
+                    "line {line}: scene {scene} does not continue the trace contiguously"
                 )));
             }
+            scenes_seen = scenes_seen.max(scene + 1);
             let activity = doc.required(row, activity_c)?;
             if activity <= 0.0 {
                 return Err(SimError::Parse(format!(
                     "line {line}: activity must be positive, got {activity}"
                 )));
             }
-            let info = FrameInfo {
+            frames.push(FrameInfo {
                 scene,
-                index_in_scene: 0, // fixed up below once the scene is known
+                index_in_scene: 0, // recomputed by from_frames
                 is_iframe: doc.required(row, iframe_c)? != 0.0,
                 activity,
                 motion: doc.required(row, motion_c)?,
                 texture: doc.required(row, texture_c)?,
                 psnr_base: doc.required(row, psnr_c)?,
-            };
-            if scene == scenes.len() {
-                index_in_scene = 0;
-                scenes.push(SceneProfile {
-                    frames: 0,
-                    base_activity: 0.0,
-                    motion: info.motion,
-                    texture: info.texture,
-                    psnr_base: info.psnr_base,
-                });
-            }
-            let profile = scenes.last_mut().expect("scene just ensured");
-            profile.frames += 1;
-            profile.base_activity += info.activity; // sum; divided below
-            frames.push(FrameInfo {
-                index_in_scene,
-                ..info
             });
-            index_in_scene += 1;
         }
-        for s in &mut scenes {
-            s.base_activity /= s.frames as f64;
-        }
-        Ok(LoadScenario { scenes, frames })
+        Self::from_frames(frames)
     }
 }
 
@@ -565,6 +676,132 @@ mod tests {
         assert_eq!(s.frame(1).index_in_scene, 1);
         assert_eq!(s.scenes()[0].frames, 2);
         assert!((s.scenes()[0].base_activity - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_frames_round_trips_generated_streams() {
+        let s = LoadScenario::paper_benchmark(6);
+        let back = LoadScenario::from_frames(s.iter().copied().collect()).unwrap();
+        assert_eq!(back.frames(), s.frames());
+        assert_eq!(back.scene_count(), s.scene_count());
+        for f in 0..s.frames() {
+            assert_eq!(back.frame(f), s.frame(f), "frame {f}");
+        }
+        // Scene base activity is re-summarized from the *realized*
+        // per-frame activities (the declared base in `from_scenes` is the
+        // pre-noise mean, so only shape fields are compared exactly).
+        for (scene, (a, b)) in s.scenes().iter().zip(back.scenes()).enumerate() {
+            assert_eq!(a.frames, b.frames);
+            assert_eq!(a.motion, b.motion);
+            assert_eq!(a.texture, b.texture);
+            let mean = s
+                .iter()
+                .filter(|f| f.scene == scene)
+                .map(|f| f.activity)
+                .sum::<f64>()
+                / a.frames as f64;
+            assert!((mean - b.base_activity).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn from_frames_rejects_malformed_streams() {
+        let f = |scene: usize, activity: f64| FrameInfo {
+            scene,
+            index_in_scene: 0,
+            is_iframe: true,
+            activity,
+            motion: 0.5,
+            texture: 0.5,
+            psnr_base: 36.0,
+        };
+        assert!(LoadScenario::from_frames(vec![]).is_err());
+        assert!(LoadScenario::from_frames(vec![f(1, 1.0)]).is_err());
+        assert!(LoadScenario::from_frames(vec![f(0, 1.0), f(2, 1.0)]).is_err());
+        assert!(LoadScenario::from_frames(vec![f(0, 0.0)]).is_err());
+        // index_in_scene in the input is ignored and recomputed.
+        let s = LoadScenario::from_frames(vec![f(0, 1.0), f(0, 1.1), f(1, 1.2)]).unwrap();
+        assert_eq!(s.frame(1).index_in_scene, 1);
+        assert_eq!(s.frame(2).index_in_scene, 0);
+    }
+
+    #[test]
+    fn adversarial_is_deterministic_and_seed_sensitive() {
+        let a = LoadScenario::adversarial(3);
+        let b = LoadScenario::adversarial(3);
+        let c = LoadScenario::adversarial(4);
+        assert_eq!(a.frames(), b.frames());
+        for f in 0..a.frames() {
+            assert_eq!(a.frame(f), b.frame(f));
+        }
+        assert!(
+            (0..a.frames().min(c.frames())).any(|f| a.frame(f).activity != c.frame(f).activity),
+            "different seeds must differ"
+        );
+        assert_eq!(a.scene_count(), 6);
+    }
+
+    #[test]
+    fn adversarial_contains_the_worst_case_shapes() {
+        let s = LoadScenario::adversarial(11);
+        // Step scene sustains heavy overload.
+        let step: Vec<f64> = s
+            .iter()
+            .filter(|f| f.scene == 1)
+            .map(|f| f.activity)
+            .collect();
+        assert!(step.iter().all(|&a| a > 1.4), "sustained overload");
+        // Oscillation scene swings by more than a full unit frame-to-frame.
+        let osc: Vec<f64> = s
+            .iter()
+            .filter(|f| f.scene == 2)
+            .map(|f| f.activity)
+            .collect();
+        let max_swing = osc
+            .windows(2)
+            .map(|w| (w[0] - w[1]).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_swing > 1.0, "square oscillation, swing {max_swing}");
+        // Impulse scene: isolated spikes over a nominal base.
+        let imp: Vec<f64> = s
+            .iter()
+            .filter(|f| f.scene == 4)
+            .map(|f| f.activity)
+            .collect();
+        assert!(imp.iter().cloned().fold(0.0f64, f64::max) > 1.8);
+        assert!(imp.iter().filter(|&&a| a < 1.1).count() > imp.len() / 2);
+    }
+
+    #[test]
+    fn controlled_run_survives_the_adversarial_stream() {
+        use crate::app::TableApp;
+        use crate::runner::{RunConfig, Runner};
+        use fgqos_core::policy::MaxQuality;
+        let scenario = LoadScenario::adversarial(7);
+        let n_frames = scenario.frames();
+        let app = TableApp::with_macroblocks(scenario, 10).unwrap();
+        let config = RunConfig::paper_defaults().scaled_to_macroblocks(10);
+        let mut r = Runner::new(app, config).unwrap();
+        let res = r.run_controlled(&mut MaxQuality::new(), 7).unwrap();
+        // The safety argument holds under the worst load shapes: the
+        // controller degrades quality instead of missing or skipping.
+        assert_eq!(res.frames().len(), n_frames);
+        assert_eq!(res.skips(), 0, "{}", res.summary());
+        assert_eq!(res.misses(), 0);
+        assert_eq!(res.fallbacks(), 0);
+        assert!(r.monitor().all_safe());
+
+        // The uncontrolled baseline collapses on the same stream.
+        let scenario = LoadScenario::adversarial(7);
+        let app = TableApp::with_macroblocks(scenario, 10).unwrap();
+        let mut r =
+            Runner::new(app, RunConfig::paper_defaults().scaled_to_macroblocks(10)).unwrap();
+        let constant = r.run_constant(fgqos_time::Quality::new(7), 7).unwrap();
+        assert!(
+            constant.skips() > 10,
+            "constant-q7 should skip heavily: {}",
+            constant.summary()
+        );
     }
 
     #[test]

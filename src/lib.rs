@@ -23,6 +23,9 @@
 //!   the camera/buffer pipeline of Fig. 3, the stream runner;
 //! * [`encoder`] (`fgqos-encoder`) — a from-scratch macroblock video
 //!   encoder with the Fig. 2 pipeline and a synthetic camera;
+//! * [`serve`] (`fgqos-serve`) — the multi-stream serving layer: a
+//!   shared-pool stream server with priority admission control and
+//!   pluggable frame sources (paced, trace replay, channel-fed);
 //! * [`tool`] (`fgqos-tool`) — the Fig. 4 prototype tool: specs →
 //!   controlled application (+ Rust codegen and overhead reports).
 //!
@@ -69,6 +72,7 @@ pub use fgqos_core as core;
 pub use fgqos_encoder as encoder;
 pub use fgqos_graph as graph;
 pub use fgqos_sched as sched;
+pub use fgqos_serve as serve;
 pub use fgqos_sim as sim;
 pub use fgqos_time as time;
 pub use fgqos_tool as tool;
@@ -83,8 +87,14 @@ pub mod prelude {
     pub use fgqos_graph::iterate::IterationMode;
     pub use fgqos_graph::{ActionId, ExecutionSequence, GraphBuilder, PrecedenceGraph};
     pub use fgqos_sched::{BestSched, ConstraintTables, EdfScheduler, FifoScheduler};
+    pub use fgqos_serve::{
+        AdmissionController, AdmissionDecision, CeilingPolicy, ChannelSource, FrameProducer,
+        FrameSource, PacedSource, ServeReport, StreamServer, StreamSpec, TraceSource,
+    };
     pub use fgqos_sim::app::{TableApp, VideoApp};
-    pub use fgqos_sim::runner::{DeadlineShape, Mode, RunConfig, Runner, StreamResult};
+    pub use fgqos_sim::runner::{
+        DeadlineShape, Mode, ParallelStream, RunConfig, Runner, StreamResult,
+    };
     pub use fgqos_sim::runtime::{
         Clock, ExecBackend, MeasuredBackend, ModelBackend, ParallelApp, VirtualClock, WallClock,
         WorkStealingPool,

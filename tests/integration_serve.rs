@@ -1,0 +1,225 @@
+//! Integration tests of the multi-stream serving layer.
+//!
+//! The load-bearing guarantee is the *isolation contract*: for every
+//! admitted stream, the shared-pool server's `StreamResult` (per-frame
+//! series, quality decisions) and safety verdicts on the virtual runtime
+//! are byte-identical to running that stream alone through
+//! `Runner::run_parallel_on` — at any worker count. On top of that,
+//! admission must be a pure function of the specs (same sequence across
+//! worker counts and `RUST_TEST_THREADS` settings — the CI matrix reruns
+//! this file under 1, 2 and all threads), and overload must degrade
+//! deterministically by priority while preserving per-stream safety.
+
+use fine_grain_qos::prelude::*;
+
+const MB: usize = 8;
+
+fn config() -> RunConfig {
+    RunConfig::paper_defaults().scaled_to_macroblocks(MB)
+}
+
+/// The three scenarios the multi-stream tests serve together: two
+/// paper-shaped streams and one adversarial stress stream.
+fn scenarios() -> Vec<LoadScenario> {
+    vec![
+        LoadScenario::paper_benchmark(1).truncated(30),
+        LoadScenario::paper_benchmark(2).truncated(24),
+        LoadScenario::adversarial(3).truncated(36),
+    ]
+}
+
+fn specs(scenarios: &[LoadScenario]) -> Vec<StreamSpec> {
+    scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            StreamSpec::new(
+                format!("s{i}"),
+                (i % 3) as u8,
+                100 + i as u64,
+                config(),
+                Box::new(PacedSource::new(s.clone())),
+            )
+        })
+        .collect()
+}
+
+/// Solo baseline of stream `i`: the same app, config, policy, seed and
+/// runtime, run alone through the parallel runner.
+fn solo(scenario: &LoadScenario, seed: u64, workers: usize) -> (StreamResult, Runner<TableApp>) {
+    let app = TableApp::with_macroblocks(scenario.clone(), MB).unwrap();
+    let mut runner = Runner::new(app, config()).unwrap();
+    let result = runner
+        .run_parallel(&mut MaxQuality::new(), seed, workers)
+        .unwrap();
+    (result, runner)
+}
+
+#[test]
+fn isolation_contract_holds_at_every_worker_count() {
+    let scenarios = scenarios();
+    for workers in [1usize, 2, 8] {
+        // Generous capacity: all three streams admitted at full quality.
+        let server = StreamServer::with_capacity(workers, 64.0);
+        let report = server.serve_tables(specs(&scenarios), MB).unwrap();
+        assert_eq!(report.admission().admitted(), 3, "workers {workers}");
+
+        for (i, scenario) in scenarios.iter().enumerate() {
+            let (expected, solo_runner) = solo(scenario, 100 + i as u64, workers);
+            let outcome = report.outcome(&format!("s{i}")).unwrap();
+            let served = outcome.result.as_ref().unwrap();
+
+            // Byte-identical series and quality decisions: every
+            // per-frame record, and the run label (same policy).
+            assert_eq!(
+                expected.frames(),
+                served.frames(),
+                "stream {i} diverged at {workers} workers"
+            );
+            assert_eq!(expected.label(), served.label());
+
+            // Byte-identical safety verdicts.
+            let solo_mon = solo_runner.monitor();
+            let served_mon = outcome.monitor.as_ref().unwrap();
+            assert_eq!(solo_mon.cycles(), served_mon.cycles());
+            assert_eq!(solo_mon.actions(), served_mon.actions());
+            assert_eq!(solo_mon.misses(), served_mon.misses());
+            assert_eq!(solo_mon.fallbacks(), served_mon.fallbacks());
+            assert_eq!(solo_mon.worst_margin(), served_mon.worst_margin());
+            assert_eq!(solo_mon.all_safe(), served_mon.all_safe());
+        }
+    }
+}
+
+#[test]
+fn admission_sequence_is_identical_across_worker_counts() {
+    // Five streams against 2.2 cores: a genuine overload with mixed
+    // priorities, so every decision kind appears.
+    let make_specs = || -> Vec<StreamSpec> {
+        let priorities = [2u8, 9, 4, 9, 0];
+        (0..5)
+            .map(|i| {
+                StreamSpec::new(
+                    format!("s{i}"),
+                    priorities[i],
+                    7 + i as u64,
+                    config(),
+                    Box::new(PacedSource::new(
+                        LoadScenario::paper_benchmark(20 + i as u64).truncated(12),
+                    )),
+                )
+            })
+            .collect()
+    };
+
+    let reference = StreamServer::with_capacity(1, 2.2)
+        .serve_tables(make_specs(), MB)
+        .unwrap();
+    let ref_seq = reference.admission().sequence();
+    // Overload really happened and produced a mixed outcome.
+    assert!(reference.admission().rejected() + reference.admission().degraded() > 0);
+    assert!(reference.admission().admitted() > 0);
+
+    for workers in [2usize, 8] {
+        let report = StreamServer::with_capacity(workers, 2.2)
+            .serve_tables(make_specs(), MB)
+            .unwrap();
+        assert_eq!(
+            report.admission().sequence(),
+            ref_seq,
+            "admission diverged at {workers} workers"
+        );
+        // Outcome decisions (in submission order) are identical too.
+        for (a, b) in reference.outcomes().iter().zip(report.outcomes()) {
+            assert_eq!(a.decision, b.decision, "stream {}", a.name);
+        }
+    }
+    // And the sequence is deterministic under repetition.
+    let again = StreamServer::with_capacity(1, 2.2)
+        .serve_tables(make_specs(), MB)
+        .unwrap();
+    assert_eq!(again.admission().sequence(), ref_seq);
+}
+
+#[test]
+fn overloaded_server_serves_high_priority_adversarial_streams_safely() {
+    // Four adversarial streams fighting for ~2.5 cores: the highest
+    // priorities win, and every admitted stream keeps the paper's
+    // guarantees even under the worst-case load shapes.
+    let make_specs = || -> Vec<StreamSpec> {
+        let priorities = [9u8, 7, 2, 1];
+        (0..4)
+            .map(|i| {
+                StreamSpec::new(
+                    format!("adv{i}"),
+                    priorities[i],
+                    50 + i as u64,
+                    config(),
+                    Box::new(PacedSource::new(
+                        LoadScenario::adversarial(60 + i as u64).truncated(40),
+                    )),
+                )
+            })
+            .collect()
+    };
+    let server = StreamServer::with_capacity(4, 2.5);
+    let report = server.serve_tables(make_specs(), MB).unwrap();
+
+    // Deterministic split under overload: the two high-priority streams
+    // are admitted at full quality, the rest degrade or are rejected.
+    assert_eq!(
+        report.outcome("adv0").unwrap().decision,
+        AdmissionDecision::Admit
+    );
+    assert!(report.admission().rejected() + report.admission().degraded() >= 1);
+
+    for outcome in report.outcomes() {
+        if let Some(result) = &outcome.result {
+            assert_eq!(result.skips(), 0, "{}: {}", outcome.name, result.summary());
+            assert_eq!(result.misses(), 0, "{}", outcome.name);
+            assert!(outcome.monitor.as_ref().unwrap().all_safe());
+            if let AdmissionDecision::Degrade(cap) = outcome.decision {
+                assert!(
+                    result.mean_quality() <= f64::from(cap.level()) + 1e-9,
+                    "{} exceeded its ceiling",
+                    outcome.name
+                );
+            }
+        }
+    }
+
+    // Counters are exposed and consistent.
+    let adm = report.admission();
+    assert_eq!(
+        adm.admitted() + adm.degraded() + adm.rejected(),
+        report.outcomes().len()
+    );
+    assert!(adm.granted_utilization() <= adm.capacity() + 1e-9);
+}
+
+#[test]
+fn trace_and_channel_sources_serve_identically_to_paced() {
+    let scenario = LoadScenario::paper_benchmark(77).truncated(20);
+    let run = |source: Box<dyn FrameSource>| -> StreamResult {
+        let server = StreamServer::with_capacity(2, 64.0);
+        let spec = StreamSpec::new("s", 1, 42, config(), source);
+        let report = server.serve_tables(vec![spec], MB).unwrap();
+        report.outcome("s").unwrap().result.clone().unwrap()
+    };
+
+    let paced = run(Box::new(PacedSource::new(scenario.clone())));
+
+    let trace = run(Box::new(
+        TraceSource::from_csv(&scenario.to_trace_csv()).unwrap(),
+    ));
+    assert_eq!(paced.frames(), trace.frames());
+
+    let (producer, channel) = ChannelSource::new();
+    let feeder = {
+        let scenario = scenario.clone();
+        std::thread::spawn(move || producer.feed_scenario(&scenario))
+    };
+    let channel = run(Box::new(channel));
+    assert!(feeder.join().unwrap());
+    assert_eq!(paced.frames(), channel.frames());
+}
