@@ -1,0 +1,124 @@
+//! Budget-parametric table costs.
+//!
+//! The controller needs `Qual_Const` tables per frame; with stochastic
+//! pop times every frame budget is unique, so the alternatives are a
+//! full `ConstraintTables::new` rebuild per frame (the legacy path) or a
+//! single `BudgetTables` envelope construction per stream plus an O(1)
+//! `at_budget` view per frame. This bench prices:
+//!
+//! * `rebuild_per_frame`: the legacy per-frame cost (deadline vector +
+//!   table construction) at a fresh budget each iteration;
+//! * `parametric_per_frame`: the parametric per-frame cost (view + the
+//!   same mid-frame decision probes) at a fresh budget each iteration;
+//! * `envelope_build`: the one-time construction amortized over a run;
+//! * `query_*`: single-decision latency of both table flavors.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fgqos_graph::iterate::{IteratedGraph, IterationMode};
+use fgqos_graph::ActionId;
+use fgqos_sched::{budget_deadlines, BudgetTables, ConstraintTables, DeadlineShape, TableQuery};
+use fgqos_sim::app::{fig2_body, fig2_profile};
+use fgqos_time::{Cycles, DeadlineMap, QualityProfile, QualitySet};
+
+const BUDGET: u64 = 80_000_000;
+
+fn setup(n_mb: usize) -> (Vec<ActionId>, QualityProfile, QualitySet) {
+    let body = fig2_body();
+    let profile = fig2_profile().tile(n_mb);
+    let iter = IteratedGraph::new(&body, n_mb, IterationMode::Sequential).unwrap();
+    let order = iter.replay_body_schedule(body.topological_order()).unwrap();
+    let qs = profile.qualities().clone();
+    (order, profile, qs)
+}
+
+fn rebuild_once(
+    order: &[ActionId],
+    profile: &QualityProfile,
+    qs: &QualitySet,
+    n_mb: usize,
+    budget: u64,
+) -> ConstraintTables {
+    let body_len = profile.n_actions() / n_mb;
+    let dm = DeadlineMap::uniform(
+        qs.clone(),
+        budget_deadlines(
+            DeadlineShape::PerIteration,
+            n_mb,
+            body_len,
+            Cycles::new(budget),
+        ),
+    );
+    ConstraintTables::new(order.to_vec(), profile, &dm).unwrap()
+}
+
+fn bench_per_frame(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables_parametric");
+    for &n_mb in &[99usize, 396] {
+        let (order, profile, qs) = setup(n_mb);
+        let mid = order.len() / 2;
+        let probe_t = Cycles::new(BUDGET / 2);
+
+        g.bench_with_input(
+            BenchmarkId::new("rebuild_per_frame", n_mb),
+            &n_mb,
+            |b, &n| {
+                let mut budget = BUDGET;
+                b.iter(|| {
+                    // A fresh budget per frame: what a saturated
+                    // controlled run pays on the legacy path.
+                    budget += 17;
+                    let t = rebuild_once(&order, &profile, &qs, n, budget);
+                    std::hint::black_box(t.max_feasible(mid, probe_t))
+                });
+            },
+        );
+
+        let parametric =
+            BudgetTables::new(order.clone(), &profile, DeadlineShape::PerIteration, n_mb).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("parametric_per_frame", n_mb),
+            &n_mb,
+            |b, _| {
+                let mut budget = BUDGET;
+                b.iter(|| {
+                    budget += 17;
+                    let view = parametric.at_budget(Cycles::new(budget));
+                    std::hint::black_box(view.max_feasible(mid, probe_t))
+                });
+            },
+        );
+
+        g.bench_with_input(BenchmarkId::new("envelope_build", n_mb), &n_mb, |b, &n| {
+            b.iter(|| {
+                std::hint::black_box(
+                    BudgetTables::new(order.clone(), &profile, DeadlineShape::PerIteration, n)
+                        .unwrap(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_query_latency(c: &mut Criterion) {
+    let n_mb = 396;
+    let (order, profile, qs) = setup(n_mb);
+    let mid = order.len() / 2;
+    let t = Cycles::new(BUDGET / 2);
+    let materialized = rebuild_once(&order, &profile, &qs, n_mb, BUDGET);
+    let parametric = BudgetTables::new(order, &profile, DeadlineShape::PerIteration, n_mb).unwrap();
+    let view = parametric.at_budget(Cycles::new(BUDGET));
+
+    let mut g = c.benchmark_group("tables_parametric_query");
+    g.bench_function("materialized_max_feasible", |b| {
+        b.iter(|| std::hint::black_box(materialized.max_feasible(mid, t)));
+    });
+    g.bench_function("parametric_max_feasible", |b| {
+        b.iter(|| std::hint::black_box(view.max_feasible(mid, t)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_per_frame, bench_query_latency);
+criterion_main!(benches);

@@ -1,9 +1,11 @@
 //! CI perf smoke: measures the parallel runner against the sequential
-//! baseline and the controller hot path, writes machine-readable
-//! `BENCH_parallel.json` / `BENCH_controller.json` (uploaded as CI
+//! baseline, the controller hot path and the budget-parametric table
+//! path, writes machine-readable `BENCH_parallel.json` /
+//! `BENCH_controller.json` / `BENCH_tables.json` (uploaded as CI
 //! artifacts to seed the perf trajectory), and fails when the parallel
 //! runner is *slower* than sequential at ≥ 4 workers on a host that
-//! actually has ≥ 4 cores.
+//! actually has ≥ 4 cores, or when the parametric table path loses to
+//! the legacy paths it replaces.
 //!
 //! Usage: `bench_smoke [out_dir]` (default `.`). Exit code 1 on gate
 //! failure or determinism violation.
@@ -13,7 +15,9 @@ use std::time::{Duration, Instant};
 use fgqos_core::policy::MaxQuality;
 use fgqos_encoder::app::EncoderApp;
 use fgqos_graph::iterate::IterationMode;
+use fgqos_serve::{StreamServer, StreamSpec};
 use fgqos_sim::app::{TableApp, VideoApp};
+use fgqos_sim::exec::Deterministic;
 use fgqos_sim::runner::{Mode, RunConfig, Runner, StreamResult};
 use fgqos_sim::runtime::{MeasuredBackend, VirtualClock, WallClock};
 use fgqos_sim::scenario::LoadScenario;
@@ -102,6 +106,92 @@ fn fps(frames: usize, d: Duration) -> f64 {
     frames as f64 / d.as_secs_f64().max(1e-9)
 }
 
+/// Table-path shapes: the paper-scale 396-macroblock timing workload.
+const TBL_MB: usize = 396;
+const TBL_FRAMES: usize = 60;
+const TBL_STREAMS: usize = 8;
+const TBL_SERVE_FRAMES: usize = 20;
+/// Constant-budget gate tolerance: the promoted path is the same cached
+/// table either way, so the ratio is ~1.0 modulo scheduler noise.
+const TBL_TOLERANCE: f64 = 1.20;
+
+/// Saturated controlled solo run (stochastic pop times, nearly every
+/// frame budget unique): the regime the parametric tables exist for.
+fn tables_saturated(legacy: bool) -> (Duration, u64, u64) {
+    let mut best = Duration::MAX;
+    let mut builds = (0, 0);
+    for _ in 0..REPS {
+        let scenario = LoadScenario::paper_benchmark(5).truncated(TBL_FRAMES);
+        let app = TableApp::with_macroblocks(scenario, TBL_MB).expect("app");
+        let config = RunConfig::paper_defaults().scaled_to_macroblocks(TBL_MB);
+        let mut r = Runner::new(app, config).expect("runner");
+        r.set_legacy_tables(legacy);
+        let start = Instant::now();
+        let res = r
+            .run_controlled(&mut MaxQuality::new(), 5)
+            .expect("controlled run");
+        best = best.min(start.elapsed());
+        assert_eq!(res.skips(), 0);
+        builds = (r.envelope_builds(), r.full_table_builds());
+    }
+    (best, builds.0, builds.1)
+}
+
+/// The serving layer multiplies the per-frame table cost by the stream
+/// count: 8 saturated table streams over one shared pool.
+fn tables_served(legacy: bool) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..REPS {
+        let specs: Vec<StreamSpec> = (0..TBL_STREAMS)
+            .map(|i| {
+                let seed = 11 + i as u64;
+                let scenario = LoadScenario::paper_benchmark(seed).truncated(TBL_SERVE_FRAMES);
+                StreamSpec::new(
+                    format!("s{i}"),
+                    1,
+                    seed,
+                    RunConfig::paper_defaults().scaled_to_macroblocks(TBL_MB),
+                    Box::new(fgqos_serve::PacedSource::new(scenario)),
+                )
+            })
+            .collect();
+        // Oversubscribed capacity on purpose: the bench prices table
+        // work for 8 *running* streams, not admission control.
+        let mut server = StreamServer::with_capacity(2, 64.0);
+        server.set_legacy_tables(legacy);
+        let start = Instant::now();
+        let report = server.serve_tables(specs, TBL_MB).expect("serve");
+        best = best.min(start.elapsed());
+        assert_eq!(report.admission().admitted(), TBL_STREAMS);
+    }
+    best
+}
+
+/// Paced deterministic controlled run: every steady-state frame repeats
+/// one budget — the historical cached path's best case. The parametric
+/// runner must match it (it promotes the recurring budget to the same
+/// materialized table).
+fn tables_constant_budget(legacy: bool) -> Duration {
+    let mut best = Duration::MAX;
+    for _ in 0..REPS + 2 {
+        let scenario = LoadScenario::paper_benchmark(5).truncated(TBL_FRAMES);
+        let app = TableApp::with_macroblocks(scenario, TBL_MB).expect("app");
+        let base = RunConfig::paper_defaults().scaled_to_macroblocks(TBL_MB);
+        let config = base.with_period(base.period.saturating_mul(2));
+        let mut r = Runner::new(app, config).expect("runner");
+        r.set_legacy_tables(legacy);
+        let mut exec = Deterministic::nominal();
+        let mut policy = MaxQuality::new();
+        let start = Instant::now();
+        let res = r
+            .run(Mode::Controlled, &mut policy, &mut exec, None)
+            .expect("paced run");
+        best = best.min(start.elapsed());
+        assert_eq!(res.skips(), 0);
+    }
+    best
+}
+
 fn main() {
     let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -167,20 +257,60 @@ fn main() {
          \"frames_per_sec\": {:.2},\n  \
          \"mean_encode_mcycles\": {:.3},\n  \
          \"skips\": {},\n  \"misses\": {},\n  \
-         \"cached_table_sets\": {}\n}}\n",
+         \"cached_table_sets\": {},\n  \"envelope_builds\": {}\n}}\n",
         t_ctl.as_secs_f64() * 1e3,
         fps(60, t_ctl),
         res.mean_encode_mcycles(),
         res.skips(),
         res.misses(),
         r.cached_tables(),
+        r.envelope_builds(),
+    );
+
+    // --- Budget-parametric tables vs the legacy per-budget rebuilds.
+    let (t_sat_para, sat_env_builds, sat_tbl_builds) = tables_saturated(false);
+    let (t_sat_legacy, _, sat_legacy_builds) = tables_saturated(true);
+    let sat_speedup = t_sat_legacy.as_secs_f64() / t_sat_para.as_secs_f64().max(1e-9);
+    let t_srv_para = tables_served(false);
+    let t_srv_legacy = tables_served(true);
+    let srv_speedup = t_srv_legacy.as_secs_f64() / t_srv_para.as_secs_f64().max(1e-9);
+    let t_const_para = tables_constant_budget(false);
+    let t_const_cached = tables_constant_budget(true);
+    let const_ratio = t_const_para.as_secs_f64() / t_const_cached.as_secs_f64().max(1e-9);
+    // Gates: the parametric path must (a) beat per-frame rebuilds in the
+    // saturated regimes it was built for, solo and served, and (b) not
+    // lose to the cached path on constant-budget runs (where it promotes
+    // the recurring budget to the very same cached table).
+    let tables_pass = sat_speedup >= 1.0 && srv_speedup >= 1.0 && const_ratio <= TBL_TOLERANCE;
+    let tables_json = format!(
+        "{{\n  \"workload\": \"table {TBL_MB} macroblocks, controlled-max\",\n  \
+         \"saturated_solo\": {{\"frames\": {TBL_FRAMES}, \"parametric_wall_ms\": {:.3}, \
+         \"legacy_rebuild_wall_ms\": {:.3}, \"speedup\": {:.3}, \
+         \"envelope_builds\": {sat_env_builds}, \"parametric_table_builds\": {sat_tbl_builds}, \
+         \"legacy_table_builds\": {sat_legacy_builds}}},\n  \
+         \"served_streams\": {{\"streams\": {TBL_STREAMS}, \"frames_per_stream\": {TBL_SERVE_FRAMES}, \
+         \"parametric_wall_ms\": {:.3}, \"legacy_rebuild_wall_ms\": {:.3}, \"speedup\": {:.3}}},\n  \
+         \"constant_budget\": {{\"frames\": {TBL_FRAMES}, \"parametric_wall_ms\": {:.3}, \
+         \"cached_wall_ms\": {:.3}, \"ratio\": {:.3}, \"tolerance\": {TBL_TOLERANCE}}},\n  \
+         \"gate\": {{\"enforced\": true, \"pass\": {tables_pass}}}\n}}\n",
+        t_sat_para.as_secs_f64() * 1e3,
+        t_sat_legacy.as_secs_f64() * 1e3,
+        sat_speedup,
+        t_srv_para.as_secs_f64() * 1e3,
+        t_srv_legacy.as_secs_f64() * 1e3,
+        srv_speedup,
+        t_const_para.as_secs_f64() * 1e3,
+        t_const_cached.as_secs_f64() * 1e3,
+        const_ratio,
     );
 
     std::fs::write(format!("{out_dir}/BENCH_parallel.json"), &parallel_json)
         .expect("write BENCH_parallel.json");
     std::fs::write(format!("{out_dir}/BENCH_controller.json"), &controller_json)
         .expect("write BENCH_controller.json");
-    print!("{parallel_json}\n{controller_json}");
+    std::fs::write(format!("{out_dir}/BENCH_tables.json"), &tables_json)
+        .expect("write BENCH_tables.json");
+    print!("{parallel_json}\n{controller_json}\n{tables_json}");
 
     if !deterministic {
         eprintln!("FAIL: parallel series diverged from sequential");
@@ -190,6 +320,14 @@ fn main() {
         eprintln!(
             "FAIL: parallel runner slower than sequential at 4 workers \
              (speedup {speedup_at_4:.3}) on a {cores}-core host"
+        );
+        std::process::exit(1);
+    }
+    if !tables_pass {
+        eprintln!(
+            "FAIL: budget-parametric tables lost a gate \
+             (saturated speedup {sat_speedup:.3}, served speedup {srv_speedup:.3}, \
+             constant-budget ratio {const_ratio:.3} vs tolerance {TBL_TOLERANCE})"
         );
         std::process::exit(1);
     }

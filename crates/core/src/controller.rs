@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use fgqos_graph::ActionId;
-use fgqos_sched::{BestSched, ConstraintTables};
+use fgqos_sched::{BestSched, ConstraintTables, SharedTables, TableQuery};
 use fgqos_time::{Cycles, Quality, QualitySet};
 
 use crate::policy::{PolicyCtx, QualityPolicy};
@@ -44,8 +44,10 @@ pub struct Decision {
 #[derive(Debug, Clone)]
 pub struct CycleController {
     /// Shared so cyclic streams can reuse one table set across every
-    /// frame with the same budget (the controller never mutates tables).
-    tables: Arc<ConstraintTables>,
+    /// frame with the same budget — or, for budget-parametric tables,
+    /// one envelope set across *all* frames (the controller never
+    /// mutates tables; cloning the handle is an `Arc` bump).
+    tables: SharedTables,
     qualities: QualitySet,
     pos: usize,
     pending: Option<Decision>,
@@ -104,12 +106,16 @@ impl CycleController {
 
     /// Builds a controller over *shared* tables without copying them.
     ///
-    /// Frames with the same budget see identical deadlines, so their
-    /// tables are identical too; a stream runner builds them once per
-    /// budget and hands every controller an [`Arc`] clone. Same caveats
-    /// as [`CycleController::from_tables`].
+    /// Accepts anything convertible into [`SharedTables`]: an
+    /// `Arc<ConstraintTables>` (frames with the same budget see
+    /// identical deadlines, so a stream runner builds them once per
+    /// budget and hands every controller an [`Arc`] clone), or a
+    /// [`SharedTables::AtBudget`] view of budget-parametric tables
+    /// (one envelope set serves every frame at any budget). Same
+    /// caveats as [`CycleController::from_tables`].
     #[must_use]
-    pub fn from_shared(tables: Arc<ConstraintTables>, qualities: QualitySet) -> Self {
+    pub fn from_shared(tables: impl Into<SharedTables>, qualities: QualitySet) -> Self {
+        let tables = tables.into();
         let n = tables.len();
         CycleController {
             tables,
@@ -130,7 +136,7 @@ impl CycleController {
 
     /// The constraint tables (exposed for policies, codegen and tests).
     #[must_use]
-    pub fn tables(&self) -> &ConstraintTables {
+    pub fn tables(&self) -> &dyn TableQuery {
         &self.tables
     }
 
@@ -239,11 +245,12 @@ impl CycleController {
     }
 }
 
-/// `D_q(α_i)` recovered from the tables' cached per-position data.
-fn deadline_of(tables: &ConstraintTables, qi: usize, i: usize) -> Cycles {
-    // ConstraintTables caches D_q(α_i); re-deriving it through the public
-    // budget API would conflate it with execution times, so the tables
-    // expose it directly.
+/// `D_q(α_i)` recovered from the tables' per-position data.
+fn deadline_of(tables: &SharedTables, qi: usize, i: usize) -> Cycles {
+    // The tables expose D_q(α_i) directly (cached for materialized
+    // tables, one affine evaluation for budget-parametric ones);
+    // re-deriving it through the public budget API would conflate it
+    // with execution times.
     tables.deadline_at(qi, i)
 }
 

@@ -8,14 +8,16 @@
 //! ([`SoftDeadline`]) and smoothness of quality variations
 //! ([`Smooth`], [`Hysteresis`]).
 
-use fgqos_sched::ConstraintTables;
+use fgqos_sched::TableQuery;
 use fgqos_time::{Cycles, Quality, QualitySet};
 
 /// Decision context handed to a policy at each step.
 #[derive(Debug, Clone, Copy)]
 pub struct PolicyCtx<'a> {
-    /// Precomputed constraint tables for the cycle's schedule.
-    pub tables: &'a ConstraintTables,
+    /// Constraint tables for the cycle's schedule — materialized
+    /// (`ConstraintTables`) or a budget-parametric view, behind the
+    /// common [`TableQuery`] surface.
+    pub tables: &'a dyn TableQuery,
     /// The system's quality set.
     pub qualities: &'a QualitySet,
     /// 0-based position of the next action in the schedule.

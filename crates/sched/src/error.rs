@@ -20,6 +20,9 @@ pub enum SchedError {
         /// Entries provided.
         actual: usize,
     },
+    /// Profile and deadline map are indexed by different quality sets
+    /// (possibly of the same cardinality — the *levels* disagree).
+    QualitySetMismatch,
     /// The schedulability precondition fails: even at minimal quality with
     /// worst-case times, no feasible schedule exists. Payload is the ((
     /// negative) margin of the EDF schedule, which is optimal, so no other
@@ -39,6 +42,9 @@ impl fmt::Display for SchedError {
                     f,
                     "per-action table has {actual} entries, graph has {expected}"
                 )
+            }
+            SchedError::QualitySetMismatch => {
+                write!(f, "profile and deadline map use different quality sets")
             }
             SchedError::InfeasibleAtMinQuality { slack } => write!(
                 f,
@@ -78,6 +84,9 @@ mod tests {
             actual: 1,
         };
         assert!(e.to_string().contains("1 entries"));
+        assert!(e.source().is_none());
+        let e = SchedError::QualitySetMismatch;
+        assert!(e.to_string().contains("quality sets"));
         assert!(e.source().is_none());
     }
 

@@ -16,7 +16,16 @@
 //! * [`ConstraintTables`] — the "tables containing pre-computed values used
 //!   by the controller for the computation of `Qual_Constav` and
 //!   `Qual_Constwc`" produced by the prototype tool of Fig. 4, giving O(1)
-//!   per-decision constraint evaluation.
+//!   per-decision constraint evaluation;
+//! * [`BudgetTables`] — the budget-parametric variant: for deadlines that
+//!   are affine in a per-frame time budget (the [`DeadlineShape`] family),
+//!   the suffix budgets are lower envelopes of integer lines over the
+//!   budget, precomputed once per stream and evaluated at any budget in
+//!   O(log segments) per cell with zero per-frame allocation
+//!   ([`BudgetTables::at_budget`]);
+//! * [`TableQuery`] — the common query surface of both table flavors
+//!   (what the controller and the quality policies consume), with
+//!   [`SharedTables`] as the cheap clonable handle over either.
 //!
 //! # Example
 //!
@@ -42,6 +51,7 @@
 #![warn(missing_docs)]
 
 mod best_sched;
+mod budget;
 mod error;
 mod tables;
 
@@ -49,5 +59,6 @@ pub mod edf;
 pub mod feasible;
 
 pub use best_sched::{BestSched, EdfScheduler, FifoScheduler};
+pub use budget::{budget_deadlines, BudgetTables, BudgetView, DeadlineShape, SharedTables};
 pub use error::SchedError;
-pub use tables::ConstraintTables;
+pub use tables::{ConstraintTables, TableQuery};

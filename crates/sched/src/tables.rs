@@ -23,11 +23,179 @@
 //! Both checks are O(1) at control time; choosing
 //! `q_M = max{q | Qual_Const}` is `O(|Q|)`.
 
+use std::fmt;
+
 use fgqos_graph::ActionId;
 use fgqos_time::series::suffix_budgets;
 use fgqos_time::{Cycles, DeadlineMap, QualityProfile, Slack};
 
 use crate::SchedError;
+
+/// The query surface of a set of `Qual_Const` tables — everything the
+/// controller, the quality policies and the runners read at control time.
+///
+/// Implemented by [`ConstraintTables`] (fully materialized for one fixed
+/// deadline map) and by the budget-parametric views of
+/// [`crate::BudgetTables`] (evaluated lazily at one frame budget). The
+/// six primitive accessors define the tables; the `Qual_Const`
+/// predicates and the `q_M` searches are derived from them and shared by
+/// every implementation, so "decision-equivalent" reduces to "the
+/// primitives agree".
+pub trait TableQuery: fmt::Debug + Send + Sync {
+    /// The schedule `α` the tables were computed for.
+    fn order(&self) -> &[ActionId];
+
+    /// Number of quality levels.
+    fn quality_count(&self) -> usize;
+
+    /// The raw average-budget entry for `(quality index, position)`:
+    /// the largest elapsed time at which the suffix starting at `i` can
+    /// still run entirely at quality `qi` on *average* times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qi >= quality_count()` or `i > len()`.
+    fn av_budget_at(&self, qi: usize, i: usize) -> Slack;
+
+    /// The raw minimal-quality worst-case budget for `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > len()`.
+    fn wcmin_budget_at(&self, i: usize) -> Slack;
+
+    /// `D_q(α_i)`: the deadline of the action at position `i` under
+    /// quality index `qi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qi >= quality_count()` or `i >= len()`.
+    fn deadline_at(&self, qi: usize, i: usize) -> Cycles;
+
+    /// `Cwc_q(α_i)`: the worst-case time of the action at position `i`
+    /// under quality index `qi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qi >= quality_count()` or `i >= len()`.
+    fn worst_at(&self, qi: usize, i: usize) -> Cycles;
+
+    /// Number of scheduled actions.
+    fn len(&self) -> usize {
+        self.order().len()
+    }
+
+    /// Whether the schedule is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `Qual_Constav`: may the suffix starting at position `i` run
+    /// entirely at quality index `qi` given elapsed time `t`, judged on
+    /// *average* times? (The optimality half of the constraint.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qi >= quality_count()` or `i > len()`.
+    fn av_admits(&self, qi: usize, i: usize, t: Cycles) -> bool {
+        self.av_budget_at(qi, i).admits(t)
+    }
+
+    /// `Qual_Constwc`: if the next action (position `i`) runs at quality
+    /// index `qi` and *everything after falls back to minimal quality*,
+    /// do worst-case times still meet every deadline? (The safety half.)
+    ///
+    /// Vacuously true at `i == len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qi >= quality_count()` or `i > len()`.
+    fn wc_admits(&self, qi: usize, i: usize, t: Cycles) -> bool {
+        if i == self.len() {
+            assert!(qi < self.quality_count(), "table coordinates out of range");
+            return true;
+        }
+        let cwc = self.worst_at(qi, i);
+        let d = self.deadline_at(qi, i);
+        let own = if d.is_infinite() {
+            Slack::INFINITY
+        } else {
+            Slack::new(i128::from(d.get()))
+        }
+        .minus(cwc);
+        let rest = self.wcmin_budget_at(i + 1).minus(cwc);
+        own.min(rest).admits(t)
+    }
+
+    /// The full `Qual_Const = Qual_Constav ∧ Qual_Constwc` predicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range coordinates.
+    fn qual_const(&self, qi: usize, i: usize, t: Cycles) -> bool {
+        self.av_admits(qi, i, t) && self.wc_admits(qi, i, t)
+    }
+
+    /// `q_M = max{ q | Qual_Const(α_q, θ_q, t, i) }` as a quality
+    /// *index*, or `None` when no level is admissible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > len()`.
+    fn max_feasible(&self, i: usize, t: Cycles) -> Option<usize> {
+        (0..self.quality_count())
+            .rev()
+            .find(|&qi| self.qual_const(qi, i, t))
+    }
+
+    /// Like [`TableQuery::max_feasible`] but judging only the
+    /// average-time constraint (the paper's soft-deadline mode).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > len()`.
+    fn max_feasible_soft(&self, i: usize, t: Cycles) -> Option<usize> {
+        (0..self.quality_count())
+            .rev()
+            .find(|&qi| self.av_admits(qi, i, t))
+    }
+}
+
+impl TableQuery for ConstraintTables {
+    fn order(&self) -> &[ActionId] {
+        ConstraintTables::order(self)
+    }
+
+    fn quality_count(&self) -> usize {
+        ConstraintTables::quality_count(self)
+    }
+
+    fn av_budget_at(&self, qi: usize, i: usize) -> Slack {
+        ConstraintTables::av_budget_at(self, qi, i)
+    }
+
+    fn wcmin_budget_at(&self, i: usize) -> Slack {
+        ConstraintTables::wcmin_budget_at(self, i)
+    }
+
+    fn deadline_at(&self, qi: usize, i: usize) -> Cycles {
+        ConstraintTables::deadline_at(self, qi, i)
+    }
+
+    fn worst_at(&self, qi: usize, i: usize) -> Cycles {
+        ConstraintTables::worst_at(self, qi, i)
+    }
+
+    // The inherent lookups are already O(1) table reads; only `wc_admits`
+    // benefits from the cached `d_next` slacks.
+    fn wc_admits(&self, qi: usize, i: usize, t: Cycles) -> bool {
+        ConstraintTables::wc_admits(self, qi, i, t)
+    }
+
+    fn av_admits(&self, qi: usize, i: usize, t: Cycles) -> bool {
+        ConstraintTables::av_admits(self, qi, i, t)
+    }
+}
 
 /// Precomputed constraint tables for one cycle schedule.
 ///
@@ -79,20 +247,22 @@ impl ConstraintTables {
     /// # Errors
     ///
     /// [`SchedError::DimensionMismatch`] if the profile and deadline map
-    /// disagree on action count or quality set, or if `order` references
-    /// an action outside them.
+    /// disagree on action count, or if `order` references an action
+    /// outside them; [`SchedError::QualitySetMismatch`] if they are
+    /// indexed by different quality sets.
     pub fn new(
         order: Vec<ActionId>,
         profile: &QualityProfile,
         deadlines: &DeadlineMap,
     ) -> Result<Self, SchedError> {
-        if profile.n_actions() != deadlines.n_actions()
-            || profile.qualities() != deadlines.qualities()
-        {
+        if profile.n_actions() != deadlines.n_actions() {
             return Err(SchedError::DimensionMismatch {
                 expected: profile.n_actions(),
                 actual: deadlines.n_actions(),
             });
+        }
+        if profile.qualities() != deadlines.qualities() {
+            return Err(SchedError::QualitySetMismatch);
         }
         if let Some(bad) = order.iter().find(|a| a.index() >= profile.n_actions()) {
             return Err(SchedError::DimensionMismatch {
@@ -140,17 +310,36 @@ impl ConstraintTables {
     ///
     /// # Errors
     ///
-    /// [`SchedError::DimensionMismatch`] if `profile`/`deadlines` no
+    /// [`SchedError::DimensionMismatch`] /
+    /// [`SchedError::QualitySetMismatch`] if `profile`/`deadlines` no
     /// longer match the order the tables were built for.
     pub fn rebuild_av(
         &mut self,
         profile: &QualityProfile,
         deadlines: &DeadlineMap,
     ) -> Result<(), SchedError> {
-        if profile.qualities().len() != self.nq || profile.n_actions() != deadlines.n_actions() {
+        // Mirror `new`'s validation exactly: a reshaped or shrunken
+        // profile must surface as an error here, not as a panic inside
+        // `DeadlineMap::deadline` below.
+        if profile.n_actions() != deadlines.n_actions() {
+            return Err(SchedError::DimensionMismatch {
+                expected: profile.n_actions(),
+                actual: deadlines.n_actions(),
+            });
+        }
+        if profile.qualities() != deadlines.qualities() {
+            return Err(SchedError::QualitySetMismatch);
+        }
+        if profile.qualities().len() != self.nq {
             return Err(SchedError::DimensionMismatch {
                 expected: self.nq,
                 actual: profile.qualities().len(),
+            });
+        }
+        if let Some(bad) = self.order.iter().find(|a| a.index() >= profile.n_actions()) {
+            return Err(SchedError::DimensionMismatch {
+                expected: profile.n_actions(),
+                actual: bad.index() + 1,
             });
         }
         let mut av_budget = Vec::with_capacity(self.nq * (self.n + 1));
@@ -435,13 +624,116 @@ mod tests {
     }
 
     #[test]
+    fn rebuild_av_rejects_reshaped_profiles() {
+        let (order, profile, deadlines) = setup();
+        let mut t = ConstraintTables::new(order, &profile, &deadlines).unwrap();
+        // Shrunken profile (1 action) with a matching deadline map used to
+        // panic inside DeadlineMap::deadline; now it is a clean error.
+        let qs = profile.qualities().clone();
+        let mut pb = QualityProfile::builder(qs.clone(), 1);
+        pb.set_levels(0, &[(10, 20), (40, 80)]).unwrap();
+        let small = pb.build().unwrap();
+        let small_dm = DeadlineMap::uniform(qs, vec![c(100)]);
+        assert!(matches!(
+            t.rebuild_av(&small, &small_dm),
+            Err(SchedError::DimensionMismatch { .. })
+        ));
+        // Quality-set identity (not just cardinality) is validated too.
+        let other_qs = QualitySet::new(vec![3, 9]).unwrap();
+        let mut pb = QualityProfile::builder(other_qs.clone(), 2);
+        pb.set_levels(0, &[(10, 20), (40, 80)]).unwrap();
+        pb.set_levels(1, &[(10, 20), (40, 80)]).unwrap();
+        let shifted = pb.build().unwrap();
+        assert!(matches!(
+            t.rebuild_av(&shifted, &deadlines),
+            Err(SchedError::QualitySetMismatch)
+        ));
+        // The tables are untouched by rejected rebuilds.
+        assert!(t.av_admits(0, 0, c(90)));
+        assert!(!t.av_admits(0, 0, c(91)));
+    }
+
+    /// Implements only the six primitive accessors, so every derived
+    /// predicate (`av_admits`, `wc_admits`, `qual_const`, the `q_M`
+    /// searches) runs the trait's *default* bodies — the code path a
+    /// future implementor inherits. `ConstraintTables` itself overrides
+    /// the admit predicates, so without this shim the defaults would be
+    /// dead code in tests.
+    #[derive(Debug)]
+    struct PrimitivesOnly(ConstraintTables);
+
+    impl super::TableQuery for PrimitivesOnly {
+        fn order(&self) -> &[ActionId] {
+            self.0.order()
+        }
+        fn quality_count(&self) -> usize {
+            self.0.quality_count()
+        }
+        fn av_budget_at(&self, qi: usize, i: usize) -> Slack {
+            self.0.av_budget_at(qi, i)
+        }
+        fn wcmin_budget_at(&self, i: usize) -> Slack {
+            self.0.wcmin_budget_at(i)
+        }
+        fn deadline_at(&self, qi: usize, i: usize) -> Cycles {
+            self.0.deadline_at(qi, i)
+        }
+        fn worst_at(&self, qi: usize, i: usize) -> Cycles {
+            self.0.worst_at(qi, i)
+        }
+    }
+
+    #[test]
+    fn trait_defaults_agree_with_inherent_queries() {
+        use super::TableQuery;
+        let (order, profile, deadlines) = setup();
+        let t = ConstraintTables::new(order, &profile, &deadlines).unwrap();
+        let shim = PrimitivesOnly(t.clone());
+        let q: &dyn TableQuery = &shim;
+        for i in 0..=t.len() {
+            for qi in 0..t.quality_count() {
+                for tt in [0u64, 20, 60, 80, 90, 190, 500] {
+                    let tt = c(tt);
+                    assert_eq!(q.av_admits(qi, i, tt), t.av_admits(qi, i, tt));
+                    assert_eq!(q.wc_admits(qi, i, tt), t.wc_admits(qi, i, tt));
+                    assert_eq!(q.qual_const(qi, i, tt), t.qual_const(qi, i, tt));
+                }
+            }
+            for tt in [0u64, 30, 95] {
+                assert_eq!(q.max_feasible(i, c(tt)), t.max_feasible(i, c(tt)));
+                assert_eq!(q.max_feasible_soft(i, c(tt)), t.max_feasible_soft(i, c(tt)));
+            }
+        }
+        assert_eq!(q.len(), t.len());
+        assert_eq!(q.order(), t.order());
+        assert!(!q.is_empty());
+        // Infinite deadlines and an infinite elapsed time exercise the
+        // defaults' ±∞ branches (own deadline +∞, t = +∞ admissibility).
+        let (order, profile, _) = setup();
+        let qs = profile.qualities().clone();
+        let inf = DeadlineMap::uniform(qs, vec![Cycles::INFINITY, Cycles::INFINITY]);
+        let t_inf = ConstraintTables::new(order, &profile, &inf).unwrap();
+        let shim_inf = PrimitivesOnly(t_inf.clone());
+        for i in 0..=t_inf.len() {
+            for qi in 0..t_inf.quality_count() {
+                for tt in [c(0), Cycles::mega(10_000), Cycles::INFINITY] {
+                    assert_eq!(
+                        super::TableQuery::qual_const(&shim_inf, qi, i, tt),
+                        t_inf.qual_const(qi, i, tt)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn constructor_validates_dimensions() {
         let (order, profile, _) = setup();
         let other_qs = QualitySet::contiguous(0, 2).unwrap();
         let bad_deadlines = DeadlineMap::uniform(other_qs, vec![c(1), c(2)]);
         assert!(matches!(
             ConstraintTables::new(order.clone(), &profile, &bad_deadlines),
-            Err(SchedError::DimensionMismatch { .. })
+            Err(SchedError::QualitySetMismatch)
         ));
         let qs = profile.qualities().clone();
         let short = DeadlineMap::uniform(qs, vec![c(1)]);

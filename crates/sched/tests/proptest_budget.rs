@@ -1,0 +1,191 @@
+//! Property tests: the budget-parametric tables are decision-equivalent
+//! to freshly materialized `ConstraintTables` at *every* budget.
+//!
+//! For random (iterations, body, profile, schedule permutation, deadline
+//! shape) instances and budgets spanning 0, ordinary values,
+//! near-`u64::MAX` values and `+∞`, every [`TableQuery`] answer of
+//! `BudgetTables::at_budget(b)` must equal the answer of
+//! `ConstraintTables::new` built from `budget_deadlines(shape, …, b)` —
+//! including the raw suffix-budget slacks, which subsume the `admits`
+//! predicates.
+
+use fgqos_graph::ActionId;
+use fgqos_sched::{budget_deadlines, BudgetTables, ConstraintTables, DeadlineShape, TableQuery};
+use fgqos_time::{Cycles, DeadlineMap, QualityProfile, QualitySet};
+use proptest::prelude::*;
+
+/// A random instance: iterations, body length, a (possibly non-uniform)
+/// profile over the unrolled actions, and a random permutation of the
+/// instance ids as the schedule.
+#[derive(Debug, Clone)]
+struct Instance {
+    iterations: usize,
+    body_len: usize,
+    profile: QualityProfile,
+    order: Vec<ActionId>,
+    shape: DeadlineShape,
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (
+        1usize..=4,
+        1usize..=3,
+        1u8..=3,
+        proptest::bool::weighted(0.5),
+    )
+        .prop_flat_map(|(iterations, body_len, nq_hi, final_only)| {
+            let n = iterations * body_len;
+            let nq = usize::from(nq_hi) + 1;
+            (
+                Just((iterations, body_len, nq_hi, final_only)),
+                // Per (action, quality): positive increments for avg and
+                // the avg→worst gap; cumulative sums keep the profile
+                // monotone in quality with avg ≤ worst by construction.
+                proptest::collection::vec(1u64..5_000, n * nq),
+                proptest::collection::vec(0u64..5_000, n * nq),
+                // Schedule permutation: sort instance ids by random keys.
+                proptest::collection::vec(proptest::strategy::any::<u64>(), n),
+            )
+        })
+        .prop_map(
+            |((iterations, body_len, nq_hi, final_only), avg_inc, gap_inc, keys)| {
+                let n = iterations * body_len;
+                let nq = usize::from(nq_hi) + 1;
+                let qs = QualitySet::contiguous(0, nq_hi).unwrap();
+                let mut pb = QualityProfile::builder(qs, n);
+                for a in 0..n {
+                    let mut avg = 0u64;
+                    let mut gap = 0u64;
+                    let levels: Vec<(u64, u64)> = (0..nq)
+                        .map(|qi| {
+                            avg += avg_inc[a * nq + qi];
+                            gap += gap_inc[a * nq + qi];
+                            (avg, avg + gap)
+                        })
+                        .collect();
+                    pb.set_levels(a, &levels).unwrap();
+                }
+                let profile = pb.build().unwrap();
+                let mut idx: Vec<usize> = (0..n).collect();
+                idx.sort_by_key(|&i| (keys[i], i));
+                let order: Vec<ActionId> = idx.into_iter().map(ActionId::from_index).collect();
+                Instance {
+                    iterations,
+                    body_len,
+                    profile,
+                    order,
+                    shape: if final_only {
+                        DeadlineShape::FinalOnly
+                    } else {
+                        DeadlineShape::PerIteration
+                    },
+                }
+            },
+        )
+}
+
+/// Budgets that must all agree: zero, small, mid-range, the overflow
+/// frontier of the old `u64` deadline math, the largest finite value,
+/// and `+∞`.
+fn budget_grid(extra: u64) -> Vec<Cycles> {
+    vec![
+        Cycles::ZERO,
+        Cycles::new(1),
+        Cycles::new(extra % 1_000_000),
+        Cycles::new(extra),
+        Cycles::new(u64::MAX / 2 - 1),
+        Cycles::new(u64::MAX / 2 + (extra % 97)),
+        Cycles::new(u64::MAX - 1),
+        Cycles::INFINITY,
+    ]
+}
+
+fn reference_tables(inst: &Instance, budget: Cycles) -> ConstraintTables {
+    let dm = DeadlineMap::uniform(
+        inst.profile.qualities().clone(),
+        budget_deadlines(inst.shape, inst.iterations, inst.body_len, budget),
+    );
+    ConstraintTables::new(inst.order.clone(), &inst.profile, &dm).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every raw suffix budget (av per quality, wcmin), deadline and
+    /// worst-case entry agrees exactly — these primitives determine all
+    /// derived predicates.
+    #[test]
+    fn primitives_agree_at_any_budget(inst in arb_instance(), extra in proptest::strategy::any::<u64>()) {
+        let bt = BudgetTables::new(
+            inst.order.clone(),
+            &inst.profile,
+            inst.shape,
+            inst.iterations,
+        ).unwrap();
+        for budget in budget_grid(extra % (u64::MAX - 1)) {
+            let ct = reference_tables(&inst, budget);
+            let view = bt.at_budget(budget);
+            prop_assert_eq!(view.len(), ct.len());
+            prop_assert_eq!(view.order(), ct.order());
+            for i in 0..=ct.len() {
+                prop_assert_eq!(
+                    view.wcmin_budget_at(i),
+                    ct.wcmin_budget_at(i),
+                    "wcmin i={} b={}", i, budget
+                );
+                for qi in 0..ct.quality_count() {
+                    prop_assert_eq!(
+                        view.av_budget_at(qi, i),
+                        ct.av_budget_at(qi, i),
+                        "av qi={} i={} b={}", qi, i, budget
+                    );
+                    if i < ct.len() {
+                        prop_assert_eq!(view.deadline_at(qi, i), ct.deadline_at(qi, i));
+                        prop_assert_eq!(view.worst_at(qi, i), ct.worst_at(qi, i));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The derived predicates and the `q_M` searches agree at sampled
+    /// elapsed times, including boundary times read off the reference
+    /// tables (the tight admit/reject frontier).
+    #[test]
+    fn decisions_agree_at_any_budget(inst in arb_instance(), extra in proptest::strategy::any::<u64>()) {
+        let bt = BudgetTables::new(
+            inst.order.clone(),
+            &inst.profile,
+            inst.shape,
+            inst.iterations,
+        ).unwrap();
+        for budget in budget_grid(extra % (u64::MAX - 1)) {
+            let ct = reference_tables(&inst, budget);
+            let view = bt.at_budget(budget);
+            for i in 0..=ct.len() {
+                // Sample elapsed times at the av boundaries of every
+                // quality plus fixed probes; Cycles::INFINITY probes the
+                // degenerate "already hopeless" case.
+                let mut ts = vec![Cycles::ZERO, Cycles::new(1), Cycles::new(10_000), Cycles::INFINITY];
+                for qi in 0..ct.quality_count() {
+                    let s = ct.av_budget_at(qi, i).get();
+                    if let Ok(v) = u64::try_from(s) {
+                        if v < u64::MAX {
+                            ts.push(Cycles::new(v));
+                            ts.push(Cycles::new(v.saturating_add(1).min(u64::MAX - 1)));
+                        }
+                    }
+                }
+                for t in ts {
+                    for qi in 0..ct.quality_count() {
+                        prop_assert_eq!(view.av_admits(qi, i, t), ct.av_admits(qi, i, t));
+                        prop_assert_eq!(view.wc_admits(qi, i, t), ct.wc_admits(qi, i, t));
+                        prop_assert_eq!(view.qual_const(qi, i, t), ct.qual_const(qi, i, t));
+                    }
+                    prop_assert_eq!(view.max_feasible(i, t), ct.max_feasible(i, t));
+                    prop_assert_eq!(view.max_feasible_soft(i, t), ct.max_feasible_soft(i, t));
+                }
+            }
+        }
+    }
+}

@@ -147,6 +147,14 @@ pub struct StreamOutcome {
     /// streams. Safety is per stream: sharing the pool must not change
     /// any verdict.
     pub monitor: Option<SafetyMonitor>,
+    /// How many budget-parametric envelope sets the stream's runner
+    /// built — 1 per served stream on the default path, regardless of
+    /// how many frames (and fresh budgets) it encoded.
+    pub envelope_builds: u64,
+    /// How many full `ConstraintTables` builds the stream's runner ran —
+    /// 0 on the default path, one per distinct budget on the legacy
+    /// path.
+    pub table_builds: u64,
 }
 
 /// The server's report: outcomes in submission order plus the admission
@@ -222,6 +230,10 @@ impl ServeReport {
 pub struct StreamServer {
     pool: WorkStealingPool,
     admission: AdmissionController,
+    /// Benchmark/diagnostics toggle: force every stream's runner onto
+    /// the legacy per-budget table path (see
+    /// [`fgqos_sim::runner::Runner::set_legacy_tables`]).
+    legacy_tables: bool,
 }
 
 impl StreamServer {
@@ -232,6 +244,7 @@ impl StreamServer {
         StreamServer {
             pool: WorkStealingPool::new(workers),
             admission: AdmissionController::for_workers(workers),
+            legacy_tables: false,
         }
     }
 
@@ -246,7 +259,16 @@ impl StreamServer {
         StreamServer {
             pool: WorkStealingPool::new(workers),
             admission: AdmissionController::new(capacity),
+            legacy_tables: false,
         }
+    }
+
+    /// Forces every served stream onto the legacy per-budget constraint
+    /// tables instead of the budget-parametric envelopes. Served results
+    /// are identical either way — this exists so the bench suite can
+    /// price the two paths against each other at stream-count scale.
+    pub fn set_legacy_tables(&mut self, on: bool) {
+        self.legacy_tables = on;
     }
 
     /// Pool width.
@@ -332,7 +354,8 @@ impl StreamServer {
             let frames = scenario.frames();
             let app = make_app(scenario, &spec).map_err(ServeError::Sim)?;
             let backend = make_backend(&spec);
-            let runner = Runner::new(app, spec.config).map_err(ServeError::Sim)?;
+            let mut runner = Runner::new(app, spec.config).map_err(ServeError::Sim)?;
+            runner.set_legacy_tables(self.legacy_tables);
             let profile = runner.app().profile();
             let n = runner.app().iterations() as f64;
             let period = spec.config.period.get() as f64;
@@ -386,6 +409,8 @@ impl StreamServer {
                     frames: c.frames,
                     result: None,
                     monitor: None,
+                    envelope_builds: 0,
+                    table_builds: 0,
                 })),
                 AdmissionDecision::Admit | AdmissionDecision::Degrade(_) => {
                     let policy: Box<dyn QualityPolicy> = match decision {
@@ -402,6 +427,8 @@ impl StreamServer {
                         frames: c.frames,
                         result: None,
                         monitor: None,
+                        envelope_builds: 0,
+                        table_builds: 0,
                     }));
                     active.push(Active {
                         index,
@@ -502,6 +529,8 @@ impl StreamServer {
             let slot = outcomes[s.index].as_mut().expect("outcome pre-filled");
             slot.result = Some(result);
             slot.monitor = Some(runner.monitor().clone());
+            slot.envelope_builds = runner.envelope_builds();
+            slot.table_builds = runner.full_table_builds();
         }
 
         Ok(ServeReport {

@@ -24,7 +24,9 @@ use fgqos_core::policy::{ConstantQuality, QualityPolicy};
 use fgqos_core::{safety, CycleController, Decision};
 use fgqos_graph::iterate::{IteratedGraph, IterationMode};
 use fgqos_graph::ActionId;
-use fgqos_sched::{BestSched, ConstraintTables, EdfScheduler};
+use fgqos_sched::{
+    budget_deadlines, BestSched, BudgetTables, ConstraintTables, EdfScheduler, SharedTables,
+};
 use fgqos_time::{fig5, Cycles, DeadlineMap, Quality, QualityProfile, QualitySet};
 
 use crate::app::VideoApp;
@@ -38,19 +40,9 @@ use crate::SimError;
 
 pub use stepper::{ParallelStream, Phase1View};
 
-/// How the per-frame budget is decomposed into action deadlines.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum DeadlineShape {
-    /// Every action of macroblock `k` (0-based) gets deadline
-    /// `(k+1) · B / N`: uniform pacing, the shape used for the paper's
-    /// experiments ("deadlines on the termination of actions since the
-    /// beginning of a cycle").
-    PerIteration,
-    /// Only the last macroblock's actions carry the budget `B`; everything
-    /// else is unconstrained. Gives the controller maximal freedom inside
-    /// the frame at the cost of pacing.
-    FinalOnly,
-}
+// Historically defined here; the deadline decomposition now lives next to
+// the budget-parametric tables it parameterizes.
+pub use fgqos_sched::DeadlineShape;
 
 /// Stream-level configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -291,19 +283,42 @@ pub struct Runner<A: VideoApp> {
     tiled_profile: QualityProfile,
     /// Monitor accumulating safety statistics across the run.
     monitor: safety::SafetyMonitor,
-    /// Constraint tables shared across frames, keyed by the frame budget
-    /// they were built for. The tables depend only on the system model
-    /// (order, tiled profile, deadline shape) and the budget — not on the
-    /// stream — so every frame with a repeated budget reuses the `Arc`
-    /// instead of rebuilding: uncontrolled runs (budget `+∞`) and paced
-    /// controlled runs build exactly once. Bounded (saturated controlled
-    /// runs pop at stochastic instants, so their budgets rarely repeat)
-    /// and cleared whenever an online estimator rewrites the profile.
+    /// Budget-parametric tables shared by *every* frame of the run: the
+    /// envelopes depend only on (order, tiled profile, deadline shape),
+    /// so one build serves any frame budget — stochastic pop times
+    /// included. Built on first use; invalidated when an online
+    /// estimator rewrites `Cav` (the envelopes bake the profile in).
+    budget_tables: Option<Arc<BudgetTables>>,
+    /// Legacy per-budget constraint tables, keyed by the frame budget
+    /// they were built for. Since the parametric tables cover the
+    /// common case, this cache is exercised only when an online
+    /// estimator refreshes the profile every frame (rebuilding the
+    /// envelopes each time would cost more than one direct table build)
+    /// or when [`Runner::set_legacy_tables`] forces it for comparison
+    /// runs. Bounded, LRU-evicted, cleared on estimator refresh.
     tables_cache: HashMap<Cycles, Arc<ConstraintTables>>,
     /// Recency order of `tables_cache` keys, least recently used first
     /// (hits move a key to the back, so a burst of unique budgets evicts
     /// the stale entries while the hot recurring ones survive).
     tables_cache_order: std::collections::VecDeque<Cycles>,
+    /// Finite budgets recently served by the parametric view (bounded
+    /// ring). A budget seen here *again* is evidently recurring (paced
+    /// stream, constant load), so it is promoted to a materialized
+    /// table: O(1) array reads per query beat envelope evaluations once
+    /// a budget repeats, while one-shot stochastic budgets never pay a
+    /// build.
+    recent_budgets: std::collections::VecDeque<Cycles>,
+    /// Diagnostics: how many times the budget-parametric envelopes were
+    /// built (O(1) per run expected — exactly 1 without an estimator).
+    envelope_builds: u64,
+    /// Diagnostics: how many full `ConstraintTables::new` builds ran.
+    full_table_builds: u64,
+    /// Whether the current run refreshes the profile through an online
+    /// estimator (set per prepared frame; routes `tables_for` to the
+    /// legacy cache).
+    estimator_active: bool,
+    /// Diagnostics/benchmark toggle: force the legacy per-budget path.
+    legacy_tables: bool,
     /// Kernel DAG for [`Runner::run_parallel_on`], built on first use
     /// (static across frames).
     parallel_plan: Option<Arc<FramePlan>>,
@@ -354,6 +369,11 @@ impl<A: VideoApp> Runner<A> {
             order_pos[a.index()] = p;
         }
         let tiled_profile = app.profile().tile(n);
+        // IteratedGraph rejects zero iterations, and the deadline
+        // decomposition (budget_deadlines) relies on that invariant for
+        // its final-iteration indexing — assert it at the construction
+        // boundary so a future refactor cannot silently drop the check.
+        debug_assert!(iter.iterations() > 0, "IteratedGraph guarantees n > 0");
         Ok(Runner {
             app,
             config,
@@ -362,8 +382,14 @@ impl<A: VideoApp> Runner<A> {
             order_pos,
             tiled_profile,
             monitor: safety::SafetyMonitor::new(),
+            budget_tables: None,
             tables_cache: HashMap::new(),
             tables_cache_order: std::collections::VecDeque::new(),
+            recent_budgets: std::collections::VecDeque::new(),
+            envelope_builds: 0,
+            full_table_builds: 0,
+            estimator_active: false,
+            legacy_tables: false,
             parallel_plan: None,
             last_spec: None,
             spec_hits: 0,
@@ -391,41 +417,119 @@ impl<A: VideoApp> Runner<A> {
         (self.spec_hits, self.spec_misses)
     }
 
-    /// Number of distinct frame budgets whose constraint tables are
-    /// currently cached (diagnostics: a steady-state run needs only a
-    /// handful — typically `P`, the first frame's `2P`, and the
-    /// unconstrained tail).
+    /// Number of distinct frame budgets whose *legacy* constraint tables
+    /// are currently cached (diagnostics: zero on the default
+    /// budget-parametric path; on the estimator fallback a steady-state
+    /// run needs only a handful).
     #[must_use]
     pub fn cached_tables(&self) -> usize {
         self.tables_cache.len()
     }
 
-    /// The shared constraint tables for one frame budget, built on first
-    /// use and reused for every later frame with the same budget.
+    /// Diagnostics: how many times the budget-parametric envelope set
+    /// was built. Exactly 1 per estimator-free run — the acceptance
+    /// signal that saturated controlled runs no longer build tables per
+    /// frame.
+    #[must_use]
+    pub fn envelope_builds(&self) -> u64 {
+        self.envelope_builds
+    }
+
+    /// Diagnostics: how many full `ConstraintTables::new` builds ran
+    /// (estimator fallback / forced legacy path only).
+    #[must_use]
+    pub fn full_table_builds(&self) -> u64 {
+        self.full_table_builds
+    }
+
+    /// Forces the legacy per-budget table path (LRU-cached
+    /// `ConstraintTables::new` per distinct budget) instead of the
+    /// budget-parametric envelopes. Decisions are identical either way —
+    /// this exists for equivalence tests and for benchmarking the two
+    /// paths against each other.
+    pub fn set_legacy_tables(&mut self, on: bool) {
+        self.legacy_tables = on;
+    }
+
+    /// The shared constraint tables for one frame budget.
+    ///
+    /// Default path: evaluate the stream's budget-parametric
+    /// [`BudgetTables`] (built once, any budget, zero per-frame
+    /// allocation). Fallback path (online estimator active, or forced
+    /// via [`Runner::set_legacy_tables`]): the per-budget LRU cache of
+    /// materialized [`ConstraintTables`].
     fn tables_for(
         &mut self,
         frame_budget: Cycles,
         qs: &QualitySet,
-    ) -> Result<Arc<ConstraintTables>, SimError> {
-        if let Some(t) = self.tables_cache.get(&frame_budget) {
+    ) -> Result<SharedTables, SimError> {
+        if !self.legacy_tables && !self.estimator_active {
+            if self.budget_tables.is_none() {
+                self.budget_tables = Some(Arc::new(BudgetTables::new(
+                    self.order.clone(),
+                    &self.tiled_profile,
+                    self.config.deadline_shape,
+                    self.iter.iterations(),
+                )?));
+                self.envelope_builds += 1;
+            }
+            // Recurring finite budgets (paced streams, constant load)
+            // are promoted to a materialized table on their second use:
+            // per-query array reads then match the historical cached
+            // path exactly, while one-shot stochastic budgets never pay
+            // a build. Infinite budgets stay on the (trivially cheap)
+            // parametric view.
+            if frame_budget.is_finite() {
+                if let Some(t) = self.tables_cache.get(&frame_budget).map(Arc::clone) {
+                    self.touch_cached(frame_budget);
+                    return Ok(SharedTables::Fixed(t));
+                }
+                if self.recent_budgets.contains(&frame_budget) {
+                    return Ok(SharedTables::Fixed(
+                        self.materialize_tables(frame_budget, qs)?,
+                    ));
+                }
+                if self.recent_budgets.len() >= TABLES_CACHE_CAP {
+                    self.recent_budgets.pop_front();
+                }
+                self.recent_budgets.push_back(frame_budget);
+            }
+            let tables = Arc::clone(self.budget_tables.as_ref().expect("just built"));
+            return Ok(SharedTables::AtBudget(tables, frame_budget));
+        }
+        if let Some(t) = self.tables_cache.get(&frame_budget).map(Arc::clone) {
             // Refresh recency: the recurring budget must outlive a burst
             // of unique ones.
-            if let Some(pos) = self
-                .tables_cache_order
-                .iter()
-                .position(|&b| b == frame_budget)
-            {
-                self.tables_cache_order.remove(pos);
-                self.tables_cache_order.push_back(frame_budget);
-            }
-            return Ok(Arc::clone(t));
+            self.touch_cached(frame_budget);
+            return Ok(SharedTables::Fixed(t));
         }
+        Ok(SharedTables::Fixed(
+            self.materialize_tables(frame_budget, qs)?,
+        ))
+    }
+
+    /// Moves `budget` to the most-recently-used end of the cache order.
+    fn touch_cached(&mut self, budget: Cycles) {
+        if let Some(pos) = self.tables_cache_order.iter().position(|&b| b == budget) {
+            self.tables_cache_order.remove(pos);
+            self.tables_cache_order.push_back(budget);
+        }
+    }
+
+    /// Builds the materialized tables for one budget and caches them
+    /// (LRU, bounded by [`TABLES_CACHE_CAP`]).
+    fn materialize_tables(
+        &mut self,
+        frame_budget: Cycles,
+        qs: &QualitySet,
+    ) -> Result<Arc<ConstraintTables>, SimError> {
         let deadlines = DeadlineMap::uniform(qs.clone(), self.deadline_vec(frame_budget));
         let tables = Arc::new(ConstraintTables::new(
             self.order.clone(),
             &self.tiled_profile,
             &deadlines,
         )?);
+        self.full_table_builds += 1;
         if self.tables_cache.len() >= TABLES_CACHE_CAP {
             if let Some(oldest) = self.tables_cache_order.pop_front() {
                 self.tables_cache.remove(&oldest);
@@ -436,31 +540,17 @@ impl<A: VideoApp> Runner<A> {
         Ok(tables)
     }
 
-    /// Per-instance deadline vector for one frame of budget `budget`.
+    /// Per-instance deadline vector for one frame of budget `budget` —
+    /// the budget → deadline mapping shared with the parametric tables
+    /// (`fgqos_sched::budget_deadlines`: u128-exact scaling, guarded for
+    /// degenerate iteration counts).
     fn deadline_vec(&self, budget: Cycles) -> Vec<Cycles> {
-        let n = self.iter.iterations();
-        let body_len = self.iter.body_len();
-        let mut out = vec![Cycles::INFINITY; n * body_len];
-        match self.config.deadline_shape {
-            DeadlineShape::PerIteration => {
-                if budget.is_infinite() {
-                    return out;
-                }
-                let b = budget.get();
-                for k in 0..n {
-                    let d = Cycles::new(b * (k as u64 + 1) / n as u64);
-                    for a in 0..body_len {
-                        out[k * body_len + a] = d;
-                    }
-                }
-            }
-            DeadlineShape::FinalOnly => {
-                for a in 0..body_len {
-                    out[(n - 1) * body_len + a] = budget;
-                }
-            }
-        }
-        out
+        budget_deadlines(
+            self.config.deadline_shape,
+            self.iter.iterations(),
+            self.iter.body_len(),
+            budget,
+        )
     }
 
     /// Runs the full stream with the paper's controlled encoder and the
@@ -627,14 +717,20 @@ impl<A: VideoApp> Runner<A> {
         body_profile: &mut QualityProfile,
         qs: &QualitySet,
         frame_budget: Cycles,
-    ) -> Result<Arc<ConstraintTables>, SimError> {
-        // Online estimation sharpens the averages before the frame;
-        // cached tables were built from the old profile, drop them.
+    ) -> Result<SharedTables, SimError> {
+        // Online estimation sharpens the averages before the frame; both
+        // the cached tables and the parametric envelopes were built from
+        // the old profile, so drop them and route this frame through the
+        // legacy per-budget build (one table build beats re-deriving a
+        // whole envelope family that the next refresh invalidates again).
+        self.estimator_active = estimator.is_some();
         if let Some(est) = estimator.as_deref_mut() {
             apply_estimates(est, body_profile);
             self.tiled_profile = body_profile.tile(self.iter.iterations());
+            self.budget_tables = None;
             self.tables_cache.clear();
             self.tables_cache_order.clear();
+            self.recent_budgets.clear();
         }
         self.tables_for(frame_budget, qs)
     }
@@ -1079,16 +1175,19 @@ mod tests {
     }
 
     #[test]
-    fn constant_runs_share_one_table_across_all_frames() {
-        // Uncontrolled frames all see budget +inf: 60 frames, 1 build.
+    fn constant_runs_share_one_envelope_set_across_all_frames() {
+        // Uncontrolled frames all see budget +inf: 60 frames, 1 envelope
+        // build, zero full table builds, empty legacy cache.
         let mut r = small_runner(60, 12, 1);
         let res = r.run_constant(Quality::new(0), 4).unwrap();
         assert_eq!(res.frames().len(), 60);
-        assert_eq!(r.cached_tables(), 1, "one budget, one table");
-        // Re-running reuses the cached table (the PSNR noise stream is
+        assert_eq!(r.envelope_builds(), 1, "one model, one envelope set");
+        assert_eq!(r.full_table_builds(), 0);
+        assert_eq!(r.cached_tables(), 0, "legacy cache stays cold");
+        // Re-running reuses the same envelopes (the PSNR noise stream is
         // stateful across runs, so only timing fields are compared).
         let res2 = r.run_constant(Quality::new(0), 4).unwrap();
-        assert_eq!(r.cached_tables(), 1);
+        assert_eq!(r.envelope_builds(), 1);
         for (a, b) in res.frames().iter().zip(res2.frames()) {
             assert_eq!(a.encode_cycles, b.encode_cycles);
             assert_eq!(a.budget, b.budget);
@@ -1096,13 +1195,29 @@ mod tests {
     }
 
     #[test]
-    fn controlled_runs_keep_the_tables_cache_bounded() {
-        // Saturated controlled runs pop at stochastic instants, so most
-        // budgets are unique; the cache must stay capped, not grow per
-        // frame.
+    fn saturated_controlled_runs_build_envelopes_once() {
+        // Saturated controlled runs pop at stochastic instants, so
+        // nearly every frame budget is unique — the regime that used to
+        // rebuild ConstraintTables per frame. The parametric path builds
+        // exactly one envelope set for the whole run.
         let mut r = small_runner(60, 12, 1);
         let res = r.run_controlled(&mut MaxQuality::new(), 4).unwrap();
         assert_eq!(res.skips(), 0);
+        assert_eq!(r.envelope_builds(), 1, "O(1) builds per run");
+        assert_eq!(r.full_table_builds(), 0, "no per-frame table builds");
+        assert_eq!(r.cached_tables(), 0);
+    }
+
+    #[test]
+    fn legacy_path_keeps_the_tables_cache_bounded() {
+        // With the legacy path forced, stochastic budgets stress the
+        // LRU: the cache must stay capped, not grow per frame.
+        let mut r = small_runner(60, 12, 1);
+        r.set_legacy_tables(true);
+        let res = r.run_controlled(&mut MaxQuality::new(), 4).unwrap();
+        assert_eq!(res.skips(), 0);
+        assert_eq!(r.envelope_builds(), 0);
+        assert!(r.full_table_builds() > 10, "stochastic budgets rebuild");
         assert!(
             r.cached_tables() <= TABLES_CACHE_CAP,
             "cache grew past its cap: {}",
@@ -1111,11 +1226,66 @@ mod tests {
     }
 
     #[test]
+    fn parametric_decisions_match_legacy_rebuilds_exactly() {
+        // The whole point: at any stochastic budget the envelope view
+        // decides byte-for-byte like a freshly built table set.
+        for shape in [DeadlineShape::PerIteration, DeadlineShape::FinalOnly] {
+            let make = |legacy: bool| {
+                let scenario = LoadScenario::paper_benchmark(5).truncated(40);
+                let app = TableApp::with_macroblocks(scenario, 12).unwrap();
+                let config = RunConfig::paper_defaults()
+                    .scaled_to_macroblocks(12)
+                    .with_deadline_shape(shape);
+                let mut r = Runner::new(app, config).unwrap();
+                r.set_legacy_tables(legacy);
+                r
+            };
+            let mut para = make(false);
+            let mut legacy = make(true);
+            let a = para.run_controlled(&mut MaxQuality::new(), 21).unwrap();
+            let b = legacy.run_controlled(&mut MaxQuality::new(), 21).unwrap();
+            assert_eq!(a.frames(), b.frames(), "divergence under {shape:?}");
+            assert_eq!(para.envelope_builds(), 1);
+            assert_eq!(legacy.envelope_builds(), 0);
+        }
+    }
+
+    #[test]
+    fn repeated_budgets_promote_to_materialized_tables() {
+        use crate::exec::Deterministic;
+        // Paced deterministic run: every steady-state frame sees the
+        // same budget. The parametric path notices the repeat and
+        // promotes it to one materialized table (array-read queries, the
+        // historical cached-path cost) while keeping envelope builds at
+        // one — O(1) of each per run, never per frame.
+        let scenario = LoadScenario::paper_benchmark(5).truncated(50);
+        let app = TableApp::with_macroblocks(scenario, 12).unwrap();
+        let base = RunConfig::paper_defaults().scaled_to_macroblocks(12);
+        let config = base.with_period(base.period.saturating_mul(2));
+        let mut r = Runner::new(app, config).unwrap();
+        let mut exec = Deterministic::nominal();
+        let mut policy = MaxQuality::new();
+        let res = r
+            .run(Mode::Controlled, &mut policy, &mut exec, None)
+            .unwrap();
+        assert_eq!(res.skips(), 0);
+        assert_eq!(r.envelope_builds(), 1);
+        assert!(
+            (1..=3).contains(&r.full_table_builds()),
+            "recurring budgets should materialize O(1) tables, got {}",
+            r.full_table_builds()
+        );
+        assert!(r.cached_tables() >= 1);
+    }
+
+    #[test]
     fn table_eviction_is_lru_not_fifo() {
         // The recurring budget is touched between bursts of unique
         // budgets, so it must survive eviction even though it was
-        // inserted first.
+        // inserted first. (Legacy path — the parametric tables have no
+        // per-budget state to evict.)
         let mut r = small_runner(10, 8, 1);
+        r.set_legacy_tables(true);
         let qs = r.app().profile().qualities().clone();
         let hot = Cycles::new(1_000_000);
         r.tables_for(hot, &qs).unwrap();
@@ -1127,6 +1297,10 @@ mod tests {
             }
             // Touch the hot entry: must still be the same cached tables.
             let again = r.tables_for(hot, &qs).unwrap();
+            let again = match again {
+                fgqos_sched::SharedTables::Fixed(t) => t,
+                other => panic!("legacy path must yield fixed tables, got {other:?}"),
+            };
             assert!(
                 Arc::ptr_eq(&hot_arc, &again),
                 "hot budget was evicted by a burst of unique budgets"
@@ -1136,18 +1310,19 @@ mod tests {
     }
 
     #[test]
-    fn paced_controlled_runs_reuse_tables_across_frames() {
+    fn paced_controlled_runs_reuse_legacy_tables_across_frames() {
         use crate::exec::Deterministic;
         // A deterministic, under-loaded encoder finishes each frame before
         // the next arrival, so every steady-state frame pops at an exact
-        // camera instant and sees the same budget: tables build O(1)
-        // times for 50 frames.
+        // camera instant and sees the same budget: on the legacy path,
+        // tables build O(1) times for 50 frames.
         let scenario = LoadScenario::paper_benchmark(5).truncated(50);
         let app = TableApp::with_macroblocks(scenario, 12).unwrap();
         // Double the period: comfortable slack at every quality.
         let base = RunConfig::paper_defaults().scaled_to_macroblocks(12);
         let config = base.with_period(base.period.saturating_mul(2));
         let mut r = Runner::new(app, config).unwrap();
+        r.set_legacy_tables(true);
         let mut exec = Deterministic::nominal();
         let mut policy = MaxQuality::new();
         let res = r
@@ -1162,7 +1337,7 @@ mod tests {
     }
 
     #[test]
-    fn estimator_runs_invalidate_the_tables_cache() {
+    fn estimator_runs_fall_back_to_the_legacy_cache() {
         use fgqos_core::estimator::EwmaEstimator;
         let mut r = small_runner(20, 8, 1);
         let qs = r.app().profile().qualities().clone();
@@ -1171,9 +1346,16 @@ mod tests {
         let mut policy = MaxQuality::new();
         r.run(Mode::Controlled, &mut policy, &mut exec, Some(&mut est))
             .unwrap();
-        // The estimator rewrites the profile every frame; only the last
-        // frame's tables may remain cached.
+        // The estimator rewrites the profile every frame: the parametric
+        // envelopes are never built (they would be stale immediately)
+        // and only the last frame's tables may remain cached.
+        assert_eq!(r.envelope_builds(), 0);
+        assert!(r.full_table_builds() > 0);
         assert!(r.cached_tables() <= 1, "got {}", r.cached_tables());
+        // A later estimator-free run switches back to the envelopes.
+        let res = r.run_controlled(&mut MaxQuality::new(), 3).unwrap();
+        assert_eq!(res.skips(), 0);
+        assert_eq!(r.envelope_builds(), 1);
     }
 
     #[test]

@@ -121,6 +121,214 @@ pub fn suffix_budgets(deadlines: &[Cycles], durations: &[Cycles]) -> Vec<Slack> 
     out
 }
 
+/// Lower envelope of integer lines `y = m·x + c` over `x ≥ 0`.
+///
+/// The budget-parametric constraint tables of `fgqos-sched` express each
+/// suffix budget as `min_j (m_j · b − c_j)` over the frame budget `b` —
+/// a lower envelope of lines with integer slopes and intercepts. This
+/// type precomputes that envelope once (exact integer comparisons, no
+/// floats) and evaluates it per query in `O(log segments)`.
+///
+/// Queries are restricted to `x ≥ 0`; lines that are never minimal on
+/// that domain are discarded at construction.
+///
+/// # Numeric range
+///
+/// Construction compares lines by cross-multiplication in `i128`: with
+/// `S` the slope range and `C` the intercept magnitude bound, products
+/// stay exact while `S · C < 2¹²⁶` — comfortably true for cycle-domain
+/// tables (slopes are iteration counts, intercepts are scaled prefix
+/// sums of execution times).
+///
+/// # Example
+///
+/// ```
+/// use fgqos_time::series::LineEnvelope;
+///
+/// // y = 3x  and  y = x + 6: the steeper line wins until x = 3.
+/// let env = LineEnvelope::lower(vec![(3, 0), (1, 6)]);
+/// assert_eq!(env.eval(0), Some(0));
+/// assert_eq!(env.eval(2), Some(6));
+/// assert_eq!(env.eval(3), Some(9));
+/// assert_eq!(env.eval(10), Some(16));
+/// assert_eq!(env.segments(), 2);
+/// assert_eq!(LineEnvelope::lower(vec![]).eval(7), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineEnvelope {
+    /// Hull lines `(slope, intercept)` in coverage order for increasing
+    /// `x` (slopes strictly decreasing).
+    lines: Vec<(i128, i128)>,
+    /// `starts[i]`: the smallest integer `x` at which `lines[i]` attains
+    /// the envelope minimum (`starts[0] == 0`, strictly increasing in
+    /// the real line, weakly increasing after integer rounding).
+    starts: Vec<u128>,
+}
+
+impl LineEnvelope {
+    /// Builds the lower envelope of `lines` (`(slope, intercept)` pairs)
+    /// over `x ≥ 0`. Duplicate slopes keep the smallest intercept; an
+    /// empty input yields the empty envelope (`eval` returns `None`,
+    /// i.e. "+∞").
+    #[must_use]
+    pub fn lower(mut lines: Vec<(i128, i128)>) -> Self {
+        // Coverage order for a minimum over x >= 0: steepest line first
+        // (it can only win near x = 0), shallowest last (it wins as
+        // x -> ∞). Ties on slope resolved by keeping the lowest line.
+        lines.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        lines.dedup_by_key(|l| l.0);
+        let mut b = EnvelopeBuilder::new();
+        for (m, c) in lines {
+            b.push_shallower(m, c);
+        }
+        b.snapshot()
+    }
+
+    /// Rebuilds the `starts` table from a valid hull (lines in strictly
+    /// decreasing slope order, each minimal somewhere on `x ≥ 0`).
+    fn from_hull(hull: Vec<(i128, i128)>) -> Self {
+        let mut starts = Vec::with_capacity(hull.len());
+        if !hull.is_empty() {
+            starts.push(0u128);
+        }
+        for w in hull.windows(2) {
+            let (m0, c0) = w[0];
+            let (m1, c1) = w[1];
+            // Smallest integer x with m1·x + c1 ≤ m0·x + c0, i.e.
+            // x ≥ (c1 − c0)/(m0 − m1); both differences are positive by
+            // hull construction, so this is a plain ceiling division.
+            let num = c1 - c0;
+            let den = m0 - m1;
+            let x = (num + den - 1) / den;
+            starts.push(u128::try_from(x).expect("hull switch points are non-negative"));
+        }
+        LineEnvelope {
+            lines: hull,
+            starts,
+        }
+    }
+
+    /// Evaluates `min_j (m_j · x + c_j)` at `x`, or `None` for the empty
+    /// envelope (the minimum over no lines, i.e. `+∞`).
+    #[must_use]
+    pub fn eval(&self, x: u64) -> Option<i128> {
+        if self.lines.is_empty() {
+            return None;
+        }
+        let idx = self.starts.partition_point(|&s| s <= u128::from(x)) - 1;
+        let (m, c) = self.lines[idx];
+        Some(m * i128::from(x) + c)
+    }
+
+    /// Number of envelope segments after construction.
+    #[must_use]
+    pub fn segments(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the envelope contains no lines (evaluates to `+∞`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// Approximate resident size in bytes (diagnostics).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        self.lines.len() * std::mem::size_of::<(i128, i128)>()
+            + self.starts.len() * std::mem::size_of::<u128>()
+    }
+}
+
+/// Incremental lower-envelope construction for lines arriving in
+/// *non-increasing slope* order.
+///
+/// The budget-parametric tables need one envelope per suffix of a
+/// deadline-class sequence; when the classes arrive shallowest-last
+/// (every sequential schedule does), each suffix envelope is a prefix
+/// run of the same monotone-hull algorithm, so a single builder with an
+/// O(hull) [`EnvelopeBuilder::snapshot`] per step replaces a from-scratch
+/// `O(k log k)` build per suffix.
+///
+/// # Example
+///
+/// ```
+/// use fgqos_time::series::{EnvelopeBuilder, LineEnvelope};
+///
+/// let mut b = EnvelopeBuilder::new();
+/// b.push_shallower(3, 0);
+/// b.push_shallower(1, 6);
+/// assert_eq!(b.snapshot(), LineEnvelope::lower(vec![(3, 0), (1, 6)]));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EnvelopeBuilder {
+    hull: Vec<(i128, i128)>,
+}
+
+impl EnvelopeBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        EnvelopeBuilder::default()
+    }
+
+    /// Adds a line whose slope is less than or equal to every slope
+    /// pushed before (equal slopes keep the lower line). Amortized O(1).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the slope ordering contract is
+    /// violated — the resulting envelope would be wrong.
+    pub fn push_shallower(&mut self, m: i128, c: i128) {
+        debug_assert!(
+            self.hull.last().is_none_or(|&(mt, _)| m <= mt),
+            "push_shallower requires non-increasing slopes"
+        );
+        if let Some(&(mt, ct)) = self.hull.last() {
+            if mt == m {
+                if ct <= c {
+                    return; // existing equal-slope line is not above
+                }
+                self.hull.pop();
+            }
+        }
+        loop {
+            match self.hull.len() {
+                0 => break,
+                1 => {
+                    // A steeper line with an intercept that is not
+                    // smaller is never minimal on x >= 0.
+                    if self.hull[0].1 >= c {
+                        self.hull.pop();
+                    } else {
+                        break;
+                    }
+                }
+                _ => {
+                    let (mu, cu) = self.hull[self.hull.len() - 2];
+                    let (mt, ct) = self.hull[self.hull.len() - 1];
+                    // The top line T is useless if the new line L
+                    // overtakes U no later than T does:
+                    //   (c_L − c_U)/(m_U − m_L) ≤ (c_T − c_U)/(m_U − m_T)
+                    // cross-multiplied (both denominators positive).
+                    if (c - cu) * (mu - mt) <= (ct - cu) * (mu - m) {
+                        self.hull.pop();
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        self.hull.push((m, c));
+    }
+
+    /// The envelope over every line pushed so far. O(hull size).
+    #[must_use]
+    pub fn snapshot(&self) -> LineEnvelope {
+        LineEnvelope::from_hull(self.hull.clone())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,5 +423,58 @@ mod tests {
     #[should_panic(expected = "must align")]
     fn mismatched_lengths_panic() {
         let _ = min_slack(&[Cycles::new(1)], &[]);
+    }
+
+    /// Brute-force minimum over the raw line set.
+    fn direct_min(lines: &[(i128, i128)], x: u64) -> Option<i128> {
+        lines.iter().map(|&(m, c)| m * i128::from(x) + c).min()
+    }
+
+    #[test]
+    fn envelope_matches_direct_minimum() {
+        let cases: Vec<Vec<(i128, i128)>> = vec![
+            vec![],
+            vec![(5, -3)],
+            vec![(3, 0), (1, 6)],
+            vec![(4, 0), (3, 1), (2, 10), (1, 100)],
+            // Dominated and duplicate-slope lines.
+            vec![(2, 5), (2, -1), (3, -1), (1, -2)],
+            // Negative intercepts of mixed magnitude.
+            vec![(7, -1000), (5, -900), (2, -10), (1, 0)],
+            // Collinear-ish integer switch points.
+            vec![(3, 0), (2, 2), (1, 4)],
+        ];
+        let xs = [0u64, 1, 2, 3, 5, 7, 100, 1_000_000, u64::MAX - 1];
+        for lines in &cases {
+            let env = LineEnvelope::lower(lines.clone());
+            for &x in &xs {
+                assert_eq!(
+                    env.eval(x),
+                    direct_min(lines, x),
+                    "envelope disagrees with direct min for {lines:?} at x={x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn envelope_discards_useless_lines() {
+        // (2, 5) is dominated by (2, -1); (10, 7) never wins on x >= 0.
+        let env = LineEnvelope::lower(vec![(2, 5), (2, -1), (10, 7), (1, 0)]);
+        assert!(env.segments() <= 2);
+        assert!(!env.is_empty());
+        assert!(env.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn envelope_handles_huge_budgets_exactly() {
+        // Slopes/intercepts shaped like per-iteration deadline terms at a
+        // near-overflow budget: exact i128 evaluation, no wrapping.
+        let n = 12i128;
+        let lines: Vec<(i128, i128)> = (1..=n).map(|m| (m, -m * 1_000_000)).collect();
+        let env = LineEnvelope::lower(lines.clone());
+        for &x in &[u64::MAX / 2, u64::MAX / 2 + 3, u64::MAX - 1] {
+            assert_eq!(env.eval(x), direct_min(&lines, x));
+        }
     }
 }

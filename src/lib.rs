@@ -86,7 +86,10 @@ pub mod prelude {
     pub use fgqos_core::{CycleController, CycleReport, Decision, ParamSystem};
     pub use fgqos_graph::iterate::IterationMode;
     pub use fgqos_graph::{ActionId, ExecutionSequence, GraphBuilder, PrecedenceGraph};
-    pub use fgqos_sched::{BestSched, ConstraintTables, EdfScheduler, FifoScheduler};
+    pub use fgqos_sched::{
+        BestSched, BudgetTables, ConstraintTables, EdfScheduler, FifoScheduler, SharedTables,
+        TableQuery,
+    };
     pub use fgqos_serve::{
         AdmissionController, AdmissionDecision, CeilingPolicy, ChannelSource, FrameProducer,
         FrameSource, PacedSource, ServeReport, StreamServer, StreamSpec, TraceSource,
