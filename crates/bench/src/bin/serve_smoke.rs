@@ -6,17 +6,28 @@
 //! ≥ 4 cores. Also cross-checks the isolation contract: every served
 //! stream's series must be byte-identical to its solo run.
 //!
+//! Two further gates ride on the same run:
+//!
+//! * **resident vs scoped** — an 8-stream pixel workload served on the
+//!   persistent resident pool must not be slower than the same workload
+//!   on the scoped spawn-per-job pool (the pre-refactor baseline);
+//! * **churn determinism** — the seeded churn storm must produce
+//!   byte-identical admission logs and stream results at 1 and 4
+//!   workers.
+//!
 //! Usage: `serve_smoke [out_dir]` (default `.`). Exit code 1 on gate
-//! failure or isolation violation.
+//! failure, isolation violation, or churn divergence.
 
 use std::time::{Duration, Instant};
 
 use fgqos_core::policy::MaxQuality;
 use fgqos_encoder::app::EncoderApp;
 use fgqos_graph::iterate::IterationMode;
-use fgqos_serve::{PacedSource, StreamServer, StreamSpec};
+use fgqos_serve::{ChurnStorm, PacedSource, ServeReport, StreamServer, StreamSpec};
+use fgqos_sim::app::TableApp;
+use fgqos_sim::exec::StochasticLoad;
 use fgqos_sim::runner::{Mode, RunConfig, Runner, StreamResult};
-use fgqos_sim::runtime::VirtualClock;
+use fgqos_sim::runtime::{ExecBackend, ModelBackend, VirtualClock};
 use fgqos_sim::scenario::LoadScenario;
 
 /// Pixel workload shape per stream: 6×4 macroblocks gives the wavefront
@@ -122,6 +133,89 @@ fn fps(frames: usize, d: Duration) -> f64 {
     frames as f64 / d.as_secs_f64().max(1e-9)
 }
 
+/// Pool-pricing workload: many small-frame pixel streams, so per-tick
+/// kernel work is light and the pool's fixed costs (thread spawns for
+/// the scoped baseline, wakeups for the resident pool) dominate.
+const POOL_STREAMS: usize = 8;
+const POOL_W: usize = 48;
+const POOL_H: usize = 32;
+const POOL_FRAMES: usize = 25;
+
+/// Best-of-`REPS` wall time of serving the 8-stream pixel workload,
+/// on the resident pool or on the scoped spawn-per-job baseline.
+/// Results are byte-identical either way; only the pool's ownership
+/// model differs.
+fn time_pool(workers: usize, scoped: bool) -> Duration {
+    let mb = (POOL_W / 16) * (POOL_H / 16);
+    let mut best = Duration::MAX;
+    for _ in 0..REPS {
+        let mut server = StreamServer::with_capacity(workers, 1e6);
+        server.set_scoped_pool(scoped);
+        let specs: Vec<StreamSpec> = (0..POOL_STREAMS)
+            .map(|i| {
+                StreamSpec::new(
+                    format!("p{i}"),
+                    1,
+                    seed(i),
+                    RunConfig::paper_defaults()
+                        .scaled_to_macroblocks(mb)
+                        .with_iteration_mode(IterationMode::Pipelined),
+                    Box::new(PacedSource::new(
+                        LoadScenario::paper_benchmark(80 + i as u64).truncated(POOL_FRAMES),
+                    )),
+                )
+            })
+            .collect();
+        let start = Instant::now();
+        let report = server
+            .serve(
+                specs,
+                |scn, spec| EncoderApp::new(scn, POOL_W, POOL_H, spec.seed),
+                |spec| Box::new(EncoderApp::work_backend(spec.seed)),
+            )
+            .expect("pool-pricing serve");
+        best = best.min(start.elapsed());
+        assert!(report.all_safe(), "pool-pricing streams must stay safe");
+    }
+    best
+}
+
+/// Runs the seeded churn storm (timing-only streams, virtual clocks) at
+/// `workers` workers: attaches, mid-life detaches, re-admissions.
+fn run_churn(workers: usize) -> (usize, ServeReport) {
+    let server = StreamServer::with_capacity(workers, 3.0);
+    let mut session = server.session(
+        |scenario, _spec| TableApp::with_macroblocks(scenario, 8),
+        |spec: &StreamSpec| {
+            Box::new(ModelBackend::new(StochasticLoad::new(spec.seed))) as Box<dyn ExecBackend>
+        },
+    );
+    let events = ChurnStorm::paper_default(5).events();
+    let n = events.len();
+    session.run_script(events).expect("churn script");
+    session.run_to_completion().expect("churn drain");
+    (n, session.finish())
+}
+
+/// Byte-level equivalence of two churn runs: admission log, lifecycle
+/// counters, and every stream's per-frame series.
+fn churn_reports_identical(a: &ServeReport, b: &ServeReport) -> bool {
+    a.admission().sequence() == b.admission().sequence()
+        && a.admission().lifecycle() == b.admission().lifecycle()
+        && a.ticks() == b.ticks()
+        && a.outcomes().len() == b.outcomes().len()
+        && a.outcomes().iter().zip(b.outcomes()).all(|(x, y)| {
+            x.name == y.name
+                && x.decision == y.decision
+                && x.detached == y.detached
+                && match (&x.result, &y.result) {
+                    (Some(rx), Some(ry)) => rx.frames() == ry.frames(),
+                    (None, None) => true,
+                    _ => false,
+                }
+        })
+}
+
 fn main() {
     let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -140,6 +234,18 @@ fn main() {
     let speedup = t_seq.as_secs_f64() / t_shared.as_secs_f64().max(1e-9);
     let gate_enforced = cores >= 4;
     let gate_pass = !gate_enforced || speedup >= 1.0;
+
+    // Resident pool vs scoped spawn-per-job baseline on the 8-stream
+    // pixel workload.
+    let t_resident = time_pool(workers, false);
+    let t_scoped = time_pool(workers, true);
+    let pool_speedup = t_scoped.as_secs_f64() / t_resident.as_secs_f64().max(1e-9);
+    let pool_gate_pass = !gate_enforced || pool_speedup >= 1.0;
+
+    // Churn determinism: the storm replayed at 1 and 4 workers.
+    let (churn_events, churn_ref) = run_churn(1);
+    let (_, churn_wide) = run_churn(workers);
+    let churn_deterministic = churn_reports_identical(&churn_ref, &churn_wide);
 
     let mut streams = String::new();
     for (i, r) in shared_results.iter().enumerate() {
@@ -165,11 +271,18 @@ fn main() {
          \"speedup_shared_vs_sequential\": {speedup:.3},\n  \
          \"isolation_byte_identical\": {isolated},\n  \
          \"streams\": [\n{streams}  ],\n  \
+         \"pool\": {{\"workload\": \"{POOL_STREAMS} pixel streams {POOL_W}x{POOL_H}, {POOL_FRAMES} frames each\", \
+\"resident_wall_ms\": {:.3}, \"scoped_wall_ms\": {:.3}, \"speedup_resident_vs_scoped\": {pool_speedup:.3}, \
+\"gate\": {{\"enforced\": {gate_enforced}, \"pass\": {pool_gate_pass}}}}},\n  \
+         \"churn\": {{\"events\": {churn_events}, \"ticks\": {}, \"deterministic\": {churn_deterministic}}},\n  \
          \"gate\": {{\"enforced\": {gate_enforced}, \"pass\": {gate_pass}}}\n}}\n",
         t_seq.as_secs_f64() * 1e3,
         fps(total_frames, t_seq),
         t_shared.as_secs_f64() * 1e3,
         fps(total_frames, t_shared),
+        t_resident.as_secs_f64() * 1e3,
+        t_scoped.as_secs_f64() * 1e3,
+        churn_ref.ticks(),
     );
 
     std::fs::write(format!("{out_dir}/BENCH_serve.json"), &json).expect("write BENCH_serve.json");
@@ -183,6 +296,17 @@ fn main() {
         eprintln!(
             "FAIL: shared-pool serving slower than sequential at {STREAMS} streams \
              (speedup {speedup:.3}) on a {cores}-core host"
+        );
+        std::process::exit(1);
+    }
+    if !churn_deterministic {
+        eprintln!("FAIL: churn storm diverged between 1 and {workers} workers");
+        std::process::exit(1);
+    }
+    if !pool_gate_pass {
+        eprintln!(
+            "FAIL: resident pool slower than scoped spawn-per-job baseline \
+             (speedup {pool_speedup:.3}) on a {cores}-core host"
         );
         std::process::exit(1);
     }

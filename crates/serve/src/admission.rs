@@ -78,13 +78,36 @@ pub struct AdmissionRecord {
     pub index: usize,
     /// Priority it was ranked at.
     pub priority: u8,
-    /// The grant.
+    /// The grant (the *current* grant, in a churn session: release-driven
+    /// re-admission may improve it after the initial pricing).
     pub decision: AdmissionDecision,
     /// Utilization the stream asked for (maximal quality).
     pub demand_at_max: f64,
     /// Utilization actually charged against the capacity (0 when
     /// rejected).
     pub granted_utilization: f64,
+    /// Lifecycle counter: how many times this stream's grant was improved
+    /// by a re-admission pass after another stream released capacity
+    /// (waiting → running, or a ceiling raised). Always 0 in a batch
+    /// decision.
+    pub readmissions: u32,
+}
+
+/// Aggregate stream lifecycle counters of a serving session — how much
+/// churn the admission layer absorbed, observable without reading
+/// per-stream outcomes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LifecycleCounts {
+    /// Streams attached (batch submissions count each stream once).
+    pub attached: usize,
+    /// Streams detached by the caller before their source was exhausted.
+    pub detached: usize,
+    /// Waiting (previously rejected) streams that started running after a
+    /// release freed capacity.
+    pub readmitted: usize,
+    /// Degraded streams whose quality ceiling was raised (possibly to a
+    /// full admit) after a release.
+    pub upgraded: usize,
 }
 
 /// The full admission outcome: per-stream records in decision order plus
@@ -94,6 +117,7 @@ pub struct AdmissionReport {
     records: Vec<AdmissionRecord>,
     capacity: f64,
     used: f64,
+    lifecycle: LifecycleCounts,
 }
 
 impl AdmissionReport {
@@ -150,16 +174,29 @@ impl AdmissionReport {
         self.records.iter().map(|r| (r.index, r.decision)).collect()
     }
 
-    /// One-line human summary.
+    /// Aggregate lifecycle counters (attach/detach/re-admit/upgrade).
+    /// All-zero except `attached` for a batch decision; a churn session
+    /// fills in the rest.
+    #[must_use]
+    pub fn lifecycle(&self) -> LifecycleCounts {
+        self.lifecycle
+    }
+
+    /// One-line human summary, including the lifecycle counters.
     #[must_use]
     pub fn summary(&self) -> String {
         format!(
-            "admission: {} admitted, {} degraded, {} rejected; {:.2}/{:.2} cores granted",
+            "admission: {} admitted, {} degraded, {} rejected; {:.2}/{:.2} cores granted; \
+             lifecycle: {} attached, {} detached, {} re-admitted, {} upgraded",
             self.admitted(),
             self.degraded(),
             self.rejected(),
             self.used,
-            self.capacity
+            self.capacity,
+            self.lifecycle.attached,
+            self.lifecycle.detached,
+            self.lifecycle.readmitted,
+            self.lifecycle.upgraded,
         )
     }
 }
@@ -198,6 +235,34 @@ impl AdmissionController {
         self.capacity
     }
 
+    /// The grant for one demand against `used` cores already committed:
+    /// admit at full quality if it fits, else the highest quality ceiling
+    /// that fits, else reject. Returns the decision and the utilization
+    /// to charge. Pure — the single pricing rule behind both
+    /// [`AdmissionController::decide`] and [`AdmissionLedger`].
+    #[must_use]
+    pub fn grant(&self, used: f64, d: &StreamDemand) -> (AdmissionDecision, f64) {
+        let demand_at_max = d.at_max();
+        if d.utilization.is_empty() {
+            (AdmissionDecision::Reject, 0.0)
+        } else if used + demand_at_max <= self.capacity {
+            (AdmissionDecision::Admit, demand_at_max)
+        } else {
+            // Highest ceiling that still fits, if any (max level
+            // excluded — that would be a full admit).
+            match d
+                .utilization
+                .iter()
+                .rev()
+                .skip(1)
+                .find(|&&(_, u)| used + u <= self.capacity)
+            {
+                Some(&(q, u)) => (AdmissionDecision::Degrade(q), u),
+                None => (AdmissionDecision::Reject, 0.0),
+            }
+        }
+    }
+
     /// Decides every candidate. Pure: the outcome depends only on the
     /// demands (and this controller's capacity), never on thread timing,
     /// worker counts or map iteration order.
@@ -214,38 +279,176 @@ impl AdmissionController {
         let mut records = Vec::with_capacity(demands.len());
         for i in rank {
             let d = &demands[i];
-            let demand_at_max = d.at_max();
-            let (decision, granted) = if d.utilization.is_empty() {
-                (AdmissionDecision::Reject, 0.0)
-            } else if used + demand_at_max <= self.capacity {
-                (AdmissionDecision::Admit, demand_at_max)
-            } else {
-                // Highest ceiling that still fits, if any (max level
-                // excluded — that would be a full admit).
-                match d
-                    .utilization
-                    .iter()
-                    .rev()
-                    .skip(1)
-                    .find(|&&(_, u)| used + u <= self.capacity)
-                {
-                    Some(&(q, u)) => (AdmissionDecision::Degrade(q), u),
-                    None => (AdmissionDecision::Reject, 0.0),
-                }
-            };
+            let (decision, granted) = self.grant(used, d);
             used += granted;
             records.push(AdmissionRecord {
                 index: d.index,
                 priority: d.priority,
                 decision,
-                demand_at_max,
+                demand_at_max: d.at_max(),
                 granted_utilization: granted,
+                readmissions: 0,
             });
         }
         AdmissionReport {
             records,
             capacity: self.capacity,
             used,
+            lifecycle: LifecycleCounts {
+                attached: demands.len(),
+                ..LifecycleCounts::default()
+            },
+        }
+    }
+}
+
+/// The stateful side of admission for a *churn* session: a running
+/// account of granted capacity that streams join and leave while the
+/// server runs.
+///
+/// The ledger prices every transition with the same pure
+/// [`AdmissionController::grant`] rule the batch decision uses, so every
+/// decision remains a deterministic function of (priorities, declared
+/// utilizations, attach order) — worker counts and host scheduling never
+/// enter. Three transitions exist beyond the batch decision:
+///
+/// * [`AdmissionLedger::attach`] — price one stream against the current
+///   residual capacity (a batch [`AdmissionLedger::attach_batch`] prices
+///   a whole population rank-ordered, exactly like
+///   [`AdmissionController::decide`]);
+/// * [`AdmissionLedger::release`] — a stream finished or detached: its
+///   granted utilization returns to the pool;
+/// * [`AdmissionLedger::regrant`] — after a release, try to improve a
+///   waiting or degraded stream's grant (re-admission). Callers drive the
+///   pass in (priority desc, attach index asc) order so higher-priority
+///   streams always see freed capacity first.
+#[derive(Debug, Clone)]
+pub struct AdmissionLedger {
+    controller: AdmissionController,
+    used: f64,
+    records: Vec<AdmissionRecord>,
+    lifecycle: LifecycleCounts,
+}
+
+impl AdmissionLedger {
+    /// An empty ledger over `controller`'s capacity.
+    #[must_use]
+    pub fn new(controller: AdmissionController) -> Self {
+        AdmissionLedger {
+            controller,
+            used: 0.0,
+            records: Vec::new(),
+            lifecycle: LifecycleCounts::default(),
+        }
+    }
+
+    /// Capacity in cores.
+    #[must_use]
+    pub fn capacity(&self) -> f64 {
+        self.controller.capacity()
+    }
+
+    /// Utilization currently charged, in cores.
+    #[must_use]
+    pub fn used(&self) -> f64 {
+        self.used
+    }
+
+    /// Prices one arriving stream against the current residual capacity,
+    /// charges its grant and records it. Deterministic given the call
+    /// sequence.
+    pub fn attach(&mut self, d: &StreamDemand) -> AdmissionDecision {
+        let (decision, granted) = self.controller.grant(self.used, d);
+        self.used += granted;
+        self.lifecycle.attached += 1;
+        self.records.push(AdmissionRecord {
+            index: d.index,
+            priority: d.priority,
+            decision,
+            demand_at_max: d.at_max(),
+            granted_utilization: granted,
+            readmissions: 0,
+        });
+        decision
+    }
+
+    /// Prices a whole population at once, rank-ordered by (priority desc,
+    /// index asc) — byte-identical decisions and record order to
+    /// [`AdmissionController::decide`] on an empty ledger, which is what
+    /// lets the batch server be a thin wrapper over a session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ledger already holds streams (batch pricing is an
+    /// opening move, not a merge rule).
+    pub fn attach_batch(&mut self, demands: &[StreamDemand]) -> Vec<(usize, AdmissionDecision)> {
+        assert!(
+            self.records.is_empty(),
+            "attach_batch on a non-empty ledger"
+        );
+        let report = self.controller.decide(demands);
+        self.used = report.granted_utilization();
+        self.lifecycle.attached = demands.len();
+        self.records = report.records;
+        self.records.iter().map(|r| (r.index, r.decision)).collect()
+    }
+
+    /// Returns a finished or detached stream's granted utilization to the
+    /// pool. `detached` distinguishes a caller-driven departure (counted
+    /// in the lifecycle) from natural stream exhaustion.
+    pub fn release(&mut self, index: usize, detached: bool) {
+        if let Some(r) = self.records.iter_mut().find(|r| r.index == index) {
+            self.used -= r.granted_utilization;
+            r.granted_utilization = 0.0;
+        }
+        if detached {
+            self.lifecycle.detached += 1;
+        }
+    }
+
+    /// Attempts to improve stream `index`'s grant after a release:
+    /// re-prices its demand against the residual capacity (its own
+    /// current charge excluded) and returns the new decision when it is a
+    /// strict improvement — a waiting stream admitted (possibly with a
+    /// ceiling), or a degraded stream's ceiling raised. Returns `None`
+    /// and changes nothing otherwise.
+    pub fn regrant(&mut self, index: usize, d: &StreamDemand) -> Option<AdmissionDecision> {
+        let pos = self.records.iter().position(|r| r.index == index)?;
+        let current = self.records[pos].granted_utilization;
+        let was = self.records[pos].decision;
+        let (decision, granted) = self.controller.grant(self.used - current, d);
+        let improves = match (was, decision) {
+            (_, AdmissionDecision::Reject) => false,
+            (AdmissionDecision::Reject, _) => true,
+            (AdmissionDecision::Degrade(old), AdmissionDecision::Degrade(new)) => new > old,
+            (AdmissionDecision::Degrade(_), AdmissionDecision::Admit) => true,
+            (AdmissionDecision::Admit, _) => false,
+        };
+        if !improves {
+            return None;
+        }
+        match was {
+            AdmissionDecision::Reject => self.lifecycle.readmitted += 1,
+            _ => self.lifecycle.upgraded += 1,
+        }
+        self.used += granted - current;
+        let r = &mut self.records[pos];
+        r.decision = decision;
+        r.granted_utilization = granted;
+        r.readmissions += 1;
+        Some(decision)
+    }
+
+    /// The ledger's state as an [`AdmissionReport`]: records in decision
+    /// order (attach order for incremental sessions, rank order for a
+    /// batch opening), current charges, lifecycle counters.
+    #[must_use]
+    pub fn report(&self) -> AdmissionReport {
+        AdmissionReport {
+            records: self.records.clone(),
+            capacity: self.controller.capacity(),
+            used: self.used,
+            lifecycle: self.lifecycle,
         }
     }
 }
@@ -363,5 +566,72 @@ mod tests {
     fn bad_capacity_panics() {
         assert!(std::panic::catch_unwind(|| AdmissionController::new(0.0)).is_err());
         assert!(std::panic::catch_unwind(|| AdmissionController::new(f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn ledger_batch_matches_batch_decide() {
+        let demands = vec![
+            demand(0, 3, &[0.3, 0.8, 1.4]),
+            demand(1, 7, &[0.2, 0.6, 1.2]),
+            demand(2, 1, &[0.1, 0.2, 0.3]),
+        ];
+        let ctl = AdmissionController::new(2.5);
+        let mut ledger = AdmissionLedger::new(ctl);
+        let seq = ledger.attach_batch(&demands);
+        assert_eq!(seq, ctl.decide(&demands).sequence());
+        assert!(
+            (ledger.used() - ctl.decide(&demands).granted_utilization()).abs() < 1e-12,
+            "charges must match the batch decision"
+        );
+        assert_eq!(ledger.report().lifecycle().attached, 3);
+    }
+
+    #[test]
+    fn release_frees_capacity_and_regrant_improves_in_order() {
+        // Capacity 2.0: a p9 hog takes 1.8; a p5 stream degrades to q0
+        // (0.2); a p3 stream is rejected outright.
+        let ctl = AdmissionController::new(2.0);
+        let mut ledger = AdmissionLedger::new(ctl);
+        let hog = demand(0, 9, &[1.0, 1.4, 1.8]);
+        let mid = demand(1, 5, &[0.2, 0.5, 1.0]);
+        let low = demand(2, 3, &[0.3, 0.6, 1.2]);
+        assert_eq!(ledger.attach(&hog), AdmissionDecision::Admit);
+        assert_eq!(
+            ledger.attach(&mid),
+            AdmissionDecision::Degrade(Quality::new(0))
+        );
+        assert_eq!(ledger.attach(&low), AdmissionDecision::Reject);
+
+        // The hog departs: 1.8 cores return to the pool.
+        ledger.release(0, true);
+        assert!((ledger.used() - 0.2).abs() < 1e-12);
+
+        // Re-admission in priority order: mid upgrades to full (1.0),
+        // then low is re-admitted with a q1 ceiling (0.6 fits, 0.9 not).
+        assert_eq!(ledger.regrant(1, &mid), Some(AdmissionDecision::Admit));
+        assert_eq!(
+            ledger.regrant(2, &low),
+            Some(AdmissionDecision::Degrade(Quality::new(1)))
+        );
+        // No further improvement available.
+        assert_eq!(ledger.regrant(2, &low), None);
+
+        let report = ledger.report();
+        assert_eq!(report.lifecycle().detached, 1);
+        assert_eq!(report.lifecycle().readmitted, 1);
+        assert_eq!(report.lifecycle().upgraded, 1);
+        assert_eq!(report.for_stream(1).unwrap().readmissions, 1);
+        assert!(report.summary().contains("1 re-admitted"));
+        assert!((ledger.used() - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regrant_never_downgrades_a_full_admit() {
+        let ctl = AdmissionController::new(2.0);
+        let mut ledger = AdmissionLedger::new(ctl);
+        let d = demand(0, 5, &[0.2, 0.5, 1.0]);
+        assert_eq!(ledger.attach(&d), AdmissionDecision::Admit);
+        assert_eq!(ledger.regrant(0, &d), None);
+        assert_eq!(ledger.report().lifecycle().upgraded, 0);
     }
 }

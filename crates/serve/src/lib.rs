@@ -4,10 +4,16 @@
 //! that guarantee out: a [`server::StreamServer`] runs N concurrent
 //! streams — each with its own [`fgqos_sim::runner::Runner`], controller
 //! and virtual timeline — over **one shared**
-//! [`fgqos_sim::runtime::WorkStealingPool`], with a deterministic
-//! priority [`admission`] layer deciding who gets on the machine under
-//! overload and a pluggable [`source::FrameSource`] abstraction replacing
-//! the synthetic camera.
+//! [`fgqos_sim::runtime::WorkStealingPool`] of resident workers, with a
+//! deterministic priority [`admission`] layer deciding who gets on the
+//! machine under overload and a pluggable [`source::FrameSource`]
+//! abstraction replacing the synthetic camera. Populations need not be
+//! static: a [`server::StreamSession`] accepts
+//! [`server::StreamSession::attach`] and
+//! [`server::StreamSession::detach`] against the *running* server —
+//! departures release capacity and deterministically re-admit parked or
+//! degraded streams — and [`churn`] generates seeded attach/detach
+//! storms to stress exactly that machinery.
 //!
 //! Three guarantees define the subsystem (all test-enforced):
 //!
@@ -61,11 +67,15 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod churn;
 mod error;
 pub mod server;
 pub mod source;
 
-pub use admission::{AdmissionController, AdmissionDecision, AdmissionReport};
+pub use admission::{AdmissionController, AdmissionDecision, AdmissionReport, LifecycleCounts};
+pub use churn::{ChurnAction, ChurnEvent, ChurnStorm};
 pub use error::ServeError;
-pub use server::{CeilingPolicy, ServeReport, StreamOutcome, StreamServer, StreamSpec};
+pub use server::{
+    CeilingPolicy, ServeReport, StreamOutcome, StreamServer, StreamSession, StreamSpec,
+};
 pub use source::{ChannelSource, FrameProducer, FrameSource, PacedSource, TraceSource};

@@ -1,26 +1,38 @@
 //! The stream server: N concurrent QoS-controlled streams over one
-//! shared work-stealing pool.
+//! shared pool of *resident* workers, with continuous attach/detach
+//! churn.
 //!
 //! # Architecture
 //!
 //! ```text
-//!  StreamSpec (priority, seed, FrameSource) ──┐
-//!  StreamSpec ────────────────────────────────┤  materialize sources,
-//!  StreamSpec ────────────────────────────────┤  build one Runner each
-//!                                             ▼
-//!                                   AdmissionController
-//!                            admit / degrade(q-ceiling) / reject
-//!                                             │
-//!              ┌──────────────────────────────┴─────────────┐
-//!              ▼ per admitted stream                        │
-//!   Runner + ParallelStream + VirtualClock + backend        │ rejected:
-//!              │                                            │ reported,
-//!              ▼  every server tick                         │ never run
-//!   1. next_parallel_frame()        (per stream, sequential)
-//!   2. merge per-stream Phase1Views into ONE kernel DAG
-//!      and run it on the shared WorkStealingPool  ◄── the only shared
-//!   3. commit_parallel_frame()      (per stream, sequential)  resource
+//!                 attach(spec)                    detach(name)
+//!                      │                               │
+//!                      ▼                               ▼
+//!               AdmissionLedger ◄──── release ──── departure
+//!            admit / degrade(q-ceiling) / reject      (re-admission pass:
+//!                │         │         │                 waiting → running,
+//!                ▼         ▼         ▼                 ceilings raised)
+//!            RUNNING   RUNNING    WAITING
+//!                      (capped)   (parked)
+//!                │
+//!                ▼  every tick (earliest pending frame deadline)
+//!   1. next_parallel_frame()      (due streams only, sequential)
+//!   2. merge the due frames' kernel DAGs into ONE task graph
+//!      and run it on the shared WorkStealingPool  ◄── resident workers,
+//!   3. commit_parallel_frame()    (sequential)        the only shared
+//!                                                     resource
 //! ```
+//!
+//! A [`StreamSession`] is a *running* server: streams
+//! [`StreamSession::attach`] and [`StreamSession::detach`] while it
+//! serves, each with its own frame clock — a tick advances only the
+//! streams whose next frame is due at the earliest pending deadline, so a
+//! 60 fps stream never waits on a 24 fps one. Departures (detach or
+//! natural end) release their utilization back to the
+//! [`crate::admission::AdmissionLedger`], which immediately re-prices the
+//! parked and degraded population in (priority, attach order) — the
+//! deterministic re-admission that turns a static admission decision into
+//! stream lifecycle management.
 //!
 //! Phase-1 kernels of *different streams* interleave freely on the pool
 //! workers — that is where the machine sharing happens. Everything a
@@ -29,7 +41,10 @@
 //! replays sequentially, so each stream's [`StreamResult`] is
 //! byte-identical to running that stream alone through
 //! [`Runner::run_parallel_on`] — the *isolation contract*, verified at 1,
-//! 2 and 8 workers in `tests/integration_serve.rs`.
+//! 2 and 8 workers in `tests/integration_serve.rs`. The batch
+//! [`StreamServer::serve`] is a thin wrapper over a session (attach all,
+//! run to completion, elastic re-admission off), so the same tests pin
+//! the churn machinery.
 //!
 //! Admission interacts with the per-stream controllers through a quality
 //! *ceiling* only ([`CeilingPolicy`]): a degraded stream still runs the
@@ -42,12 +57,17 @@ use fgqos_core::policy::{Choice, MaxQuality, PolicyCtx, QualityPolicy};
 use fgqos_core::safety::SafetyMonitor;
 use fgqos_sim::exec::StochasticLoad;
 use fgqos_sim::runner::{Mode, ParallelStream, RunConfig, Runner, StreamResult};
-use fgqos_sim::runtime::{ExecBackend, ModelBackend, ParallelApp, VirtualClock, WorkStealingPool};
+use fgqos_sim::runtime::{
+    Clock, ExecBackend, ModelBackend, ParallelApp, VirtualClock, WorkStealingPool,
+};
 use fgqos_sim::scenario::LoadScenario;
 use fgqos_sim::SimError;
-use fgqos_time::Quality;
+use fgqos_time::{Cycles, Quality};
 
-use crate::admission::{AdmissionController, AdmissionDecision, AdmissionReport, StreamDemand};
+use crate::admission::{
+    AdmissionController, AdmissionDecision, AdmissionLedger, AdmissionReport, StreamDemand,
+};
+use crate::churn::{ChurnAction, ChurnEvent};
 use crate::error::ServeError;
 use crate::source::FrameSource;
 
@@ -128,6 +148,14 @@ impl QualityPolicy for CeilingPolicy {
     }
 }
 
+/// The policy an admission decision grants a running stream.
+fn policy_for(decision: AdmissionDecision) -> Box<dyn QualityPolicy> {
+    match decision {
+        AdmissionDecision::Degrade(cap) => Box::new(CeilingPolicy::new(cap)),
+        _ => Box::new(MaxQuality::new()),
+    }
+}
+
 /// Outcome of one submitted stream.
 #[derive(Debug)]
 pub struct StreamOutcome {
@@ -135,18 +163,22 @@ pub struct StreamOutcome {
     pub name: String,
     /// Priority from the spec.
     pub priority: u8,
-    /// What admission granted.
+    /// What admission granted (the final grant, after any re-admission).
     pub decision: AdmissionDecision,
     /// Kind of source the stream was fed from.
     pub source_kind: &'static str,
     /// Frames the source delivered.
     pub frames: usize,
-    /// The served result; `None` for rejected streams.
+    /// The served result; `None` for streams that never ran. A detached
+    /// stream's result covers only the frames delivered while attached.
     pub result: Option<StreamResult>,
-    /// The stream's safety monitor after serving; `None` for rejected
-    /// streams. Safety is per stream: sharing the pool must not change
-    /// any verdict.
+    /// The stream's safety monitor after serving; `None` for streams
+    /// that never ran. Safety is per stream: sharing the pool must not
+    /// change any verdict.
     pub monitor: Option<SafetyMonitor>,
+    /// Whether the stream left by caller [`StreamSession::detach`] rather
+    /// than by exhausting its source.
+    pub detached: bool,
     /// How many budget-parametric envelope sets the stream's runner
     /// built — 1 per served stream on the default path, regardless of
     /// how many frames (and fresh budgets) it encoded.
@@ -164,10 +196,11 @@ pub struct ServeReport {
     outcomes: Vec<StreamOutcome>,
     admission: AdmissionReport,
     workers: usize,
+    ticks: u64,
 }
 
 impl ServeReport {
-    /// Per-stream outcomes, in submission order.
+    /// Per-stream outcomes, in submission (attach) order.
     #[must_use]
     pub fn outcomes(&self) -> &[StreamOutcome] {
         &self.outcomes
@@ -179,7 +212,7 @@ impl ServeReport {
         self.outcomes.iter().find(|o| o.name == name)
     }
 
-    /// The admission decisions and counters.
+    /// The admission decisions, lifecycle counters and charges.
     #[must_use]
     pub fn admission(&self) -> &AdmissionReport {
         &self.admission
@@ -189,6 +222,13 @@ impl ServeReport {
     #[must_use]
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Server ticks executed (each tick advances the streams due at the
+    /// earliest pending frame deadline).
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
     }
 
     /// Whether every served stream kept every safety guarantee.
@@ -205,9 +245,10 @@ impl ServeReport {
     pub fn summary(&self) -> String {
         let mut s = format!("{} ({} workers)\n", self.admission.summary(), self.workers);
         for o in &self.outcomes {
+            let tag = if o.detached { ", detached" } else { "" };
             match &o.result {
                 Some(r) => s.push_str(&format!(
-                    "  [{}] p{} {:?} ({}, {} frames): {}\n",
+                    "  [{}] p{} {:?} ({}, {} frames{tag}): {}\n",
                     o.name,
                     o.priority,
                     o.decision,
@@ -216,8 +257,8 @@ impl ServeReport {
                     r.summary()
                 )),
                 None => s.push_str(&format!(
-                    "  [{}] p{} rejected ({}, {} frames)\n",
-                    o.name, o.priority, o.source_kind, o.frames
+                    "  [{}] p{} never ran ({:?}) ({}, {} frames{tag})\n",
+                    o.name, o.priority, o.decision, o.source_kind, o.frames
                 )),
             }
         }
@@ -225,7 +266,8 @@ impl ServeReport {
     }
 }
 
-/// A server over one shared [`WorkStealingPool`]. See the module docs.
+/// A server over one shared [`WorkStealingPool`] of resident workers.
+/// See the module docs.
 #[derive(Debug, Clone)]
 pub struct StreamServer {
     pool: WorkStealingPool,
@@ -237,8 +279,9 @@ pub struct StreamServer {
 }
 
 impl StreamServer {
-    /// A server with `workers` pool threads and the matching default
-    /// capacity (one core's worth of sustained demand per worker).
+    /// A server with `workers` resident pool threads and the matching
+    /// default capacity (one core's worth of sustained demand per
+    /// worker).
     #[must_use]
     pub fn new(workers: usize) -> Self {
         StreamServer {
@@ -263,6 +306,19 @@ impl StreamServer {
         }
     }
 
+    /// Replaces the resident pool with a scoped-spawn pool of the same
+    /// width (or back). Exists so the bench suite can price resident
+    /// workers against the spawn-per-tick baseline on identical
+    /// workloads; results are byte-identical either way.
+    pub fn set_scoped_pool(&mut self, scoped: bool) {
+        let workers = self.pool.workers();
+        self.pool = if scoped {
+            WorkStealingPool::scoped(workers)
+        } else {
+            WorkStealingPool::new(workers)
+        };
+    }
+
     /// Forces every served stream onto the legacy per-budget constraint
     /// tables instead of the budget-parametric envelopes. Served results
     /// are identical either way — this exists so the bench suite can
@@ -281,6 +337,49 @@ impl StreamServer {
     #[must_use]
     pub fn capacity(&self) -> f64 {
         self.admission.capacity()
+    }
+
+    /// Opens a churn-capable serving session on deterministic per-stream
+    /// [`VirtualClock`]s: streams attach and detach against the running
+    /// session, departures trigger re-admission. See [`StreamSession`].
+    pub fn session<'a, A, FA, FB>(&'a self, make_app: FA, make_backend: FB) -> StreamSession<'a, A>
+    where
+        A: ParallelApp,
+        FA: FnMut(LoadScenario, &StreamSpec) -> Result<A, SimError> + 'a,
+        FB: FnMut(&StreamSpec) -> Box<dyn ExecBackend> + 'a,
+    {
+        self.session_with_clocks(make_app, make_backend, |_| Box::new(VirtualClock::new()))
+    }
+
+    /// [`StreamServer::session`] with caller-supplied per-stream clocks —
+    /// the seam for *live* serving on [`fgqos_sim::runtime::WallClock`]s
+    /// (see `examples/live_server.rs`). Wall-clock sessions trade the
+    /// determinism contract for real-time behaviour.
+    pub fn session_with_clocks<'a, A, FA, FB, FC>(
+        &'a self,
+        make_app: FA,
+        make_backend: FB,
+        make_clock: FC,
+    ) -> StreamSession<'a, A>
+    where
+        A: ParallelApp,
+        FA: FnMut(LoadScenario, &StreamSpec) -> Result<A, SimError> + 'a,
+        FB: FnMut(&StreamSpec) -> Box<dyn ExecBackend> + 'a,
+        FC: FnMut(&StreamSpec) -> Box<dyn Clock> + 'a,
+    {
+        StreamSession {
+            pool: &self.pool,
+            legacy_tables: self.legacy_tables,
+            elastic: true,
+            ledger: AdmissionLedger::new(self.admission),
+            make_app: Box::new(make_app),
+            make_backend: Box::new(make_backend),
+            make_clock: Box::new(make_clock),
+            slots: Vec::new(),
+            merged: None,
+            server_now: Cycles::ZERO,
+            ticks: 0,
+        }
     }
 
     /// Serves timing-only [`fgqos_sim::app::TableApp`] streams with the
@@ -302,14 +401,15 @@ impl StreamServer {
         )
     }
 
-    /// Serves a batch of streams to completion on the shared pool.
+    /// Serves a batch of streams to completion on the shared pool — a
+    /// thin wrapper over [`StreamSession`]: attach the whole population
+    /// up front (priced together, rank-ordered), run to completion, no
+    /// elastic re-admission. Rejected streams never run.
     ///
     /// `make_app` builds each stream's application from its materialized
     /// scenario (all streams share the app *type*, never app *state*);
     /// `make_backend` supplies the stream's execution backend. Streams
-    /// run on private [`VirtualClock`]s in [`Mode::Controlled`], stepped
-    /// one frame per server tick; every tick merges the pending frames'
-    /// kernel DAGs into a single task graph for the pool.
+    /// run on private [`VirtualClock`]s in [`Mode::Controlled`].
     ///
     /// # Determinism
     ///
@@ -325,8 +425,8 @@ impl StreamServer {
     pub fn serve<A, FA, FB>(
         &self,
         specs: Vec<StreamSpec>,
-        mut make_app: FA,
-        mut make_backend: FB,
+        make_app: FA,
+        make_backend: FB,
     ) -> Result<ServeReport, ServeError>
     where
         A: ParallelApp,
@@ -336,151 +436,478 @@ impl StreamServer {
         if specs.is_empty() {
             return Err(ServeError::InvalidConfig("no streams submitted"));
         }
+        let mut session = self.session(make_app, make_backend);
+        // Batch semantics: one rank-ordered pricing of the whole
+        // population, rejected streams reported (never parked), no
+        // release-driven re-admission — the original static behaviour,
+        // now pinned on top of the churn machinery.
+        session.elastic = false;
+        session.attach_batch(specs)?;
+        session.run_to_completion()?;
+        Ok(session.finish())
+    }
+}
 
-        // Materialize every source and build each candidate's runner; the
-        // declared profile is what admission prices.
-        struct Candidate<A: ParallelApp> {
-            name: String,
-            priority: u8,
-            source_kind: &'static str,
-            frames: usize,
-            runner: Runner<A>,
-            backend: Box<dyn ExecBackend>,
-        }
-        let mut candidates: Vec<Candidate<A>> = Vec::with_capacity(specs.len());
-        let mut demands: Vec<StreamDemand> = Vec::with_capacity(specs.len());
-        for (index, mut spec) in specs.into_iter().enumerate() {
-            let scenario = spec.source.collect_scenario()?;
-            let frames = scenario.frames();
-            let app = make_app(scenario, &spec).map_err(ServeError::Sim)?;
-            let backend = make_backend(&spec);
-            let mut runner = Runner::new(app, spec.config).map_err(ServeError::Sim)?;
-            runner.set_legacy_tables(self.legacy_tables);
-            let profile = runner.app().profile();
-            let n = runner.app().iterations() as f64;
-            let period = spec.config.period.get() as f64;
-            let utilization = profile
-                .qualities()
-                .iter()
-                .map(|q| (q, profile.total_avg(q).get() as f64 * n / period))
-                .collect();
-            demands.push(StreamDemand {
+/// One stream's place in a session, at a stable attach index.
+struct Slot<A: ParallelApp> {
+    name: String,
+    priority: u8,
+    source_kind: &'static str,
+    frames: usize,
+    demand: StreamDemand,
+    decision: AdmissionDecision,
+    /// Server time the stream (re-)started running at; its private frame
+    /// clock is relative to this origin.
+    attach_at: Cycles,
+    state: SlotState<A>,
+    outcome: Option<StreamOutcome>,
+}
+
+enum SlotState<A: ParallelApp> {
+    /// Priced but not granted capacity (elastic sessions park rejected
+    /// streams; a release may re-admit them).
+    Waiting(Box<Parked<A>>),
+    /// Being served.
+    Running(Box<Active<A>>),
+    /// Finished, detached, or rejected-and-finalized.
+    Done,
+}
+
+/// A stream waiting for capacity: everything needed to start it later.
+struct Parked<A: ParallelApp> {
+    runner: Runner<A>,
+    backend: Box<dyn ExecBackend>,
+    clock: Box<dyn Clock>,
+}
+
+/// A running stream: the per-stream serving state of the old batch loop.
+struct Active<A: ParallelApp> {
+    runner: Runner<A>,
+    st: ParallelStream,
+    clock: Box<dyn Clock>,
+    backend: Box<dyn ExecBackend>,
+    policy: Box<dyn QualityPolicy>,
+}
+
+/// Factory building a stream's application from its materialized
+/// scenario at attach time.
+type AppFactory<'a, A> = Box<dyn FnMut(LoadScenario, &StreamSpec) -> Result<A, SimError> + 'a>;
+/// Factory supplying a stream's execution backend at attach time.
+type BackendFactory<'a> = Box<dyn FnMut(&StreamSpec) -> Box<dyn ExecBackend> + 'a>;
+/// Factory supplying a stream's private clock at attach time.
+type ClockFactory<'a> = Box<dyn FnMut(&StreamSpec) -> Box<dyn Clock> + 'a>;
+
+/// The merged phase-1 task graph of one tick — a pure function of
+/// *which* streams are due (each stream's kernel DAG is static across
+/// its frames), so it is cached and rebuilt only when the due set
+/// changes.
+struct MergedDag {
+    due: Vec<usize>,
+    offsets: Vec<usize>,
+    indegree: Vec<usize>,
+    succs: Vec<Vec<usize>>,
+}
+
+/// A *running* multi-stream server: streams attach and detach while it
+/// serves. Created by [`StreamServer::session`].
+///
+/// # Lifecycle
+///
+/// ```text
+///            attach(spec): priced by the AdmissionLedger
+///                 │
+///     ┌─ admit ───┼─ degrade(cap) ──────┐─ reject ─┐
+///     ▼           ▼                     ▼          ▼
+///  RUNNING     RUNNING(capped)       WAITING    (batch mode:
+///     │           │   ▲ ceiling        │ ▲      final outcome)
+///     │           │   │ raised         │ │ re-admitted
+///     │           │   └──── release ───┼─┘  (priority order)
+///     ▼           ▼                    │
+///   DONE ◄── finish / detach ──────────┘
+///              │
+///              └── releases utilization → re-admission pass
+/// ```
+///
+/// # Ticks
+///
+/// [`StreamSession::step`] advances the streams whose next frame is due
+/// at the *earliest pending frame deadline* (each stream has a private
+/// frame clock; see [`ParallelStream::next_ready_time`]). Streams with
+/// later deadlines are untouched, so frame rates stay decoupled. Due
+/// frames' kernel DAGs are merged into one task graph for the shared
+/// resident pool; commits replay sequentially per stream.
+///
+/// # Determinism
+///
+/// On virtual clocks, everything — admission decisions, re-admission
+/// order, tick grouping, every per-frame record — is a pure function of
+/// the attach/detach call sequence and the specs. Worker count changes
+/// only wall-clock speed.
+pub struct StreamSession<'a, A: ParallelApp> {
+    pool: &'a WorkStealingPool,
+    legacy_tables: bool,
+    /// Whether departures re-price the parked/degraded population.
+    /// Sessions default to `true`; the batch wrapper turns it off.
+    elastic: bool,
+    ledger: AdmissionLedger,
+    make_app: AppFactory<'a, A>,
+    make_backend: BackendFactory<'a>,
+    make_clock: ClockFactory<'a>,
+    slots: Vec<Slot<A>>,
+    merged: Option<MergedDag>,
+    server_now: Cycles,
+    ticks: u64,
+}
+
+impl<A: ParallelApp> StreamSession<'_, A> {
+    /// Materializes a spec into a slot: source → scenario → runner →
+    /// declared demand. Does not price it.
+    fn materialize(&mut self, mut spec: StreamSpec) -> Result<Slot<A>, ServeError> {
+        let index = self.slots.len();
+        let scenario = spec.source.collect_scenario()?;
+        let frames = scenario.frames();
+        let app = (self.make_app)(scenario, &spec).map_err(ServeError::Sim)?;
+        let backend = (self.make_backend)(&spec);
+        let clock = (self.make_clock)(&spec);
+        let mut runner = Runner::new(app, spec.config).map_err(ServeError::Sim)?;
+        runner.set_legacy_tables(self.legacy_tables);
+        let profile = runner.app().profile();
+        let n = runner.app().iterations() as f64;
+        let period = spec.config.period.get() as f64;
+        let utilization = profile
+            .qualities()
+            .iter()
+            .map(|q| (q, profile.total_avg(q).get() as f64 * n / period))
+            .collect();
+        Ok(Slot {
+            name: spec.name,
+            priority: spec.priority,
+            source_kind: spec.source.kind(),
+            frames,
+            demand: StreamDemand {
                 index,
                 priority: spec.priority,
                 utilization,
-            });
-            candidates.push(Candidate {
-                name: spec.name,
-                priority: spec.priority,
-                source_kind: spec.source.kind(),
-                frames,
+            },
+            decision: AdmissionDecision::Reject,
+            attach_at: self.server_now,
+            state: SlotState::Waiting(Box::new(Parked {
                 runner,
                 backend,
-            });
-        }
+                clock,
+            })),
+            outcome: None,
+        })
+    }
 
-        let admission = self.admission.decide(&demands);
-
-        // Streams that run: spawn their serving state in submission
-        // order (ranking only affects who gets capacity, not the
-        // deterministic tick order).
-        struct Active<A: ParallelApp> {
-            index: usize,
-            runner: Runner<A>,
-            st: ParallelStream,
-            clock: VirtualClock,
-            backend: Box<dyn ExecBackend>,
-            policy: Box<dyn QualityPolicy>,
-            done: bool,
+    /// Applies an admission decision to a freshly materialized slot.
+    fn apply_decision(&mut self, i: usize, decision: AdmissionDecision) -> Result<(), ServeError> {
+        self.slots[i].decision = decision;
+        match decision {
+            AdmissionDecision::Admit | AdmissionDecision::Degrade(_) => self.start_running(i),
+            AdmissionDecision::Reject => {
+                if !self.elastic {
+                    // Batch semantics: a rejection is final.
+                    self.finalize_never_ran(i, false);
+                }
+                Ok(())
+            }
         }
-        let mut outcomes: Vec<Option<StreamOutcome>> = Vec::new();
-        let mut active: Vec<Active<A>> = Vec::new();
-        for (index, c) in candidates.into_iter().enumerate() {
-            let decision = admission
-                .for_stream(index)
-                .expect("every candidate has a record")
-                .decision;
-            match decision {
-                AdmissionDecision::Reject => outcomes.push(Some(StreamOutcome {
-                    name: c.name,
-                    priority: c.priority,
-                    decision,
-                    source_kind: c.source_kind,
-                    frames: c.frames,
-                    result: None,
-                    monitor: None,
-                    envelope_builds: 0,
-                    table_builds: 0,
-                })),
-                AdmissionDecision::Admit | AdmissionDecision::Degrade(_) => {
-                    let policy: Box<dyn QualityPolicy> = match decision {
-                        AdmissionDecision::Degrade(cap) => Box::new(CeilingPolicy::new(cap)),
-                        _ => Box::new(MaxQuality::new()),
-                    };
-                    let mut runner = c.runner;
-                    let st = runner.start_parallel(Mode::Controlled)?;
-                    outcomes.push(Some(StreamOutcome {
-                        name: c.name,
-                        priority: c.priority,
-                        decision,
-                        source_kind: c.source_kind,
-                        frames: c.frames,
-                        result: None,
-                        monitor: None,
-                        envelope_builds: 0,
-                        table_builds: 0,
-                    }));
-                    active.push(Active {
-                        index,
-                        runner,
-                        st,
-                        clock: VirtualClock::new(),
-                        backend: c.backend,
-                        policy,
-                        done: false,
-                    });
+    }
+
+    /// Promotes a waiting slot to running under its current decision.
+    fn start_running(&mut self, i: usize) -> Result<(), ServeError> {
+        let slot = &mut self.slots[i];
+        let SlotState::Waiting(parked) = std::mem::replace(&mut slot.state, SlotState::Done) else {
+            unreachable!("start_running on a non-waiting slot");
+        };
+        let Parked {
+            mut runner,
+            backend,
+            clock,
+        } = *parked;
+        let st = runner.start_parallel(Mode::Controlled)?;
+        slot.attach_at = self.server_now;
+        slot.state = SlotState::Running(Box::new(Active {
+            runner,
+            st,
+            clock,
+            backend,
+            policy: policy_for(slot.decision),
+        }));
+        Ok(())
+    }
+
+    /// Finalizes a slot that never produced frames (rejected in batch
+    /// mode, or detached while waiting).
+    fn finalize_never_ran(&mut self, i: usize, detached: bool) {
+        let slot = &mut self.slots[i];
+        slot.state = SlotState::Done;
+        slot.outcome = Some(StreamOutcome {
+            name: slot.name.clone(),
+            priority: slot.priority,
+            decision: slot.decision,
+            source_kind: slot.source_kind,
+            frames: slot.frames,
+            result: None,
+            monitor: None,
+            detached,
+            envelope_builds: 0,
+            table_builds: 0,
+        });
+    }
+
+    /// Finalizes a running slot: `truncate` for detach (result covers
+    /// only delivered frames), full collection for natural exhaustion.
+    fn finalize_running(&mut self, i: usize, truncate: bool) {
+        let slot = &mut self.slots[i];
+        let SlotState::Running(active) = std::mem::replace(&mut slot.state, SlotState::Done) else {
+            unreachable!("finalize_running on a non-running slot");
+        };
+        let Active {
+            mut runner,
+            st,
+            policy,
+            ..
+        } = *active;
+        let result = if truncate {
+            runner.finish_parallel_truncated(st, policy.name())
+        } else {
+            runner.finish_parallel(st, policy.name())
+        };
+        slot.outcome = Some(StreamOutcome {
+            name: slot.name.clone(),
+            priority: slot.priority,
+            decision: slot.decision,
+            source_kind: slot.source_kind,
+            frames: slot.frames,
+            result: Some(result),
+            monitor: Some(runner.monitor().clone()),
+            detached: truncate,
+            envelope_builds: runner.envelope_builds(),
+            table_builds: runner.full_table_builds(),
+        });
+    }
+
+    /// Releases a departed stream's utilization and re-prices the parked
+    /// and degraded population in (priority desc, attach index asc)
+    /// order — the deterministic re-admission pass.
+    fn release_and_readmit(&mut self, i: usize, detached: bool) -> Result<(), ServeError> {
+        if !self.elastic {
+            // Batch mode keeps its one-shot pricing: the final report
+            // shows the original grants in full.
+            return Ok(());
+        }
+        self.ledger.release(i, detached);
+        let mut candidates: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| match s.state {
+                SlotState::Waiting(_) => true,
+                SlotState::Running(_) => matches!(s.decision, AdmissionDecision::Degrade(_)),
+                SlotState::Done => false,
+            })
+            .map(|(j, _)| j)
+            .collect();
+        candidates.sort_by(|&a, &b| {
+            self.slots[b]
+                .priority
+                .cmp(&self.slots[a].priority)
+                .then(a.cmp(&b))
+        });
+        for j in candidates {
+            let demand = self.slots[j].demand.clone();
+            if let Some(decision) = self.ledger.regrant(j, &demand) {
+                self.slots[j].decision = decision;
+                match &mut self.slots[j].state {
+                    SlotState::Waiting(_) => self.start_running(j)?,
+                    SlotState::Running(active) => active.policy = policy_for(decision),
+                    SlotState::Done => unreachable!("done slots are not re-priced"),
                 }
             }
         }
+        Ok(())
+    }
 
-        // The serving loop: one frame per stream per tick. The merged
-        // task graph is a pure function of *which* streams are live
-        // (each stream's kernel DAG is static across its frames), so it
-        // is cached and rebuilt only when a stream finishes.
-        struct MergedDag {
-            live: Vec<usize>,
-            offsets: Vec<usize>,
-            indegree: Vec<usize>,
-            succs: Vec<Vec<usize>>,
+    /// Attaches one stream to the running session: prices it against the
+    /// residual capacity immediately and starts it if granted. A
+    /// rejected stream parks (elastic sessions) and may be re-admitted
+    /// when a departure frees capacity. Returns the decision.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] on a duplicate name,
+    /// [`ServeError::Source`] on a malformed source, propagated
+    /// simulation errors.
+    pub fn attach(&mut self, spec: StreamSpec) -> Result<AdmissionDecision, ServeError> {
+        if self.slots.iter().any(|s| s.name == spec.name) {
+            return Err(ServeError::InvalidConfig("duplicate stream name"));
         }
-        let mut merged: Option<MergedDag> = None;
-        loop {
-            // 1. Prepare the next frame of every live stream
-            //    (sequential; touches only per-stream state).
-            for s in active.iter_mut().filter(|s| !s.done) {
-                let mut est: Option<&mut dyn AvgEstimator> = None;
-                let more = s.runner.next_parallel_frame(
-                    &mut s.st,
-                    &mut s.clock,
-                    s.policy.as_mut(),
-                    &mut est,
-                )?;
-                if !more {
-                    s.done = true;
-                }
-            }
+        let slot = self.materialize(spec)?;
+        let i = self.slots.len();
+        let demand = slot.demand.clone();
+        self.slots.push(slot);
+        let decision = self.ledger.attach(&demand);
+        self.apply_decision(i, decision)?;
+        Ok(decision)
+    }
 
-            // 2. Merge the pending frames' kernel DAGs into one task
-            //    graph and run it on the shared pool: this is where the
-            //    streams actually share the machine.
-            let (live, views): (Vec<usize>, Vec<_>) = active
-                .iter()
-                .filter_map(|s| s.runner.parallel_kernels(&s.st).map(|v| (s.index, v)))
-                .unzip();
-            if views.is_empty() {
-                break; // every stream exhausted
+    /// Attaches a whole population at once, priced together rank-ordered
+    /// by (priority desc, submission index asc) — identical decisions to
+    /// the one-shot [`AdmissionController::decide`]. Only valid as the
+    /// session's opening move (the batch wrapper's path).
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamSession::attach`].
+    pub fn attach_batch(&mut self, specs: Vec<StreamSpec>) -> Result<(), ServeError> {
+        assert!(self.slots.is_empty(), "attach_batch on a non-empty session");
+        for spec in specs {
+            let slot = self.materialize(spec)?;
+            self.slots.push(slot);
+        }
+        let demands: Vec<StreamDemand> = self.slots.iter().map(|s| s.demand.clone()).collect();
+        for (index, decision) in self.ledger.attach_batch(&demands) {
+            self.apply_decision(index, decision)?;
+        }
+        Ok(())
+    }
+
+    /// Detaches the stream named `name` from the running session: its
+    /// result is truncated to the frames delivered while attached, its
+    /// utilization returns to the pool, and the re-admission pass runs.
+    /// Detaching a finished stream is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] when no stream has that name.
+    pub fn detach(&mut self, name: &str) -> Result<(), ServeError> {
+        let i = self
+            .slots
+            .iter()
+            .position(|s| s.name == name)
+            .ok_or(ServeError::InvalidConfig("detach: unknown stream name"))?;
+        match self.slots[i].state {
+            SlotState::Running(_) => {
+                self.finalize_running(i, true);
+                self.release_and_readmit(i, true)
             }
-            if merged.as_ref().is_none_or(|m| m.live != live) {
+            SlotState::Waiting(_) => {
+                self.ledger.release(i, true);
+                self.finalize_never_ran(i, true);
+                Ok(())
+            }
+            SlotState::Done => Ok(()),
+        }
+    }
+
+    /// Server time of the next tick — the earliest pending frame
+    /// deadline over the running streams — or `None` when nothing is
+    /// running. Time is per-stream frame-clock time offset by the
+    /// stream's attach time.
+    #[must_use]
+    pub fn next_tick_time(&mut self) -> Option<Cycles> {
+        let mut t_min: Option<Cycles> = None;
+        for slot in &mut self.slots {
+            if let SlotState::Running(active) = &mut slot.state {
+                // An exhausted stream finalizes at the current frontier.
+                let t = active
+                    .st
+                    .next_ready_time(active.clock.as_mut())
+                    .map_or(self.server_now, |t| slot.attach_at + t);
+                t_min = Some(t_min.map_or(t, |m: Cycles| m.min(t)));
+            }
+        }
+        t_min
+    }
+
+    /// Executes one server tick: finalizes exhausted streams (running
+    /// their releases and re-admissions), then advances every stream due
+    /// at the earliest pending frame deadline by one frame — phase-1
+    /// kernels of all due streams merged onto the shared pool, commits
+    /// sequential. Returns `false` when no stream is running (idle
+    /// session; attach more or [`StreamSession::finish`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagated per-stream simulation errors.
+    pub fn step(&mut self) -> Result<bool, ServeError> {
+        // Departures first: a stream whose source is exhausted finalizes
+        // and releases, which may start parked streams in this same tick.
+        for i in 0..self.slots.len() {
+            let exhausted = match &mut self.slots[i].state {
+                SlotState::Running(active) => {
+                    active.st.next_ready_time(active.clock.as_mut()).is_none()
+                }
+                _ => false,
+            };
+            if exhausted {
+                self.finalize_running(i, false);
+                self.release_and_readmit(i, false)?;
+            }
+        }
+
+        // The earliest pending frame deadline drives the tick. Snapshot
+        // every stream's ready time ONCE: a wall clock moves between
+        // reads, so selecting the due set against a re-read would never
+        // match the minimum and the session would spin without progress.
+        let mut ready: Vec<(usize, Cycles)> = Vec::new();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if let SlotState::Running(active) = &mut slot.state {
+                let t = active
+                    .st
+                    .next_ready_time(active.clock.as_mut())
+                    .expect("exhausted streams finalized above");
+                ready.push((i, slot.attach_at + t));
+            }
+        }
+        let Some(t_min) = ready.iter().map(|&(_, t)| t).min() else {
+            return Ok(false);
+        };
+
+        // 1. Prepare the next frame of every due stream (sequential;
+        //    touches only per-stream state).
+        let mut due: Vec<usize> = Vec::new();
+        for &(i, t) in &ready {
+            if t != t_min {
+                continue;
+            }
+            let SlotState::Running(active) = &mut self.slots[i].state else {
+                unreachable!("ready snapshot only lists running slots");
+            };
+            let mut est: Option<&mut dyn AvgEstimator> = None;
+            let more = active.runner.next_parallel_frame(
+                &mut active.st,
+                active.clock.as_mut(),
+                active.policy.as_mut(),
+                &mut est,
+            )?;
+            if more {
+                due.push(i);
+            } else {
+                self.finalize_running(i, false);
+                self.release_and_readmit(i, false)?;
+            }
+        }
+
+        // 2. Merge the due frames' kernel DAGs into one task graph and
+        //    run it on the shared pool: this is where the streams
+        //    actually share the machine.
+        let views: Vec<_> = due
+            .iter()
+            .map(|&i| {
+                let SlotState::Running(active) = &self.slots[i].state else {
+                    unreachable!("due slots are running");
+                };
+                active
+                    .runner
+                    .parallel_kernels(&active.st)
+                    .expect("frame just prepared")
+            })
+            .collect();
+        if !views.is_empty() {
+            if self.merged.as_ref().is_none_or(|m| m.due != due) {
                 let mut offsets = Vec::with_capacity(views.len());
                 let mut total = 0usize;
                 for v in &views {
@@ -495,52 +922,146 @@ impl StreamServer {
                         succs.push(s.iter().map(|&x| x + off).collect());
                     }
                 }
-                merged = Some(MergedDag {
-                    live,
+                self.merged = Some(MergedDag {
+                    due: due.clone(),
                     offsets,
                     indegree,
                     succs,
                 });
             }
-            let m = merged.as_ref().expect("merged DAG just ensured");
+            let m = self.merged.as_ref().expect("merged DAG just ensured");
             self.pool.run_dag(&m.indegree, &m.succs, |g| {
                 let vi = m.offsets.partition_point(|&o| o <= g) - 1;
                 views[vi].run_kernel(g - m.offsets[vi]);
             });
-            drop(views);
+        }
+        drop(views);
 
-            // 3. Commit each pending frame sequentially — the same state
-            //    transitions, in the same order, as a solo run.
-            for s in active.iter_mut().filter(|s| s.st.has_pending_frame()) {
-                let mut est: Option<&mut dyn AvgEstimator> = None;
-                s.runner.commit_parallel_frame(
-                    &mut s.st,
-                    &mut s.clock,
-                    s.backend.as_mut(),
-                    s.policy.as_mut(),
-                    &mut est,
-                )?;
+        // 3. Commit each due frame sequentially — the same state
+        //    transitions, in the same order, as a solo run.
+        for &i in &due {
+            let SlotState::Running(active) = &mut self.slots[i].state else {
+                unreachable!("due slots are running");
+            };
+            let mut est: Option<&mut dyn AvgEstimator> = None;
+            active.runner.commit_parallel_frame(
+                &mut active.st,
+                active.clock.as_mut(),
+                active.backend.as_mut(),
+                active.policy.as_mut(),
+                &mut est,
+            )?;
+        }
+
+        self.server_now = self.server_now.max(t_min);
+        self.ticks += 1;
+        Ok(true)
+    }
+
+    /// Steps until no stream is running. Parked streams (rejected, no
+    /// release in sight) stay parked; [`StreamSession::finish`] reports
+    /// them as never-ran.
+    ///
+    /// # Errors
+    ///
+    /// Propagated per-stream simulation errors.
+    pub fn run_to_completion(&mut self) -> Result<(), ServeError> {
+        while self.step()? {}
+        Ok(())
+    }
+
+    /// Drives the session through a timed churn script (see
+    /// [`crate::churn`]): the session serves normally until each event's
+    /// time, then the attach or detach fires. Streams still live after
+    /// the last event keep running; call
+    /// [`StreamSession::run_to_completion`] (or more
+    /// [`StreamSession::step`]s) to drain them.
+    ///
+    /// # Errors
+    ///
+    /// Propagated simulation errors and invalid events (duplicate
+    /// attach names, detaching a name never attached).
+    pub fn run_script(&mut self, events: Vec<ChurnEvent>) -> Result<(), ServeError> {
+        for event in events {
+            while let Some(t) = self.next_tick_time() {
+                if t >= event.at {
+                    break;
+                }
+                self.step()?;
+            }
+            // The script's timeline is authoritative: a stream attached
+            // at `at` starts its frame clock there even when the served
+            // population went idle earlier.
+            self.server_now = self.server_now.max(event.at);
+            match event.action {
+                ChurnAction::Attach(spec) => {
+                    self.attach(spec)?;
+                }
+                ChurnAction::Detach(name) => self.detach(&name)?,
             }
         }
+        Ok(())
+    }
 
-        for s in active {
-            let mut runner = s.runner;
-            let result = runner.finish_parallel(s.st, s.policy.name());
-            let slot = outcomes[s.index].as_mut().expect("outcome pre-filled");
-            slot.result = Some(result);
-            slot.monitor = Some(runner.monitor().clone());
-            slot.envelope_builds = runner.envelope_builds();
-            slot.table_builds = runner.full_table_builds();
+    /// Streams currently running.
+    #[must_use]
+    pub fn running(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s.state, SlotState::Running(_)))
+            .count()
+    }
+
+    /// Streams parked waiting for capacity.
+    #[must_use]
+    pub fn waiting(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s.state, SlotState::Waiting(_)))
+            .count()
+    }
+
+    /// Server ticks executed so far.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// The admission ledger's current view (decisions, charges,
+    /// lifecycle counters).
+    #[must_use]
+    pub fn admission(&self) -> AdmissionReport {
+        self.ledger.report()
+    }
+
+    /// Closes the session: any stream still running or waiting is
+    /// detached (truncated results), and the report is assembled in
+    /// attach order.
+    #[must_use]
+    pub fn finish(mut self) -> ServeReport {
+        for i in 0..self.slots.len() {
+            match self.slots[i].state {
+                SlotState::Running(_) => {
+                    self.finalize_running(i, true);
+                    self.ledger.release(i, true);
+                }
+                SlotState::Waiting(_) => {
+                    self.ledger.release(i, true);
+                    self.finalize_never_ran(i, true);
+                }
+                SlotState::Done => {}
+            }
         }
-
-        Ok(ServeReport {
-            outcomes: outcomes
+        ServeReport {
+            outcomes: self
+                .slots
                 .into_iter()
-                .map(|o| o.expect("every stream has an outcome"))
+                .map(|s| s.outcome.expect("every slot finalized"))
                 .collect(),
-            admission,
+            admission: self.ledger.report(),
             workers: self.pool.workers(),
-        })
+            ticks: self.ticks,
+        }
     }
 }
 
@@ -586,6 +1107,7 @@ mod tests {
         assert_eq!(a.result.as_ref().unwrap().skips(), 0);
         assert_eq!(b.result.as_ref().unwrap().skips(), 0);
         assert!(report.summary().contains("[a]"));
+        assert!(report.ticks() > 0);
     }
 
     #[test]
@@ -635,5 +1157,90 @@ mod tests {
         let p = CeilingPolicy::new(Quality::new(2));
         assert_eq!(p.cap(), Quality::new(2));
         assert_eq!(p.name(), "controlled-capped");
+    }
+
+    #[test]
+    fn session_attach_detach_midstream_truncates_result() {
+        let server = StreamServer::with_capacity(2, 64.0);
+        let mut session = server.session(
+            |scenario, _spec| fgqos_sim::app::TableApp::with_macroblocks(scenario, 8),
+            |spec: &StreamSpec| {
+                Box::new(ModelBackend::new(StochasticLoad::new(spec.seed))) as Box<dyn ExecBackend>
+            },
+        );
+        session.attach(spec("a", 1, 3, 30, 8)).unwrap();
+        for _ in 0..10 {
+            assert!(session.step().unwrap());
+        }
+        session.detach("a").unwrap();
+        assert!(!session.step().unwrap());
+        let report = session.finish();
+        let a = report.outcome("a").unwrap();
+        assert!(a.detached);
+        let frames = a.result.as_ref().unwrap().frames().len();
+        assert!(
+            (10..30).contains(&frames),
+            "expected a truncated result, got {frames} frames"
+        );
+        assert_eq!(report.admission().lifecycle().detached, 1);
+    }
+
+    #[test]
+    fn duplicate_names_and_unknown_detach_are_rejected() {
+        let server = StreamServer::new(2);
+        let mut session = server.session(
+            |scenario, _spec| fgqos_sim::app::TableApp::with_macroblocks(scenario, 8),
+            |spec: &StreamSpec| {
+                Box::new(ModelBackend::new(StochasticLoad::new(spec.seed))) as Box<dyn ExecBackend>
+            },
+        );
+        session.attach(spec("a", 1, 3, 10, 8)).unwrap();
+        assert!(matches!(
+            session.attach(spec("a", 2, 4, 10, 8)),
+            Err(ServeError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            session.detach("nope"),
+            Err(ServeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn departure_readmits_parked_stream() {
+        // Capacity fits exactly one paper stream at max (~1.37): the
+        // second (lower-priority) parks; detaching the first re-admits
+        // it and it runs to completion.
+        let server = StreamServer::with_capacity(2, 1.5);
+        let mut session = server.session(
+            |scenario, _spec| fgqos_sim::app::TableApp::with_macroblocks(scenario, 8),
+            |spec: &StreamSpec| {
+                Box::new(ModelBackend::new(StochasticLoad::new(spec.seed))) as Box<dyn ExecBackend>
+            },
+        );
+        assert_eq!(
+            session.attach(spec("hog", 9, 6, 12, 8)).unwrap(),
+            AdmissionDecision::Admit
+        );
+        assert_eq!(
+            session.attach(spec("parked", 1, 5, 12, 8)).unwrap(),
+            AdmissionDecision::Reject
+        );
+        assert_eq!(session.waiting(), 1);
+        for _ in 0..4 {
+            session.step().unwrap();
+        }
+        session.detach("hog").unwrap();
+        assert_eq!(
+            session.waiting(),
+            0,
+            "release must re-admit the parked stream"
+        );
+        session.run_to_completion().unwrap();
+        let report = session.finish();
+        let parked = report.outcome("parked").unwrap();
+        assert!(parked.decision.is_admitted());
+        assert_eq!(parked.result.as_ref().unwrap().frames().len(), 12);
+        assert_eq!(report.admission().lifecycle().readmitted, 1);
+        assert!(report.all_safe());
     }
 }

@@ -907,13 +907,34 @@ impl<A: ParallelApp> Runner<A> {
         backend: &mut dyn ExecBackend,
         mode: Mode,
         policy: &mut dyn QualityPolicy,
-        mut estimator: Option<&mut dyn AvgEstimator>,
+        estimator: Option<&mut dyn AvgEstimator>,
         workers: usize,
+    ) -> Result<StreamResult, SimError> {
+        let pool = WorkStealingPool::new(workers);
+        self.run_parallel_with(clock, backend, mode, policy, estimator, &pool)
+    }
+
+    /// [`Runner::run_parallel_on`] against a caller-owned pool: the
+    /// resident workers are reused across frames (and across runs, when
+    /// the caller keeps the pool alive) instead of being spawned per run.
+    /// The determinism contract is identical — the pool only executes
+    /// phase-1 kernels, never anything a quality decision depends on.
+    ///
+    /// # Errors
+    ///
+    /// See [`Runner::run_parallel_on`].
+    pub fn run_parallel_with(
+        &mut self,
+        clock: &mut dyn Clock,
+        backend: &mut dyn ExecBackend,
+        mode: Mode,
+        policy: &mut dyn QualityPolicy,
+        mut estimator: Option<&mut dyn AvgEstimator>,
+        pool: &WorkStealingPool,
     ) -> Result<StreamResult, SimError> {
         // The whole-stream driver is a thin loop over the frame-stepping
         // seam (see [`stepper`]): the multi-stream server drives the same
         // steps, so "served" and "alone" are the same computation.
-        let pool = WorkStealingPool::new(workers);
         let mut st = self.start_parallel(mode)?;
         while self.next_parallel_frame(&mut st, clock, policy, &mut estimator)? {
             // Phase 1: speculative wavefront execution. Kernels run as

@@ -108,6 +108,38 @@ impl ParallelStream {
     pub fn committed_frames(&self) -> usize {
         self.records.iter().flatten().filter(|r| !r.skipped).count()
     }
+
+    /// Earliest stream time at which this stream can make progress — the
+    /// deadline-driven tick seam of a multi-stream server.
+    ///
+    /// Returns the time the next [`Runner::next_parallel_frame`] call
+    /// would start encoding at: *now* when a frame is already pending or
+    /// buffered, the next camera arrival when the pipeline is idle, and
+    /// `None` when the stream is exhausted (the next
+    /// [`Runner::next_parallel_frame`] returns `false`). A server steps
+    /// whichever streams have the minimal ready time, so a fast stream
+    /// never waits on a slow one's frame clock.
+    #[must_use]
+    pub fn next_ready_time(&self, clock: &mut dyn Clock) -> Option<Cycles> {
+        let now = clock.now();
+        if self.pending.is_some() || self.pipe.waiting() > 0 {
+            return Some(now);
+        }
+        if self.pipe.is_exhausted() {
+            return None;
+        }
+        self.pipe.next_arrival_time().map(|t| t.max(now))
+    }
+
+    /// Camera frames delivered (encoded or skipped) so far — the length a
+    /// detached stream's result is truncated to.
+    #[must_use]
+    pub fn delivered_frames(&self) -> usize {
+        self.records
+            .iter()
+            .rposition(Option::is_some)
+            .map_or(0, |i| i + 1)
+    }
 }
 
 /// An immutable, [`Sync`] view of one pending frame's kernel DAG:
@@ -378,6 +410,25 @@ impl<A: ParallelApp> Runner<A> {
     /// the speculation seed and diagnostics back on the runner, and
     /// returns the stream's result.
     pub fn finish_parallel(&mut self, st: ParallelStream, policy_name: &str) -> StreamResult {
+        self.last_spec = Some(st.spec_q);
+        self.spec_hits += st.hits;
+        self.spec_misses += st.misses;
+        self.collect_result(policy_name, st.records)
+    }
+
+    /// Closes a stepped run that is being *detached* mid-stream: the
+    /// result covers only the frames delivered while the stream was
+    /// attached (encoded or genuinely skipped), instead of marking the
+    /// entire undelivered tail as skips the way [`Runner::finish_parallel`]
+    /// would. A pending (prepared but uncommitted) frame is discarded.
+    pub fn finish_parallel_truncated(
+        &mut self,
+        mut st: ParallelStream,
+        policy_name: &str,
+    ) -> StreamResult {
+        let delivered = st.delivered_frames();
+        st.records.truncate(delivered);
+        st.pending = None;
         self.last_spec = Some(st.spec_q);
         self.spec_hits += st.hits;
         self.spec_misses += st.misses;

@@ -15,7 +15,10 @@
 //! * [`parallel`] — the deterministic parallel frame executor: the
 //!   [`ParallelApp`] kernel/apply contract and the speculative wavefront
 //!   machinery behind [`crate::runner::Runner::run_parallel_on`], driven
-//!   by the hand-rolled [`WorkStealingPool`].
+//!   by the hand-rolled [`WorkStealingPool`] — an owner of *resident*
+//!   worker threads that park between jobs, so repeated per-frame DAG
+//!   submissions (a serving session's tick loop) pay thread creation
+//!   once, not per frame.
 //!
 //! [`crate::runner::Runner::run_on`] accepts any (clock, backend) pair;
 //! the legacy [`crate::runner::Runner::run`] is the virtual-clock,

@@ -1,4 +1,5 @@
-//! A hand-rolled work-stealing executor for task DAGs.
+//! A hand-rolled work-stealing executor for task DAGs, with *resident*
+//! worker threads.
 //!
 //! The build environment has no access to `crossbeam`/`rayon`, so this
 //! module implements the classic scheme locally with std primitives: one
@@ -8,25 +9,40 @@
 //! graph; completing a task decrements its successors' pending counts and
 //! enqueues the ones that reach zero on the completing worker's own deque.
 //!
-//! Workers are spawned per [`WorkStealingPool::run_dag`] call via
-//! [`std::thread::scope`], which keeps the API free of `unsafe` lifetime
-//! laundering: the task closure may borrow the caller's stack. Spawn cost
-//! is a few tens of microseconds per worker — negligible against a frame
-//! of macroblock kernels, which is the intended granularity.
+//! # Ownership model: resident workers
 //!
-//! Idle workers *park* on a condvar rather than spinning: after a short
-//! bounded spin (to catch the common releases cheaply) a worker with no
-//! runnable task blocks until another worker publishes one, so a pool
-//! shared by several streams leaves its cores to whoever has work. The
-//! wakeup protocol is epoch-based — every task release bumps an epoch
-//! counter under the park mutex before notifying, and a parking worker
-//! re-checks for work after recording the epoch it saw — which makes lost
-//! wakeups impossible without timed waits.
+//! A pool built with [`WorkStealingPool::new`] *owns* its worker threads:
+//! they are spawned once at construction, park on a pool-level condvar
+//! between jobs, and are joined when the pool drops. Each
+//! [`WorkStealingPool::run_dag`] call is a *job*: the submitting thread
+//! publishes the job under the pool lock (bumping a job epoch so sleeping
+//! workers cannot miss it), participates as worker 0, and blocks until
+//! every resident worker that entered the job has left it again. That
+//! rendezvous is what lets the job closure borrow the caller's stack —
+//! the borrow provably outlives every access — at the price of one small
+//! `unsafe` type-erasure where the job crosses the thread boundary (see
+//! `Job`). Concurrent `run_dag` calls on one pool are serialized by a
+//! submit lock; the per-job work-stealing protocol is untouched.
+//!
+//! Keeping the workers resident removes the dominant fixed cost of the
+//! serving hot path: a multi-stream server executes one merged kernel DAG
+//! per tick, and spawning `workers − 1` OS threads for every tick costs
+//! tens of microseconds each — more than a small frame's kernels. The old
+//! spawn-per-call behaviour survives as [`WorkStealingPool::scoped`], kept
+//! as the benchmark baseline (`serve_smoke` gates resident vs. scoped).
+//!
+//! Idle workers *park* rather than spin, at both levels: between jobs a
+//! resident worker blocks on the pool condvar, and within a job a worker
+//! with no runnable task blocks on the job's own condvar after a short
+//! bounded spin. Both wakeup protocols are epoch-based — every event a
+//! sleeper may wait for bumps an epoch counter under the respective mutex
+//! before notifying — which makes lost wakeups impossible without timed
+//! waits.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// A fixed-width work-stealing pool executing dependency DAGs of indexed
 /// tasks.
@@ -46,17 +62,177 @@ use std::sync::{Condvar, Mutex};
 /// });
 /// assert_eq!(ran.load(Ordering::Relaxed), 4);
 /// ```
-#[derive(Debug, Clone)]
 pub struct WorkStealingPool {
     workers: usize,
+    /// Resident worker threads; `None` for [`WorkStealingPool::scoped`]
+    /// pools and single-worker pools (which run inline).
+    resident: Option<Resident>,
+}
+
+/// The owned side of a resident pool: shared handoff state plus the
+/// worker join handles (threads `1..workers`; the submitter is worker 0).
+struct Resident {
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// State shared between a resident pool's owner and its worker threads.
+struct PoolShared {
+    /// Serializes concurrent [`WorkStealingPool::run_dag`] calls: the
+    /// resident workers execute one job at a time.
+    submit: Mutex<()>,
+    state: Mutex<PoolState>,
+    /// Workers wait here for a new job epoch or shutdown.
+    job_cv: Condvar,
+    /// The submitter waits here for every entered worker to leave the job.
+    idle_cv: Condvar,
+}
+
+struct PoolState {
+    /// Bumped once per published job; a worker consumes an epoch at most
+    /// once, so a job is never entered twice by the same worker.
+    epoch: u64,
+    job: Option<Job>,
+    /// Resident workers currently inside `job.enter`.
+    active: usize,
+    shutdown: bool,
+}
+
+/// A type-erased job: a pointer to the submitting call's stack-allocated
+/// `DagRun` plus the monomorphized entry that knows its real type. Only
+/// workers with index `< participants` enter (the DAG may be narrower
+/// than the pool).
+#[derive(Clone, Copy)]
+struct Job {
+    data: *const (),
+    enter: unsafe fn(*const (), usize),
+    participants: usize,
+}
+
+// SAFETY: `data` points at the submitting thread's `DagRun`, which that
+// thread keeps alive for the whole job: `run_dag` publishes the job, runs
+// as worker 0, then clears the job slot and blocks until `active == 0` —
+// i.e. until every worker that dereferenced `data` has returned from
+// `enter`. No access can outlive the pointee, so moving the pointer to
+// the worker threads is sound.
+#[allow(unsafe_code)]
+unsafe impl Send for Job {}
+
+/// Monomorphized job entry: recovers the concrete `DagRun` type and runs
+/// the work-stealing worker loop on it.
+///
+/// # Safety
+///
+/// `data` must point to a live `DagRun<'_, F>` of exactly this `F`, and
+/// must remain valid until this call returns (guaranteed by the
+/// `run_dag` rendezvous described on [`Job`]).
+#[allow(unsafe_code)]
+unsafe fn enter_job<F: Fn(usize) + Sync>(data: *const (), w: usize) {
+    // SAFETY: the caller guarantees `data` is a live `DagRun<'_, F>` for
+    // the duration of this call; see the function's safety contract.
+    let dag: &DagRun<'_, F> = unsafe { &*data.cast() };
+    dag.worker(w);
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Poisoning cannot occur: every task panic is caught inside
+    // `DagRun::worker`, and nothing else panics while holding a lock.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl PoolShared {
+    /// The loop of one resident worker thread (index `me >= 1`): wait for
+    /// a job epoch, enter the job if participating, repeat until
+    /// shutdown.
+    fn worker_loop(&self, me: usize) {
+        let mut seen = 0u64;
+        loop {
+            let job = {
+                let mut s = lock(&self.state);
+                loop {
+                    if s.shutdown {
+                        return;
+                    }
+                    if s.epoch != seen {
+                        // Consume this epoch exactly once, whether or not
+                        // we participate (a job narrower than the pool
+                        // leaves high-index workers parked).
+                        seen = s.epoch;
+                        if let Some(job) = s.job {
+                            if me < job.participants {
+                                s.active += 1;
+                                break job;
+                            }
+                        }
+                        continue;
+                    }
+                    s = self
+                        .job_cv
+                        .wait(s)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+            };
+            // SAFETY: `active` was incremented under the state lock while
+            // the job slot still held this job, so the submitter cannot
+            // return from `run_dag` (and invalidate `job.data`) before we
+            // decrement it below.
+            #[allow(unsafe_code)]
+            unsafe {
+                (job.enter)(job.data, me);
+            }
+            let mut s = lock(&self.state);
+            s.active -= 1;
+            if s.active == 0 {
+                self.idle_cv.notify_all();
+            }
+        }
+    }
 }
 
 impl WorkStealingPool {
-    /// A pool with `workers` worker threads (clamped to at least 1).
+    /// A pool owning `workers` resident worker threads (clamped to at
+    /// least 1). The calling thread participates in every job as worker
+    /// 0, so `workers − 1` threads are spawned; a single-worker pool
+    /// spawns none and runs every DAG inline.
     #[must_use]
     pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let resident = (workers > 1).then(|| {
+            let shared = Arc::new(PoolShared {
+                submit: Mutex::new(()),
+                state: Mutex::new(PoolState {
+                    epoch: 0,
+                    job: None,
+                    active: 0,
+                    shutdown: false,
+                }),
+                job_cv: Condvar::new(),
+                idle_cv: Condvar::new(),
+            });
+            let handles = (1..workers)
+                .map(|w| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name(format!("fgqos-pool-{w}"))
+                        .spawn(move || shared.worker_loop(w))
+                        .expect("spawn pool worker")
+                })
+                .collect();
+            Resident { shared, handles }
+        });
+        WorkStealingPool { workers, resident }
+    }
+
+    /// A pool that spawns scoped threads per [`WorkStealingPool::run_dag`]
+    /// call instead of keeping residents — the pre-refactor behaviour,
+    /// kept as the benchmark baseline (`serve_smoke` gates resident vs.
+    /// scoped on the churn workload) and for callers that run DAGs too
+    /// rarely to amortize resident threads.
+    #[must_use]
+    pub fn scoped(workers: usize) -> Self {
         WorkStealingPool {
             workers: workers.max(1),
+            resident: None,
         }
     }
 
@@ -73,6 +249,13 @@ impl WorkStealingPool {
         self.workers
     }
 
+    /// Whether this pool keeps resident worker threads (vs. spawning
+    /// scoped threads per DAG).
+    #[must_use]
+    pub fn is_resident(&self) -> bool {
+        self.resident.is_some()
+    }
+
     /// Executes every task of a dependency DAG exactly once, respecting
     /// the edges: task `i` runs only after all its predecessors.
     ///
@@ -81,7 +264,8 @@ impl WorkStealingPool {
     /// task index, possibly concurrently from several workers; all writes
     /// made by a predecessor's `run` happen-before its successors' `run`.
     /// With a single worker the DAG is executed inline on the calling
-    /// thread (no spawn cost).
+    /// thread (no spawn or handoff cost). Concurrent calls on one pool
+    /// are serialized (the resident workers run one job at a time).
     ///
     /// # Panics
     ///
@@ -89,7 +273,7 @@ impl WorkStealingPool {
     /// counts are inconsistent, or if the graph is cyclic (some tasks
     /// could never become ready — rejected before any task runs). A
     /// panic inside `run` is propagated to the caller after the other
-    /// workers have drained.
+    /// workers have drained; the resident workers survive it.
     pub fn run_dag<F: Fn(usize) + Sync>(&self, indegree: &[usize], succs: &[Vec<usize>], run: F) {
         let n = indegree.len();
         assert_eq!(n, succs.len(), "indegree/succs length mismatch");
@@ -148,6 +332,8 @@ impl WorkStealingPool {
         }
         if workers == 1 {
             shared.worker(0);
+        } else if let Some(res) = &self.resident {
+            self.run_resident(res, &shared, workers);
         } else {
             std::thread::scope(|s| {
                 for w in 1..workers {
@@ -161,6 +347,78 @@ impl WorkStealingPool {
             panic!("a task panicked inside WorkStealingPool::run_dag");
         }
         debug_assert_eq!(shared.done.load(Ordering::Acquire), n);
+    }
+
+    /// Hands one job to the resident workers and participates as worker
+    /// 0. Returns only after the job slot is cleared and every entered
+    /// worker has left — the rendezvous that makes the borrowed `DagRun`
+    /// outlive all accesses (see [`Job`]).
+    fn run_resident<F: Fn(usize) + Sync>(
+        &self,
+        res: &Resident,
+        dag: &DagRun<'_, F>,
+        participants: usize,
+    ) {
+        let _submit = lock(&res.shared.submit);
+        {
+            let mut s = lock(&res.shared.state);
+            s.epoch += 1;
+            s.job = Some(Job {
+                data: std::ptr::from_ref(dag).cast(),
+                enter: enter_job::<F>,
+                participants,
+            });
+            res.shared.job_cv.notify_all();
+        }
+        dag.worker(0);
+        // The DAG is finished (or poisoned): entered workers are on their
+        // way out, workers that never woke must no longer enter.
+        let mut s = lock(&res.shared.state);
+        s.job = None;
+        while s.active > 0 {
+            s = res
+                .shared
+                .idle_cv
+                .wait(s)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+impl Clone for WorkStealingPool {
+    /// Clones the configuration, not the threads: a resident pool clones
+    /// to a fresh resident pool of the same width with its own workers.
+    fn clone(&self) -> Self {
+        if self.resident.is_some() {
+            Self::new(self.workers)
+        } else {
+            Self::scoped(self.workers)
+        }
+    }
+}
+
+impl std::fmt::Debug for WorkStealingPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkStealingPool")
+            .field("workers", &self.workers)
+            .field("resident", &self.resident.is_some())
+            .finish()
+    }
+}
+
+impl Drop for WorkStealingPool {
+    /// Clean shutdown: flag, wake every parked worker, join them all.
+    fn drop(&mut self) {
+        if let Some(res) = self.resident.take() {
+            {
+                let mut s = lock(&res.shared.state);
+                s.shutdown = true;
+                res.shared.job_cv.notify_all();
+            }
+            for h in res.handles {
+                let _ = h.join();
+            }
+        }
     }
 }
 
@@ -332,18 +590,24 @@ mod tests {
         assert_eq!(order, (0..n).collect::<Vec<_>>());
     }
 
-    /// A wide fan: all tasks run exactly once, across worker counts.
+    /// A wide fan: all tasks run exactly once, across worker counts, in
+    /// both ownership modes.
     #[test]
     fn fan_runs_every_task_once() {
         let n = 300;
         let succs = vec![Vec::new(); n];
         let indeg = vec![0usize; n];
         for workers in [1, 2, 5, 16] {
-            let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
-            WorkStealingPool::new(workers).run_dag(&indeg, &succs, |i| {
-                counts[i].fetch_add(1, Ordering::Relaxed);
-            });
-            assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+            for pool in [
+                WorkStealingPool::new(workers),
+                WorkStealingPool::scoped(workers),
+            ] {
+                let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+                pool.run_dag(&indeg, &succs, |i| {
+                    counts[i].fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+            }
         }
     }
 
@@ -434,8 +698,10 @@ mod tests {
         assert!(!ran.load(Ordering::Relaxed));
     }
 
+    /// A task panic propagates to the caller — and the resident workers
+    /// survive it: the same pool executes a clean DAG afterwards.
     #[test]
-    fn task_panic_propagates() {
+    fn task_panic_propagates_and_pool_survives() {
         let pool = WorkStealingPool::new(2);
         let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
             pool.run_dag(&[0, 0], &[vec![], vec![]], |i| {
@@ -445,6 +711,11 @@ mod tests {
             });
         }));
         assert!(err.is_err());
+        let ran = AtomicUsize::new(0);
+        pool.run_dag(&[0, 0, 0], &[vec![], vec![], vec![]], |_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 3);
     }
 
     #[test]
@@ -485,9 +756,10 @@ mod tests {
         assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
     }
 
-    /// Concurrent `run_dag` calls on one pool value (each call spawns its
-    /// own scoped workers): parking in one run must not interfere with
-    /// another — the regime of a stream server sharing pool width.
+    /// Concurrent `run_dag` calls on one pool value: the submit lock
+    /// serializes the jobs onto the resident workers, and every call
+    /// still executes its whole DAG — the regime of several threads
+    /// sharing one server pool.
     #[test]
     fn independent_runs_do_not_interfere() {
         let pool = WorkStealingPool::new(4);
@@ -510,5 +782,64 @@ mod tests {
             }
         });
         assert_eq!(total.load(Ordering::Relaxed), 3 * 64);
+    }
+
+    /// Many jobs back to back on one resident pool: the epoch handoff
+    /// must not miss or double-run a job even when workers race the
+    /// submitter's job-slot clear.
+    #[test]
+    fn repeated_jobs_reuse_the_resident_workers() {
+        let pool = WorkStealingPool::new(4);
+        assert!(pool.is_resident());
+        for round in 0..200 {
+            let n = 1 + round % 7;
+            let succs = vec![Vec::new(); n];
+            let indeg = vec![0usize; n];
+            let ran = AtomicUsize::new(0);
+            pool.run_dag(&indeg, &succs, |_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(ran.load(Ordering::Relaxed), n);
+        }
+    }
+
+    /// Narrow jobs leave the spare residents parked; a following wide job
+    /// must still reach them through the epoch bump.
+    #[test]
+    fn narrow_then_wide_jobs_wake_all_residents() {
+        let pool = WorkStealingPool::new(8);
+        for _ in 0..50 {
+            let ran = AtomicUsize::new(0);
+            pool.run_dag(&[0, 0], &[vec![], vec![]], |_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(ran.load(Ordering::Relaxed), 2);
+            let n = 64;
+            let succs = vec![Vec::new(); n];
+            let indeg = vec![0usize; n];
+            let ran = AtomicUsize::new(0);
+            pool.run_dag(&indeg, &succs, |_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(ran.load(Ordering::Relaxed), n);
+        }
+    }
+
+    /// Dropping a pool joins its workers; cloning builds fresh ones.
+    #[test]
+    fn drop_and_clone_are_clean() {
+        let pool = WorkStealingPool::new(3);
+        let clone = pool.clone();
+        assert!(clone.is_resident());
+        assert_eq!(clone.workers(), 3);
+        drop(pool);
+        let ran = AtomicUsize::new(0);
+        clone.run_dag(&[0, 0], &[vec![], vec![]], |_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 2);
+        let scoped = WorkStealingPool::scoped(4);
+        assert!(!scoped.is_resident());
+        assert!(!scoped.clone().is_resident());
     }
 }

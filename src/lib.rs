@@ -91,8 +91,9 @@ pub mod prelude {
         TableQuery,
     };
     pub use fgqos_serve::{
-        AdmissionController, AdmissionDecision, CeilingPolicy, ChannelSource, FrameProducer,
-        FrameSource, PacedSource, ServeReport, StreamServer, StreamSpec, TraceSource,
+        AdmissionController, AdmissionDecision, CeilingPolicy, ChannelSource, ChurnAction,
+        ChurnEvent, ChurnStorm, FrameProducer, FrameSource, LifecycleCounts, PacedSource,
+        ServeReport, StreamServer, StreamSession, StreamSpec, TraceSource,
     };
     pub use fgqos_sim::app::{TableApp, VideoApp};
     pub use fgqos_sim::runner::{

@@ -197,6 +197,154 @@ fn overloaded_server_serves_high_priority_adversarial_streams_safely() {
     assert!(adm.granted_utilization() <= adm.capacity() + 1e-9);
 }
 
+/// Runs the paper-default churn storm (Poisson arrivals, heavy-tailed
+/// lifetimes, a flash crowd, mid-life detaches) on a session over
+/// `workers` resident pool threads.
+fn run_storm(workers: usize, capacity: f64, seed: u64) -> ServeReport {
+    use fine_grain_qos::sim::exec::StochasticLoad;
+    let server = StreamServer::with_capacity(workers, capacity);
+    let mut session = server.session(
+        |scenario, _spec| TableApp::with_macroblocks(scenario, MB),
+        |spec: &StreamSpec| {
+            Box::new(ModelBackend::new(StochasticLoad::new(spec.seed))) as Box<dyn ExecBackend>
+        },
+    );
+    session
+        .run_script(ChurnStorm::paper_default(seed).events())
+        .unwrap();
+    session.run_to_completion().unwrap();
+    session.finish()
+}
+
+#[test]
+fn churn_storm_is_byte_identical_across_worker_counts() {
+    // An overloaded storm: 18 arrivals against 3 cores, so admissions,
+    // rejections, parked streams and release-driven re-admissions all
+    // occur — and none of it may depend on the pool width.
+    let reference = run_storm(1, 3.0, 5);
+    let adm = reference.admission();
+    assert!(
+        adm.lifecycle().detached > 0,
+        "storm should detach streams mid-life"
+    );
+    assert!(
+        adm.lifecycle().readmitted + adm.lifecycle().upgraded > 0,
+        "departures should re-admit or upgrade someone"
+    );
+
+    for workers in [2usize, 8] {
+        let report = run_storm(workers, 3.0, 5);
+        assert_eq!(
+            report.admission().sequence(),
+            adm.sequence(),
+            "admission log diverged at {workers} workers"
+        );
+        assert_eq!(report.admission().lifecycle(), adm.lifecycle());
+        assert_eq!(report.ticks(), reference.ticks());
+        assert_eq!(report.outcomes().len(), reference.outcomes().len());
+        for (a, b) in reference.outcomes().iter().zip(report.outcomes()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.decision, b.decision, "stream {}", a.name);
+            assert_eq!(a.detached, b.detached, "stream {}", a.name);
+            match (&a.result, &b.result) {
+                (Some(ra), Some(rb)) => {
+                    assert_eq!(ra.frames(), rb.frames(), "stream {} diverged", a.name);
+                    assert_eq!(ra.label(), rb.label());
+                }
+                (None, None) => {}
+                _ => panic!("stream {} ran in one configuration only", a.name),
+            }
+        }
+    }
+}
+
+#[test]
+fn detaching_a_hog_readmits_degraded_streams_in_priority_order() {
+    use fine_grain_qos::sim::exec::StochasticLoad;
+    // 2.1 cores: the p9 hog admits at full (~1.37); the p5 stream
+    // degrades into the ~0.73 remainder (q2 ceiling); the p1 stream
+    // finds no room and parks.
+    let server = StreamServer::with_capacity(2, 2.1);
+    let mut session = server.session(
+        |scenario, _spec| TableApp::with_macroblocks(scenario, MB),
+        |spec: &StreamSpec| {
+            Box::new(ModelBackend::new(StochasticLoad::new(spec.seed))) as Box<dyn ExecBackend>
+        },
+    );
+    let spec = |name: &str, priority: u8, seed: u64| {
+        StreamSpec::new(
+            name,
+            priority,
+            seed,
+            config(),
+            Box::new(PacedSource::new(
+                LoadScenario::paper_benchmark(seed).truncated(16),
+            )),
+        )
+    };
+    assert_eq!(
+        session.attach(spec("hog", 9, 6)).unwrap(),
+        AdmissionDecision::Admit
+    );
+    assert!(matches!(
+        session.attach(spec("mid", 5, 7)).unwrap(),
+        AdmissionDecision::Degrade(_)
+    ));
+    assert_eq!(
+        session.attach(spec("low", 1, 8)).unwrap(),
+        AdmissionDecision::Reject
+    );
+    assert_eq!(session.waiting(), 1);
+
+    for _ in 0..5 {
+        assert!(session.step().unwrap());
+    }
+    session.detach("hog").unwrap();
+
+    // Priority order: the freed ~1.37 cores go to p5 first (upgraded to
+    // a full admit), and only the remainder to p1, which re-admits
+    // degraded — not the other way around.
+    assert_eq!(session.waiting(), 0, "the parked stream must re-admit");
+    let adm = session.admission();
+    assert_eq!(adm.lifecycle().upgraded, 1);
+    assert_eq!(adm.lifecycle().readmitted, 1);
+    let seq = adm.sequence();
+    assert_eq!(
+        seq[1].1,
+        AdmissionDecision::Admit,
+        "p5 takes the hog's cores"
+    );
+    assert!(
+        matches!(seq[2].1, AdmissionDecision::Degrade(_)),
+        "p1 re-admits into the remainder, not ahead of p5"
+    );
+
+    session.run_to_completion().unwrap();
+    let report = session.finish();
+    assert_eq!(
+        report.outcome("mid").unwrap().decision,
+        AdmissionDecision::Admit
+    );
+    // When `mid` later finishes naturally, its release upgrades `low`
+    // once more: the final grant is a full admit.
+    assert_eq!(
+        report.outcome("low").unwrap().decision,
+        AdmissionDecision::Admit
+    );
+    assert_eq!(report.admission().lifecycle().upgraded, 2);
+    // Everyone who ran kept the paper's guarantees throughout.
+    assert!(report.all_safe());
+    for outcome in report.outcomes() {
+        if let Some(result) = &outcome.result {
+            assert_eq!(result.misses(), 0, "{}", outcome.name);
+        }
+    }
+    // The detached hog's result covers only its delivered frames.
+    let hog = report.outcome("hog").unwrap();
+    assert!(hog.detached);
+    assert!(hog.result.as_ref().unwrap().frames().len() < 16);
+}
+
 #[test]
 fn trace_and_channel_sources_serve_identically_to_paced() {
     let scenario = LoadScenario::paper_benchmark(77).truncated(20);
