@@ -1,0 +1,199 @@
+//! Encoder kernel costs: the vectorized hot paths against the scalar
+//! references they replaced.
+//!
+//! * `dct_forward` / `dct_inverse` — the LUT-basis fixed-lane transforms
+//!   vs [`fgqos_encoder::dct::forward_reference`] /
+//!   [`fgqos_encoder::dct::inverse_reference`] (per-multiply `cos()`),
+//!   which remain in tree as the bit-identity oracle;
+//! * `quant_roundtrip` — the DC-peeled branch-free quantizer loops vs a
+//!   local copy of the original per-element branchy form;
+//! * `motion_search` — the allocation-free bounded-SAD search vs a local
+//!   copy of the original `Vec`-ring, exhaustive-SAD search, on noise
+//!   frames (worst case: early exit never fires) and correlated frames
+//!   (typical case).
+//!
+//! The smoke gate lives in `bench_smoke` (`BENCH_kernels.json`); this
+//! bench is the statistically careful version of the same comparisons.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fgqos_encoder::dct;
+use fgqos_encoder::frame::{sad, Frame};
+use fgqos_encoder::motion::{search, MotionResult, EARLY_EXIT_SAD};
+use fgqos_encoder::quant::{dequantize, quantize};
+
+fn lcg(seed: &mut u64) -> u64 {
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *seed >> 33
+}
+
+fn residual_blocks(count: usize) -> Vec<[i16; 64]> {
+    let mut seed = 0xce11_u64;
+    (0..count)
+        .map(|_| {
+            let mut b = [0i16; 64];
+            for v in &mut b {
+                *v = (lcg(&mut seed) % 511) as i16 - 255;
+            }
+            b
+        })
+        .collect()
+}
+
+fn noise_frame(w: usize, h: usize, seed: &mut u64) -> Frame {
+    let mut f = Frame::new(w, h);
+    for p in f.data_mut() {
+        *p = lcg(seed) as u8;
+    }
+    f
+}
+
+/// The pre-optimization search, verbatim: `Vec`-collected rings and an
+/// exhaustive SAD per candidate.
+fn search_reference(
+    current: &Frame,
+    reference: &Frame,
+    ox: usize,
+    oy: usize,
+    radius: i32,
+) -> MotionResult {
+    fn ring(r: i32) -> Vec<(i32, i32)> {
+        if r == 0 {
+            return vec![(0, 0)];
+        }
+        let mut out = Vec::with_capacity((8 * r) as usize);
+        for d in -r..=r {
+            out.push((d, -r));
+            out.push((d, r));
+        }
+        for d in (-r + 1)..r {
+            out.push((-r, d));
+            out.push((r, d));
+        }
+        out
+    }
+    let target = current.block(ox, oy);
+    let mut best = MotionResult {
+        mv: (0, 0),
+        sad: u32::MAX,
+        evaluations: 0,
+    };
+    'rings: for r in 0..=radius {
+        for (dx, dy) in ring(r) {
+            let cand = reference.block_clamped(ox as i32 + dx, oy as i32 + dy);
+            let s = sad(&target, &cand);
+            best.evaluations += 1;
+            if s < best.sad || (s == best.sad && (dx, dy) < best.mv) {
+                best.sad = s;
+                best.mv = (dx, dy);
+            }
+            if best.sad <= EARLY_EXIT_SAD {
+                break 'rings;
+            }
+        }
+    }
+    best
+}
+
+fn bench_dct(c: &mut Criterion) {
+    let blocks = residual_blocks(64);
+    let coeffs: Vec<[f32; 64]> = blocks.iter().map(dct::forward).collect();
+    let mut g = c.benchmark_group("kernels_dct");
+    g.bench_function("forward", |b| {
+        b.iter(|| {
+            for blk in &blocks {
+                std::hint::black_box(dct::forward(blk));
+            }
+        });
+    });
+    g.bench_function("forward_reference", |b| {
+        b.iter(|| {
+            for blk in &blocks {
+                std::hint::black_box(dct::forward_reference(blk));
+            }
+        });
+    });
+    g.bench_function("inverse", |b| {
+        b.iter(|| {
+            for cf in &coeffs {
+                std::hint::black_box(dct::inverse(cf));
+            }
+        });
+    });
+    g.bench_function("inverse_reference", |b| {
+        b.iter(|| {
+            for cf in &coeffs {
+                std::hint::black_box(dct::inverse_reference(cf));
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_quant(c: &mut Criterion) {
+    let blocks = residual_blocks(64);
+    let coeffs: Vec<[f32; 64]> = blocks.iter().map(dct::forward).collect();
+    let mut g = c.benchmark_group("kernels_quant");
+    g.bench_function("roundtrip", |b| {
+        b.iter(|| {
+            for cf in &coeffs {
+                let q = quantize(cf, 12);
+                std::hint::black_box(dequantize(&q, 12));
+            }
+        });
+    });
+    g.bench_function("roundtrip_reference", |b| {
+        b.iter(|| {
+            for cf in &coeffs {
+                // The original per-element branchy formulation.
+                let mut q = [0i16; 64];
+                for (i, (o, &cv)) in q.iter_mut().zip(cf.iter()).enumerate() {
+                    let step = if i == 0 { 12.0f32 } else { 24.0 };
+                    *o = (cv / step).round().clamp(-2048.0, 2048.0) as i16;
+                }
+                let mut d = [0f32; 64];
+                for (i, (o, &l)) in d.iter_mut().zip(q.iter()).enumerate() {
+                    let step = if i == 0 { 12.0f32 } else { 24.0 };
+                    *o = f32::from(l) * step;
+                }
+                std::hint::black_box(d);
+            }
+        });
+    });
+    g.finish();
+}
+
+fn bench_motion(c: &mut Criterion) {
+    let mut seed = 0x0b07_u64;
+    let noise_cur = noise_frame(128, 96, &mut seed);
+    let noise_ref = noise_frame(128, 96, &mut seed);
+    let mut g = c.benchmark_group("kernels_motion");
+    for radius in [4i32, 16] {
+        g.bench_with_input(BenchmarkId::new("search", radius), &radius, |b, &r| {
+            b.iter(|| {
+                for mb in [0usize, 21, 47] {
+                    let (ox, oy) = noise_cur.mb_origin(mb);
+                    std::hint::black_box(search(&noise_cur, &noise_ref, ox, oy, r));
+                }
+            });
+        });
+        g.bench_with_input(
+            BenchmarkId::new("search_reference", radius),
+            &radius,
+            |b, &r| {
+                b.iter(|| {
+                    for mb in [0usize, 21, 47] {
+                        let (ox, oy) = noise_cur.mb_origin(mb);
+                        std::hint::black_box(search_reference(&noise_cur, &noise_ref, ox, oy, r));
+                    }
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dct, bench_quant, bench_motion);
+criterion_main!(benches);

@@ -329,8 +329,15 @@ impl EncoderApp {
 
     fn run_grab(&self, st: &mut MbState, mb: usize) -> u64 {
         let (ox, oy) = self.mb_origin(mb);
+        // Reset in place but keep the stream's heap allocation from the
+        // previous frame — a cleared `Vec` compares equal to a fresh
+        // one, so snapshots (and speculation re-validation) see the
+        // exact state the full reset produced.
+        let mut stream = std::mem::take(&mut st.stream);
+        stream.clear();
         *st = MbState {
             target: self.source.block(ox, oy),
+            stream,
             ..MbState::default()
         };
         timing::grab_cycles()
@@ -400,7 +407,9 @@ impl EncoderApp {
     }
 
     fn run_compress(&self, st: &mut MbState) -> u64 {
-        let mut w = BitWriter::new();
+        // Round-trip the macroblock's stream buffer through the writer
+        // so steady-state compression allocates nothing.
+        let mut w = BitWriter::from_vec(std::mem::take(&mut st.stream));
         // 1 mode bit + MV for inter blocks + 4 coefficient blocks.
         w.put_bit(matches!(st.mode, MbMode::Inter));
         if matches!(st.mode, MbMode::Inter) {
@@ -489,19 +498,22 @@ impl VideoApp for EncoderApp {
         // quality index is implicit in the motion search already done.
         debug_assert_eq!(frame, self.frame_idx);
         let db = psnr(&self.source, &self.recon);
-        self.last_frame_streams = self
-            .mb_states
-            .iter()
-            .map(|m| {
-                m.lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .stream
-                    .clone()
-            })
-            .collect();
+        // Copy the finished streams into per-macroblock buffers that
+        // persist across frames (outer and inner allocations reused).
+        self.last_frame_streams
+            .resize_with(self.mb_states.len(), Vec::new);
+        for (out, m) in self.last_frame_streams.iter_mut().zip(&self.mb_states) {
+            let st = m.lock().unwrap_or_else(PoisonError::into_inner);
+            out.clear();
+            out.extend_from_slice(&st.stream);
+        }
         self.last_frame_qp = self.qp;
-        self.prev_reference = std::mem::replace(&mut self.reference, self.recon.clone());
-        self.displayed = self.recon.clone();
+        // Rotate the frame planes without reallocating: the old
+        // reference becomes the previous reference, and the recon pixels
+        // are copied over the (recycled) plane it displaced.
+        std::mem::swap(&mut self.prev_reference, &mut self.reference);
+        self.reference.data_mut().copy_from_slice(self.recon.data());
+        self.displayed.data_mut().copy_from_slice(self.recon.data());
         self.has_reference = true;
         self.frames_encoded += 1;
         self.rc.end_frame(self.frame_bits);

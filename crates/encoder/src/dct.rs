@@ -1,16 +1,234 @@
 //! 8×8 forward and inverse discrete cosine transform.
 //!
 //! Separable float implementation of the type-II DCT used by MPEG-class
-//! codecs, with orthonormal scaling so `idct(dct(x)) == x` up to rounding.
+//! codecs, with orthonormal scaling so `idct(dct(x)) == x` exactly for
+//! the ±255 residual range (rounding absorbs the float error — see the
+//! golden round-trip test).
+//!
+//! # Hot-path layout
+//!
+//! The basis cosines and orthonormal scale factors are *pinned* compile-
+//! time constants ([`f32::from_bits`] literals bit-identical to the
+//! `cos()`-derived values of the original scalar code), so the transform
+//! never calls libm and cannot drift across math-library versions. Each
+//! pass accumulates all eight outputs of a row/column in lockstep over
+//! fixed-width `[f32; 8]` lanes — per-output operation order is unchanged
+//! from the scalar reference (bit-identical results, verified in tests),
+//! but the compiler can keep the lanes in vector registers. The original
+//! per-multiply-`cos()` implementation is kept as
+//! [`forward_reference`]/[`inverse_reference`] for equivalence tests and
+//! the before/after kernel microbench.
 
 /// Transform block edge (8×8 like MPEG-4; a 16×16 macroblock holds four
 /// luma blocks).
 pub const BLOCK: usize = 8;
 
+const fn b(bits: u32) -> f32 {
+    f32::from_bits(bits)
+}
+
+/// `BASIS[u][x] = cos(π·(2x+1)·u/16)`, bit-identical to the values the
+/// reference implementation computes through `f32` `cos()`.
+const BASIS: [[f32; BLOCK]; BLOCK] = [
+    [
+        b(0x3F80_0000),
+        b(0x3F80_0000),
+        b(0x3F80_0000),
+        b(0x3F80_0000),
+        b(0x3F80_0000),
+        b(0x3F80_0000),
+        b(0x3F80_0000),
+        b(0x3F80_0000),
+    ],
+    [
+        b(0x3F7B_14BE),
+        b(0x3F54_DB31),
+        b(0x3F0E_39D9),
+        b(0x3E47_C5BC),
+        b(0xBE47_C5C2),
+        b(0xBF0E_39DC),
+        b(0xBF54_DB32),
+        b(0xBF7B_14BF),
+    ],
+    [
+        b(0x3F6C_835E),
+        b(0x3EC3_EF15),
+        b(0xBEC3_EF18),
+        b(0xBF6C_8360),
+        b(0xBF6C_835E),
+        b(0xBEC3_EF0B),
+        b(0x3EC3_EF1B),
+        b(0x3F6C_835F),
+    ],
+    [
+        b(0x3F54_DB31),
+        b(0xBE47_C5C2),
+        b(0xBF7B_14BF),
+        b(0xBF0E_39D6),
+        b(0x3F0E_39D7),
+        b(0x3F7B_14BE),
+        b(0x3E47_C5B1),
+        b(0xBF54_DB34),
+    ],
+    [
+        b(0x3F35_04F3),
+        b(0xBF35_04F3),
+        b(0xBF35_04F1),
+        b(0x3F35_04F7),
+        b(0x3F35_04F3),
+        b(0xBF35_04FB),
+        b(0xBF35_04EF),
+        b(0x3F35_04F4),
+    ],
+    [
+        b(0x3F0E_39D9),
+        b(0xBF7B_14BF),
+        b(0x3E47_C5C8),
+        b(0x3F54_DB2D),
+        b(0xBF54_DB34),
+        b(0xBE47_C57C),
+        b(0x3F7B_14BF),
+        b(0xBF0E_39D7),
+    ],
+    [
+        b(0x3EC3_EF15),
+        b(0xBF6C_835E),
+        b(0x3F6C_8362),
+        b(0xBEC3_EF25),
+        b(0xBEC3_EF23),
+        b(0x3F6C_835B),
+        b(0xBF6C_8362),
+        b(0x3EC3_EF25),
+    ],
+    [
+        b(0x3E47_C5BC),
+        b(0xBF0E_39D6),
+        b(0x3F54_DB2D),
+        b(0xBF7B_14BD),
+        b(0x3F7B_14BE),
+        b(0xBF54_DB3A),
+        b(0x3F0E_39E9),
+        b(0xBE47_C596),
+    ],
+];
+
+/// `BASIS_T[x][u] = BASIS[u][x]`: transposed for unit-stride access when
+/// the eight frequency outputs `u` are the vector lane.
+const BASIS_T: [[f32; BLOCK]; BLOCK] = transpose(BASIS);
+
+/// Orthonormal scale: `√(1/8)` for `u = 0`, `√(2/8)` otherwise — pinned
+/// like [`BASIS`].
+const SCALE: [f32; BLOCK] = [
+    b(0x3EB5_04F3),
+    b(0x3F00_0000),
+    b(0x3F00_0000),
+    b(0x3F00_0000),
+    b(0x3F00_0000),
+    b(0x3F00_0000),
+    b(0x3F00_0000),
+    b(0x3F00_0000),
+];
+
+const fn transpose(m: [[f32; BLOCK]; BLOCK]) -> [[f32; BLOCK]; BLOCK] {
+    let mut out = [[0f32; BLOCK]; BLOCK];
+    let mut i = 0;
+    while i < BLOCK {
+        let mut j = 0;
+        while j < BLOCK {
+            out[j][i] = m[i][j];
+            j += 1;
+        }
+        i += 1;
+    }
+    out
+}
+
 /// Forward 8×8 DCT of a residual block (row-major `i16`, range roughly
 /// ±255 after prediction). Returns coefficients as `f32`.
+///
+/// Bit-identical to [`forward_reference`]: the lane restructuring only
+/// hoists loop-invariant loads — every output still accumulates its
+/// terms in the same order.
 #[must_use]
 pub fn forward(input: &[i16; BLOCK * BLOCK]) -> [f32; BLOCK * BLOCK] {
+    let mut tmp = [0f32; BLOCK * BLOCK];
+    let mut out = [0f32; BLOCK * BLOCK];
+    // Rows: all 8 frequency outputs of one row accumulate in lockstep.
+    for y in 0..BLOCK {
+        let row = &input[y * BLOCK..y * BLOCK + BLOCK];
+        let mut acc = [0f32; BLOCK];
+        for x in 0..BLOCK {
+            let s = f32::from(row[x]);
+            let basis = &BASIS_T[x];
+            for u in 0..BLOCK {
+                acc[u] += s * basis[u];
+            }
+        }
+        for u in 0..BLOCK {
+            tmp[y * BLOCK + u] = acc[u] * SCALE[u];
+        }
+    }
+    // Columns: one output row `v` at a time, `u` as the lane.
+    for v in 0..BLOCK {
+        let mut acc = [0f32; BLOCK];
+        for y in 0..BLOCK {
+            let by = BASIS[v][y];
+            let trow = &tmp[y * BLOCK..y * BLOCK + BLOCK];
+            for u in 0..BLOCK {
+                acc[u] += trow[u] * by;
+            }
+        }
+        let sv = SCALE[v];
+        for u in 0..BLOCK {
+            out[v * BLOCK + u] = acc[u] * sv;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT back to spatial residuals (`i16`).
+///
+/// Bit-identical to [`inverse_reference`] (same per-output term order
+/// and association, `(scale·coeff)·basis`).
+#[must_use]
+pub fn inverse(coeffs: &[f32; BLOCK * BLOCK]) -> [i16; BLOCK * BLOCK] {
+    let mut tmp = [0f32; BLOCK * BLOCK];
+    let mut out = [0i16; BLOCK * BLOCK];
+    // Columns: one spatial row `y` at a time, `u` as the lane.
+    for y in 0..BLOCK {
+        let mut acc = [0f32; BLOCK];
+        for v in 0..BLOCK {
+            let sv = SCALE[v];
+            let bv = BASIS[v][y];
+            let crow = &coeffs[v * BLOCK..v * BLOCK + BLOCK];
+            for u in 0..BLOCK {
+                acc[u] += sv * crow[u] * bv;
+            }
+        }
+        tmp[y * BLOCK..y * BLOCK + BLOCK].copy_from_slice(&acc);
+    }
+    // Rows: all 8 spatial outputs of one row accumulate in lockstep.
+    for y in 0..BLOCK {
+        let mut acc = [0f32; BLOCK];
+        for u in 0..BLOCK {
+            let t = SCALE[u] * tmp[y * BLOCK + u];
+            let basis = &BASIS[u];
+            for x in 0..BLOCK {
+                acc[x] += t * basis[x];
+            }
+        }
+        for x in 0..BLOCK {
+            out[y * BLOCK + x] = acc[x].round().clamp(-4096.0, 4096.0) as i16;
+        }
+    }
+    out
+}
+
+/// Reference scalar forward DCT: the original per-multiply-`cos()`
+/// implementation, kept for equivalence tests and the before/after
+/// kernel microbench.
+#[must_use]
+pub fn forward_reference(input: &[i16; BLOCK * BLOCK]) -> [f32; BLOCK * BLOCK] {
     let mut tmp = [0f32; BLOCK * BLOCK];
     let mut out = [0f32; BLOCK * BLOCK];
     // Rows.
@@ -36,9 +254,9 @@ pub fn forward(input: &[i16; BLOCK * BLOCK]) -> [f32; BLOCK * BLOCK] {
     out
 }
 
-/// Inverse 8×8 DCT back to spatial residuals (`i16`).
+/// Reference scalar inverse DCT (see [`forward_reference`]).
 #[must_use]
-pub fn inverse(coeffs: &[f32; BLOCK * BLOCK]) -> [i16; BLOCK * BLOCK] {
+pub fn inverse_reference(coeffs: &[f32; BLOCK * BLOCK]) -> [i16; BLOCK * BLOCK] {
     let mut tmp = [0f32; BLOCK * BLOCK];
     let mut out = [0i16; BLOCK * BLOCK];
     // Columns.
@@ -124,6 +342,75 @@ mod tests {
         assert!((c[0] - 512.0).abs() < 0.01, "DC = {}", c[0]);
         for (i, &v) in c.iter().enumerate().skip(1) {
             assert!(v.abs() < 0.01, "AC[{i}] = {v}");
+        }
+    }
+
+    #[test]
+    fn lut_is_bit_identical_to_the_cos_derived_values() {
+        for u in 0..BLOCK {
+            for x in 0..BLOCK {
+                assert_eq!(
+                    BASIS[u][x].to_bits(),
+                    basis(x, u).to_bits(),
+                    "BASIS[{u}][{x}]"
+                );
+                assert_eq!(BASIS_T[x][u].to_bits(), BASIS[u][x].to_bits());
+            }
+            assert_eq!(SCALE[u].to_bits(), scale(u).to_bits(), "SCALE[{u}]");
+        }
+    }
+
+    /// Deterministic pseudo-random residual in the full ±255 range.
+    fn lcg_block(seed: &mut u64) -> [i16; 64] {
+        let mut out = [0i16; 64];
+        for v in out.iter_mut() {
+            *seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *v = ((*seed >> 33) % 511) as i16 - 255;
+        }
+        out
+    }
+
+    #[test]
+    fn vectorized_transforms_match_the_scalar_reference_bit_for_bit() {
+        let mut seed = 0x5eed_cafe_u64;
+        for _ in 0..64 {
+            let input = lcg_block(&mut seed);
+            let f_new = forward(&input);
+            let f_ref = forward_reference(&input);
+            for (i, (a, b)) in f_new.iter().zip(f_ref.iter()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "forward coeff {i}");
+            }
+            assert_eq!(inverse(&f_new), inverse_reference(&f_ref));
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact_for_the_full_residual_range() {
+        // Impulses at every position across the whole ±255 magnitude
+        // range, the extreme constant blocks, and random dense blocks:
+        // `idct(dct(x))` must reproduce `x` *exactly* — the float error
+        // of the orthonormal 8×8 transform stays below the rounding
+        // threshold everywhere in the residual domain.
+        let mut cases: Vec<[i16; 64]> = Vec::new();
+        for pos in 0..64 {
+            for mag in [-255i16, -200, -128, -1, 1, 127, 200, 255] {
+                let mut blk = [0i16; 64];
+                blk[pos] = mag;
+                cases.push(blk);
+            }
+        }
+        cases.push([255i16; 64]);
+        cases.push([-255i16; 64]);
+        cases.push(std::array::from_fn(|i| if i % 2 == 0 { 255 } else { -255 }));
+        let mut seed = 0xfeed_f00d_u64;
+        for _ in 0..256 {
+            cases.push(lcg_block(&mut seed));
+        }
+        for (n, input) in cases.iter().enumerate() {
+            let back = inverse(&forward(input));
+            assert_eq!(&back, input, "case {n} did not round-trip exactly");
         }
     }
 

@@ -49,6 +49,19 @@ impl BitWriter {
         Self::default()
     }
 
+    /// Creates an empty writer that reuses `buf`'s allocation (its
+    /// contents are cleared). The per-macroblock compress kernel round-
+    /// trips its stream buffer through this to stop allocating per
+    /// block; the written bytes are identical to a fresh writer's.
+    #[must_use]
+    pub fn from_vec(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        BitWriter {
+            bytes: buf,
+            bit_len: 0,
+        }
+    }
+
     /// Appends one bit.
     pub fn put_bit(&mut self, bit: bool) {
         if self.bit_len.is_multiple_of(8) {
@@ -322,6 +335,28 @@ mod tests {
         let mut w2 = BitWriter::new();
         let b2 = encode_block(&mut w2, &dense);
         assert!(b1 < b2);
+    }
+
+    #[test]
+    fn from_vec_reuses_the_allocation_and_writes_identically() {
+        let mut reference = BitWriter::new();
+        reference.put_ue(41);
+        reference.put_se(-7);
+        reference.put_bits(0b101, 3);
+        let expected = reference.into_bytes();
+
+        let stale = vec![0xFFu8; 64]; // dirty contents must not leak
+        let cap = stale.capacity();
+        let ptr = stale.as_ptr();
+        let mut w = BitWriter::from_vec(stale);
+        assert_eq!(w.bit_len(), 0);
+        w.put_ue(41);
+        w.put_se(-7);
+        w.put_bits(0b101, 3);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, expected);
+        assert_eq!(bytes.capacity(), cap, "allocation must be reused");
+        assert_eq!(bytes.as_ptr(), ptr, "allocation must be reused");
     }
 
     #[test]

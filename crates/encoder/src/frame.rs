@@ -157,6 +157,67 @@ impl Frame {
         }
     }
 
+    /// SAD between `target` and the clamped 16×16 block at signed origin
+    /// `(ox, oy)`, with a row-wise early bail once the running sum
+    /// exceeds `limit`.
+    ///
+    /// The return value is the *exact* SAD whenever it is `<= limit`;
+    /// above the limit it may be any partial sum that is `> limit` (the
+    /// running sum is monotone, so a bail can only happen when the true
+    /// SAD also exceeds the limit). This lets motion search pass its
+    /// current best as the limit and skip the tail of hopeless
+    /// candidates without ever changing which candidate wins — ties at
+    /// exactly `limit` are still summed in full.
+    ///
+    /// Fully interior origins read their rows straight from the frame
+    /// (no border clamping, no 256-byte staging copy).
+    #[must_use]
+    pub fn sad_block_clamped_bounded(
+        &self,
+        target: &[u8; MB_SIZE * MB_SIZE],
+        ox: i32,
+        oy: i32,
+        limit: u32,
+    ) -> u32 {
+        let mut total = 0u32;
+        let interior = ox >= 0
+            && oy >= 0
+            && ox as usize + MB_SIZE <= self.width
+            && oy as usize + MB_SIZE <= self.height;
+        if interior {
+            let (ox, oy) = (ox as usize, oy as usize);
+            for dy in 0..MB_SIZE {
+                let row = (oy + dy) * self.width + ox;
+                let cand = &self.data[row..row + MB_SIZE];
+                let trow = &target[dy * MB_SIZE..(dy + 1) * MB_SIZE];
+                let mut acc = 0u32;
+                for (&t, &c) in trow.iter().zip(cand) {
+                    acc += u32::from(t.abs_diff(c));
+                }
+                total += acc;
+                if total > limit {
+                    return total;
+                }
+            }
+        } else {
+            for dy in 0..MB_SIZE {
+                let yi = (oy + dy as i32).clamp(0, self.height as i32 - 1) as usize;
+                let base = yi * self.width;
+                let trow = &target[dy * MB_SIZE..(dy + 1) * MB_SIZE];
+                let mut acc = 0u32;
+                for (dx, &t) in trow.iter().enumerate() {
+                    let xi = (ox + dx as i32).clamp(0, self.width as i32 - 1) as usize;
+                    acc += u32::from(t.abs_diff(self.data[base + xi]));
+                }
+                total += acc;
+                if total > limit {
+                    return total;
+                }
+            }
+        }
+        total
+    }
+
     /// Raw pixel data, row-major.
     #[must_use]
     pub fn data(&self) -> &[u8] {
@@ -240,6 +301,33 @@ mod tests {
         b[1] = 5;
         assert_eq!(sad(&a, &b), 10);
         assert_eq!(sad(&a, &a), 0);
+    }
+
+    #[test]
+    fn bounded_sad_is_exact_up_to_the_limit() {
+        let mut f = Frame::new(48, 32);
+        let mut seed = 0x5ad_cafe_u64;
+        for p in f.data_mut() {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *p = (seed >> 33) as u8;
+        }
+        let target = f.block(16, 16);
+        // Interior and border origins, with and without a binding limit.
+        for (ox, oy) in [(16, 16), (18, 15), (0, 0), (-7, -3), (40, 20), (45, 29)] {
+            let exact = sad(&target, &f.block_clamped(ox, oy));
+            assert_eq!(
+                f.sad_block_clamped_bounded(&target, ox, oy, u32::MAX),
+                exact
+            );
+            assert_eq!(f.sad_block_clamped_bounded(&target, ox, oy, exact), exact);
+            if exact > 0 {
+                let bailed = f.sad_block_clamped_bounded(&target, ox, oy, exact - 1);
+                assert!(bailed > exact - 1, "bail must exceed the limit");
+                assert!(bailed <= exact, "partial sums never exceed the true SAD");
+            }
+        }
     }
 
     #[test]

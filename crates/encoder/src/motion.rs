@@ -7,8 +7,22 @@
 //! evaluations ⇒ more cycles. Early termination on a good match makes the
 //! cost *content-dependent*, which is exactly the load fluctuation the
 //! controller exists to absorb.
+//!
+//! # Hot path
+//!
+//! [`search`] is the encoder's dominant kernel at high quality (up to
+//! 33×33 = 1089 candidates per macroblock at radius 16). It allocates
+//! nothing: ring offsets are enumerated inline rather than collected
+//! into a `Vec`, and each candidate is scored with
+//! [`Frame::sad_block_clamped_bounded`], which reads interior rows
+//! straight from the reference plane and bails out of a candidate as
+//! soon as its running sum exceeds the current best. The bail is
+//! conservative — a candidate is abandoned only once it *strictly*
+//! exceeds the best SAD — so the winning vector, its SAD, the
+//! first-found tie-break, and the `evaluations` count are byte-identical
+//! to an exhaustive scorer.
 
-use crate::frame::{sad, Frame, MB_SIZE};
+use crate::frame::{Frame, MB_SIZE};
 
 /// Search radius (pixels) per quality level 0–7. Level 0 checks only the
 /// zero vector (the paper's level-0 `Motion_Estimate` averages a mere 215
@@ -57,17 +71,44 @@ pub fn search(
         sad: u32::MAX,
         evaluations: 0,
     };
-    // Ring 0 (zero vector) outward.
-    'rings: for r in 0..=radius {
-        for (dx, dy) in ring(r) {
-            let cand = reference.block_clamped(ox as i32 + dx, oy as i32 + dy);
-            let s = sad(&target, &cand);
+    // Scores one candidate offset, yielding `true` when the search can
+    // terminate early. Bounding the SAD by `best.sad` keeps the
+    // acceptance test exact: a true SAD `<= best.sad` is always summed
+    // in full (the bail fires only strictly above the bound), so both
+    // improvements and first-found ties behave as if every candidate
+    // were scored exhaustively.
+    macro_rules! cand {
+        ($dx:expr, $dy:expr) => {{
+            let (dx, dy) = ($dx, $dy);
+            let s = reference.sad_block_clamped_bounded(
+                &target,
+                ox as i32 + dx,
+                oy as i32 + dy,
+                best.sad,
+            );
             best.evaluations += 1;
             if s < best.sad || (s == best.sad && (dx, dy) < best.mv) {
                 best.sad = s;
                 best.mv = (dx, dy);
             }
-            if best.sad <= EARLY_EXIT_SAD {
+            best.sad <= EARLY_EXIT_SAD
+        }};
+    }
+    // Ring 0 (zero vector) outward, in the exact order `ring` yields.
+    'rings: for r in 0..=radius {
+        if r == 0 {
+            if cand!(0, 0) {
+                break 'rings;
+            }
+            continue;
+        }
+        for d in -r..=r {
+            if cand!(d, -r) || cand!(d, r) {
+                break 'rings;
+            }
+        }
+        for d in (-r + 1)..r {
+            if cand!(-r, d) || cand!(r, d) {
                 break 'rings;
             }
         }
@@ -75,7 +116,9 @@ pub fn search(
     best
 }
 
-/// Candidate offsets on the square ring of Chebyshev radius `r`.
+/// Candidate offsets on the square ring of Chebyshev radius `r` — the
+/// test oracle for the inline enumeration in [`search`].
+#[cfg(test)]
 fn ring(r: i32) -> Vec<(i32, i32)> {
     if r == 0 {
         return vec![(0, 0)];
@@ -174,6 +217,77 @@ mod tests {
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 81);
+    }
+
+    /// The pre-optimization search, verbatim: `Vec`-collected rings and
+    /// an exhaustive (unbounded) SAD per candidate.
+    fn search_reference(
+        current: &Frame,
+        reference: &Frame,
+        ox: usize,
+        oy: usize,
+        radius: i32,
+    ) -> MotionResult {
+        use crate::frame::sad;
+        let target = current.block(ox, oy);
+        let mut best = MotionResult {
+            mv: (0, 0),
+            sad: u32::MAX,
+            evaluations: 0,
+        };
+        'rings: for r in 0..=radius {
+            for (dx, dy) in ring(r) {
+                let cand = reference.block_clamped(ox as i32 + dx, oy as i32 + dy);
+                let s = sad(&target, &cand);
+                best.evaluations += 1;
+                if s < best.sad || (s == best.sad && (dx, dy) < best.mv) {
+                    best.sad = s;
+                    best.mv = (dx, dy);
+                }
+                if best.sad <= EARLY_EXIT_SAD {
+                    break 'rings;
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn bounded_search_matches_the_exhaustive_reference_exactly() {
+        // Noise frames defeat the early-exit threshold, so the bounded
+        // SAD's bail logic (not just EARLY_EXIT_SAD) decides the work
+        // done; the result — vector, SAD, and evaluation count — must
+        // still be byte-identical, including at border macroblocks where
+        // candidates clamp.
+        let mut seed = 0xbee5_u64;
+        let mut noise = |f: &mut Frame| {
+            for p in f.data_mut() {
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *p = (seed >> 33) as u8;
+            }
+        };
+        let mut current = Frame::new(64, 48);
+        let mut reference = Frame::new(64, 48);
+        noise(&mut current);
+        noise(&mut reference);
+        for radius in [0, 1, 2, 4, 8, 16] {
+            for (ox, oy) in [(0, 0), (16, 16), (48, 32), (0, 32), (48, 0)] {
+                let fast = search(&current, &reference, ox, oy, radius);
+                let slow = search_reference(&current, &reference, ox, oy, radius);
+                assert_eq!(fast, slow, "radius {radius} at ({ox}, {oy})");
+            }
+        }
+        // And on correlated content where early exit does fire.
+        let reference = frame_with_square(16, 16);
+        let current = frame_with_square(21, 19);
+        for radius in [2, 8, 16] {
+            assert_eq!(
+                search(&current, &reference, 16, 16, radius),
+                search_reference(&current, &reference, 16, 16, radius),
+            );
+        }
     }
 
     #[test]

@@ -10,27 +10,32 @@ pub const QP_MAX: u8 = 40;
 /// Uniform quantization of one 8×8 coefficient block with a flat step of
 /// `2·qp` (DC uses `qp` to keep blocking artifacts down). Returns `i16`
 /// levels.
+///
+/// The DC coefficient is peeled off so the 63-element AC tail is one
+/// branch-free constant-step loop the compiler can vectorize; each
+/// element's arithmetic is unchanged.
 #[must_use]
 pub fn quantize(coeffs: &[f32; BLOCK * BLOCK], qp: u8) -> [i16; BLOCK * BLOCK] {
     let mut out = [0i16; BLOCK * BLOCK];
     let ac_step = f32::from(qp) * 2.0;
     let dc_step = f32::from(qp);
-    for (i, (&c, o)) in coeffs.iter().zip(out.iter_mut()).enumerate() {
-        let step = if i == 0 { dc_step } else { ac_step };
-        *o = (c / step).round().clamp(-2048.0, 2048.0) as i16;
+    out[0] = (coeffs[0] / dc_step).round().clamp(-2048.0, 2048.0) as i16;
+    for (o, &c) in out[1..].iter_mut().zip(&coeffs[1..]) {
+        *o = (c / ac_step).round().clamp(-2048.0, 2048.0) as i16;
     }
     out
 }
 
-/// Inverse quantization back to coefficient space.
+/// Inverse quantization back to coefficient space (DC peeled off like
+/// [`quantize`]).
 #[must_use]
 pub fn dequantize(levels: &[i16; BLOCK * BLOCK], qp: u8) -> [f32; BLOCK * BLOCK] {
     let mut out = [0f32; BLOCK * BLOCK];
     let ac_step = f32::from(qp) * 2.0;
     let dc_step = f32::from(qp);
-    for (i, (&l, o)) in levels.iter().zip(out.iter_mut()).enumerate() {
-        let step = if i == 0 { dc_step } else { ac_step };
-        *o = f32::from(l) * step;
+    out[0] = f32::from(levels[0]) * dc_step;
+    for (o, &l) in out[1..].iter_mut().zip(&levels[1..]) {
+        *o = f32::from(l) * ac_step;
     }
     out
 }
@@ -127,6 +132,36 @@ mod tests {
                     (a - b).abs() <= step / 2.0 + 0.01,
                     "qp={qp} i={i}: {a} vs {b}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_matches_the_elementwise_reference_bit_for_bit() {
+        // The DC-peeled loops must reproduce the original per-element
+        // branchy formulation exactly, including rounding and clamping.
+        let mut seed = 0x0dd_ba11_u64;
+        for _ in 0..32 {
+            let mut coeffs = [0f32; 64];
+            for c in coeffs.iter_mut() {
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *c = ((seed >> 33) % 10_000) as f32 / 2.0 - 2_500.0;
+            }
+            for qp in [QP_MIN, 7, 23, QP_MAX] {
+                let ac_step = f32::from(qp) * 2.0;
+                let dc_step = f32::from(qp);
+                let q = quantize(&coeffs, qp);
+                for (i, (&c, &l)) in coeffs.iter().zip(q.iter()).enumerate() {
+                    let step = if i == 0 { dc_step } else { ac_step };
+                    assert_eq!(l, (c / step).round().clamp(-2048.0, 2048.0) as i16);
+                }
+                let d = dequantize(&q, qp);
+                for (i, (&l, &v)) in q.iter().zip(d.iter()).enumerate() {
+                    let step = if i == 0 { dc_step } else { ac_step };
+                    assert_eq!(v.to_bits(), (f32::from(l) * step).to_bits());
+                }
             }
         }
     }

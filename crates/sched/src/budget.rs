@@ -42,6 +42,18 @@
 //! clonable handle. Equivalence with `ConstraintTables::new` at every
 //! budget — including 0, near-`u64::MAX` values and `+∞` — is
 //! property-tested in `tests/proptest_budget.rs`.
+//!
+//! # Online-estimator refresh
+//!
+//! When an online estimator sharpens the execution-time profile between
+//! frames, only the `Cav`/`Cwc` *values* move — the schedule, deadline
+//! slopes, class structure and version map are untouched. Rather than
+//! rebuilding, [`BudgetTables::refresh`] re-sweeps the prefix sums in
+//! place and re-hulls only the envelopes of quality levels whose prefixes
+//! actually changed, reusing every buffer (O(hull size) per changed
+//! quality, no allocation once warm). `refresh(profile')` is
+//! property-tested to be indistinguishable from a fresh build over random
+//! schedules, shapes and refresh sequences.
 
 use std::sync::Arc;
 
@@ -166,6 +178,16 @@ pub struct BudgetTables {
     /// Deadline slope of each position's iteration under `shape`
     /// (`None` ⇒ the deadline is `+∞` at every finite budget).
     d_slope: Vec<Option<u64>>,
+    /// Action count of the profile the tables were built from (refresh
+    /// profiles must match it).
+    profile_actions: usize,
+    /// Deadline classes `(slope, last_pos)` sorted by last position
+    /// descending — the structural input to every suffix-envelope family,
+    /// kept so [`BudgetTables::refresh`] can re-hull without re-deriving
+    /// the schedule analysis.
+    classes: Vec<(u64, usize)>,
+    /// Scratch hull builder reused across refreshes.
+    scratch: EnvelopeBuilder,
     /// `version_of[i]` (for `i` in `0..=n`): which envelope version
     /// covers the suffix starting at `i`. Shared by the av and wcmin
     /// families — the deadline classes depend only on schedule and
@@ -295,6 +317,9 @@ impl BudgetTables {
             iterations: iterations as u64,
             shape,
             d_slope,
+            profile_actions: profile.n_actions(),
+            classes,
+            scratch: EnvelopeBuilder::new(),
             version_of,
             av_envs,
             av_prefix,
@@ -302,6 +327,87 @@ impl BudgetTables {
             wc_prefix,
             cwc_next,
         })
+    }
+
+    /// Re-derives the cost-dependent state — prefix sums, suffix
+    /// envelopes, worst-case columns — from a refreshed `profile`,
+    /// keeping the schedule structure (deadline slopes, classes, version
+    /// map) fixed.
+    ///
+    /// This is the online-estimator fast path: a profile refresh only
+    /// moves the `Cav`/`Cwc` values, so per quality level the work is one
+    /// prefix sweep plus an O(hull size) re-hull of that quality's
+    /// envelopes, all in place (no allocation once the buffers are warm).
+    /// Quality levels whose prefix sums did not change keep their
+    /// envelopes untouched. The refreshed tables answer every query
+    /// exactly as `BudgetTables::new(order, profile, shape, iterations)`
+    /// would.
+    ///
+    /// # Errors
+    ///
+    /// [`SchedError::DimensionMismatch`] if `profile` does not have the
+    /// action count or quality-level count the tables were built with.
+    pub fn refresh(&mut self, profile: &QualityProfile) -> Result<(), SchedError> {
+        if profile.n_actions() != self.profile_actions {
+            return Err(SchedError::DimensionMismatch {
+                expected: self.profile_actions,
+                actual: profile.n_actions(),
+            });
+        }
+        if profile.qualities().len() != self.nq {
+            return Err(SchedError::DimensionMismatch {
+                expected: self.nq,
+                actual: profile.qualities().len(),
+            });
+        }
+        // Quality sets are sorted, so the enumerate index is the storage
+        // index — `times_by_qidx` skips the per-cell binary search that
+        // `avg`/`worst` would redo 2·n·|Q| times per refresh.
+        for qi in 0..self.nq {
+            let base = qi * (self.n + 1);
+            let mut acc = 0u128;
+            let mut changed = false;
+            for (i, a) in self.order.iter().enumerate() {
+                let t = profile.times_by_qidx(a.index(), qi);
+                acc += u128::from(t.avg().get());
+                let slot = &mut self.av_prefix[base + i + 1];
+                if *slot != acc {
+                    *slot = acc;
+                    changed = true;
+                }
+                self.cwc_next[qi * self.n + i] = t.worst();
+            }
+            if changed {
+                suffix_envelopes_into(
+                    &self.classes,
+                    &self.av_prefix[base..base + self.n + 1],
+                    self.iterations,
+                    &mut self.av_envs[qi],
+                    &mut self.scratch,
+                );
+            }
+        }
+        let mut acc = 0u128;
+        let mut changed = false;
+        for (i, a) in self.order.iter().enumerate() {
+            // qmin is storage index 0 (sets are sorted ascending).
+            acc += u128::from(profile.times_by_qidx(a.index(), 0).worst().get());
+            let slot = &mut self.wc_prefix[i + 1];
+            if *slot != acc {
+                *slot = acc;
+                changed = true;
+            }
+        }
+        if changed {
+            suffix_envelopes_into(
+                &self.classes,
+                &self.wc_prefix,
+                self.iterations,
+                &mut self.wc_envs,
+                &mut self.scratch,
+            );
+        }
+        Ok(())
     }
 
     /// The [`TableQuery`] view of these tables at frame budget `budget`
@@ -455,27 +561,44 @@ fn suffix_envelopes(
     prefix: &[u128],
     iterations: u64,
 ) -> EnvelopeVersions {
+    let mut versions = Vec::with_capacity(classes.len() + 1);
+    let mut builder = EnvelopeBuilder::new();
+    suffix_envelopes_into(classes, prefix, iterations, &mut versions, &mut builder);
+    versions
+}
+
+/// In-place variant of [`suffix_envelopes`]: writes the versions into
+/// `out`, reusing its envelopes' buffers, with `builder` as hull scratch.
+/// This is what [`BudgetTables::refresh`] calls per changed quality —
+/// O(total hull size) and allocation-free once `out` is warm (monotone
+/// class orders, i.e. every sequential schedule).
+fn suffix_envelopes_into(
+    classes: &[(u64, usize)],
+    prefix: &[u128],
+    iterations: u64,
+    out: &mut EnvelopeVersions,
+    builder: &mut EnvelopeBuilder,
+) {
     let line_of = |m: u64, last: usize| {
         let s = i128::try_from(prefix[last + 1]).expect("prefix sums fit in i128");
         (i128::from(m), -i128::from(iterations) * s)
     };
-    let mut versions = Vec::with_capacity(classes.len() + 1);
-    versions.push(LineEnvelope::lower(Vec::new()));
+    out.resize_with(classes.len() + 1, || LineEnvelope::lower(Vec::new()));
+    builder.clear();
+    builder.snapshot_into(&mut out[0]); // version 0: the empty envelope
     if classes.windows(2).all(|w| w[1].0 < w[0].0) {
-        let mut b = EnvelopeBuilder::new();
-        for &(m, last) in classes {
+        for (v, &(m, last)) in classes.iter().enumerate() {
             let (m, c) = line_of(m, last);
-            b.push_shallower(m, c);
-            versions.push(b.snapshot());
+            builder.push_shallower(m, c);
+            builder.snapshot_into(&mut out[v + 1]);
         }
     } else {
         let mut lines: Vec<(i128, i128)> = Vec::with_capacity(classes.len());
-        for &(m, last) in classes {
+        for (v, &(m, last)) in classes.iter().enumerate() {
             lines.push(line_of(m, last));
-            versions.push(LineEnvelope::lower(lines.clone()));
+            out[v + 1] = LineEnvelope::lower(lines.clone());
         }
     }
-    versions
 }
 
 /// A [`ConstraintTables`]-compatible view of [`BudgetTables`] at one
@@ -876,6 +999,80 @@ mod tests {
         assert!(!bt.is_empty());
         assert_eq!(bt.quality_count(), 4);
         assert_eq!(bt.order().len(), n_iter * body_len);
+    }
+
+    /// Same dimensions as [`setup`], different cost values — the shape of
+    /// an online-estimator profile refresh.
+    fn refreshed_profile(nq_hi: u8) -> QualityProfile {
+        let qs = QualitySet::contiguous(0, nq_hi).unwrap();
+        let mut pb = QualityProfile::builder(qs, 4);
+        for a in 0..4 {
+            let levels: Vec<(u64, u64)> = (0..=u64::from(nq_hi))
+                .map(|q| (13 * (q + 1) + 2 * a as u64, 29 * (q + 1) + 2 * a as u64))
+                .collect();
+            pb.set_levels(a, &levels).unwrap();
+        }
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn refresh_matches_a_fresh_build() {
+        let (order, profile) = setup(1);
+        let profile2 = refreshed_profile(1);
+        let ts: Vec<Cycles> = [0u64, 1, 20, 45, 90, 200, 1_000]
+            .iter()
+            .map(|&v| c(v))
+            .collect();
+        for shape in [DeadlineShape::PerIteration, DeadlineShape::FinalOnly] {
+            let mut bt = BudgetTables::new(order.clone(), &profile, shape, 2).unwrap();
+            bt.refresh(&profile2).unwrap();
+            for budget in [Cycles::ZERO, c(37), c(100), c(5_000), Cycles::INFINITY] {
+                let ct = reference(&order, &profile2, shape, 2, budget);
+                assert_equivalent(&bt, &ct, budget, &ts);
+            }
+            // A second, no-op refresh changes nothing.
+            bt.refresh(&profile2).unwrap();
+            let ct = reference(&order, &profile2, shape, 2, c(100));
+            assert_equivalent(&bt, &ct, c(100), &ts);
+            // Refreshing back restores the original answers exactly.
+            bt.refresh(&profile).unwrap();
+            let fresh = BudgetTables::new(order.clone(), &profile, shape, 2).unwrap();
+            for budget in [c(0), c(37), c(100), c(5_000)] {
+                let view = bt.at_budget(budget);
+                let want = fresh.at_budget(budget);
+                for i in 0..=fresh.len() {
+                    assert_eq!(view.wcmin_budget_at(i), want.wcmin_budget_at(i));
+                    for qi in 0..fresh.quality_count() {
+                        assert_eq!(view.av_budget_at(qi, i), want.av_budget_at(qi, i));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_validates_dimensions() {
+        let (order, profile) = setup(1);
+        let mut bt = BudgetTables::new(order, &profile, DeadlineShape::PerIteration, 2).unwrap();
+        // Wrong action count.
+        let qs = QualitySet::contiguous(0, 1).unwrap();
+        let mut pb = QualityProfile::builder(qs, 2);
+        for a in 0..2 {
+            pb.set_levels(a, &[(10, 20), (30, 60)]).unwrap();
+        }
+        let short = pb.build().unwrap();
+        assert!(matches!(
+            bt.refresh(&short),
+            Err(SchedError::DimensionMismatch { .. })
+        ));
+        // Wrong quality-level count.
+        let wide = refreshed_profile(2);
+        assert!(matches!(
+            bt.refresh(&wide),
+            Err(SchedError::DimensionMismatch { .. })
+        ));
+        // The failed refreshes left the tables usable.
+        bt.refresh(&refreshed_profile(1)).unwrap();
     }
 
     #[test]

@@ -26,6 +26,27 @@ struct Instance {
     shape: DeadlineShape,
 }
 
+/// Builds a monotone profile from per-(action, quality) positive avg
+/// increments and avg→worst gap increments.
+fn profile_from_incs(n: usize, nq_hi: u8, avg_inc: &[u64], gap_inc: &[u64]) -> QualityProfile {
+    let nq = usize::from(nq_hi) + 1;
+    let qs = QualitySet::contiguous(0, nq_hi).unwrap();
+    let mut pb = QualityProfile::builder(qs, n);
+    for a in 0..n {
+        let mut avg = 0u64;
+        let mut gap = 0u64;
+        let levels: Vec<(u64, u64)> = (0..nq)
+            .map(|qi| {
+                avg += avg_inc[a * nq + qi];
+                gap += gap_inc[a * nq + qi];
+                (avg, avg + gap)
+            })
+            .collect();
+        pb.set_levels(a, &levels).unwrap();
+    }
+    pb.build().unwrap()
+}
+
 fn arb_instance() -> impl Strategy<Value = Instance> {
     (
         1usize..=4,
@@ -50,22 +71,7 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
         .prop_map(
             |((iterations, body_len, nq_hi, final_only), avg_inc, gap_inc, keys)| {
                 let n = iterations * body_len;
-                let nq = usize::from(nq_hi) + 1;
-                let qs = QualitySet::contiguous(0, nq_hi).unwrap();
-                let mut pb = QualityProfile::builder(qs, n);
-                for a in 0..n {
-                    let mut avg = 0u64;
-                    let mut gap = 0u64;
-                    let levels: Vec<(u64, u64)> = (0..nq)
-                        .map(|qi| {
-                            avg += avg_inc[a * nq + qi];
-                            gap += gap_inc[a * nq + qi];
-                            (avg, avg + gap)
-                        })
-                        .collect();
-                    pb.set_levels(a, &levels).unwrap();
-                }
-                let profile = pb.build().unwrap();
+                let profile = profile_from_incs(n, nq_hi, &avg_inc, &gap_inc);
                 let mut idx: Vec<usize> = (0..n).collect();
                 idx.sort_by_key(|&i| (keys[i], i));
                 let order: Vec<ActionId> = idx.into_iter().map(ActionId::from_index).collect();
@@ -82,6 +88,34 @@ fn arb_instance() -> impl Strategy<Value = Instance> {
                 }
             },
         )
+}
+
+/// An instance plus a sequence of refresh profiles with the same
+/// dimensions but independently random values (both `avg` and `worst`
+/// move — a superset of what an online estimator does).
+fn arb_refresh_sequence() -> impl Strategy<Value = (Instance, Vec<QualityProfile>)> {
+    (arb_instance(), 1usize..=3)
+        .prop_flat_map(|(inst, rounds)| {
+            let cells = inst.iterations * inst.body_len * inst.profile.qualities().len();
+            (
+                Just(inst),
+                proptest::collection::vec(1u64..5_000, cells * rounds),
+                proptest::collection::vec(0u64..5_000, cells * rounds),
+            )
+        })
+        .prop_map(|(inst, avg_inc, gap_inc)| {
+            let n = inst.iterations * inst.body_len;
+            let nq = inst.profile.qualities().len();
+            let nq_hi = u8::try_from(nq - 1).unwrap();
+            let cells = n * nq;
+            let profiles = (0..avg_inc.len() / cells)
+                .map(|r| {
+                    let span = r * cells..(r + 1) * cells;
+                    profile_from_incs(n, nq_hi, &avg_inc[span.clone()], &gap_inc[span])
+                })
+                .collect();
+            (inst, profiles)
+        })
 }
 
 /// Budgets that must all agree: zero, small, mid-range, the overflow
@@ -142,6 +176,58 @@ proptest! {
                     if i < ct.len() {
                         prop_assert_eq!(view.deadline_at(qi, i), ct.deadline_at(qi, i));
                         prop_assert_eq!(view.worst_at(qi, i), ct.worst_at(qi, i));
+                    }
+                }
+            }
+        }
+    }
+
+    /// After any sequence of in-place refreshes, the tables answer every
+    /// primitive exactly as a fresh build from the final profile — the
+    /// estimator fast path can never drift from the from-scratch
+    /// construction, whatever the schedule, shape, or refresh history.
+    #[test]
+    fn refresh_is_equivalent_to_a_fresh_build(
+        (inst, refreshes) in arb_refresh_sequence(),
+        extra in proptest::strategy::any::<u64>(),
+    ) {
+        let mut bt = BudgetTables::new(
+            inst.order.clone(),
+            &inst.profile,
+            inst.shape,
+            inst.iterations,
+        ).unwrap();
+        for profile in &refreshes {
+            bt.refresh(profile).unwrap();
+            let fresh = BudgetTables::new(
+                inst.order.clone(),
+                profile,
+                inst.shape,
+                inst.iterations,
+            ).unwrap();
+            for budget in budget_grid(extra % (u64::MAX - 1)) {
+                let view = bt.at_budget(budget);
+                let want = fresh.at_budget(budget);
+                for i in 0..=fresh.len() {
+                    prop_assert_eq!(
+                        view.wcmin_budget_at(i),
+                        want.wcmin_budget_at(i),
+                        "wcmin i={} b={}", i, budget
+                    );
+                    for qi in 0..fresh.quality_count() {
+                        prop_assert_eq!(
+                            view.av_budget_at(qi, i),
+                            want.av_budget_at(qi, i),
+                            "av qi={} i={} b={}", qi, i, budget
+                        );
+                        if i < fresh.len() {
+                            prop_assert_eq!(view.deadline_at(qi, i), want.deadline_at(qi, i));
+                            prop_assert_eq!(view.worst_at(qi, i), want.worst_at(qi, i));
+                        }
+                        for t in [Cycles::ZERO, Cycles::new(extra % 10_000), Cycles::INFINITY] {
+                            prop_assert_eq!(view.av_admits(qi, i, t), want.av_admits(qi, i, t));
+                            prop_assert_eq!(view.wc_admits(qi, i, t), want.wc_admits(qi, i, t));
+                        }
                     }
                 }
             }

@@ -187,6 +187,10 @@ pub struct StreamOutcome {
     /// 0 on the default path, one per distinct budget on the legacy
     /// path.
     pub table_builds: u64,
+    /// How many in-place envelope refreshes the stream's runner ran —
+    /// 0 without an online estimator, one per profile-moving frame with
+    /// one (never a rebuild, never a table build).
+    pub envelope_refreshes: u64,
 }
 
 /// The server's report: outcomes in submission order plus the admission
@@ -654,6 +658,7 @@ impl<A: ParallelApp> StreamSession<'_, A> {
             detached,
             envelope_builds: 0,
             table_builds: 0,
+            envelope_refreshes: 0,
         });
     }
 
@@ -686,6 +691,7 @@ impl<A: ParallelApp> StreamSession<'_, A> {
             detached: truncate,
             envelope_builds: runner.envelope_builds(),
             table_builds: runner.full_table_builds(),
+            envelope_refreshes: runner.envelope_refreshes(),
         });
     }
 

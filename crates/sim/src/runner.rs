@@ -286,16 +286,17 @@ pub struct Runner<A: VideoApp> {
     /// Budget-parametric tables shared by *every* frame of the run: the
     /// envelopes depend only on (order, tiled profile, deadline shape),
     /// so one build serves any frame budget — stochastic pop times
-    /// included. Built on first use; invalidated when an online
-    /// estimator rewrites `Cav` (the envelopes bake the profile in).
+    /// included. Built on first use; when an online estimator rewrites
+    /// `Cav`, the envelopes are *refreshed in place*
+    /// ([`BudgetTables::refresh`], O(hull size)) instead of rebuilt.
     budget_tables: Option<Arc<BudgetTables>>,
     /// Legacy per-budget constraint tables, keyed by the frame budget
     /// they were built for. Since the parametric tables cover the
-    /// common case, this cache is exercised only when an online
-    /// estimator refreshes the profile every frame (rebuilding the
-    /// envelopes each time would cost more than one direct table build)
-    /// or when [`Runner::set_legacy_tables`] forces it for comparison
-    /// runs. Bounded, LRU-evicted, cleared on estimator refresh.
+    /// common case, this cache is exercised only when
+    /// [`Runner::set_legacy_tables`] forces it for comparison runs, or
+    /// to hold the promoted materialization of a recurring budget.
+    /// Bounded, LRU-evicted, cleared when an estimator refresh makes the
+    /// baked-in profile stale.
     tables_cache: HashMap<Cycles, Arc<ConstraintTables>>,
     /// Recency order of `tables_cache` keys, least recently used first
     /// (hits move a key to the back, so a burst of unique budgets evicts
@@ -313,10 +314,10 @@ pub struct Runner<A: VideoApp> {
     envelope_builds: u64,
     /// Diagnostics: how many full `ConstraintTables::new` builds ran.
     full_table_builds: u64,
-    /// Whether the current run refreshes the profile through an online
-    /// estimator (set per prepared frame; routes `tables_for` to the
-    /// legacy cache).
-    estimator_active: bool,
+    /// Diagnostics: how many in-place [`BudgetTables::refresh`] passes
+    /// ran (one per frame whose estimator update actually moved the
+    /// profile; converged estimators stop paying anything).
+    envelope_refreshes: u64,
     /// Diagnostics/benchmark toggle: force the legacy per-budget path.
     legacy_tables: bool,
     /// Kernel DAG for [`Runner::run_parallel_on`], built on first use
@@ -388,7 +389,7 @@ impl<A: VideoApp> Runner<A> {
             recent_budgets: std::collections::VecDeque::new(),
             envelope_builds: 0,
             full_table_builds: 0,
-            estimator_active: false,
+            envelope_refreshes: 0,
             legacy_tables: false,
             parallel_plan: None,
             last_spec: None,
@@ -436,10 +437,19 @@ impl<A: VideoApp> Runner<A> {
     }
 
     /// Diagnostics: how many full `ConstraintTables::new` builds ran
-    /// (estimator fallback / forced legacy path only).
+    /// (forced legacy path and recurring-budget promotions only).
     #[must_use]
     pub fn full_table_builds(&self) -> u64 {
         self.full_table_builds
+    }
+
+    /// Diagnostics: how many in-place envelope refreshes ran. An
+    /// estimator-driven run does 1 envelope build plus one refresh per
+    /// frame whose estimates actually moved the profile — and 0 full
+    /// table builds.
+    #[must_use]
+    pub fn envelope_refreshes(&self) -> u64 {
+        self.envelope_refreshes
     }
 
     /// Forces the legacy per-budget table path (LRU-cached
@@ -455,15 +465,15 @@ impl<A: VideoApp> Runner<A> {
     ///
     /// Default path: evaluate the stream's budget-parametric
     /// [`BudgetTables`] (built once, any budget, zero per-frame
-    /// allocation). Fallback path (online estimator active, or forced
-    /// via [`Runner::set_legacy_tables`]): the per-budget LRU cache of
-    /// materialized [`ConstraintTables`].
+    /// allocation; refreshed in place under an online estimator).
+    /// Fallback path (forced via [`Runner::set_legacy_tables`]): the
+    /// per-budget LRU cache of materialized [`ConstraintTables`].
     fn tables_for(
         &mut self,
         frame_budget: Cycles,
         qs: &QualitySet,
     ) -> Result<SharedTables, SimError> {
-        if !self.legacy_tables && !self.estimator_active {
+        if !self.legacy_tables {
             if self.budget_tables.is_none() {
                 self.budget_tables = Some(Arc::new(BudgetTables::new(
                     self.order.clone(),
@@ -708,9 +718,17 @@ impl<A: VideoApp> Runner<A> {
         }
     }
 
-    /// Refreshes the declared profile from the online estimator (dropping
-    /// stale cached tables) and returns the constraint tables for this
-    /// frame's budget.
+    /// Refreshes the declared profile from the online estimator and
+    /// returns the constraint tables for this frame's budget.
+    ///
+    /// When the estimator actually moves the profile, the
+    /// budget-parametric envelopes are *refreshed in place*
+    /// ([`BudgetTables::refresh`]: slopes, classes and hull structure are
+    /// schedule facts; only the `Cav` intercepts shift) — no per-frame
+    /// `ConstraintTables` build, no envelope rebuild. Materialized
+    /// per-budget tables baked the old profile in, so those caches are
+    /// dropped. A converged estimator (no profile change) invalidates
+    /// nothing at all.
     fn prepare_frame(
         &mut self,
         estimator: &mut Option<&mut dyn AvgEstimator>,
@@ -718,19 +736,25 @@ impl<A: VideoApp> Runner<A> {
         qs: &QualitySet,
         frame_budget: Cycles,
     ) -> Result<SharedTables, SimError> {
-        // Online estimation sharpens the averages before the frame; both
-        // the cached tables and the parametric envelopes were built from
-        // the old profile, so drop them and route this frame through the
-        // legacy per-budget build (one table build beats re-deriving a
-        // whole envelope family that the next refresh invalidates again).
-        self.estimator_active = estimator.is_some();
         if let Some(est) = estimator.as_deref_mut() {
-            apply_estimates(est, body_profile);
-            self.tiled_profile = body_profile.tile(self.iter.iterations());
-            self.budget_tables = None;
-            self.tables_cache.clear();
-            self.tables_cache_order.clear();
-            self.recent_budgets.clear();
+            if apply_estimates(est, body_profile) {
+                body_profile.tile_into(self.iter.iterations(), &mut self.tiled_profile);
+                if self.legacy_tables {
+                    // Forced-legacy runs rebuild per budget anyway; just
+                    // make sure no stale parametric state survives a
+                    // later mode switch.
+                    self.budget_tables = None;
+                } else if let Some(tables) = self.budget_tables.as_mut() {
+                    // Streams drop their `SharedTables` handle at frame
+                    // end, so this is normally a zero-copy in-place
+                    // update; a still-shared handle forces one clone.
+                    Arc::make_mut(tables).refresh(&self.tiled_profile)?;
+                    self.envelope_refreshes += 1;
+                }
+                self.tables_cache.clear();
+                self.tables_cache_order.clear();
+                self.recent_budgets.clear();
+            }
         }
         self.tables_for(frame_budget, qs)
     }
@@ -1008,16 +1032,24 @@ pub enum Mode {
     Constant,
 }
 
-fn apply_estimates(est: &mut dyn AvgEstimator, profile: &mut QualityProfile) {
+/// Applies the estimator's current estimates to `profile` and reports
+/// whether any cell actually changed (clamping and isotonic repair can
+/// absorb an estimate without moving the table — a converged estimator
+/// must not invalidate anything downstream).
+fn apply_estimates(est: &mut dyn AvgEstimator, profile: &mut QualityProfile) -> bool {
     let levels: Vec<Quality> = profile.qualities().iter().collect();
+    let mut changed = false;
     for action in 0..profile.n_actions() {
         for &q in &levels {
             if let Some(e) = est.estimate(ActionId::from_index(action), q) {
+                let before = profile.avg(ActionId::from_index(action), q);
                 // Clamping/monotonicity handled inside update_avg.
                 let _ = profile.update_avg(action, q, e);
+                changed |= profile.avg(ActionId::from_index(action), q) != before;
             }
         }
     }
+    changed
 }
 
 #[cfg(test)]
@@ -1358,7 +1390,7 @@ mod tests {
     }
 
     #[test]
-    fn estimator_runs_fall_back_to_the_legacy_cache() {
+    fn estimator_runs_refresh_envelopes_in_place() {
         use fgqos_core::estimator::EwmaEstimator;
         let mut r = small_runner(20, 8, 1);
         let qs = r.app().profile().qualities().clone();
@@ -1367,16 +1399,48 @@ mod tests {
         let mut policy = MaxQuality::new();
         r.run(Mode::Controlled, &mut policy, &mut exec, Some(&mut est))
             .unwrap();
-        // The estimator rewrites the profile every frame: the parametric
-        // envelopes are never built (they would be stale immediately)
-        // and only the last frame's tables may remain cached.
-        assert_eq!(r.envelope_builds(), 0);
-        assert!(r.full_table_builds() > 0);
-        assert!(r.cached_tables() <= 1, "got {}", r.cached_tables());
-        // A later estimator-free run switches back to the envelopes.
+        // The estimator rewrites the profile (nearly) every frame: the
+        // parametric envelopes are built once and then refreshed in
+        // place — never rebuilt, and never replaced by per-frame
+        // `ConstraintTables` builds.
+        assert_eq!(r.envelope_builds(), 1, "one build, then refreshes");
+        assert_eq!(r.full_table_builds(), 0, "no per-frame table builds");
+        assert!(
+            r.envelope_refreshes() >= 10,
+            "estimates move most frames (got {} refreshes)",
+            r.envelope_refreshes()
+        );
+        assert_eq!(r.cached_tables(), 0, "got {}", r.cached_tables());
+        // A later estimator-free run keeps using the same envelope set.
         let res = r.run_controlled(&mut MaxQuality::new(), 3).unwrap();
         assert_eq!(res.skips(), 0);
         assert_eq!(r.envelope_builds(), 1);
+    }
+
+    #[test]
+    fn converged_estimator_invalidates_nothing() {
+        use fgqos_core::estimator::FrozenEstimator;
+        // A frozen estimator never produces an estimate — the profile
+        // never moves, so the run must behave exactly like an
+        // estimator-free one: one envelope build, zero refreshes, zero
+        // table builds, and the recurring-budget promotion still intact.
+        let mut r = small_runner(20, 8, 1);
+        let mut est = FrozenEstimator::new();
+        let mut exec = StochasticLoad::new(17);
+        let mut policy = MaxQuality::new();
+        let with_frozen = r
+            .run(Mode::Controlled, &mut policy, &mut exec, Some(&mut est))
+            .unwrap();
+        assert_eq!(r.envelope_builds(), 1, "converged run: 1 build total");
+        assert_eq!(r.envelope_refreshes(), 0);
+        assert_eq!(r.full_table_builds(), 0);
+        // Byte-identical to the estimator-free run.
+        let mut r2 = small_runner(20, 8, 1);
+        let mut exec2 = StochasticLoad::new(17);
+        let bare = r2
+            .run(Mode::Controlled, &mut MaxQuality::new(), &mut exec2, None)
+            .unwrap();
+        assert_eq!(with_frozen.frames(), bare.frames());
     }
 
     #[test]

@@ -277,6 +277,28 @@ impl QualityProfile {
         }
     }
 
+    /// In-place variant of [`QualityProfile::tile`]: writes `copies`
+    /// copies of this profile into `out`, reusing `out`'s table buffer
+    /// (no allocation once warm). `out`'s previous contents are
+    /// discarded. Used by the per-frame estimator refresh path, where the
+    /// tiled profile is rewritten every time the estimates move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `copies == 0`.
+    pub fn tile_into(&self, copies: usize, out: &mut QualityProfile) {
+        assert!(copies > 0, "tile requires at least one copy");
+        if out.qualities != self.qualities {
+            out.qualities = self.qualities.clone();
+        }
+        out.n_actions = self.n_actions * copies;
+        out.table.clear();
+        out.table.reserve(self.table.len() * copies);
+        for _ in 0..copies {
+            out.table.extend_from_slice(&self.table);
+        }
+    }
+
     /// Restricts the profile to a single quality level (used to model
     /// uncontrolled constant-quality builds).
     ///
@@ -456,6 +478,16 @@ mod tests {
         let p = profile2();
         assert_eq!(p.total_avg(0), Cycles::new(15));
         assert_eq!(p.total_worst(2), Cycles::new(108));
+    }
+
+    #[test]
+    fn tile_into_matches_tile_and_reuses_buffers() {
+        let p = profile2();
+        let mut out = p.tile(1);
+        for copies in [1usize, 3, 2] {
+            p.tile_into(copies, &mut out);
+            assert_eq!(out, p.tile(copies), "copies={copies}");
+        }
     }
 
     #[test]

@@ -3,6 +3,15 @@
 //! Definition 2.2 of the paper: a schedule `α` is feasible with respect to
 //! execution times `C` and deadlines `D` iff `min(D(α) − Ĉ(α)) ≥ 0`, where
 //! `σ̂(i) = Σ_{j≤i} σ(j)`.
+//!
+//! The [`LineEnvelope`]/[`EnvelopeBuilder`] pair at the bottom of this
+//! module is the geometric core of the budget-parametric tables in
+//! `fgqos-sched`. Because an online profile refresh only moves line
+//! *intercepts* (slopes are schedule structure), the builder supports a
+//! zero-allocation refresh cycle: [`EnvelopeBuilder::clear`] retains the
+//! hull buffer and [`EnvelopeBuilder::snapshot_into`] re-hulls into an
+//! existing envelope in O(hull size) without touching the heap once the
+//! target buffers have warmed up.
 
 use crate::{Cycles, Slack};
 
@@ -184,10 +193,14 @@ impl LineEnvelope {
         b.snapshot()
     }
 
-    /// Rebuilds the `starts` table from a valid hull (lines in strictly
-    /// decreasing slope order, each minimal somewhere on `x ≥ 0`).
-    fn from_hull(hull: Vec<(i128, i128)>) -> Self {
-        let mut starts = Vec::with_capacity(hull.len());
+    /// Computes the segment switch points of a valid hull into `starts`
+    /// (cleared first; existing capacity is reused). The builder now
+    /// maintains starts incrementally; this batch form remains as the
+    /// debug-build cross-check oracle in
+    /// [`EnvelopeBuilder::snapshot_into`].
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    fn starts_of_hull(hull: &[(i128, i128)], starts: &mut Vec<u128>) {
+        starts.clear();
         if !hull.is_empty() {
             starts.push(0u128);
         }
@@ -201,10 +214,6 @@ impl LineEnvelope {
             let den = m0 - m1;
             let x = (num + den - 1) / den;
             starts.push(u128::try_from(x).expect("hull switch points are non-negative"));
-        }
-        LineEnvelope {
-            lines: hull,
-            starts,
         }
     }
 
@@ -263,6 +272,12 @@ impl LineEnvelope {
 #[derive(Debug, Clone, Default)]
 pub struct EnvelopeBuilder {
     hull: Vec<(i128, i128)>,
+    /// Segment switch points aligned with `hull`, maintained under the
+    /// same stack discipline: a line's start is fixed at push time (its
+    /// predecessor can only change by popping the line itself first), so
+    /// snapshots copy it instead of re-deriving it — one ceiling
+    /// division per push instead of one per hull line per snapshot.
+    starts: Vec<u128>,
 }
 
 impl EnvelopeBuilder {
@@ -290,6 +305,7 @@ impl EnvelopeBuilder {
                     return; // existing equal-slope line is not above
                 }
                 self.hull.pop();
+                self.starts.pop();
             }
         }
         loop {
@@ -300,6 +316,7 @@ impl EnvelopeBuilder {
                     // smaller is never minimal on x >= 0.
                     if self.hull[0].1 >= c {
                         self.hull.pop();
+                        self.starts.pop();
                     } else {
                         break;
                     }
@@ -313,19 +330,69 @@ impl EnvelopeBuilder {
                     // cross-multiplied (both denominators positive).
                     if (c - cu) * (mu - mt) <= (ct - cu) * (mu - m) {
                         self.hull.pop();
+                        self.starts.pop();
                     } else {
                         break;
                     }
                 }
             }
         }
+        // Same switch-point formula as `starts_of_hull`, applied to the
+        // one new consecutive pair — the settled top of the stack is
+        // exactly this line's final predecessor. Both differences are
+        // positive by hull construction; when they fit in 64 bits the
+        // ceiling division runs in hardware instead of the 128-bit
+        // soft-division libcall (this is the refresh hot path).
+        let start = match self.hull.last() {
+            None => 0u128,
+            Some(&(mt, ct)) => {
+                let num = c - ct;
+                let den = mt - m;
+                if num < (1 << 63) && den < (1 << 63) {
+                    u128::from((num as u64).div_ceil(den as u64))
+                } else {
+                    u128::try_from((num + den - 1) / den)
+                        .expect("hull switch points are non-negative")
+                }
+            }
+        };
         self.hull.push((m, c));
+        self.starts.push(start);
     }
 
     /// The envelope over every line pushed so far. O(hull size).
     #[must_use]
     pub fn snapshot(&self) -> LineEnvelope {
-        LineEnvelope::from_hull(self.hull.clone())
+        let mut out = LineEnvelope {
+            lines: Vec::new(),
+            starts: Vec::new(),
+        };
+        self.snapshot_into(&mut out);
+        out
+    }
+
+    /// Writes the envelope over every line pushed so far into `out`,
+    /// reusing its `lines`/`starts` buffers. O(hull size) buffer copies,
+    /// allocation-free once `out` has capacity — the intercept-refresh
+    /// fast path of the budget-parametric tables.
+    pub fn snapshot_into(&self, out: &mut LineEnvelope) {
+        out.lines.clear();
+        out.lines.extend_from_slice(&self.hull);
+        out.starts.clear();
+        out.starts.extend_from_slice(&self.starts);
+        #[cfg(debug_assertions)]
+        {
+            let mut check = Vec::new();
+            LineEnvelope::starts_of_hull(&out.lines, &mut check);
+            debug_assert_eq!(check, out.starts, "incremental starts diverged");
+        }
+    }
+
+    /// Empties the builder for a fresh sequence of lines, retaining the
+    /// buffers' capacity.
+    pub fn clear(&mut self) {
+        self.hull.clear();
+        self.starts.clear();
     }
 }
 
@@ -464,6 +531,25 @@ mod tests {
         assert!(env.segments() <= 2);
         assert!(!env.is_empty());
         assert!(env.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn snapshot_into_reuses_buffers_and_matches_snapshot() {
+        let mut b = EnvelopeBuilder::new();
+        let mut reused = LineEnvelope::lower(vec![]);
+        for round in 0..3i128 {
+            b.clear();
+            // Intercepts move between rounds (the refresh scenario);
+            // slopes stay fixed.
+            for (m, c) in [(4, 0), (3, 1 + round), (2, 10 - round), (1, 100)] {
+                b.push_shallower(m, c);
+            }
+            b.snapshot_into(&mut reused);
+            assert_eq!(reused, b.snapshot(), "round {round}");
+            for x in [0u64, 1, 3, 7, 1_000] {
+                assert_eq!(reused.eval(x), b.snapshot().eval(x));
+            }
+        }
     }
 
     #[test]

@@ -136,9 +136,13 @@ fn served_streams_build_one_envelope_set_each() {
 
 #[test]
 fn estimator_streams_still_match_across_paths() {
-    // With an online estimator the parametric runner falls back to the
-    // legacy cache internally — behavior (and results) stay identical to
-    // a forced-legacy runner.
+    // With an online estimator the parametric runner refreshes its
+    // envelopes in place every time the estimates move the profile —
+    // behavior (and every per-frame record) stays byte-identical to a
+    // forced-legacy runner, which rebuilds `ConstraintTables` per frame
+    // exactly as the pre-refresh code did. This doubles as the
+    // series-equivalence regression for the refresh path: the legacy
+    // side is the unchanged seed behavior.
     use fine_grain_qos::sim::exec::StochasticLoad;
     let run = |legacy: bool| {
         let mut r = runner(25, 8, DeadlineShape::PerIteration, legacy);
@@ -149,11 +153,22 @@ fn estimator_streams_still_match_across_paths() {
         let res = r
             .run(Mode::Controlled, &mut policy, &mut exec, Some(&mut est))
             .unwrap();
-        (res, r.envelope_builds())
+        (
+            res,
+            r.envelope_builds(),
+            r.envelope_refreshes(),
+            r.full_table_builds(),
+        )
     };
-    let (a, builds_a) = run(false);
-    let (b, builds_b) = run(true);
+    let (a, builds_a, refreshes_a, tables_a) = run(false);
+    let (b, builds_b, refreshes_b, tables_b) = run(true);
     assert_eq!(a.frames(), b.frames());
-    assert_eq!(builds_a, 0, "estimator runs must not build stale envelopes");
-    assert_eq!(builds_b, 0);
+    // Adaptive runs are now O(1)-per-frame too: one envelope build, one
+    // cheap refresh per profile-moving frame, zero table builds.
+    assert_eq!(builds_a, 1, "estimator runs build envelopes exactly once");
+    assert!(refreshes_a > 0, "moving estimates must refresh in place");
+    assert_eq!(tables_a, 0, "no per-frame ConstraintTables builds");
+    // The forced-legacy path still materializes per budget.
+    assert_eq!((builds_b, refreshes_b), (0, 0));
+    assert!(tables_b >= 20, "legacy rebuilds per frame (got {tables_b})");
 }
