@@ -23,12 +23,16 @@ use fgqos_encoder::frame::{sad, Frame};
 use fgqos_encoder::motion::{search, MotionResult, EARLY_EXIT_SAD};
 use fgqos_encoder::quant::{dequantize, quantize};
 use fgqos_graph::iterate::IterationMode;
-use fgqos_serve::{StreamServer, StreamSpec};
+use fgqos_serve::{
+    stochastic_backends, table_apps, Broadcast, Delivery, EncodedFrame, PacedSource, RingConfig,
+    ServerConfig, StreamSpec, TablesMode,
+};
 use fgqos_sim::app::{TableApp, VideoApp};
 use fgqos_sim::exec::{Deterministic, StochasticLoad};
 use fgqos_sim::runner::{Mode, RunConfig, Runner, StreamResult};
-use fgqos_sim::runtime::{MeasuredBackend, VirtualClock, WallClock};
+use fgqos_sim::runtime::{ExecBackend, MeasuredBackend, VirtualClock, WallClock};
 use fgqos_sim::scenario::LoadScenario;
+use fgqos_time::Cycles;
 
 /// Pixel workload shape: 8×6 macroblocks is enough wavefront width for
 /// 4 workers while keeping the smoke run in seconds.
@@ -154,21 +158,26 @@ fn tables_served(legacy: bool) -> Duration {
             .map(|i| {
                 let seed = 11 + i as u64;
                 let scenario = LoadScenario::paper_benchmark(seed).truncated(TBL_SERVE_FRAMES);
-                StreamSpec::new(
-                    format!("s{i}"),
-                    1,
-                    seed,
-                    RunConfig::paper_defaults().scaled_to_macroblocks(TBL_MB),
-                    Box::new(fgqos_serve::PacedSource::new(scenario)),
-                )
+                StreamSpec::builder(format!("s{i}"))
+                    .priority(1)
+                    .seed(seed)
+                    .config(RunConfig::paper_defaults().scaled_to_macroblocks(TBL_MB))
+                    .source(PacedSource::new(scenario))
+                    .build()
             })
             .collect();
         // Oversubscribed capacity on purpose: the bench prices table
         // work for 8 *running* streams, not admission control.
-        let mut server = StreamServer::with_capacity(2, 64.0);
-        server.set_legacy_tables(legacy);
+        let tables = if legacy {
+            TablesMode::Legacy
+        } else {
+            TablesMode::Parametric
+        };
+        let server = ServerConfig::new(2).capacity(64.0).tables(tables).build();
         let start = Instant::now();
-        let report = server.serve_tables(specs, TBL_MB).expect("serve");
+        let report = server
+            .serve(specs, table_apps(TBL_MB), stochastic_backends())
+            .expect("serve");
         best = best.min(start.elapsed());
         assert_eq!(report.admission().admitted(), TBL_STREAMS);
     }
@@ -462,6 +471,119 @@ fn kernels() -> KernelReport {
     }
 }
 
+/// Output-plane shapes: 4 pixel streams with M subscribers attached to
+/// each. The tentpole claim is that publishing is O(1) in M — serving
+/// with 64 subscribers per stream must cost within `DIST_TOLERANCE` of
+/// serving with 1 — and that the publisher never waits on a subscriber.
+const DIST_STREAMS: usize = 4;
+const DIST_SUBS_LO: usize = 1;
+const DIST_SUBS_HI: usize = 64;
+const DIST_TOLERANCE: f64 = 1.3;
+/// Publishes per rep of the direct ring micro-benchmark.
+const DIST_MICRO_PUBLISHES: u64 = 50_000;
+
+struct DistRun {
+    wall: Duration,
+    published: u64,
+    stalls: u64,
+    delivered: u64,
+    lag_gaps: u64,
+}
+
+fn dist_spec(i: usize) -> StreamSpec {
+    let mb = (W / 16) * (H / 16);
+    StreamSpec::builder(format!("d{i}"))
+        .priority(1)
+        .seed(60 + i as u64)
+        .config(
+            RunConfig::paper_defaults()
+                .scaled_to_macroblocks(mb)
+                .with_iteration_mode(IterationMode::Pipelined),
+        )
+        .source(PacedSource::new(
+            LoadScenario::paper_benchmark(60 + i as u64).truncated(FRAMES),
+        ))
+        .build()
+}
+
+/// Serves `DIST_STREAMS` pixel streams with `subs_per_stream`
+/// subscribers attached to each; only the serve loop (= the publish
+/// path) is timed, subscribers drain after the run. Best-of-`REPS`
+/// wall time; stalls are summed over every rep (the gate is zero in
+/// *any* rep), delivery counts come from the last rep (deterministic).
+fn time_distribute(subs_per_stream: usize) -> DistRun {
+    let mut out = DistRun {
+        wall: Duration::MAX,
+        published: 0,
+        stalls: 0,
+        delivered: 0,
+        lag_gaps: 0,
+    };
+    for _ in 0..REPS {
+        let server = ServerConfig::new(4).capacity(1e6).build();
+        let mut session = server.session(
+            |scn, spec: &StreamSpec| EncoderApp::new(scn, W, H, spec.seed),
+            |spec: &StreamSpec| {
+                Box::new(EncoderApp::work_backend(spec.seed)) as Box<dyn ExecBackend>
+            },
+        );
+        let mut subs = Vec::new();
+        for i in 0..DIST_STREAMS {
+            session.attach(dist_spec(i)).expect("attach");
+            for _ in 0..subs_per_stream {
+                subs.push(session.subscribe(&format!("d{i}")).expect("subscribe"));
+            }
+        }
+        let start = Instant::now();
+        session.run_to_completion().expect("distribute serve");
+        let wall = start.elapsed();
+        let report = session.finish();
+        let (mut published, mut stalls) = (0u64, 0u64);
+        for o in report.outcomes() {
+            let p = o.publish.expect("subscribed streams have publish stats");
+            assert_eq!(p.subscribers, subs_per_stream as u64);
+            published += p.published;
+            stalls += p.publisher_stalls;
+        }
+        let (mut delivered, mut lag_gaps) = (0u64, 0u64);
+        for s in &mut subs {
+            delivered += s
+                .drain()
+                .iter()
+                .filter(|d| matches!(d, Delivery::Frame(_)))
+                .count() as u64;
+            lag_gaps += s.lag_gaps();
+        }
+        out.wall = out.wall.min(wall);
+        out.published = published;
+        out.stalls += stalls;
+        out.delivered = delivered;
+        out.lag_gaps = lag_gaps;
+    }
+    out
+}
+
+/// Direct ring micro-benchmark: ns per publish into a [`Broadcast`]
+/// with `m` attached subscribers (none consuming — the publisher's
+/// cost must not depend on them, keeping up or not).
+fn micro_publish_ns(m: usize) -> f64 {
+    let bc = Broadcast::new(RingConfig::frames(64));
+    let _subs: Vec<_> = (0..m).map(|_| bc.subscribe()).collect();
+    let t = krn_time(|| {
+        for i in 0..DIST_MICRO_PUBLISHES {
+            bc.publish(EncodedFrame {
+                frame: i as usize,
+                timestamp: Cycles::new(i),
+                mean_quality: 1.0,
+                keyframe: i.is_multiple_of(12),
+                qp: 12,
+                macroblock_streams: Vec::new(),
+            });
+        }
+    });
+    t.as_secs_f64() * 1e9 / DIST_MICRO_PUBLISHES as f64
+}
+
 fn main() {
     let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -593,6 +715,51 @@ fn main() {
     // --- Vectorized encoder kernels vs their scalar references.
     let krn = kernels();
 
+    // --- Output plane: publish cost must be flat in the subscriber
+    // count, and the publisher must never stall on a subscriber. The
+    // wall-ratio gate needs real parallelism to be meaningful; the
+    // zero-stall gate is structural and enforced everywhere.
+    let d_lo = time_distribute(DIST_SUBS_LO);
+    let d_hi = time_distribute(DIST_SUBS_HI);
+    let dist_ratio = d_hi.wall.as_secs_f64() / d_lo.wall.as_secs_f64().max(1e-9);
+    let micro_lo = micro_publish_ns(DIST_SUBS_LO);
+    let micro_hi = micro_publish_ns(DIST_SUBS_HI);
+    let micro_ratio = micro_hi / micro_lo.max(1e-9);
+    let dist_stalls = d_lo.stalls + d_hi.stalls;
+    let dist_exact = d_lo.delivered == d_lo.published * DIST_SUBS_LO as u64
+        && d_hi.delivered == d_hi.published * DIST_SUBS_HI as u64
+        && d_lo.lag_gaps == 0
+        && d_hi.lag_gaps == 0;
+    let dist_ratio_enforced = gate_enforced;
+    let dist_pass =
+        (!dist_ratio_enforced || dist_ratio <= DIST_TOLERANCE) && dist_stalls == 0 && dist_exact;
+    let distribute_json = format!(
+        "{{\n  \"workload\": \"{DIST_STREAMS} pixel streams {W}x{H}, {FRAMES} frames each, \
+         broadcast fan-out\",\n  \
+         \"host_cores\": {cores},\n  \
+         \"serve\": {{\n    \
+         \"m{DIST_SUBS_LO}\": {{\"wall_ms\": {:.3}, \"published\": {}, \"delivered\": {}, \
+         \"lag_gaps\": {}, \"publisher_stalls\": {}}},\n    \
+         \"m{DIST_SUBS_HI}\": {{\"wall_ms\": {:.3}, \"published\": {}, \"delivered\": {}, \
+         \"lag_gaps\": {}, \"publisher_stalls\": {}}},\n    \
+         \"wall_ratio_m{DIST_SUBS_HI}_vs_m{DIST_SUBS_LO}\": {dist_ratio:.3}, \
+         \"tolerance\": {DIST_TOLERANCE}\n  }},\n  \
+         \"micro_publish\": {{\"ns_per_publish_m{DIST_SUBS_LO}\": {micro_lo:.1}, \
+         \"ns_per_publish_m{DIST_SUBS_HI}\": {micro_hi:.1}, \"ratio\": {micro_ratio:.3}}},\n  \
+         \"delivery_exact\": {dist_exact},\n  \
+         \"gate\": {{\"ratio_enforced\": {dist_ratio_enforced}, \"pass\": {dist_pass}}}\n}}\n",
+        d_lo.wall.as_secs_f64() * 1e3,
+        d_lo.published,
+        d_lo.delivered,
+        d_lo.lag_gaps,
+        d_lo.stalls,
+        d_hi.wall.as_secs_f64() * 1e3,
+        d_hi.published,
+        d_hi.delivered,
+        d_hi.lag_gaps,
+        d_hi.stalls,
+    );
+
     std::fs::write(format!("{out_dir}/BENCH_parallel.json"), &parallel_json)
         .expect("write BENCH_parallel.json");
     std::fs::write(format!("{out_dir}/BENCH_controller.json"), &controller_json)
@@ -601,8 +768,10 @@ fn main() {
         .expect("write BENCH_tables.json");
     std::fs::write(format!("{out_dir}/BENCH_kernels.json"), &krn.json)
         .expect("write BENCH_kernels.json");
+    std::fs::write(format!("{out_dir}/BENCH_distribute.json"), &distribute_json)
+        .expect("write BENCH_distribute.json");
     print!(
-        "{parallel_json}\n{controller_json}\n{tables_json}\n{}",
+        "{parallel_json}\n{controller_json}\n{tables_json}\n{}\n{distribute_json}",
         krn.json
     );
 
@@ -632,6 +801,14 @@ fn main() {
             "FAIL: encoder kernels lost a gate (dct speedup {:.3} vs minimum \
              {KRN_DCT_MIN_SPEEDUP}, bit_identical {})",
             krn.dct_speedup, krn.bit_identical
+        );
+        std::process::exit(1);
+    }
+    if !dist_pass {
+        eprintln!(
+            "FAIL: output plane lost a gate (wall ratio {dist_ratio:.3} at {DIST_SUBS_HI} \
+             subscribers vs tolerance {DIST_TOLERANCE}, publisher stalls {dist_stalls}, \
+             delivery_exact {dist_exact})"
         );
         std::process::exit(1);
     }

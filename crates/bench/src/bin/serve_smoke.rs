@@ -23,7 +23,7 @@ use std::time::{Duration, Instant};
 use fgqos_core::policy::MaxQuality;
 use fgqos_encoder::app::EncoderApp;
 use fgqos_graph::iterate::IterationMode;
-use fgqos_serve::{ChurnStorm, PacedSource, ServeReport, StreamServer, StreamSpec};
+use fgqos_serve::{ChurnStorm, PacedSource, PoolMode, ServeReport, ServerConfig, StreamSpec};
 use fgqos_sim::app::TableApp;
 use fgqos_sim::exec::StochasticLoad;
 use fgqos_sim::runner::{Mode, RunConfig, Runner, StreamResult};
@@ -98,16 +98,15 @@ fn time_shared(workers: usize) -> (Duration, Vec<StreamResult>) {
         // admission (the paper-shaped pixel demand would otherwise be
         // priced against the virtual 8 GHz platform, which is not what a
         // wall-clock smoke measures).
-        let server = StreamServer::with_capacity(workers, 1e6);
+        let server = ServerConfig::new(workers).capacity(1e6).build();
         let specs: Vec<StreamSpec> = (0..STREAMS)
             .map(|i| {
-                StreamSpec::new(
-                    format!("s{i}"),
-                    1,
-                    seed(i),
-                    stream_config(macroblocks()),
-                    Box::new(PacedSource::new(scenario(i))),
-                )
+                StreamSpec::builder(format!("s{i}"))
+                    .priority(1)
+                    .seed(seed(i))
+                    .config(stream_config(macroblocks()))
+                    .source(PacedSource::new(scenario(i)))
+                    .build()
             })
             .collect();
         let start = Instant::now();
@@ -149,21 +148,26 @@ fn time_pool(workers: usize, scoped: bool) -> Duration {
     let mb = (POOL_W / 16) * (POOL_H / 16);
     let mut best = Duration::MAX;
     for _ in 0..REPS {
-        let mut server = StreamServer::with_capacity(workers, 1e6);
-        server.set_scoped_pool(scoped);
+        let pool = if scoped {
+            PoolMode::Scoped
+        } else {
+            PoolMode::Resident
+        };
+        let server = ServerConfig::new(workers).capacity(1e6).pool(pool).build();
         let specs: Vec<StreamSpec> = (0..POOL_STREAMS)
             .map(|i| {
-                StreamSpec::new(
-                    format!("p{i}"),
-                    1,
-                    seed(i),
-                    RunConfig::paper_defaults()
-                        .scaled_to_macroblocks(mb)
-                        .with_iteration_mode(IterationMode::Pipelined),
-                    Box::new(PacedSource::new(
+                StreamSpec::builder(format!("p{i}"))
+                    .priority(1)
+                    .seed(seed(i))
+                    .config(
+                        RunConfig::paper_defaults()
+                            .scaled_to_macroblocks(mb)
+                            .with_iteration_mode(IterationMode::Pipelined),
+                    )
+                    .source(PacedSource::new(
                         LoadScenario::paper_benchmark(80 + i as u64).truncated(POOL_FRAMES),
-                    )),
-                )
+                    ))
+                    .build()
             })
             .collect();
         let start = Instant::now();
@@ -183,7 +187,7 @@ fn time_pool(workers: usize, scoped: bool) -> Duration {
 /// Runs the seeded churn storm (timing-only streams, virtual clocks) at
 /// `workers` workers: attaches, mid-life detaches, re-admissions.
 fn run_churn(workers: usize) -> (usize, ServeReport) {
-    let server = StreamServer::with_capacity(workers, 3.0);
+    let server = ServerConfig::new(workers).capacity(3.0).build();
     let mut session = server.session(
         |scenario, _spec| TableApp::with_macroblocks(scenario, 8),
         |spec: &StreamSpec| {

@@ -43,10 +43,11 @@ use std::sync::{Mutex, MutexGuard, PoisonError};
 use fgqos_core::CycleReport;
 use fgqos_graph::{ActionId, PrecedenceGraph};
 use fgqos_sim::app::{fig2_body, fig2_profile, VideoApp};
+use fgqos_sim::output::EncodedFrame;
 use fgqos_sim::runtime::ParallelApp;
 use fgqos_sim::scenario::LoadScenario;
 use fgqos_sim::SimError;
-use fgqos_time::{fig5, Quality, QualityProfile};
+use fgqos_time::{fig5, Cycles, Quality, QualityProfile};
 
 use crate::dct;
 use crate::entropy::{encode_block, encode_mv, BitWriter};
@@ -176,6 +177,14 @@ pub struct EncoderApp {
     last_frame_streams: Vec<Vec<u8>>,
     /// QP the last completed frame was coded at.
     last_frame_qp: u8,
+    /// Camera index of the last completed frame.
+    last_frame_index: usize,
+    /// Whether the last completed frame was coded intra-only.
+    last_frame_keyframe: bool,
+    /// Set when `encoded_psnr` finishes a frame, cleared when
+    /// `encoded_output` takes it: guards against double publication and
+    /// against publishing a stale frame after a skip.
+    fresh_output: bool,
     /// Reference the last completed frame was predicted from.
     prev_reference: Frame,
 }
@@ -238,6 +247,9 @@ impl EncoderApp {
                 .collect(),
             last_frame_streams: Vec::new(),
             last_frame_qp: 12,
+            last_frame_index: 0,
+            last_frame_keyframe: false,
+            fresh_output: false,
             prev_reference: Frame::new(width, height),
         })
     }
@@ -508,6 +520,9 @@ impl VideoApp for EncoderApp {
             out.extend_from_slice(&st.stream);
         }
         self.last_frame_qp = self.qp;
+        self.last_frame_index = frame;
+        self.last_frame_keyframe = self.force_intra;
+        self.fresh_output = true;
         // Rotate the frame planes without reallocating: the old
         // reference becomes the previous reference, and the recon pixels
         // are copied over the (recycled) plane it displaced.
@@ -625,6 +640,25 @@ impl ParallelApp for EncoderApp {
             let (ox, oy) = self.mb_origin(mb);
             self.recon.write_block(ox, oy, &block);
         }
+    }
+
+    fn encoded_output(&mut self, timestamp: Cycles, mean_quality: f64) -> Option<EncodedFrame> {
+        if !self.fresh_output {
+            return None;
+        }
+        self.fresh_output = false;
+        // Move the finished buffers out instead of copying them — the
+        // next frame's `encoded_psnr` re-grows the (now empty) outer
+        // vector; the published frame owns its payload for the lifetime
+        // of the ring.
+        Some(EncodedFrame {
+            frame: self.last_frame_index,
+            timestamp,
+            mean_quality,
+            keyframe: self.last_frame_keyframe,
+            qp: self.last_frame_qp,
+            macroblock_streams: std::mem::take(&mut self.last_frame_streams),
+        })
     }
 }
 

@@ -37,6 +37,12 @@
 
 pub mod app;
 pub mod dct;
+
+/// Re-export of the encoded-output payload type the
+/// [`app::EncoderApp`] produces through
+/// [`fgqos_sim::runtime::ParallelApp::encoded_output`] (defined in
+/// `fgqos-sim` because the producer hook lives on `ParallelApp`).
+pub use fgqos_sim::output::EncodedFrame;
 pub mod decoder;
 pub mod entropy;
 pub mod frame;

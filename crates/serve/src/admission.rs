@@ -439,6 +439,17 @@ impl AdmissionLedger {
         Some(decision)
     }
 
+    /// Times stream `index`'s grant was improved by a re-admission pass.
+    /// Records outlive their streams, so this is exact even for streams
+    /// that detached before the session finished.
+    #[must_use]
+    pub fn readmissions(&self, index: usize) -> u32 {
+        self.records
+            .iter()
+            .find(|r| r.index == index)
+            .map_or(0, |r| r.readmissions)
+    }
+
     /// The ledger's state as an [`AdmissionReport`]: records in decision
     /// order (attach order for incremental sessions, rank order for a
     /// batch opening), current charges, lifecycle counters.

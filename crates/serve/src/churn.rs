@@ -160,13 +160,14 @@ impl ChurnStorm {
             let detach_early = rng.gen_bool(self.detach_fraction);
             events.push(ChurnEvent {
                 at: Cycles::new(at as u64),
-                action: ChurnAction::Attach(StreamSpec::new(
-                    name.clone(),
-                    priority,
-                    seed,
-                    config,
-                    Box::new(PacedSource::new(scenario)),
-                )),
+                action: ChurnAction::Attach(
+                    StreamSpec::builder(name.clone())
+                        .priority(priority)
+                        .seed(seed)
+                        .config(config)
+                        .source(PacedSource::new(scenario))
+                        .build(),
+                ),
             });
             if detach_early {
                 // Leave somewhere in the middle half of the nominal

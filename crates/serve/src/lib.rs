@@ -29,34 +29,40 @@
 //!   streams keep the paper's no-miss/no-skip guarantees even when the
 //!   batch as a whole oversubscribes the machine.
 //!
+//! Computed results are only half a server: the [`distribute`] module is
+//! the *output plane* — each stream's per-frame encoded payload is
+//! published as an `Arc`-shared [`distribute::EncodedFrame`] into a
+//! GOP-trimmed [`distribute::FrameRing`] with M-subscriber
+//! [`distribute::Broadcast`] fan-out, where publishing costs O(1) in the
+//! subscriber count and slow subscribers observe explicit lag gaps
+//! instead of back-pressuring the encoder.
+//!
 //! # Example
 //!
 //! ```
-//! use fgqos_serve::server::{StreamServer, StreamSpec};
+//! use fgqos_serve::server::{table_apps, stochastic_backends, ServerConfig, StreamSpec};
 //! use fgqos_serve::source::PacedSource;
 //! use fgqos_sim::runner::RunConfig;
 //! use fgqos_sim::scenario::LoadScenario;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let server = StreamServer::new(2);
+//! let server = ServerConfig::new(2).build();
 //! let config = RunConfig::paper_defaults().scaled_to_macroblocks(8);
 //! let specs = vec![
-//!     StreamSpec::new(
-//!         "news",
-//!         5,
-//!         1,
-//!         config,
-//!         Box::new(PacedSource::new(LoadScenario::paper_benchmark(1).truncated(12))),
-//!     ),
-//!     StreamSpec::new(
-//!         "sports",
-//!         3,
-//!         2,
-//!         config,
-//!         Box::new(PacedSource::new(LoadScenario::adversarial(2).truncated(12))),
-//!     ),
+//!     StreamSpec::builder("news")
+//!         .priority(5)
+//!         .seed(1)
+//!         .config(config)
+//!         .source(PacedSource::new(LoadScenario::paper_benchmark(1).truncated(12)))
+//!         .build(),
+//!     StreamSpec::builder("sports")
+//!         .priority(3)
+//!         .seed(2)
+//!         .config(config)
+//!         .source(PacedSource::new(LoadScenario::adversarial(2).truncated(12)))
+//!         .build(),
 //! ];
-//! let report = server.serve_tables(specs, 8)?;
+//! let report = server.serve(specs, table_apps(8), stochastic_backends())?;
 //! assert_eq!(report.outcomes().len(), 2);
 //! assert!(report.all_safe());
 //! # Ok(())
@@ -68,14 +74,19 @@
 
 pub mod admission;
 pub mod churn;
+pub mod distribute;
 mod error;
 pub mod server;
 pub mod source;
 
 pub use admission::{AdmissionController, AdmissionDecision, AdmissionReport, LifecycleCounts};
 pub use churn::{ChurnAction, ChurnEvent, ChurnStorm};
+pub use distribute::{
+    Broadcast, Delivery, EncodedFrame, FrameRing, PublishStats, RingConfig, Subscriber,
+};
 pub use error::ServeError;
 pub use server::{
-    CeilingPolicy, ServeReport, StreamOutcome, StreamServer, StreamSession, StreamSpec,
+    stochastic_backends, table_apps, CeilingPolicy, PoolMode, ServeReport, ServerConfig,
+    StreamOutcome, StreamServer, StreamSession, StreamSpec, StreamSpecBuilder, TablesMode,
 };
 pub use source::{ChannelSource, FrameProducer, FrameSource, PacedSource, TraceSource};

@@ -52,9 +52,12 @@
 //! is untouched; the ceiling just bounds its long-term demand to the
 //! share the admission layer granted.
 
+use std::sync::Arc;
+
 use fgqos_core::estimator::AvgEstimator;
 use fgqos_core::policy::{Choice, MaxQuality, PolicyCtx, QualityPolicy};
 use fgqos_core::safety::SafetyMonitor;
+use fgqos_sim::app::TableApp;
 use fgqos_sim::exec::StochasticLoad;
 use fgqos_sim::runner::{Mode, ParallelStream, RunConfig, Runner, StreamResult};
 use fgqos_sim::runtime::{
@@ -68,6 +71,7 @@ use crate::admission::{
     AdmissionController, AdmissionDecision, AdmissionLedger, AdmissionReport, StreamDemand,
 };
 use crate::churn::{ChurnAction, ChurnEvent};
+use crate::distribute::{Broadcast, EncodedFrame, PublishStats, RingConfig, Subscriber};
 use crate::error::ServeError;
 use crate::source::FrameSource;
 
@@ -86,7 +90,28 @@ pub struct StreamSpec {
 }
 
 impl StreamSpec {
-    /// Builds a spec.
+    /// Starts building a spec for the stream named `name`. The source is
+    /// the only other required field:
+    ///
+    /// ```ignore
+    /// let spec = StreamSpec::builder("news")
+    ///     .priority(5)
+    ///     .source(PacedSource::new(scenario))
+    ///     .build();
+    /// ```
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> StreamSpecBuilder {
+        StreamSpecBuilder {
+            name: name.into(),
+            priority: 0,
+            seed: 0,
+            config: RunConfig::paper_defaults(),
+            source: None,
+        }
+    }
+
+    /// Builds a spec from five positional arguments.
+    #[deprecated(since = "0.2.0", note = "use `StreamSpec::builder(name)` instead")]
     #[must_use]
     pub fn new(
         name: impl Into<String>,
@@ -101,6 +126,76 @@ impl StreamSpec {
             seed,
             config,
             source,
+        }
+    }
+}
+
+/// Builder for [`StreamSpec`] — see [`StreamSpec::builder`].
+///
+/// Defaults: priority 0, seed 0, [`RunConfig::paper_defaults`]. A
+/// [`StreamSpecBuilder::source`] must be supplied before
+/// [`StreamSpecBuilder::build`].
+pub struct StreamSpecBuilder {
+    name: String,
+    priority: u8,
+    seed: u64,
+    config: RunConfig,
+    source: Option<Box<dyn FrameSource>>,
+}
+
+impl StreamSpecBuilder {
+    /// Admission priority; higher wins under overload (default 0).
+    #[must_use]
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Seed for the stream's execution-time model (default 0).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Camera period, buffer capacity, deadline shape, iteration mode
+    /// (default [`RunConfig::paper_defaults`]).
+    #[must_use]
+    pub fn config(mut self, config: RunConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Where the stream's frames come from (required).
+    #[must_use]
+    pub fn source(mut self, source: impl FrameSource + 'static) -> Self {
+        self.source = Some(Box::new(source));
+        self
+    }
+
+    /// [`StreamSpecBuilder::source`] for an already-boxed source.
+    #[must_use]
+    pub fn boxed_source(mut self, source: Box<dyn FrameSource>) -> Self {
+        self.source = Some(source);
+        self
+    }
+
+    /// Finishes the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no source was supplied — a spec without frames is a
+    /// construction bug, not a runtime condition.
+    #[must_use]
+    pub fn build(self) -> StreamSpec {
+        StreamSpec {
+            source: self
+                .source
+                .expect("StreamSpec::builder: a source is required"),
+            name: self.name,
+            priority: self.priority,
+            seed: self.seed,
+            config: self.config,
         }
     }
 }
@@ -191,6 +286,14 @@ pub struct StreamOutcome {
     /// 0 without an online estimator, one per profile-moving frame with
     /// one (never a rebuild, never a table build).
     pub envelope_refreshes: u64,
+    /// Times a re-admission pass improved this stream's grant. Exact
+    /// even for streams that detached before the session finished (the
+    /// ledger's records outlive their streams).
+    pub readmissions: u32,
+    /// Output-plane counters, when anyone subscribed to this stream
+    /// (`None` means no ring was ever created — publishing is pay-only-
+    /// if-subscribed).
+    pub publish: Option<PublishStats>,
 }
 
 /// The server's report: outcomes in submission order plus the admission
@@ -244,12 +347,27 @@ impl ServeReport {
             .all(SafetyMonitor::all_safe)
     }
 
-    /// Multi-line human summary.
+    /// Multi-line human summary: the admission line (capacity, grants,
+    /// lifecycle counters), then one line per stream including its
+    /// per-stream readmission count and — when anyone subscribed — its
+    /// output-plane publish/trim/subscriber counters.
     #[must_use]
     pub fn summary(&self) -> String {
         let mut s = format!("{} ({} workers)\n", self.admission.summary(), self.workers);
         for o in &self.outcomes {
-            let tag = if o.detached { ", detached" } else { "" };
+            let mut tag = String::new();
+            if o.detached {
+                tag.push_str(", detached");
+            }
+            if o.readmissions > 0 {
+                tag.push_str(&format!(", readmitted x{}", o.readmissions));
+            }
+            if let Some(p) = &o.publish {
+                tag.push_str(&format!(
+                    ", published {} (trimmed {}, {} subs)",
+                    p.published, p.trimmed, p.subscribers
+                ));
+            }
             match &o.result {
                 Some(r) => s.push_str(&format!(
                     "  [{}] p{} {:?} ({}, {} frames{tag}): {}\n",
@@ -270,6 +388,112 @@ impl ServeReport {
     }
 }
 
+/// Which worker-pool implementation a server runs its kernels on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PoolMode {
+    /// Resident parked workers, woken per tick (the production path).
+    #[default]
+    Resident,
+    /// Spawn-per-call scoped threads — the bench baseline the resident
+    /// pool is priced against. Results are byte-identical either way.
+    Scoped,
+}
+
+/// Which constraint-table path every served stream's runner uses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum TablesMode {
+    /// Budget-parametric envelopes: built once per stream, O(log
+    /// segments) feasibility at any budget (the production path).
+    #[default]
+    Parametric,
+    /// Legacy per-budget `ConstraintTables` rebuilds — the bench
+    /// baseline. Served results are identical either way.
+    Legacy,
+}
+
+/// Typed construction of a [`StreamServer`] — replaces the old
+/// `new`/`with_capacity` split and the `set_scoped_pool` /
+/// `set_legacy_tables` boolean setters:
+///
+/// ```ignore
+/// let server = ServerConfig::new(8).capacity(6.5).build();
+/// let bench = ServerConfig {
+///     pool: PoolMode::Scoped,
+///     tables: TablesMode::Legacy,
+///     ..ServerConfig::new(4)
+/// }
+/// .build();
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Pool width (resident or scoped worker threads).
+    pub workers: usize,
+    /// Admission capacity in cores; `None` grants one core's worth of
+    /// sustained demand per worker.
+    pub capacity: Option<f64>,
+    /// Worker-pool implementation.
+    pub pool: PoolMode,
+    /// Constraint-table path for every served stream.
+    pub tables: TablesMode,
+    /// Retention policy of per-stream output rings (used only when
+    /// someone subscribes; see [`crate::distribute`]).
+    pub ring: RingConfig,
+}
+
+impl ServerConfig {
+    /// A config with `workers` pool threads and every other field at its
+    /// default.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        ServerConfig {
+            workers,
+            capacity: None,
+            pool: PoolMode::default(),
+            tables: TablesMode::default(),
+            ring: RingConfig::default(),
+        }
+    }
+
+    /// Sets an explicit admission capacity (in cores), e.g. to leave
+    /// headroom or to oversubscribe deliberately.
+    #[must_use]
+    pub fn capacity(mut self, cores: f64) -> Self {
+        self.capacity = Some(cores);
+        self
+    }
+
+    /// Selects the worker-pool implementation.
+    #[must_use]
+    pub fn pool(mut self, pool: PoolMode) -> Self {
+        self.pool = pool;
+        self
+    }
+
+    /// Selects the constraint-table path.
+    #[must_use]
+    pub fn tables(mut self, tables: TablesMode) -> Self {
+        self.tables = tables;
+        self
+    }
+
+    /// Sets the output-ring retention policy.
+    #[must_use]
+    pub fn ring(mut self, ring: RingConfig) -> Self {
+        self.ring = ring;
+        self
+    }
+
+    /// Builds the server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit capacity is not finite and positive.
+    #[must_use]
+    pub fn build(self) -> StreamServer {
+        StreamServer::with_config(self)
+    }
+}
+
 /// A server over one shared [`WorkStealingPool`] of resident workers.
 /// See the module docs.
 #[derive(Debug, Clone)]
@@ -280,40 +504,61 @@ pub struct StreamServer {
     /// the legacy per-budget table path (see
     /// [`fgqos_sim::runner::Runner::set_legacy_tables`]).
     legacy_tables: bool,
+    /// Retention policy handed to each session's output rings.
+    ring: RingConfig,
 }
 
 impl StreamServer {
-    /// A server with `workers` resident pool threads and the matching
-    /// default capacity (one core's worth of sustained demand per
-    /// worker).
+    /// Builds a server from a typed [`ServerConfig`] (or use
+    /// [`ServerConfig::build`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit capacity is not finite and positive.
     #[must_use]
-    pub fn new(workers: usize) -> Self {
+    pub fn with_config(config: ServerConfig) -> Self {
         StreamServer {
-            pool: WorkStealingPool::new(workers),
-            admission: AdmissionController::for_workers(workers),
-            legacy_tables: false,
+            pool: match config.pool {
+                PoolMode::Resident => WorkStealingPool::new(config.workers),
+                PoolMode::Scoped => WorkStealingPool::scoped(config.workers),
+            },
+            admission: match config.capacity {
+                Some(cores) => AdmissionController::new(cores),
+                None => AdmissionController::for_workers(config.workers),
+            },
+            legacy_tables: config.tables == TablesMode::Legacy,
+            ring: config.ring,
         }
     }
 
-    /// A server with an explicit admission capacity (in cores), e.g. to
-    /// leave headroom or to oversubscribe deliberately.
+    /// A server with `workers` resident pool threads and the matching
+    /// default capacity.
+    #[deprecated(since = "0.2.0", note = "use `ServerConfig::new(workers).build()`")]
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        StreamServer::with_config(ServerConfig::new(workers))
+    }
+
+    /// A server with an explicit admission capacity (in cores).
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is not finite and positive.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ServerConfig::new(workers).capacity(cores).build()`"
+    )]
     #[must_use]
     pub fn with_capacity(workers: usize, capacity: f64) -> Self {
-        StreamServer {
-            pool: WorkStealingPool::new(workers),
-            admission: AdmissionController::new(capacity),
-            legacy_tables: false,
-        }
+        StreamServer::with_config(ServerConfig::new(workers).capacity(capacity))
     }
 
     /// Replaces the resident pool with a scoped-spawn pool of the same
-    /// width (or back). Exists so the bench suite can price resident
-    /// workers against the spawn-per-tick baseline on identical
-    /// workloads; results are byte-identical either way.
+    /// width (or back).
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct with `ServerConfig { pool: PoolMode::Scoped, .. }` instead"
+    )]
     pub fn set_scoped_pool(&mut self, scoped: bool) {
         let workers = self.pool.workers();
         self.pool = if scoped {
@@ -324,9 +569,11 @@ impl StreamServer {
     }
 
     /// Forces every served stream onto the legacy per-budget constraint
-    /// tables instead of the budget-parametric envelopes. Served results
-    /// are identical either way — this exists so the bench suite can
-    /// price the two paths against each other at stream-count scale.
+    /// tables instead of the budget-parametric envelopes.
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct with `ServerConfig { tables: TablesMode::Legacy, .. }` instead"
+    )]
     pub fn set_legacy_tables(&mut self, on: bool) {
         self.legacy_tables = on;
     }
@@ -374,6 +621,7 @@ impl StreamServer {
         StreamSession {
             pool: &self.pool,
             legacy_tables: self.legacy_tables,
+            ring: self.ring,
             elastic: true,
             ledger: AdmissionLedger::new(self.admission),
             make_app: Box::new(make_app),
@@ -386,23 +634,22 @@ impl StreamServer {
         }
     }
 
-    /// Serves timing-only [`fgqos_sim::app::TableApp`] streams with the
-    /// paper's stochastic load model seeded per stream — the common
-    /// configuration for experiments and tests.
+    /// Serves timing-only [`TableApp`] streams with the paper's
+    /// stochastic load model seeded per stream.
     ///
     /// # Errors
     ///
     /// See [`StreamServer::serve`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `serve(specs, table_apps(macroblocks), stochastic_backends())`"
+    )]
     pub fn serve_tables(
         &self,
         specs: Vec<StreamSpec>,
         macroblocks: usize,
     ) -> Result<ServeReport, ServeError> {
-        self.serve(
-            specs,
-            |scenario, _spec| fgqos_sim::app::TableApp::with_macroblocks(scenario, macroblocks),
-            |spec| Box::new(ModelBackend::new(StochasticLoad::new(spec.seed))),
-        )
+        self.serve(specs, table_apps(macroblocks), stochastic_backends())
     }
 
     /// Serves a batch of streams to completion on the shared pool — a
@@ -452,6 +699,25 @@ impl StreamServer {
     }
 }
 
+/// App factory for timing-only [`TableApp`] streams — what the one
+/// generic [`StreamServer::serve`] takes to cover the old
+/// `serve_tables` configuration:
+///
+/// ```ignore
+/// server.serve(specs, table_apps(8), stochastic_backends())?
+/// ```
+pub fn table_apps(
+    macroblocks: usize,
+) -> impl FnMut(LoadScenario, &StreamSpec) -> Result<TableApp, SimError> {
+    move |scenario, _spec| TableApp::with_macroblocks(scenario, macroblocks)
+}
+
+/// Backend factory for the paper's stochastic execution-time model,
+/// seeded per stream from its spec — the companion of [`table_apps`].
+pub fn stochastic_backends() -> impl FnMut(&StreamSpec) -> Box<dyn ExecBackend> {
+    |spec| Box::new(ModelBackend::new(StochasticLoad::new(spec.seed)))
+}
+
 /// One stream's place in a session, at a stable attach index.
 struct Slot<A: ParallelApp> {
     name: String,
@@ -464,6 +730,10 @@ struct Slot<A: ParallelApp> {
     /// clock is relative to this origin.
     attach_at: Cycles,
     state: SlotState<A>,
+    /// The stream's output fan-out, created lazily by the first
+    /// subscriber. `None` means nobody listens and commits skip the
+    /// publish hook entirely.
+    output: Option<Broadcast>,
     outcome: Option<StreamOutcome>,
 }
 
@@ -550,6 +820,8 @@ struct MergedDag {
 pub struct StreamSession<'a, A: ParallelApp> {
     pool: &'a WorkStealingPool,
     legacy_tables: bool,
+    /// Retention policy for lazily created per-stream output rings.
+    ring: RingConfig,
     /// Whether departures re-price the parked/degraded population.
     /// Sessions default to `true`; the batch wrapper turns it off.
     elastic: bool,
@@ -600,6 +872,7 @@ impl<A: ParallelApp> StreamSession<'_, A> {
                 backend,
                 clock,
             })),
+            output: None,
             outcome: None,
         })
     }
@@ -642,9 +915,20 @@ impl<A: ParallelApp> StreamSession<'_, A> {
         Ok(())
     }
 
+    /// Detaches the slot's output ring, if any: closes it (subscribers
+    /// drain what remains, then see `Closed`), drops the session's
+    /// handle, and returns the final counters for the outcome.
+    fn close_output(slot_output: &mut Option<Broadcast>) -> Option<PublishStats> {
+        slot_output.take().map(|b| {
+            b.close();
+            b.stats()
+        })
+    }
+
     /// Finalizes a slot that never produced frames (rejected in batch
     /// mode, or detached while waiting).
     fn finalize_never_ran(&mut self, i: usize, detached: bool) {
+        let readmissions = self.ledger.readmissions(i);
         let slot = &mut self.slots[i];
         slot.state = SlotState::Done;
         slot.outcome = Some(StreamOutcome {
@@ -659,12 +943,15 @@ impl<A: ParallelApp> StreamSession<'_, A> {
             envelope_builds: 0,
             table_builds: 0,
             envelope_refreshes: 0,
+            readmissions,
+            publish: Self::close_output(&mut slot.output),
         });
     }
 
     /// Finalizes a running slot: `truncate` for detach (result covers
     /// only delivered frames), full collection for natural exhaustion.
     fn finalize_running(&mut self, i: usize, truncate: bool) {
+        let readmissions = self.ledger.readmissions(i);
         let slot = &mut self.slots[i];
         let SlotState::Running(active) = std::mem::replace(&mut slot.state, SlotState::Done) else {
             unreachable!("finalize_running on a non-running slot");
@@ -692,6 +979,8 @@ impl<A: ParallelApp> StreamSession<'_, A> {
             envelope_builds: runner.envelope_builds(),
             table_builds: runner.full_table_builds(),
             envelope_refreshes: runner.envelope_refreshes(),
+            readmissions,
+            publish: Self::close_output(&mut slot.output),
         });
     }
 
@@ -806,6 +1095,59 @@ impl<A: ParallelApp> StreamSession<'_, A> {
             }
             SlotState::Done => Ok(()),
         }
+    }
+
+    /// The output fan-out handle of the stream named `name`, creating
+    /// its ring (with the server's [`RingConfig`]) on first use. The
+    /// handle is independent of the session borrow: clone it out, take
+    /// snapshots, subscribe later.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidConfig`] for an unknown name or a stream
+    /// that already finished (its ring, if any, is closed and dropped).
+    pub fn broadcast(&mut self, name: &str) -> Result<Broadcast, ServeError> {
+        let i = self
+            .slots
+            .iter()
+            .position(|s| s.name == name)
+            .ok_or(ServeError::InvalidConfig("subscribe: unknown stream name"))?;
+        let slot = &mut self.slots[i];
+        if matches!(slot.state, SlotState::Done) {
+            return Err(ServeError::InvalidConfig(
+                "subscribe: stream already finished",
+            ));
+        }
+        let ring = self.ring;
+        Ok(slot
+            .output
+            .get_or_insert_with(|| Broadcast::new(ring))
+            .clone())
+    }
+
+    /// Subscribes to the encoded output of the stream named `name` on
+    /// the *running* server: the returned [`Subscriber`] pulls
+    /// [`crate::distribute::Delivery`] items at its own pace — falling
+    /// behind yields explicit `Lagged(n)` gaps, never back-pressure on
+    /// the encoder. Detaching the stream (or session finish) closes the
+    /// ring; the subscriber drains what remains, then sees `Closed`.
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamSession::broadcast`].
+    pub fn subscribe(&mut self, name: &str) -> Result<Subscriber, ServeError> {
+        Ok(self.broadcast(name)?.subscribe())
+    }
+
+    /// Snapshot of stream `name`'s retained, independently decodable
+    /// output suffix (`Arc` clones only — the shadow-capture read path).
+    /// Empty when nobody ever subscribed.
+    ///
+    /// # Errors
+    ///
+    /// See [`StreamSession::broadcast`].
+    pub fn snapshot(&mut self, name: &str) -> Result<Vec<Arc<EncodedFrame>>, ServeError> {
+        Ok(self.broadcast(name)?.snapshot())
     }
 
     /// Server time of the next tick — the earliest pending frame
@@ -946,9 +1288,11 @@ impl<A: ParallelApp> StreamSession<'_, A> {
         // 3. Commit each due frame sequentially — the same state
         //    transitions, in the same order, as a solo run.
         for &i in &due {
-            let SlotState::Running(active) = &mut self.slots[i].state else {
+            let slot = &mut self.slots[i];
+            let SlotState::Running(active) = &mut slot.state else {
                 unreachable!("due slots are running");
             };
+            let frame = active.st.pending_frame();
             let mut est: Option<&mut dyn AvgEstimator> = None;
             active.runner.commit_parallel_frame(
                 &mut active.st,
@@ -957,6 +1301,22 @@ impl<A: ParallelApp> StreamSession<'_, A> {
                 active.policy.as_mut(),
                 &mut est,
             )?;
+            // Publish the committed frame's encoded output. Gated on an
+            // existing ring (nobody subscribed → no hook call, no cost)
+            // and on the app producing bitstreams (table apps return
+            // `None`). Publishing is downstream of the commit: it reads
+            // the committed record and moves finished buffers out of the
+            // app, so it cannot perturb timing, quality decisions or
+            // safety verdicts — the isolation contract is untouched.
+            if let (Some(out), Some(frame)) = (&slot.output, frame) {
+                if let Some(rec) = active.st.record(frame).filter(|r| !r.skipped) {
+                    let timestamp = slot.attach_at + rec.start + rec.encode_cycles;
+                    let quality = rec.mean_quality;
+                    if let Some(ef) = active.runner.app_mut().encoded_output(timestamp, quality) {
+                        out.publish(ef);
+                    }
+                }
+            }
         }
 
         self.server_now = self.server_now.max(t_min);
@@ -1079,29 +1439,32 @@ mod tests {
 
     fn spec(name: &str, priority: u8, seed: u64, frames: usize, mb: usize) -> StreamSpec {
         let scenario = LoadScenario::paper_benchmark(seed).truncated(frames);
-        StreamSpec::new(
-            name,
-            priority,
-            seed,
-            RunConfig::paper_defaults().scaled_to_macroblocks(mb),
-            Box::new(PacedSource::new(scenario)),
-        )
+        StreamSpec::builder(name)
+            .priority(priority)
+            .seed(seed)
+            .config(RunConfig::paper_defaults().scaled_to_macroblocks(mb))
+            .source(PacedSource::new(scenario))
+            .build()
     }
 
     #[test]
     fn empty_batch_is_rejected() {
-        let server = StreamServer::new(2);
+        let server = ServerConfig::new(2).build();
         assert!(matches!(
-            server.serve_tables(Vec::new(), 8),
+            server.serve(Vec::new(), table_apps(8), stochastic_backends()),
             Err(ServeError::InvalidConfig(_))
         ));
     }
 
     #[test]
     fn two_streams_complete_with_full_quality_under_capacity() {
-        let server = StreamServer::new(4);
+        let server = ServerConfig::new(4).build();
         let report = server
-            .serve_tables(vec![spec("a", 1, 3, 20, 8), spec("b", 2, 4, 25, 8)], 8)
+            .serve(
+                vec![spec("a", 1, 3, 20, 8), spec("b", 2, 4, 25, 8)],
+                table_apps(8),
+                stochastic_backends(),
+            )
             .unwrap();
         assert_eq!(report.outcomes().len(), 2);
         assert_eq!(report.admission().admitted(), 2);
@@ -1121,9 +1484,13 @@ mod tests {
         // A paper-shaped stream wants ~1.37 cores at max quality (q7);
         // a 1.5-core server can take one at full quality but has only
         // ~0.13 left — below even the q0 demand of a second stream.
-        let server = StreamServer::with_capacity(2, 1.5);
+        let server = ServerConfig::new(2).capacity(1.5).build();
         let report = server
-            .serve_tables(vec![spec("lo", 1, 5, 15, 8), spec("hi", 9, 6, 15, 8)], 8)
+            .serve(
+                vec![spec("lo", 1, 5, 15, 8), spec("hi", 9, 6, 15, 8)],
+                table_apps(8),
+                stochastic_backends(),
+            )
             .unwrap();
         let hi = report.outcome("hi").unwrap();
         let lo = report.outcome("lo").unwrap();
@@ -1141,9 +1508,13 @@ mod tests {
     fn degraded_stream_respects_its_ceiling() {
         // hi admits at 1.37; the remaining ~0.73 fits the q2 demand
         // (0.63) but not q3 (0.85): lo degrades to a q2 ceiling.
-        let server = StreamServer::with_capacity(2, 2.1);
+        let server = ServerConfig::new(2).capacity(2.1).build();
         let report = server
-            .serve_tables(vec![spec("hi", 9, 6, 15, 8), spec("lo", 1, 5, 15, 8)], 8)
+            .serve(
+                vec![spec("hi", 9, 6, 15, 8), spec("lo", 1, 5, 15, 8)],
+                table_apps(8),
+                stochastic_backends(),
+            )
             .unwrap();
         let lo = report.outcome("lo").unwrap();
         let AdmissionDecision::Degrade(cap) = lo.decision else {
@@ -1167,7 +1538,7 @@ mod tests {
 
     #[test]
     fn session_attach_detach_midstream_truncates_result() {
-        let server = StreamServer::with_capacity(2, 64.0);
+        let server = ServerConfig::new(2).capacity(64.0).build();
         let mut session = server.session(
             |scenario, _spec| fgqos_sim::app::TableApp::with_macroblocks(scenario, 8),
             |spec: &StreamSpec| {
@@ -1193,7 +1564,7 @@ mod tests {
 
     #[test]
     fn duplicate_names_and_unknown_detach_are_rejected() {
-        let server = StreamServer::new(2);
+        let server = ServerConfig::new(2).build();
         let mut session = server.session(
             |scenario, _spec| fgqos_sim::app::TableApp::with_macroblocks(scenario, 8),
             |spec: &StreamSpec| {
@@ -1216,7 +1587,7 @@ mod tests {
         // Capacity fits exactly one paper stream at max (~1.37): the
         // second (lower-priority) parks; detaching the first re-admits
         // it and it runs to completion.
-        let server = StreamServer::with_capacity(2, 1.5);
+        let server = ServerConfig::new(2).capacity(1.5).build();
         let mut session = server.session(
             |scenario, _spec| fgqos_sim::app::TableApp::with_macroblocks(scenario, 8),
             |spec: &StreamSpec| {
@@ -1248,5 +1619,94 @@ mod tests {
         assert_eq!(parked.result.as_ref().unwrap().frames().len(), 12);
         assert_eq!(report.admission().lifecycle().readmitted, 1);
         assert!(report.all_safe());
+    }
+
+    /// The deprecated constructor/setter/entry-point shims must keep old
+    /// call sites compiling and behaving identically for one release.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_compile_and_match_new_surface() {
+        let mut old = StreamServer::with_capacity(2, 64.0);
+        old.set_scoped_pool(false);
+        old.set_legacy_tables(false);
+        let old_spec = StreamSpec::new(
+            "a",
+            1,
+            3,
+            RunConfig::paper_defaults().scaled_to_macroblocks(8),
+            Box::new(PacedSource::new(
+                LoadScenario::paper_benchmark(3).truncated(10),
+            )),
+        );
+        let old_report = old.serve_tables(vec![old_spec], 8).unwrap();
+
+        let new = ServerConfig::new(2).capacity(64.0).build();
+        let new_report = new
+            .serve(
+                vec![spec("a", 1, 3, 10, 8)],
+                table_apps(8),
+                stochastic_backends(),
+            )
+            .unwrap();
+        let (o, n) = (
+            old_report.outcome("a").unwrap(),
+            new_report.outcome("a").unwrap(),
+        );
+        assert_eq!(
+            o.result.as_ref().unwrap().frames(),
+            n.result.as_ref().unwrap().frames()
+        );
+        assert!(StreamServer::new(2).workers() == 2);
+    }
+
+    /// Table apps have no bitstream: a subscriber on a table session
+    /// sees a clean close with zero frames, and the outcome still
+    /// carries the ring's counters.
+    #[test]
+    fn table_streams_publish_nothing() {
+        use crate::distribute::Delivery;
+        let server = ServerConfig::new(2).capacity(64.0).build();
+        let mut session = server.session(table_apps(8), stochastic_backends());
+        session.attach(spec("a", 1, 3, 8, 8)).unwrap();
+        let mut sub = session.subscribe("a").unwrap();
+        session.run_to_completion().unwrap();
+        assert_eq!(sub.try_recv(), Delivery::Closed);
+        assert_eq!(sub.lagged_frames(), 0);
+        let report = session.finish();
+        let publish = report.outcome("a").unwrap().publish.unwrap();
+        assert_eq!(publish.published, 0);
+        assert_eq!(publish.subscribers, 1);
+        assert_eq!(publish.publisher_stalls, 0);
+        // The summary surfaces the output-plane counters.
+        assert!(report.summary().contains("published 0"));
+    }
+
+    /// Subscribing to an unknown or finished stream is an error; the
+    /// per-stream readmission count reaches the outcome even for
+    /// streams that detach before `finish()`.
+    #[test]
+    fn subscribe_errors_and_detached_readmission_counts() {
+        let server = ServerConfig::new(2).capacity(1.5).build();
+        let mut session = server.session(table_apps(8), stochastic_backends());
+        session.attach(spec("hog", 9, 6, 12, 8)).unwrap();
+        session.attach(spec("parked", 1, 5, 12, 8)).unwrap();
+        assert!(session.subscribe("nope").is_err());
+        for _ in 0..4 {
+            session.step().unwrap();
+        }
+        session.detach("hog").unwrap();
+        assert!(
+            session.subscribe("hog").is_err(),
+            "finished streams have no ring"
+        );
+        // The re-admitted stream detaches before finish(): its outcome
+        // must still report the readmission (the old summary lost it).
+        for _ in 0..4 {
+            session.step().unwrap();
+        }
+        session.detach("parked").unwrap();
+        let report = session.finish();
+        assert_eq!(report.outcome("parked").unwrap().readmissions, 1);
+        assert!(report.summary().contains("readmitted x1"));
     }
 }

@@ -1,0 +1,199 @@
+//! Property tests: the output plane's delivery and retention contracts
+//! hold for *any* ring capacity, GOP cadence, and subscriber pace.
+//!
+//! * A subscriber's delivery log is always **prefix–gap–suffix**:
+//!   runs of consecutive frames separated by explicit [`Delivery::Lagged`]
+//!   gaps whose counts are *exact* — frame indices across a `Lagged(n)`
+//!   jump by exactly `n + 1`, and every frame delivered right after a
+//!   gap is a keyframe (the ring trims at GOP granularity only).
+//! * Conservation: once fully drained, `delivered + lagged` equals the
+//!   number of frames ever published — nothing is silently dropped.
+//! * [`FrameRing::snapshot`] always starts at a keyframe and is a
+//!   contiguous suffix of the published sequence ending at the newest
+//!   frame — independently decodable by construction.
+//! * A late subscriber starts at the most recent retained keyframe.
+//! * Span-bounded rings keep their time bound, GOP-granular: the span
+//!   only exceeds `retain` while the retained suffix is a single GOP.
+
+use fgqos_serve::distribute::{Broadcast, Delivery, EncodedFrame, FrameRing, RingConfig};
+use fgqos_time::Cycles;
+use proptest::prelude::*;
+
+/// Timestamp stride per published frame in the span tests.
+const DT: u64 = 1_000;
+
+fn frame(i: usize, gop: usize) -> EncodedFrame {
+    EncodedFrame {
+        frame: i,
+        timestamp: Cycles::new(i as u64 * DT),
+        mean_quality: 5.0,
+        keyframe: i.is_multiple_of(gop),
+        qp: 12,
+        macroblock_streams: vec![vec![i as u8; 3]],
+    }
+}
+
+/// A publish/drain interleaving: after publishing frame `i`, the
+/// subscriber performs `drains[i]` `try_recv` calls.
+fn arb_schedule() -> impl Strategy<Value = (usize, usize, Vec<usize>)> {
+    (1usize..=48, 1usize..=12, 1usize..=160).prop_flat_map(|(max_frames, gop, total)| {
+        (
+            Just(max_frames),
+            Just(gop),
+            proptest::collection::vec(0usize..=3, total),
+        )
+    })
+}
+
+proptest! {
+    /// Prefix–gap–suffix with exact lag counts: for any capacity, GOP
+    /// cadence and drain pace, the subscriber sees strictly increasing
+    /// frames, consecutive within a run, jumping by exactly `n + 1`
+    /// across a `Lagged(n)`, and always resuming on a keyframe.
+    #[test]
+    fn delivery_log_is_prefix_gap_suffix_with_exact_lag(
+        (max_frames, gop, drains) in arb_schedule(),
+    ) {
+        let bc = Broadcast::new(RingConfig::frames(max_frames));
+        let mut sub = bc.subscribe();
+        let mut last_frame: Option<usize> = None;
+        let mut pending_gap: Option<u64> = None;
+        let mut delivered = 0u64;
+        let mut lagged = 0u64;
+        let mut check = |d: Delivery,
+                         last_frame: &mut Option<usize>,
+                         pending_gap: &mut Option<u64>|
+         -> Result<bool, TestCaseError> {
+            match d {
+                Delivery::Frame(f) => {
+                    match (*last_frame, pending_gap.take()) {
+                        // First delivery ever: the gap (if any) counts
+                        // from sequence 0.
+                        (None, gap) => {
+                            prop_assert_eq!(f.frame as u64, gap.unwrap_or(0));
+                        }
+                        (Some(prev), None) => {
+                            prop_assert_eq!(f.frame, prev + 1, "runs are consecutive");
+                        }
+                        (Some(prev), Some(n)) => {
+                            prop_assert_eq!(
+                                f.frame as u64,
+                                prev as u64 + 1 + n,
+                                "Lagged(n) is exact"
+                            );
+                        }
+                    }
+                    if *last_frame != Some(f.frame.wrapping_sub(1)) || last_frame.is_none() {
+                        // Entry point of a run (start or post-gap).
+                        prop_assert!(f.keyframe, "every run starts at a keyframe");
+                    }
+                    delivered += 1;
+                    *last_frame = Some(f.frame);
+                    Ok(true)
+                }
+                Delivery::Lagged(n) => {
+                    prop_assert!(n > 0, "gaps are never empty");
+                    // Publishes interleave with drains, so a slow
+                    // subscriber can observe consecutive gaps; they
+                    // accumulate into one jump.
+                    *pending_gap = Some(pending_gap.take().unwrap_or(0) + n);
+                    lagged += n;
+                    Ok(true)
+                }
+                Delivery::Empty | Delivery::Closed => Ok(false),
+            }
+        };
+
+        let total = drains.len();
+        for (i, &k) in drains.iter().enumerate() {
+            bc.publish(frame(i, gop));
+            for _ in 0..k {
+                if !check(sub.try_recv(), &mut last_frame, &mut pending_gap)? {
+                    break;
+                }
+            }
+        }
+        // Drain to the end: conservation must hold exactly.
+        while check(sub.try_recv(), &mut last_frame, &mut pending_gap)? {}
+        prop_assert_eq!(delivered + lagged, total as u64);
+        prop_assert_eq!(sub.lagged_frames(), lagged);
+
+        // The publisher never waited on the subscriber, however slow.
+        prop_assert_eq!(bc.stats().publisher_stalls, 0);
+        prop_assert_eq!(bc.stats().published, total as u64);
+    }
+
+    /// Snapshots are always independently decodable: they start at a
+    /// keyframe and form a contiguous suffix ending at the newest frame.
+    #[test]
+    fn snapshot_starts_at_keyframe_and_is_a_contiguous_suffix(
+        max_frames in 1usize..=48,
+        gop in 1usize..=12,
+        total in 1usize..=160,
+    ) {
+        let mut ring = FrameRing::new(RingConfig::frames(max_frames));
+        for i in 0..total {
+            ring.publish(frame(i, gop));
+            let snap = ring.snapshot();
+            prop_assert!(!snap.is_empty(), "a keyframe is always retained");
+            prop_assert!(snap[0].keyframe, "snapshot starts at a keyframe");
+            for w in snap.windows(2) {
+                prop_assert_eq!(w[1].frame, w[0].frame + 1, "contiguous suffix");
+            }
+            prop_assert_eq!(snap.last().unwrap().frame, i, "suffix ends at the newest frame");
+            // GOP-granular capacity: the bound only yields while the
+            // retained suffix is a single GOP.
+            let keyframes = snap.iter().filter(|f| f.keyframe).count();
+            prop_assert!(ring.len() <= max_frames || keyframes == 1);
+        }
+    }
+
+    /// A subscriber attaching mid-stream starts at the most recent
+    /// retained keyframe: its first delivery is a keyframe at most one
+    /// GOP behind the newest published frame, and it never sees a gap
+    /// before that first frame.
+    #[test]
+    fn late_subscriber_starts_at_latest_keyframe(
+        max_frames in 1usize..=48,
+        gop in 1usize..=12,
+        warmup in 1usize..=120,
+    ) {
+        let bc = Broadcast::new(RingConfig::frames(max_frames));
+        for i in 0..warmup {
+            bc.publish(frame(i, gop));
+        }
+        let mut sub = bc.subscribe();
+        match sub.try_recv() {
+            Delivery::Frame(f) => {
+                prop_assert!(f.keyframe);
+                prop_assert!(f.frame + gop > warmup - 1, "at most one GOP behind");
+            }
+            d => prop_assert!(false, "expected an immediate frame, got {:?}", d),
+        }
+        prop_assert_eq!(sub.lag_gaps(), 0);
+    }
+
+    /// Span-bounded retention is GOP-granular: after every publish, the
+    /// ring's time span is under the bound unless the retained suffix is
+    /// a single GOP (there is nothing independently decodable to cut to).
+    #[test]
+    fn span_retention_trims_at_keyframes(
+        retain_frames in 1u64..=64,
+        gop in 1usize..=12,
+        total in 1usize..=160,
+    ) {
+        let retain = Cycles::new(retain_frames * DT);
+        let mut ring = FrameRing::new(RingConfig::span(retain));
+        for i in 0..total {
+            ring.publish(frame(i, gop));
+            let snap = ring.snapshot();
+            prop_assert!(snap[0].keyframe);
+            let keyframes = snap.iter().filter(|f| f.keyframe).count();
+            prop_assert!(
+                ring.span() < retain || keyframes == 1,
+                "span {:?} >= retain {:?} with {} keyframes retained",
+                ring.span(), retain, keyframes
+            );
+        }
+    }
+}

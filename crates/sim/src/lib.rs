@@ -64,6 +64,7 @@ mod error;
 pub mod app;
 pub mod csv;
 pub mod exec;
+pub mod output;
 pub mod pipeline;
 pub mod runner;
 pub mod runtime;

@@ -404,6 +404,13 @@ impl<A: VideoApp> Runner<A> {
         &self.app
     }
 
+    /// Mutable access to the application, for output hooks that *move*
+    /// finished buffers out of it (see
+    /// [`crate::runtime::ParallelApp::encoded_output`]).
+    pub fn app_mut(&mut self) -> &mut A {
+        &mut self.app
+    }
+
     /// The safety monitor accumulated across all runs of this runner.
     #[must_use]
     pub fn monitor(&self) -> &safety::SafetyMonitor {

@@ -109,6 +109,15 @@ impl ParallelStream {
         self.records.iter().flatten().filter(|r| !r.skipped).count()
     }
 
+    /// The committed record of camera frame `frame`, if it has been
+    /// delivered — the publish seam: after
+    /// [`Runner::commit_parallel_frame`], a server reads the committed
+    /// timing/quality here to stamp the frame's encoded output.
+    #[must_use]
+    pub fn record(&self, frame: usize) -> Option<&FrameRecord> {
+        self.records.get(frame).and_then(Option::as_ref)
+    }
+
     /// Earliest stream time at which this stream can make progress — the
     /// deadline-driven tick seam of a multi-stream server.
     ///

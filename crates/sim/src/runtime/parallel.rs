@@ -56,9 +56,10 @@
 
 use fgqos_graph::iterate::{IteratedGraph, IterationMode};
 use fgqos_graph::ActionId;
-use fgqos_time::Quality;
+use fgqos_time::{Cycles, Quality};
 
 use crate::app::VideoApp;
+use crate::output::EncodedFrame;
 use crate::SimError;
 
 /// A [`VideoApp`] whose per-action work can execute off-thread.
@@ -134,6 +135,25 @@ pub trait ParallelApp: VideoApp + Sync {
     /// accounting, reconstruction writes, ...). Called in static schedule
     /// order with `&mut self`.
     fn apply(&mut self, action: ActionId, mb: usize);
+
+    /// Takes the most recently committed frame's encoded payload for
+    /// zero-copy distribution, or `None` when the app produces no
+    /// bitstream (timing-only table apps) or the frame was already
+    /// taken.
+    ///
+    /// Called by the serving layer after each frame commit, *only* when
+    /// someone subscribed to the stream's output — apps without
+    /// consumers pay nothing. `timestamp` is the frame's completion
+    /// time on the caller's clock and `mean_quality` the mean committed
+    /// quality; the app supplies the content (index, keyframe flag,
+    /// payload) from its own state. Implementations must *move* their
+    /// finished buffers into the returned [`EncodedFrame`] (and return
+    /// `None` on a second call for the same frame) so publishing stays
+    /// copy-free.
+    fn encoded_output(&mut self, timestamp: Cycles, mean_quality: f64) -> Option<EncodedFrame> {
+        let _ = (timestamp, mean_quality);
+        None
+    }
 }
 
 /// One speculated kernel result (filled during phase 1).

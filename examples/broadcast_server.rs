@@ -1,0 +1,159 @@
+//! Broadcast fan-out demo: two pixel streams, eight subscribers each,
+//! one deliberately slow.
+//!
+//! The output plane publishes every committed frame as an `Arc`-shared
+//! [`EncodedFrame`] into a GOP-trimmed ring; subscribers hold cursors
+//! into the ring, so publishing costs the same whether one client or
+//! sixty-four are attached. A subscriber that keeps up sees every
+//! frame. A subscriber that stops draining falls off the back of the
+//! ring and gets an explicit `Lagged(n)` gap — it never back-pressures
+//! the encoder, and after the gap it resumes at a keyframe, so what it
+//! decodes next is always independently decodable.
+//!
+//! Run with `cargo run --release --example broadcast_server`.
+
+use std::sync::Arc;
+
+use fine_grain_qos::encoder::app::EncoderApp;
+use fine_grain_qos::serve::{
+    Delivery, EncodedFrame, RingConfig, ServerConfig, StreamSpec, Subscriber,
+};
+use fine_grain_qos::sim::runner::RunConfig;
+use fine_grain_qos::sim::runtime::ExecBackend;
+use fine_grain_qos::sim::scenario::{FrameInfo, LoadScenario};
+
+const W: usize = 48;
+const H: usize = 32;
+const FRAMES: usize = 30;
+/// Keyframe cadence: a scene cut (forced I-frame) every GOP frames.
+const GOP: usize = 6;
+const SUBSCRIBERS: usize = 8;
+/// Frames the ring retains (GOP-granular): far fewer than the run
+/// publishes, so a subscriber that stops draining must lag.
+const RING_FRAMES: usize = 8;
+
+/// A scenario with a short, regular GOP: scene cuts every `GOP` frames
+/// force an I-frame there, which is what lets the ring trim mid-run.
+fn gop_scenario(seed: u64) -> LoadScenario {
+    let infos = (0..FRAMES)
+        .map(|i| FrameInfo {
+            scene: i / GOP,
+            index_in_scene: i % GOP,
+            is_iframe: i.is_multiple_of(GOP),
+            activity: 0.85 + 0.1 * ((i as u64 * 7 + seed) % 10) as f64 / 10.0,
+            motion: 0.3,
+            texture: 0.5,
+            psnr_base: 36.0,
+        })
+        .collect();
+    LoadScenario::from_frames(infos).expect("valid scenario")
+}
+
+fn spec(name: &str, seed: u64) -> StreamSpec {
+    let mb = (W / 16) * (H / 16);
+    StreamSpec::builder(name)
+        .priority(5)
+        .seed(seed)
+        .config(RunConfig::paper_defaults().scaled_to_macroblocks(mb))
+        .source(fine_grain_qos::serve::PacedSource::new(gop_scenario(seed)))
+        .build()
+}
+
+fn count_frames(deliveries: &[Delivery]) -> (usize, Option<Arc<EncodedFrame>>) {
+    let mut n = 0;
+    let mut first = None;
+    for d in deliveries {
+        if let Delivery::Frame(f) = d {
+            n += 1;
+            if first.is_none() {
+                first = Some(Arc::clone(f));
+            }
+        }
+    }
+    (n, first)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = ServerConfig::new(2)
+        .capacity(1e6)
+        .ring(RingConfig::frames(RING_FRAMES))
+        .build();
+    let mut session = server.session(
+        |scn, spec: &StreamSpec| EncoderApp::new(scn, W, H, spec.seed),
+        |spec: &StreamSpec| Box::new(EncoderApp::work_backend(spec.seed)) as Box<dyn ExecBackend>,
+    );
+
+    let names = ["mosaic-a", "mosaic-b"];
+    // Per stream: subscriber 0 is deliberately slow (never drains while
+    // the server runs), the other seven keep up every tick.
+    let mut slow: Vec<Subscriber> = Vec::new();
+    let mut fast: Vec<(usize, Subscriber)> = Vec::new();
+    for (s, name) in names.iter().enumerate() {
+        session.attach(spec(name, 21 + s as u64))?;
+        for k in 0..SUBSCRIBERS {
+            let sub = session.subscribe(name)?;
+            if k == 0 {
+                slow.push(sub);
+            } else {
+                fast.push((s, sub));
+            }
+        }
+    }
+    println!(
+        "{} streams x {SUBSCRIBERS} subscribers, ring retains ~{RING_FRAMES} frames, \
+         GOP {GOP}, {FRAMES} frames per stream\n",
+        names.len()
+    );
+
+    let mut fast_delivered = vec![0usize; fast.len()];
+    while session.step()? {
+        for (i, (_, sub)) in fast.iter_mut().enumerate() {
+            fast_delivered[i] += count_frames(&sub.drain()).0;
+        }
+    }
+    let report = session.finish();
+    print!("{}", report.summary());
+
+    // The fast subscribers saw every published frame, no gaps.
+    for (i, (s, sub)) in fast.iter_mut().enumerate() {
+        fast_delivered[i] += count_frames(&sub.drain()).0;
+        assert_eq!(sub.lag_gaps(), 0, "keeping-up subscriber never lags");
+        let published = report.outcomes()[*s].publish.expect("stats").published;
+        assert_eq!(fast_delivered[i] as u64, published);
+    }
+    println!(
+        "\n{} fast subscribers: every published frame delivered, zero lag gaps",
+        fast.len()
+    );
+
+    // The slow ones fell off the back of the ring: an explicit gap,
+    // then a keyframe.
+    for (s, sub) in slow.iter_mut().enumerate() {
+        let deliveries = sub.drain();
+        let (delivered, first) = count_frames(&deliveries);
+        assert!(sub.lag_gaps() >= 1, "the slow subscriber must have lagged");
+        let first = first.expect("the retained suffix is non-empty");
+        assert!(
+            first.keyframe,
+            "after a gap, delivery resumes at a keyframe"
+        );
+        println!(
+            "slow subscriber on {}: missed {} frames ({} gap(s)), resumed at keyframe \
+             #{}, caught {} retained frames",
+            names[s],
+            sub.lagged_frames(),
+            sub.lag_gaps(),
+            first.frame,
+            delivered
+        );
+    }
+
+    // And none of that ever slowed the encoder down.
+    for o in report.outcomes() {
+        let p = o.publish.expect("both streams were subscribed");
+        assert_eq!(p.publisher_stalls, 0, "publishing never blocks");
+        assert_eq!(p.subscribers, SUBSCRIBERS as u64);
+    }
+    println!("\npublisher stalls: 0 (slow subscribers cost the encoder nothing)");
+    Ok(())
+}

@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 
 use fine_grain_qos::encoder::app::EncoderApp;
 use fine_grain_qos::encoder::timing;
-use fine_grain_qos::serve::{StreamServer, StreamSpec};
+use fine_grain_qos::serve::{ServerConfig, StreamSpec};
 use fine_grain_qos::sim::runner::RunConfig;
 use fine_grain_qos::sim::runtime::{Clock, MeasuredBackend, WallClock};
 use fine_grain_qos::sim::scenario::LoadScenario;
@@ -35,15 +35,14 @@ const H: usize = 32;
 
 fn spec(i: usize) -> StreamSpec {
     let mb = (W / 16) * (H / 16);
-    StreamSpec::new(
-        format!("cam-{i}"),
-        (10 - i) as u8,
-        40 + i as u64,
-        RunConfig::paper_defaults().scaled_to_macroblocks(mb),
-        Box::new(fine_grain_qos::serve::PacedSource::new(
+    StreamSpec::builder(format!("cam-{i}"))
+        .priority((10 - i) as u8)
+        .seed(40 + i as u64)
+        .config(RunConfig::paper_defaults().scaled_to_macroblocks(mb))
+        .source(fine_grain_qos::serve::PacedSource::new(
             LoadScenario::paper_benchmark(40 + i as u64).truncated(FRAMES),
-        )),
-    )
+        ))
+        .build()
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -57,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Generous admission capacity: this example demonstrates wall-clock
     // churn, not overload (see the integration tests for that).
-    let server = StreamServer::with_capacity(4, 1e6);
+    let server = ServerConfig::new(4).capacity(1e6).build();
     let mut session = server.session_with_clocks(
         |scenario, spec: &StreamSpec| EncoderApp::new(scenario, W, H, spec.seed),
         |_spec| Box::new(MeasuredBackend::new()),

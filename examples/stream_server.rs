@@ -26,61 +26,61 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .to_trace_csv();
 
     let specs = vec![
-        StreamSpec::new(
-            "news-hd",
-            9,
-            1,
-            config,
-            Box::new(PacedSource::new(
+        StreamSpec::builder("news-hd")
+            .priority(9)
+            .seed(1)
+            .config(config)
+            .source(PacedSource::new(
                 LoadScenario::paper_benchmark(1).truncated(60),
-            )),
-        ),
-        StreamSpec::new(
-            "sports",
-            7,
-            2,
-            config,
-            Box::new(PacedSource::new(
+            ))
+            .build(),
+        StreamSpec::builder("sports")
+            .priority(7)
+            .seed(2)
+            .config(config)
+            .source(PacedSource::new(
                 LoadScenario::paper_benchmark(2).truncated(60),
-            )),
-        ),
-        StreamSpec::new(
-            "replay",
-            5,
-            3,
-            config,
-            Box::new(TraceSource::from_csv(&trace_csv)?),
-        ),
-        StreamSpec::new("live-cam", 4, 4, config, Box::new(live_source)),
-        StreamSpec::new(
-            "stress",
-            2,
-            5,
-            config,
-            Box::new(PacedSource::new(LoadScenario::adversarial(5).truncated(60))),
-        ),
-        StreamSpec::new(
-            "background",
-            0,
-            6,
-            config,
-            Box::new(PacedSource::new(
+            ))
+            .build(),
+        StreamSpec::builder("replay")
+            .priority(5)
+            .seed(3)
+            .config(config)
+            .source(TraceSource::from_csv(&trace_csv)?)
+            .build(),
+        StreamSpec::builder("live-cam")
+            .priority(4)
+            .seed(4)
+            .config(config)
+            .source(live_source)
+            .build(),
+        StreamSpec::builder("stress")
+            .priority(2)
+            .seed(5)
+            .config(config)
+            .source(PacedSource::new(LoadScenario::adversarial(5).truncated(60)))
+            .build(),
+        StreamSpec::builder("background")
+            .priority(0)
+            .seed(6)
+            .config(config)
+            .source(PacedSource::new(
                 LoadScenario::paper_benchmark(6).truncated(60),
-            )),
-        ),
+            ))
+            .build(),
     ];
 
     // 4 workers, but deliberately less admission capacity than six
     // full-quality streams demand: the low-priority tail is degraded or
     // turned away, the high-priority streams are untouched.
-    let server = StreamServer::with_capacity(4, 5.0);
+    let server = ServerConfig::new(4).capacity(5.0).build();
     println!(
         "serving {} streams on {} workers, {:.1} cores of admission capacity\n",
         6,
         server.workers(),
         server.capacity()
     );
-    let report = server.serve_tables(specs, MB)?;
+    let report = server.serve(specs, table_apps(MB), stochastic_backends())?;
     assert!(
         feeder.join().expect("feeder thread"),
         "producer fed all frames"

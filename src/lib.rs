@@ -24,8 +24,10 @@
 //! * [`encoder`] (`fgqos-encoder`) — a from-scratch macroblock video
 //!   encoder with the Fig. 2 pipeline and a synthetic camera;
 //! * [`serve`] (`fgqos-serve`) — the multi-stream serving layer: a
-//!   shared-pool stream server with priority admission control and
-//!   pluggable frame sources (paced, trace replay, channel-fed);
+//!   shared-pool stream server with priority admission control,
+//!   pluggable frame sources (paced, trace replay, channel-fed), and the
+//!   zero-copy output plane (GOP-trimmed encoded-frame rings with
+//!   M-independent broadcast fan-out);
 //! * [`tool`] (`fgqos-tool`) — the Fig. 4 prototype tool: specs →
 //!   controlled application (+ Rust codegen and overhead reports).
 //!
@@ -91,9 +93,11 @@ pub mod prelude {
         TableQuery,
     };
     pub use fgqos_serve::{
-        AdmissionController, AdmissionDecision, CeilingPolicy, ChannelSource, ChurnAction,
-        ChurnEvent, ChurnStorm, FrameProducer, FrameSource, LifecycleCounts, PacedSource,
-        ServeReport, StreamServer, StreamSession, StreamSpec, TraceSource,
+        stochastic_backends, table_apps, AdmissionController, AdmissionDecision, Broadcast,
+        CeilingPolicy, ChannelSource, ChurnAction, ChurnEvent, ChurnStorm, Delivery, EncodedFrame,
+        FrameProducer, FrameRing, FrameSource, LifecycleCounts, PacedSource, PoolMode,
+        PublishStats, RingConfig, ServeReport, ServerConfig, StreamOutcome, StreamServer,
+        StreamSession, StreamSpec, StreamSpecBuilder, Subscriber, TablesMode, TraceSource,
     };
     pub use fgqos_sim::app::{TableApp, VideoApp};
     pub use fgqos_sim::runner::{

@@ -33,13 +33,12 @@ fn specs(scenarios: &[LoadScenario]) -> Vec<StreamSpec> {
         .iter()
         .enumerate()
         .map(|(i, s)| {
-            StreamSpec::new(
-                format!("s{i}"),
-                (i % 3) as u8,
-                100 + i as u64,
-                config(),
-                Box::new(PacedSource::new(s.clone())),
-            )
+            StreamSpec::builder(format!("s{i}"))
+                .priority((i % 3) as u8)
+                .seed(100 + i as u64)
+                .config(config())
+                .source(PacedSource::new(s.clone()))
+                .build()
         })
         .collect()
 }
@@ -60,8 +59,10 @@ fn isolation_contract_holds_at_every_worker_count() {
     let scenarios = scenarios();
     for workers in [1usize, 2, 8] {
         // Generous capacity: all three streams admitted at full quality.
-        let server = StreamServer::with_capacity(workers, 64.0);
-        let report = server.serve_tables(specs(&scenarios), MB).unwrap();
+        let server = ServerConfig::new(workers).capacity(64.0).build();
+        let report = server
+            .serve(specs(&scenarios), table_apps(MB), stochastic_backends())
+            .unwrap();
         assert_eq!(report.admission().admitted(), 3, "workers {workers}");
 
         for (i, scenario) in scenarios.iter().enumerate() {
@@ -99,21 +100,22 @@ fn admission_sequence_is_identical_across_worker_counts() {
         let priorities = [2u8, 9, 4, 9, 0];
         (0..5)
             .map(|i| {
-                StreamSpec::new(
-                    format!("s{i}"),
-                    priorities[i],
-                    7 + i as u64,
-                    config(),
-                    Box::new(PacedSource::new(
+                StreamSpec::builder(format!("s{i}"))
+                    .priority(priorities[i])
+                    .seed(7 + i as u64)
+                    .config(config())
+                    .source(PacedSource::new(
                         LoadScenario::paper_benchmark(20 + i as u64).truncated(12),
-                    )),
-                )
+                    ))
+                    .build()
             })
             .collect()
     };
 
-    let reference = StreamServer::with_capacity(1, 2.2)
-        .serve_tables(make_specs(), MB)
+    let reference = ServerConfig::new(1)
+        .capacity(2.2)
+        .build()
+        .serve(make_specs(), table_apps(MB), stochastic_backends())
         .unwrap();
     let ref_seq = reference.admission().sequence();
     // Overload really happened and produced a mixed outcome.
@@ -121,8 +123,10 @@ fn admission_sequence_is_identical_across_worker_counts() {
     assert!(reference.admission().admitted() > 0);
 
     for workers in [2usize, 8] {
-        let report = StreamServer::with_capacity(workers, 2.2)
-            .serve_tables(make_specs(), MB)
+        let report = ServerConfig::new(workers)
+            .capacity(2.2)
+            .build()
+            .serve(make_specs(), table_apps(MB), stochastic_backends())
             .unwrap();
         assert_eq!(
             report.admission().sequence(),
@@ -135,8 +139,10 @@ fn admission_sequence_is_identical_across_worker_counts() {
         }
     }
     // And the sequence is deterministic under repetition.
-    let again = StreamServer::with_capacity(1, 2.2)
-        .serve_tables(make_specs(), MB)
+    let again = ServerConfig::new(1)
+        .capacity(2.2)
+        .build()
+        .serve(make_specs(), table_apps(MB), stochastic_backends())
         .unwrap();
     assert_eq!(again.admission().sequence(), ref_seq);
 }
@@ -150,20 +156,21 @@ fn overloaded_server_serves_high_priority_adversarial_streams_safely() {
         let priorities = [9u8, 7, 2, 1];
         (0..4)
             .map(|i| {
-                StreamSpec::new(
-                    format!("adv{i}"),
-                    priorities[i],
-                    50 + i as u64,
-                    config(),
-                    Box::new(PacedSource::new(
+                StreamSpec::builder(format!("adv{i}"))
+                    .priority(priorities[i])
+                    .seed(50 + i as u64)
+                    .config(config())
+                    .source(PacedSource::new(
                         LoadScenario::adversarial(60 + i as u64).truncated(40),
-                    )),
-                )
+                    ))
+                    .build()
             })
             .collect()
     };
-    let server = StreamServer::with_capacity(4, 2.5);
-    let report = server.serve_tables(make_specs(), MB).unwrap();
+    let server = ServerConfig::new(4).capacity(2.5).build();
+    let report = server
+        .serve(make_specs(), table_apps(MB), stochastic_backends())
+        .unwrap();
 
     // Deterministic split under overload: the two high-priority streams
     // are admitted at full quality, the rest degrade or are rejected.
@@ -202,7 +209,7 @@ fn overloaded_server_serves_high_priority_adversarial_streams_safely() {
 /// `workers` resident pool threads.
 fn run_storm(workers: usize, capacity: f64, seed: u64) -> ServeReport {
     use fine_grain_qos::sim::exec::StochasticLoad;
-    let server = StreamServer::with_capacity(workers, capacity);
+    let server = ServerConfig::new(workers).capacity(capacity).build();
     let mut session = server.session(
         |scenario, _spec| TableApp::with_macroblocks(scenario, MB),
         |spec: &StreamSpec| {
@@ -264,7 +271,7 @@ fn detaching_a_hog_readmits_degraded_streams_in_priority_order() {
     // 2.1 cores: the p9 hog admits at full (~1.37); the p5 stream
     // degrades into the ~0.73 remainder (q2 ceiling); the p1 stream
     // finds no room and parks.
-    let server = StreamServer::with_capacity(2, 2.1);
+    let server = ServerConfig::new(2).capacity(2.1).build();
     let mut session = server.session(
         |scenario, _spec| TableApp::with_macroblocks(scenario, MB),
         |spec: &StreamSpec| {
@@ -272,15 +279,14 @@ fn detaching_a_hog_readmits_degraded_streams_in_priority_order() {
         },
     );
     let spec = |name: &str, priority: u8, seed: u64| {
-        StreamSpec::new(
-            name,
-            priority,
-            seed,
-            config(),
-            Box::new(PacedSource::new(
+        StreamSpec::builder(name)
+            .priority(priority)
+            .seed(seed)
+            .config(config())
+            .source(PacedSource::new(
                 LoadScenario::paper_benchmark(seed).truncated(16),
-            )),
-        )
+            ))
+            .build()
     };
     assert_eq!(
         session.attach(spec("hog", 9, 6)).unwrap(),
@@ -349,9 +355,16 @@ fn detaching_a_hog_readmits_degraded_streams_in_priority_order() {
 fn trace_and_channel_sources_serve_identically_to_paced() {
     let scenario = LoadScenario::paper_benchmark(77).truncated(20);
     let run = |source: Box<dyn FrameSource>| -> StreamResult {
-        let server = StreamServer::with_capacity(2, 64.0);
-        let spec = StreamSpec::new("s", 1, 42, config(), source);
-        let report = server.serve_tables(vec![spec], MB).unwrap();
+        let server = ServerConfig::new(2).capacity(64.0).build();
+        let spec = StreamSpec::builder("s")
+            .priority(1)
+            .seed(42)
+            .config(config())
+            .boxed_source(source)
+            .build();
+        let report = server
+            .serve(vec![spec], table_apps(MB), stochastic_backends())
+            .unwrap();
         report.outcome("s").unwrap().result.clone().unwrap()
     };
 

@@ -70,19 +70,20 @@ fn served_streams_build_one_envelope_set_each() {
             .enumerate()
             .map(|(i, &seed)| {
                 let scenario = LoadScenario::paper_benchmark(seed).truncated(15);
-                StreamSpec::new(
-                    format!("s{i}"),
-                    1,
-                    seed,
-                    RunConfig::paper_defaults().scaled_to_macroblocks(8),
-                    Box::new(PacedSource::new(scenario)),
-                )
+                StreamSpec::builder(format!("s{i}"))
+                    .priority(1)
+                    .seed(seed)
+                    .config(RunConfig::paper_defaults().scaled_to_macroblocks(8))
+                    .source(PacedSource::new(scenario))
+                    .build()
             })
             .collect()
     };
 
-    let server = StreamServer::new(2);
-    let report = server.serve_tables(specs(&[3, 4, 5]), 8).unwrap();
+    let server = ServerConfig::new(2).build();
+    let report = server
+        .serve(specs(&[3, 4, 5]), table_apps(8), stochastic_backends())
+        .unwrap();
     assert!(report.all_safe());
     let served = report
         .outcomes()
@@ -115,9 +116,10 @@ fn served_streams_build_one_envelope_set_each() {
 
     // Legacy server: identical admission and results, per-budget table
     // builds instead of envelopes.
-    let mut legacy_server = StreamServer::new(2);
-    legacy_server.set_legacy_tables(true);
-    let legacy = legacy_server.serve_tables(specs(&[3, 4, 5]), 8).unwrap();
+    let legacy_server = ServerConfig::new(2).tables(TablesMode::Legacy).build();
+    let legacy = legacy_server
+        .serve(specs(&[3, 4, 5]), table_apps(8), stochastic_backends())
+        .unwrap();
     for (a, b) in report.outcomes().iter().zip(legacy.outcomes()) {
         assert_eq!(a.result.is_some(), b.result.is_some(), "admission diverged");
         let (Some(ra), Some(rb)) = (&a.result, &b.result) else {
