@@ -32,6 +32,7 @@ use fgqos_sim::exec::{Deterministic, StochasticLoad};
 use fgqos_sim::runner::{Mode, RunConfig, Runner, StreamResult};
 use fgqos_sim::runtime::{ExecBackend, MeasuredBackend, VirtualClock, WallClock};
 use fgqos_sim::scenario::LoadScenario;
+use fgqos_telemetry::json::{JsonObj, JsonValue};
 use fgqos_time::Cycles;
 
 /// Pixel workload shape: 8×6 macroblocks is enough wavefront width for
@@ -443,26 +444,40 @@ fn kernels() -> KernelReport {
     let search_speedup = t_search_ref.as_secs_f64() / t_search.as_secs_f64().max(1e-9);
 
     let pass = bit_identical && dct_speedup >= KRN_DCT_MIN_SPEEDUP;
-    let json = format!(
-        "{{\n  \"workload\": \"encoder kernels, {KRN_BLOCKS} blocks x {KRN_ITERS} iters, best-of-{REPS}\",\n  \
-         \"dct\": {{\"forward_ms\": {:.3}, \"forward_reference_ms\": {:.3}, \
-         \"inverse_ms\": {:.3}, \"inverse_reference_ms\": {:.3}, \"speedup\": {:.3}, \
-         \"min_speedup\": {KRN_DCT_MIN_SPEEDUP}}},\n  \
-         \"quant\": {{\"roundtrip_ms\": {:.3}}},\n  \
-         \"motion\": {{\"radius\": 16, \"search_ms\": {:.3}, \"search_reference_ms\": {:.3}, \
-         \"speedup\": {:.3}}},\n  \
-         \"bit_identical\": {bit_identical},\n  \
-         \"gate\": {{\"enforced\": true, \"pass\": {pass}}}\n}}\n",
-        t_fwd.as_secs_f64() * 1e3,
-        t_fwd_ref.as_secs_f64() * 1e3,
-        t_inv.as_secs_f64() * 1e3,
-        t_inv_ref.as_secs_f64() * 1e3,
-        dct_speedup,
-        t_quant.as_secs_f64() * 1e3,
-        t_search.as_secs_f64() * 1e3,
-        t_search_ref.as_secs_f64() * 1e3,
-        search_speedup,
-    );
+    let json = JsonObj::new()
+        .str(
+            "workload",
+            &format!("encoder kernels, {KRN_BLOCKS} blocks x {KRN_ITERS} iters, best-of-{REPS}"),
+        )
+        .obj(
+            "dct",
+            JsonObj::new()
+                .fixed("forward_ms", t_fwd.as_secs_f64() * 1e3, 3)
+                .fixed("forward_reference_ms", t_fwd_ref.as_secs_f64() * 1e3, 3)
+                .fixed("inverse_ms", t_inv.as_secs_f64() * 1e3, 3)
+                .fixed("inverse_reference_ms", t_inv_ref.as_secs_f64() * 1e3, 3)
+                .fixed("speedup", dct_speedup, 3)
+                .set("min_speedup", JsonValue::Float(KRN_DCT_MIN_SPEEDUP)),
+        )
+        .obj(
+            "quant",
+            JsonObj::new().fixed("roundtrip_ms", t_quant.as_secs_f64() * 1e3, 3),
+        )
+        .obj(
+            "motion",
+            JsonObj::new()
+                .int("radius", 16)
+                .fixed("search_ms", t_search.as_secs_f64() * 1e3, 3)
+                .fixed("search_reference_ms", t_search_ref.as_secs_f64() * 1e3, 3)
+                .fixed("speedup", search_speedup, 3),
+        )
+        .bool("bit_identical", bit_identical)
+        .obj(
+            "gate",
+            JsonObj::new().bool("enforced", true).bool("pass", pass),
+        )
+        .build()
+        .pretty();
     KernelReport {
         json,
         dct_speedup,
@@ -540,7 +555,10 @@ fn time_distribute(subs_per_stream: usize) -> DistRun {
         let report = session.finish();
         let (mut published, mut stalls) = (0u64, 0u64);
         for o in report.outcomes() {
-            let p = o.publish.expect("subscribed streams have publish stats");
+            let p = o
+                .publish
+                .as_ref()
+                .expect("subscribed streams have publish stats");
             assert_eq!(p.subscribers, subs_per_stream as u64);
             published += p.published;
             stalls += p.publisher_stalls;
@@ -591,7 +609,7 @@ fn main() {
     // --- Parallel runner vs sequential (deterministic pixel workload).
     let (t_seq, seq_res) = time_pixel(None);
     let worker_counts = [1usize, 2, 4];
-    let mut entries = String::new();
+    let mut entries: Vec<JsonValue> = Vec::new();
     let mut speedup_at_4 = f64::NAN;
     let mut deterministic = true;
     for &w in &worker_counts {
@@ -601,37 +619,55 @@ fn main() {
             speedup_at_4 = speedup;
         }
         deterministic &= res.frames() == seq_res.frames();
-        entries.push_str(&format!(
-            "    {{\"workers\": {w}, \"wall_ms\": {:.3}, \"frames_per_sec\": {:.2}, \"speedup_vs_sequential\": {:.3}}},\n",
-            t.as_secs_f64() * 1e3,
-            fps(FRAMES, t),
-            speedup
-        ));
+        entries.push(
+            JsonObj::new()
+                .int("workers", w as u64)
+                .fixed("wall_ms", t.as_secs_f64() * 1e3, 3)
+                .fixed("frames_per_sec", fps(FRAMES, t), 2)
+                .fixed("speedup_vs_sequential", speedup, 3)
+                .build(),
+        );
     }
-    let entries = entries.trim_end_matches(",\n").to_string() + "\n";
     let (t_live, live_res) = live_measured(cores.min(4));
     let gate_enforced = cores >= 4;
     let gate_pass = !gate_enforced || speedup_at_4 >= 1.0;
 
-    let parallel_json = format!(
-        "{{\n  \"workload\": \"pixel {W}x{H}, {FRAMES} frames, pipelined wavefront\",\n  \
-         \"host_cores\": {cores},\n  \
-         \"sequential_wall_ms\": {:.3},\n  \
-         \"sequential_frames_per_sec\": {:.2},\n  \
-         \"mean_encode_mcycles\": {:.3},\n  \
-         \"deterministic_vs_sequential\": {deterministic},\n  \
-         \"parallel\": [\n{entries}  ],\n  \
-         \"live_measured\": {{\"workers\": {}, \"wall_ms\": {:.3}, \"frames_per_sec\": {:.2}, \"skips\": {}}},\n  \
-         \"gate\": {{\"enforced\": {gate_enforced}, \"speedup_at_4_workers\": {:.3}, \"pass\": {gate_pass}}}\n}}\n",
-        t_seq.as_secs_f64() * 1e3,
-        fps(FRAMES, t_seq),
-        seq_res.mean_encode_mcycles(),
-        cores.min(4),
-        t_live.as_secs_f64() * 1e3,
-        fps(FRAMES, t_live),
-        live_res.skips(),
-        if speedup_at_4.is_nan() { 0.0 } else { speedup_at_4 },
-    );
+    let parallel_json = JsonObj::new()
+        .str(
+            "workload",
+            &format!("pixel {W}x{H}, {FRAMES} frames, pipelined wavefront"),
+        )
+        .int("host_cores", cores as u64)
+        .fixed("sequential_wall_ms", t_seq.as_secs_f64() * 1e3, 3)
+        .fixed("sequential_frames_per_sec", fps(FRAMES, t_seq), 2)
+        .fixed("mean_encode_mcycles", seq_res.mean_encode_mcycles(), 3)
+        .bool("deterministic_vs_sequential", deterministic)
+        .arr("parallel", entries)
+        .obj(
+            "live_measured",
+            JsonObj::new()
+                .int("workers", cores.min(4) as u64)
+                .fixed("wall_ms", t_live.as_secs_f64() * 1e3, 3)
+                .fixed("frames_per_sec", fps(FRAMES, t_live), 2)
+                .int("skips", live_res.skips() as u64),
+        )
+        .obj(
+            "gate",
+            JsonObj::new()
+                .bool("enforced", gate_enforced)
+                .fixed(
+                    "speedup_at_4_workers",
+                    if speedup_at_4.is_nan() {
+                        0.0
+                    } else {
+                        speedup_at_4
+                    },
+                    3,
+                )
+                .bool("pass", gate_pass),
+        )
+        .build()
+        .pretty();
 
     // --- Controller hot path (timing-only table workload at scale).
     let scenario = LoadScenario::paper_benchmark(5).truncated(60);
@@ -643,21 +679,20 @@ fn main() {
         .run_controlled(&mut MaxQuality::new(), 5)
         .expect("controlled run");
     let t_ctl = start.elapsed();
-    let controller_json = format!(
-        "{{\n  \"workload\": \"table 396 macroblocks, 60 frames, controlled-max\",\n  \
-         \"wall_ms\": {:.3},\n  \
-         \"frames_per_sec\": {:.2},\n  \
-         \"mean_encode_mcycles\": {:.3},\n  \
-         \"skips\": {},\n  \"misses\": {},\n  \
-         \"cached_table_sets\": {},\n  \"envelope_builds\": {}\n}}\n",
-        t_ctl.as_secs_f64() * 1e3,
-        fps(60, t_ctl),
-        res.mean_encode_mcycles(),
-        res.skips(),
-        res.misses(),
-        r.cached_tables(),
-        r.envelope_builds(),
-    );
+    let controller_json = JsonObj::new()
+        .str(
+            "workload",
+            "table 396 macroblocks, 60 frames, controlled-max",
+        )
+        .fixed("wall_ms", t_ctl.as_secs_f64() * 1e3, 3)
+        .fixed("frames_per_sec", fps(60, t_ctl), 2)
+        .fixed("mean_encode_mcycles", res.mean_encode_mcycles(), 3)
+        .int("skips", res.skips() as u64)
+        .int("misses", res.misses() as u64)
+        .int("cached_table_sets", r.cached_tables() as u64)
+        .int("envelope_builds", r.envelope_builds())
+        .build()
+        .pretty();
 
     // --- Budget-parametric tables vs the legacy per-budget rebuilds.
     let (t_sat_para, sat_env_builds, sat_tbl_builds) = tables_saturated(false);
@@ -683,34 +718,68 @@ fn main() {
         && const_ratio <= TBL_TOLERANCE
         && est_ratio <= TBL_EST_RATIO
         && est_tbl_builds == 0;
-    let tables_json = format!(
-        "{{\n  \"workload\": \"table {TBL_MB} macroblocks, controlled-max\",\n  \
-         \"saturated_solo\": {{\"frames\": {TBL_FRAMES}, \"parametric_wall_ms\": {:.3}, \
-         \"legacy_rebuild_wall_ms\": {:.3}, \"speedup\": {:.3}, \
-         \"envelope_builds\": {sat_env_builds}, \"parametric_table_builds\": {sat_tbl_builds}, \
-         \"legacy_table_builds\": {sat_legacy_builds}}},\n  \
-         \"served_streams\": {{\"streams\": {TBL_STREAMS}, \"frames_per_stream\": {TBL_SERVE_FRAMES}, \
-         \"parametric_wall_ms\": {:.3}, \"legacy_rebuild_wall_ms\": {:.3}, \"speedup\": {:.3}}},\n  \
-         \"constant_budget\": {{\"frames\": {TBL_FRAMES}, \"parametric_wall_ms\": {:.3}, \
-         \"cached_wall_ms\": {:.3}, \"ratio\": {:.3}, \"tolerance\": {TBL_TOLERANCE}}},\n  \
-         \"estimator_run\": {{\"frames\": {TBL_FRAMES}, \"adaptive_wall_ms\": {:.3}, \
-         \"static_wall_ms\": {:.3}, \"ratio\": {:.3}, \"tolerance\": {TBL_EST_RATIO}, \
-         \"envelope_builds\": {est_builds}, \"envelope_refreshes\": {est_refreshes}, \
-         \"full_table_builds\": {est_tbl_builds}}},\n  \
-         \"gate\": {{\"enforced\": true, \"pass\": {tables_pass}}}\n}}\n",
-        t_sat_para.as_secs_f64() * 1e3,
-        t_sat_legacy.as_secs_f64() * 1e3,
-        sat_speedup,
-        t_srv_para.as_secs_f64() * 1e3,
-        t_srv_legacy.as_secs_f64() * 1e3,
-        srv_speedup,
-        t_const_para.as_secs_f64() * 1e3,
-        t_const_cached.as_secs_f64() * 1e3,
-        const_ratio,
-        t_est_adaptive.as_secs_f64() * 1e3,
-        t_est_static.as_secs_f64() * 1e3,
-        est_ratio,
-    );
+    let tables_json = JsonObj::new()
+        .str(
+            "workload",
+            &format!("table {TBL_MB} macroblocks, controlled-max"),
+        )
+        .obj(
+            "saturated_solo",
+            JsonObj::new()
+                .int("frames", TBL_FRAMES as u64)
+                .fixed("parametric_wall_ms", t_sat_para.as_secs_f64() * 1e3, 3)
+                .fixed(
+                    "legacy_rebuild_wall_ms",
+                    t_sat_legacy.as_secs_f64() * 1e3,
+                    3,
+                )
+                .fixed("speedup", sat_speedup, 3)
+                .int("envelope_builds", sat_env_builds)
+                .int("parametric_table_builds", sat_tbl_builds)
+                .int("legacy_table_builds", sat_legacy_builds),
+        )
+        .obj(
+            "served_streams",
+            JsonObj::new()
+                .int("streams", TBL_STREAMS as u64)
+                .int("frames_per_stream", TBL_SERVE_FRAMES as u64)
+                .fixed("parametric_wall_ms", t_srv_para.as_secs_f64() * 1e3, 3)
+                .fixed(
+                    "legacy_rebuild_wall_ms",
+                    t_srv_legacy.as_secs_f64() * 1e3,
+                    3,
+                )
+                .fixed("speedup", srv_speedup, 3),
+        )
+        .obj(
+            "constant_budget",
+            JsonObj::new()
+                .int("frames", TBL_FRAMES as u64)
+                .fixed("parametric_wall_ms", t_const_para.as_secs_f64() * 1e3, 3)
+                .fixed("cached_wall_ms", t_const_cached.as_secs_f64() * 1e3, 3)
+                .fixed("ratio", const_ratio, 3)
+                .set("tolerance", JsonValue::Float(TBL_TOLERANCE)),
+        )
+        .obj(
+            "estimator_run",
+            JsonObj::new()
+                .int("frames", TBL_FRAMES as u64)
+                .fixed("adaptive_wall_ms", t_est_adaptive.as_secs_f64() * 1e3, 3)
+                .fixed("static_wall_ms", t_est_static.as_secs_f64() * 1e3, 3)
+                .fixed("ratio", est_ratio, 3)
+                .set("tolerance", JsonValue::Float(TBL_EST_RATIO))
+                .int("envelope_builds", est_builds)
+                .int("envelope_refreshes", est_refreshes)
+                .int("full_table_builds", est_tbl_builds),
+        )
+        .obj(
+            "gate",
+            JsonObj::new()
+                .bool("enforced", true)
+                .bool("pass", tables_pass),
+        )
+        .build()
+        .pretty();
 
     // --- Vectorized encoder kernels vs their scalar references.
     let krn = kernels();
@@ -733,32 +802,50 @@ fn main() {
     let dist_ratio_enforced = gate_enforced;
     let dist_pass =
         (!dist_ratio_enforced || dist_ratio <= DIST_TOLERANCE) && dist_stalls == 0 && dist_exact;
-    let distribute_json = format!(
-        "{{\n  \"workload\": \"{DIST_STREAMS} pixel streams {W}x{H}, {FRAMES} frames each, \
-         broadcast fan-out\",\n  \
-         \"host_cores\": {cores},\n  \
-         \"serve\": {{\n    \
-         \"m{DIST_SUBS_LO}\": {{\"wall_ms\": {:.3}, \"published\": {}, \"delivered\": {}, \
-         \"lag_gaps\": {}, \"publisher_stalls\": {}}},\n    \
-         \"m{DIST_SUBS_HI}\": {{\"wall_ms\": {:.3}, \"published\": {}, \"delivered\": {}, \
-         \"lag_gaps\": {}, \"publisher_stalls\": {}}},\n    \
-         \"wall_ratio_m{DIST_SUBS_HI}_vs_m{DIST_SUBS_LO}\": {dist_ratio:.3}, \
-         \"tolerance\": {DIST_TOLERANCE}\n  }},\n  \
-         \"micro_publish\": {{\"ns_per_publish_m{DIST_SUBS_LO}\": {micro_lo:.1}, \
-         \"ns_per_publish_m{DIST_SUBS_HI}\": {micro_hi:.1}, \"ratio\": {micro_ratio:.3}}},\n  \
-         \"delivery_exact\": {dist_exact},\n  \
-         \"gate\": {{\"ratio_enforced\": {dist_ratio_enforced}, \"pass\": {dist_pass}}}\n}}\n",
-        d_lo.wall.as_secs_f64() * 1e3,
-        d_lo.published,
-        d_lo.delivered,
-        d_lo.lag_gaps,
-        d_lo.stalls,
-        d_hi.wall.as_secs_f64() * 1e3,
-        d_hi.published,
-        d_hi.delivered,
-        d_hi.lag_gaps,
-        d_hi.stalls,
-    );
+    let dist_serve_entry = |d: &DistRun| {
+        JsonObj::new()
+            .fixed("wall_ms", d.wall.as_secs_f64() * 1e3, 3)
+            .int("published", d.published)
+            .int("delivered", d.delivered)
+            .int("lag_gaps", d.lag_gaps)
+            .int("publisher_stalls", d.stalls)
+    };
+    let distribute_json = JsonObj::new()
+        .str(
+            "workload",
+            &format!(
+                "{DIST_STREAMS} pixel streams {W}x{H}, {FRAMES} frames each, broadcast fan-out"
+            ),
+        )
+        .int("host_cores", cores as u64)
+        .obj(
+            "serve",
+            JsonObj::new()
+                .obj(&format!("m{DIST_SUBS_LO}"), dist_serve_entry(&d_lo))
+                .obj(&format!("m{DIST_SUBS_HI}"), dist_serve_entry(&d_hi))
+                .fixed(
+                    &format!("wall_ratio_m{DIST_SUBS_HI}_vs_m{DIST_SUBS_LO}"),
+                    dist_ratio,
+                    3,
+                )
+                .set("tolerance", JsonValue::Float(DIST_TOLERANCE)),
+        )
+        .obj(
+            "micro_publish",
+            JsonObj::new()
+                .fixed(&format!("ns_per_publish_m{DIST_SUBS_LO}"), micro_lo, 1)
+                .fixed(&format!("ns_per_publish_m{DIST_SUBS_HI}"), micro_hi, 1)
+                .fixed("ratio", micro_ratio, 3),
+        )
+        .bool("delivery_exact", dist_exact)
+        .obj(
+            "gate",
+            JsonObj::new()
+                .bool("ratio_enforced", dist_ratio_enforced)
+                .bool("pass", dist_pass),
+        )
+        .build()
+        .pretty();
 
     std::fs::write(format!("{out_dir}/BENCH_parallel.json"), &parallel_json)
         .expect("write BENCH_parallel.json");

@@ -1,0 +1,163 @@
+//! CI telemetry smoke: prices the unified telemetry plane on the
+//! serving hot path and archives its exports.
+//!
+//! Serves 8 deterministic pixel streams over one shared pool twice per
+//! rep — telemetry disabled, then fully enabled (metrics registry +
+//! per-worker span capture) — and gates the enabled best-of wall time
+//! at `TOLERANCE`× the disabled one: observability must stay in the
+//! measurement-noise band, not become a tax. The run also re-checks the
+//! observe-only contract end to end (the two reports' summaries must be
+//! byte-identical) and writes two artifacts:
+//!
+//! * `BENCH_telemetry.json` — the overhead measurement plus the full
+//!   versioned telemetry snapshot of the enabled run, embedded;
+//! * `BENCH_trace.json` — the enabled run's Chrome trace export (open
+//!   in `chrome://tracing` or <https://ui.perfetto.dev>).
+//!
+//! Usage: `telemetry_smoke [out_dir]` (default `.`). Exit code 1 on
+//! gate failure.
+
+use std::time::{Duration, Instant};
+
+use fgqos_encoder::app::EncoderApp;
+use fgqos_graph::iterate::IterationMode;
+use fgqos_serve::{PacedSource, ServerConfig, StreamSpec};
+use fgqos_sim::runner::RunConfig;
+use fgqos_sim::runtime::ExecBackend;
+use fgqos_sim::scenario::LoadScenario;
+use fgqos_telemetry::json::{parse, JsonObj, JsonValue};
+use fgqos_telemetry::TelemetrySnapshot;
+
+const W: usize = 128;
+const H: usize = 96;
+const FRAMES: usize = 10;
+const STREAMS: usize = 8;
+/// Timed repetitions per mode, interleaved disabled/enabled so neither
+/// side systematically inherits warm caches; best-of sheds scheduler
+/// noise.
+const REPS: usize = 5;
+/// Full telemetry may cost at most this factor of the disabled run.
+const TOLERANCE: f64 = 1.05;
+
+fn spec(i: usize) -> StreamSpec {
+    let mb = (W / 16) * (H / 16);
+    StreamSpec::builder(format!("t{i}"))
+        .priority(1)
+        .seed(80 + i as u64)
+        .config(
+            RunConfig::paper_defaults()
+                .scaled_to_macroblocks(mb)
+                .with_iteration_mode(IterationMode::Pipelined),
+        )
+        .source(PacedSource::new(
+            LoadScenario::paper_benchmark(80 + i as u64).truncated(FRAMES),
+        ))
+        .build()
+}
+
+struct SmokeRun {
+    wall: Duration,
+    summary: String,
+    snapshot: Option<TelemetrySnapshot>,
+    trace: Option<String>,
+    spans_dropped: u64,
+}
+
+fn serve_once(telemetry: bool) -> SmokeRun {
+    let server = ServerConfig::new(4)
+        .capacity(1e6)
+        .telemetry(telemetry)
+        .build();
+    let mut session = server.session(
+        |scn, spec: &StreamSpec| EncoderApp::new(scn, W, H, spec.seed),
+        |spec: &StreamSpec| Box::new(EncoderApp::work_backend(spec.seed)) as Box<dyn ExecBackend>,
+    );
+    for i in 0..STREAMS {
+        session.attach(spec(i)).expect("attach");
+    }
+    let start = Instant::now();
+    session.run_to_completion().expect("telemetry smoke serve");
+    let wall = start.elapsed();
+    let report = session.finish();
+    let spans = server.telemetry().spans();
+    SmokeRun {
+        wall,
+        summary: report.summary(),
+        snapshot: telemetry.then(|| report.snapshot()),
+        trace: telemetry.then(|| spans.to_chrome_trace()),
+        spans_dropped: spans.dropped(),
+    }
+}
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
+    let mut best_off = Duration::MAX;
+    let mut best_on = Duration::MAX;
+    let mut identical = true;
+    let mut snapshot = None;
+    let mut trace = None;
+    let mut spans_dropped = 0;
+    for _ in 0..REPS {
+        let off = serve_once(false);
+        let on = serve_once(true);
+        identical &= off.summary == on.summary;
+        best_off = best_off.min(off.wall);
+        best_on = best_on.min(on.wall);
+        snapshot = on.snapshot;
+        trace = on.trace;
+        spans_dropped = on.spans_dropped;
+    }
+    let ratio = best_on.as_secs_f64() / best_off.as_secs_f64().max(1e-9);
+    let snapshot = snapshot.expect("enabled run produced a snapshot");
+    let trace = trace.expect("enabled run produced a trace");
+
+    // The wall-ratio gate needs real parallelism (and an unloaded core
+    // per worker) to sit in the noise band; the byte-identity gate is
+    // structural and enforced everywhere.
+    let ratio_enforced = cores >= 4;
+    let pass = identical && (!ratio_enforced || ratio <= TOLERANCE);
+    let telemetry_json = JsonObj::new()
+        .str(
+            "workload",
+            &format!(
+                "{STREAMS} pixel streams {W}x{H}, {FRAMES} frames each, \
+                 telemetry on vs off, best-of-{REPS}"
+            ),
+        )
+        .int("host_cores", cores as u64)
+        .fixed("disabled_wall_ms", best_off.as_secs_f64() * 1e3, 3)
+        .fixed("enabled_wall_ms", best_on.as_secs_f64() * 1e3, 3)
+        .fixed("ratio", ratio, 3)
+        .set("tolerance", JsonValue::Float(TOLERANCE))
+        .bool("summaries_identical", identical)
+        .int("spans_dropped", spans_dropped)
+        .set(
+            "snapshot",
+            parse(&snapshot.to_json()).expect("snapshot JSON parses"),
+        )
+        .obj(
+            "gate",
+            JsonObj::new()
+                .bool("ratio_enforced", ratio_enforced)
+                .bool("pass", pass),
+        )
+        .build()
+        .pretty();
+
+    std::fs::write(format!("{out_dir}/BENCH_telemetry.json"), &telemetry_json)
+        .expect("write BENCH_telemetry.json");
+    std::fs::write(format!("{out_dir}/BENCH_trace.json"), &trace).expect("write BENCH_trace.json");
+    print!("{telemetry_json}");
+
+    if !identical {
+        eprintln!("FAIL: enabling telemetry changed the serve report");
+    }
+    if ratio_enforced && ratio > TOLERANCE {
+        eprintln!("FAIL: telemetry overhead ratio {ratio:.3} exceeds {TOLERANCE}");
+    }
+    if !pass {
+        std::process::exit(1);
+    }
+}

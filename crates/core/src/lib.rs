@@ -75,10 +75,12 @@ mod report;
 mod system;
 
 pub mod estimator;
+pub mod metrics;
 pub mod policy;
 pub mod safety;
 
 pub use controller::{CycleController, Decision};
 pub use error::CoreError;
+pub use metrics::ControllerMetrics;
 pub use report::{ActionRecord, CycleReport};
 pub use system::ParamSystem;

@@ -1,0 +1,131 @@
+//! Controller-level telemetry: quality distribution, per-frame
+//! deadline slack and switch counts, recorded from [`CycleReport`]s.
+//!
+//! The controller itself stays telemetry-free — its hot path is the
+//! decide/complete step machine and the paper's overhead accounting
+//! must not change shape. Instead, whoever drives a cycle (the sim
+//! runner, the serve layer) folds each finished [`CycleReport`] into
+//! a [`ControllerMetrics`] bundle. All metrics are **stable**: they
+//! derive from the deterministic per-cycle record series, so they are
+//! identical across worker counts and telemetry on/off by
+//! construction.
+
+use fgqos_telemetry::{Counter, Histogram, Telemetry};
+
+use crate::report::CycleReport;
+
+/// Pre-registered handles for the controller's observable behavior.
+///
+/// Metric names (all [`fgqos_telemetry::Stability::Stable`]):
+///
+/// | name | kind | meaning |
+/// |---|---|---|
+/// | `controller.frames` | counter | finished cycles (frames) |
+/// | `controller.decisions` | counter | quality decisions taken |
+/// | `controller.quality` | histogram | chosen level per decision |
+/// | `controller.deadline_slack_cycles` | histogram | `D_θ(α) − Ĉ(α)` per frame |
+/// | `controller.quality_switches` | counter | level changes between actions |
+/// | `controller.misses` | counter | deadline misses (0 under Prop. 2.1) |
+/// | `controller.fallbacks` | counter | forced `q_min` fallbacks |
+#[derive(Clone, Default)]
+pub struct ControllerMetrics {
+    frames: Counter,
+    decisions: Counter,
+    quality: Histogram,
+    slack: Histogram,
+    switches: Counter,
+    misses: Counter,
+    fallbacks: Counter,
+}
+
+impl ControllerMetrics {
+    /// Register the controller metric set in `telemetry`. Handles from
+    /// repeated calls (one per stream) aggregate into the same metrics.
+    #[must_use]
+    pub fn new(telemetry: &Telemetry) -> Self {
+        ControllerMetrics {
+            frames: telemetry.counter("controller.frames"),
+            decisions: telemetry.counter("controller.decisions"),
+            quality: telemetry.histogram("controller.quality"),
+            slack: telemetry.histogram("controller.deadline_slack_cycles"),
+            switches: telemetry.counter("controller.quality_switches"),
+            misses: telemetry.counter("controller.misses"),
+            fallbacks: telemetry.counter("controller.fallbacks"),
+        }
+    }
+
+    /// Fold one finished cycle into the metrics: one frame, its
+    /// decisions and quality choices, and the end-of-cycle deadline
+    /// slack (how much of the budget `D_θ(α)` was left unused —
+    /// clamped to 0 on a miss, skipped for infinite deadlines).
+    pub fn observe(&self, report: &CycleReport) {
+        self.frames.incr();
+        self.decisions.add(report.decisions as u64);
+        self.switches.add(report.quality_switches as u64);
+        self.misses.add(report.misses as u64);
+        self.fallbacks.add(report.fallbacks as u64);
+        for record in &report.records {
+            self.quality.record(u64::from(record.quality.level()));
+        }
+        if !report.records.is_empty() && !report.final_deadline.is_infinite() {
+            let slack = report
+                .final_deadline
+                .get()
+                .saturating_sub(report.total_time.get());
+            self.slack.record(slack);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ActionRecord;
+    use fgqos_graph::ActionId;
+    use fgqos_time::{Cycles, Quality};
+
+    fn rec(q: u8, start: u64, end: u64, deadline: u64) -> ActionRecord {
+        ActionRecord {
+            action: ActionId::from_index(0),
+            quality: Quality::new(q),
+            start: Cycles::new(start),
+            end: Cycles::new(end),
+            deadline: Cycles::new(deadline),
+            fallback: false,
+        }
+    }
+
+    #[test]
+    fn observe_folds_cycle_into_registry() {
+        let t = Telemetry::new();
+        let m = ControllerMetrics::new(&t);
+        let report = CycleReport::from_records(
+            vec![rec(1, 0, 10, 20), rec(2, 10, 30, 90), rec(2, 30, 50, 100)],
+            1,
+        );
+        m.observe(&report);
+        m.observe(&report);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("controller.frames"), Some(2));
+        assert_eq!(snap.counter("controller.decisions"), Some(6));
+        assert_eq!(snap.counter("controller.quality_switches"), Some(2));
+        assert_eq!(snap.counter("controller.fallbacks"), Some(2));
+        let q = snap.histogram("controller.quality").expect("quality hist");
+        assert_eq!(q.count(), 6);
+        assert_eq!(q.min(), 1);
+        assert_eq!(q.max(), 2);
+        let slack = snap
+            .histogram("controller.deadline_slack_cycles")
+            .expect("slack hist");
+        assert_eq!(slack.count(), 2);
+        assert_eq!(slack.min(), 50); // 100 - 50 per frame
+    }
+
+    #[test]
+    fn disabled_telemetry_observes_nothing() {
+        let t = Telemetry::disabled();
+        let m = ControllerMetrics::new(&t);
+        m.observe(&CycleReport::from_records(vec![rec(0, 0, 5, 9)], 0));
+        assert!(t.snapshot().is_empty());
+    }
+}

@@ -27,6 +27,7 @@
 //! hands out long-term budget shares; the controllers handle the
 //! fine-grain, per-action adaptation the paper is about.
 
+use fgqos_telemetry::{Stability, TelemetrySnapshot};
 use fgqos_time::Quality;
 
 /// What the admission layer granted one stream.
@@ -182,23 +183,80 @@ impl AdmissionReport {
         self.lifecycle
     }
 
+    /// Folds this report into a telemetry snapshot under the
+    /// `admission.*` / `lifecycle.*` names. Derived from the finished
+    /// report rather than counted at decision time, so the numbers are
+    /// identical whether or not a live registry was attached (a
+    /// decision that *upgrades* a grant would otherwise count twice).
+    ///
+    /// Metric names (all [`Stability::Stable`]):
+    ///
+    /// | name | kind | meaning |
+    /// |---|---|---|
+    /// | `admission.admitted` | counter | streams admitted at full quality |
+    /// | `admission.degraded` | counter | streams admitted with a ceiling |
+    /// | `admission.rejected` | counter | streams turned away |
+    /// | `admission.granted_millicores` | gauge | utilization charged, in 1/1000 core |
+    /// | `admission.capacity_millicores` | gauge | capacity decided against |
+    /// | `lifecycle.attached` | counter | streams ever attached |
+    /// | `lifecycle.detached` | counter | caller-driven departures |
+    /// | `lifecycle.readmitted` | counter | waiting streams re-admitted |
+    /// | `lifecycle.upgraded` | counter | ceilings raised after a release |
+    pub fn record_into(&self, snap: &mut TelemetrySnapshot) {
+        let s = Stability::Stable;
+        snap.insert_counter(s, "admission.admitted", self.admitted() as u64);
+        snap.insert_counter(s, "admission.degraded", self.degraded() as u64);
+        snap.insert_counter(s, "admission.rejected", self.rejected() as u64);
+        snap.insert_gauge(s, "admission.granted_millicores", millicores(self.used));
+        snap.insert_gauge(
+            s,
+            "admission.capacity_millicores",
+            millicores(self.capacity),
+        );
+        snap.insert_counter(s, "lifecycle.attached", self.lifecycle.attached as u64);
+        snap.insert_counter(s, "lifecycle.detached", self.lifecycle.detached as u64);
+        snap.insert_counter(s, "lifecycle.readmitted", self.lifecycle.readmitted as u64);
+        snap.insert_counter(s, "lifecycle.upgraded", self.lifecycle.upgraded as u64);
+    }
+
     /// One-line human summary, including the lifecycle counters.
+    /// Formatted from the snapshot values this report exports
+    /// ([`AdmissionReport::record_into`]), so the text and the JSON
+    /// export can never disagree.
     #[must_use]
     pub fn summary(&self) -> String {
-        format!(
-            "admission: {} admitted, {} degraded, {} rejected; {:.2}/{:.2} cores granted; \
-             lifecycle: {} attached, {} detached, {} re-admitted, {} upgraded",
-            self.admitted(),
-            self.degraded(),
-            self.rejected(),
-            self.used,
-            self.capacity,
-            self.lifecycle.attached,
-            self.lifecycle.detached,
-            self.lifecycle.readmitted,
-            self.lifecycle.upgraded,
-        )
+        let mut snap = TelemetrySnapshot::new();
+        self.record_into(&mut snap);
+        summary_from_snapshot(&snap)
     }
+}
+
+/// Cores → millicores, the integer unit the gauge exports (snapshots
+/// carry `u64` only; 1/1000 core keeps two printed decimals exact).
+fn millicores(cores: f64) -> u64 {
+    (cores * 1000.0).round().max(0.0) as u64
+}
+
+/// Renders the `admission.*` / `lifecycle.*` values of a snapshot as the
+/// canonical one-line summary — the single formatter behind both
+/// [`AdmissionReport::summary`] and
+/// [`crate::server::ServeReport::summary`].
+pub(crate) fn summary_from_snapshot(snap: &TelemetrySnapshot) -> String {
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
+    let g = |name: &str| snap.gauge(name).unwrap_or(0) as f64 / 1000.0;
+    format!(
+        "admission: {} admitted, {} degraded, {} rejected; {:.2}/{:.2} cores granted; \
+         lifecycle: {} attached, {} detached, {} re-admitted, {} upgraded",
+        c("admission.admitted"),
+        c("admission.degraded"),
+        c("admission.rejected"),
+        g("admission.granted_millicores"),
+        g("admission.capacity_millicores"),
+        c("lifecycle.attached"),
+        c("lifecycle.detached"),
+        c("lifecycle.readmitted"),
+        c("lifecycle.upgraded"),
+    )
 }
 
 /// The deterministic greedy admission controller described in the module

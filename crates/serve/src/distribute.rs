@@ -50,6 +50,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
+use fgqos_telemetry::{Histogram, HistogramData, Stability, TelemetrySnapshot};
 use fgqos_time::Cycles;
 
 pub use fgqos_sim::output::EncodedFrame;
@@ -101,7 +102,7 @@ impl Default for RingConfig {
 
 /// Publication counters of one ring, surfaced per stream in
 /// [`crate::server::ServeReport::summary`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PublishStats {
     /// Frames ever published into the ring.
     pub published: u64,
@@ -115,6 +116,71 @@ pub struct PublishStats {
     /// Times the publisher had to wait on a subscriber. Structurally
     /// zero — publishing never blocks — and bench/test-gated to stay so.
     pub publisher_stalls: u64,
+    /// Largest single lag gap (frames dropped in one
+    /// [`Delivery::Lagged`]) any subscriber of this ring ever observed.
+    pub max_lag: u64,
+    /// Distribution of lag-gap sizes across all subscribers: one
+    /// observation per [`Delivery::Lagged`], valued at its dropped-frame
+    /// count. Empty while every subscriber keeps up.
+    pub lag: HistogramData,
+}
+
+/// Folds a set of per-ring [`PublishStats`] into `distribute.*` entries
+/// of a telemetry snapshot. Inserts nothing when `stats` is empty (no
+/// stream ever had a ring), so snapshots stay free of dead keys.
+///
+/// Every entry is [`Stability::Stable`]: delivery and drop decisions
+/// are pure functions of published sequence numbers and cursor
+/// positions, so the fold is identical across worker counts on
+/// virtual-clock runs.
+///
+/// | name | kind | meaning |
+/// |------|------|---------|
+/// | `distribute.published` | counter | frames published, all rings |
+/// | `distribute.trimmed` | counter | frames trimmed, all rings |
+/// | `distribute.retained` | gauge | frames retained at capture |
+/// | `distribute.subscribers` | counter | subscribers ever attached |
+/// | `distribute.publisher_stalls` | counter | publisher waits (structurally 0) |
+/// | `distribute.max_lag` | gauge | worst single lag gap, any ring |
+/// | `distribute.lag` | histogram | lag-gap sizes, merged over rings |
+pub fn record_publish_into(
+    snap: &mut TelemetrySnapshot,
+    stats: impl IntoIterator<Item = PublishStats>,
+) {
+    let mut total = PublishStats::default();
+    let mut any = false;
+    for s in stats {
+        any = true;
+        total.published += s.published;
+        total.trimmed += s.trimmed;
+        total.retained += s.retained;
+        total.subscribers += s.subscribers;
+        total.publisher_stalls += s.publisher_stalls;
+        total.max_lag = total.max_lag.max(s.max_lag);
+        total.lag.merge(&s.lag);
+    }
+    if !any {
+        return;
+    }
+    snap.insert_counter(Stability::Stable, "distribute.published", total.published);
+    snap.insert_counter(Stability::Stable, "distribute.trimmed", total.trimmed);
+    snap.insert_gauge(
+        Stability::Stable,
+        "distribute.retained",
+        total.retained as u64,
+    );
+    snap.insert_counter(
+        Stability::Stable,
+        "distribute.subscribers",
+        total.subscribers,
+    );
+    snap.insert_counter(
+        Stability::Stable,
+        "distribute.publisher_stalls",
+        total.publisher_stalls,
+    );
+    snap.insert_gauge(Stability::Stable, "distribute.max_lag", total.max_lag);
+    snap.insert_histogram(Stability::Stable, "distribute.lag", total.lag);
 }
 
 /// A GOP-aware ring of published frames, addressed by a monotonically
@@ -272,6 +338,12 @@ struct Shared {
     /// gateable counter so "the encoder is never back-pressured by the
     /// output plane" is a measured fact rather than a comment.
     publisher_stalls: AtomicU64,
+    /// High-water mark of frames dropped in a single lag gap.
+    max_lag: AtomicU64,
+    /// Per-gap dropped-frame counts (fixed-bucket storage allocated
+    /// once per ring; recording is a handful of relaxed atomic ops, so
+    /// the delivery path never allocates).
+    lag: Histogram,
 }
 
 fn lock_ring(shared: &Shared) -> std::sync::MutexGuard<'_, FrameRing> {
@@ -300,6 +372,8 @@ impl Broadcast {
                 closed: AtomicBool::new(false),
                 subscribers: AtomicU64::new(0),
                 publisher_stalls: AtomicU64::new(0),
+                max_lag: AtomicU64::new(0),
+                lag: Histogram::standalone(),
             }),
         }
     }
@@ -370,6 +444,8 @@ impl Broadcast {
             retained: ring.len(),
             subscribers: self.shared.subscribers.load(Ordering::Relaxed),
             publisher_stalls: self.shared.publisher_stalls.load(Ordering::Relaxed),
+            max_lag: self.shared.max_lag.load(Ordering::Relaxed),
+            lag: self.shared.lag.data(),
         }
     }
 }
@@ -413,6 +489,8 @@ impl Subscriber {
             self.cursor = ring.base_seq();
             self.lagged_frames += dropped;
             self.lag_gaps += 1;
+            self.shared.max_lag.fetch_max(dropped, Ordering::Relaxed);
+            self.shared.lag.record(dropped);
             return Delivery::Lagged(dropped);
         }
         match ring.get(self.cursor) {
@@ -596,6 +674,37 @@ mod tests {
         assert_eq!(stats.published, 40);
         assert_eq!(stats.subscribers, 2);
         assert_eq!(stats.trimmed + stats.retained as u64, 40);
+        // Nobody polled yet: lag is observed at delivery time.
+        assert_eq!(stats.max_lag, 0);
+        assert!(stats.lag.is_empty());
+    }
+
+    #[test]
+    fn ring_retains_max_lag_and_lag_histogram() {
+        let b = Broadcast::new(RingConfig::frames(4));
+        let mut slow = b.subscribe();
+        let mut slower = b.subscribe();
+        fill(&b, 20, 4);
+        let Delivery::Lagged(first_gap) = slow.try_recv() else {
+            panic!("slow subscriber must lag");
+        };
+        slow.drain();
+        fill(&b, 20, 4); // the drained subscriber falls behind again
+        let Delivery::Lagged(second_gap) = slow.try_recv() else {
+            panic!("slow subscriber must lag again");
+        };
+        let Delivery::Lagged(worst_gap) = slower.try_recv() else {
+            panic!("never-polled subscriber must lag");
+        };
+        let stats = b.stats();
+        assert_eq!(
+            stats.max_lag,
+            first_gap.max(second_gap).max(worst_gap),
+            "max-lag gauge is the worst single gap"
+        );
+        assert_eq!(stats.lag.count(), 3, "one observation per lag gap");
+        assert_eq!(stats.lag.sum(), first_gap + second_gap + worst_gap);
+        assert_eq!(stats.lag.max(), stats.max_lag);
     }
 
     #[test]

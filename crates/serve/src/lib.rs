@@ -37,6 +37,17 @@
 //! subscriber count and slow subscribers observe explicit lag gaps
 //! instead of back-pressuring the encoder.
 //!
+//! Every layer is observable: build the server with
+//! [`server::ServerConfig::telemetry`] enabled and the controller,
+//! scheduler, pool, serve loop and output plane all record into one
+//! shared [`fgqos_telemetry::Telemetry`] registry — exported as a
+//! versioned JSON snapshot via [`server::ServeReport::snapshot`] (or
+//! live via [`server::StreamSession::telemetry_snapshot`]) and as a
+//! Chrome-trace span timeline via the pool's per-worker
+//! [`fgqos_telemetry::SpanRecorder`]. Telemetry is observe-only:
+//! enabled or disabled, every result, admission decision and safety
+//! verdict is byte-identical (test-enforced).
+//!
 //! # Example
 //!
 //! ```
@@ -82,7 +93,8 @@ pub mod source;
 pub use admission::{AdmissionController, AdmissionDecision, AdmissionReport, LifecycleCounts};
 pub use churn::{ChurnAction, ChurnEvent, ChurnStorm};
 pub use distribute::{
-    Broadcast, Delivery, EncodedFrame, FrameRing, PublishStats, RingConfig, Subscriber,
+    record_publish_into, Broadcast, Delivery, EncodedFrame, FrameRing, PublishStats, RingConfig,
+    Subscriber,
 };
 pub use error::ServeError;
 pub use server::{

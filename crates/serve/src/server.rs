@@ -65,13 +65,18 @@ use fgqos_sim::runtime::{
 };
 use fgqos_sim::scenario::LoadScenario;
 use fgqos_sim::SimError;
+use fgqos_telemetry::{
+    Counter, Gauge, Histogram, SpanRecorder, Stability, Telemetry, TelemetrySnapshot,
+};
 use fgqos_time::{Cycles, Quality};
 
 use crate::admission::{
     AdmissionController, AdmissionDecision, AdmissionLedger, AdmissionReport, StreamDemand,
 };
 use crate::churn::{ChurnAction, ChurnEvent};
-use crate::distribute::{Broadcast, EncodedFrame, PublishStats, RingConfig, Subscriber};
+use crate::distribute::{
+    record_publish_into, Broadcast, EncodedFrame, PublishStats, RingConfig, Subscriber,
+};
 use crate::error::ServeError;
 use crate::source::FrameSource;
 
@@ -304,6 +309,7 @@ pub struct ServeReport {
     admission: AdmissionReport,
     workers: usize,
     ticks: u64,
+    snapshot: Option<TelemetrySnapshot>,
 }
 
 impl ServeReport {
@@ -347,13 +353,43 @@ impl ServeReport {
             .all(SafetyMonitor::all_safe)
     }
 
+    /// The run's telemetry snapshot. When the server was built with
+    /// [`ServerConfig::telemetry`] enabled this is the full registry
+    /// capture (controller, scheduler, pool, serve-layer and output-
+    /// plane metrics, taken at [`StreamSession::finish`]); otherwise a
+    /// reduced snapshot derived from the report itself (`serve.ticks`,
+    /// `admission.*`, `lifecycle.*`, `distribute.*`) — so
+    /// [`ServeReport::summary`] reads the same keys either way.
+    #[must_use]
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        if let Some(snap) = &self.snapshot {
+            return snap.clone();
+        }
+        let mut snap = TelemetrySnapshot::new();
+        snap.insert_counter(Stability::Stable, "serve.ticks", self.ticks);
+        self.admission.record_into(&mut snap);
+        record_publish_into(
+            &mut snap,
+            self.outcomes.iter().filter_map(|o| o.publish.clone()),
+        );
+        snap
+    }
+
     /// Multi-line human summary: the admission line (capacity, grants,
     /// lifecycle counters), then one line per stream including its
     /// per-stream readmission count and — when anyone subscribed — its
     /// output-plane publish/trim/subscriber counters.
+    ///
+    /// The admission line is rendered from [`ServeReport::snapshot`]:
+    /// the human summary and the exported JSON are two views of the
+    /// same counters by construction.
     #[must_use]
     pub fn summary(&self) -> String {
-        let mut s = format!("{} ({} workers)\n", self.admission.summary(), self.workers);
+        let mut s = format!(
+            "{} ({} workers)\n",
+            crate::admission::summary_from_snapshot(&self.snapshot()),
+            self.workers
+        );
         for o in &self.outcomes {
             let mut tag = String::new();
             if o.detached {
@@ -438,6 +474,11 @@ pub struct ServerConfig {
     /// Retention policy of per-stream output rings (used only when
     /// someone subscribes; see [`crate::distribute`]).
     pub ring: RingConfig,
+    /// Whether to attach a live [`Telemetry`] registry (metrics +
+    /// per-worker spans) to the server, its pool and every served
+    /// stream. Observe-only: results, admission decisions and safety
+    /// verdicts are byte-identical either way. Default off.
+    pub telemetry: bool,
 }
 
 impl ServerConfig {
@@ -451,6 +492,7 @@ impl ServerConfig {
             pool: PoolMode::default(),
             tables: TablesMode::default(),
             ring: RingConfig::default(),
+            telemetry: false,
         }
     }
 
@@ -483,6 +525,18 @@ impl ServerConfig {
         self
     }
 
+    /// Turns the telemetry plane on or off (default off). When on, the
+    /// server carries a live [`Telemetry`] registry: the pool records
+    /// steal/park/busy counters and per-worker kernel spans, every
+    /// served stream's runner records `sched.*` and `controller.*`
+    /// metrics, sessions record tick counters/latency, and
+    /// [`ServeReport::snapshot`] exports it all.
+    #[must_use]
+    pub fn telemetry(mut self, on: bool) -> Self {
+        self.telemetry = on;
+        self
+    }
+
     /// Builds the server.
     ///
     /// # Panics
@@ -506,6 +560,12 @@ pub struct StreamServer {
     legacy_tables: bool,
     /// Retention policy handed to each session's output rings.
     ring: RingConfig,
+    /// The server's telemetry plane (inert unless
+    /// [`ServerConfig::telemetry`] turned it on). The pool's span
+    /// recorder is installed here at construction; sessions and their
+    /// streams register into the same registry, so one snapshot covers
+    /// every layer.
+    telemetry: Telemetry,
 }
 
 impl StreamServer {
@@ -517,17 +577,25 @@ impl StreamServer {
     /// Panics if an explicit capacity is not finite and positive.
     #[must_use]
     pub fn with_config(config: ServerConfig) -> Self {
+        let telemetry = if config.telemetry {
+            Telemetry::new()
+        } else {
+            Telemetry::disabled()
+        };
+        let mut pool = match config.pool {
+            PoolMode::Resident => WorkStealingPool::new(config.workers),
+            PoolMode::Scoped => WorkStealingPool::scoped(config.workers),
+        };
+        pool.set_telemetry(&telemetry);
         StreamServer {
-            pool: match config.pool {
-                PoolMode::Resident => WorkStealingPool::new(config.workers),
-                PoolMode::Scoped => WorkStealingPool::scoped(config.workers),
-            },
+            pool,
             admission: match config.capacity {
                 Some(cores) => AdmissionController::new(cores),
                 None => AdmissionController::for_workers(config.workers),
             },
             legacy_tables: config.tables == TablesMode::Legacy,
             ring: config.ring,
+            telemetry,
         }
     }
 
@@ -566,6 +634,7 @@ impl StreamServer {
         } else {
             WorkStealingPool::new(workers)
         };
+        self.pool.set_telemetry(&self.telemetry);
     }
 
     /// Forces every served stream onto the legacy per-budget constraint
@@ -588,6 +657,15 @@ impl StreamServer {
     #[must_use]
     pub fn capacity(&self) -> f64 {
         self.admission.capacity()
+    }
+
+    /// The server's telemetry plane — inert unless the server was built
+    /// with [`ServerConfig::telemetry`]`(true)`. Use it to snapshot
+    /// metrics mid-serve or to export the pool's span trace
+    /// (`server.telemetry().spans().to_chrome_trace()`).
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Opens a churn-capable serving session on deterministic per-stream
@@ -631,6 +709,8 @@ impl StreamServer {
             merged: None,
             server_now: Cycles::ZERO,
             ticks: 0,
+            telemetry: self.telemetry.clone(),
+            metrics: SessionMetrics::new(&self.telemetry, self.pool.workers()),
         }
     }
 
@@ -833,6 +913,44 @@ pub struct StreamSession<'a, A: ParallelApp> {
     merged: Option<MergedDag>,
     server_now: Cycles,
     ticks: u64,
+    /// The server's registry (inert when telemetry is off); every
+    /// attached stream's runner registers into it.
+    telemetry: Telemetry,
+    /// Session metric handles (`serve.*`) — inert when telemetry is off.
+    metrics: SessionMetrics,
+}
+
+/// Pre-registered serve-layer metric handles.
+///
+/// | name | kind | stability | meaning |
+/// |---|---|---|---|
+/// | `serve.ticks` | counter | stable | server ticks executed |
+/// | `serve.workers` | gauge | runtime | shared pool width |
+/// | `serve.tick_latency_us` | histogram | runtime | wall time per tick |
+#[derive(Clone, Default)]
+struct SessionMetrics {
+    ticks: Counter,
+    workers: Gauge,
+    tick_latency: Histogram,
+    /// Handle to the pool-installed span recorder: commits and ticks are
+    /// recorded on the coordinator lane (index = worker count).
+    spans: SpanRecorder,
+    /// The coordinator's lane in the span recorder.
+    coord_lane: usize,
+}
+
+impl SessionMetrics {
+    fn new(telemetry: &Telemetry, workers: usize) -> Self {
+        let m = SessionMetrics {
+            ticks: telemetry.counter("serve.ticks"),
+            workers: telemetry.runtime_gauge("serve.workers"),
+            tick_latency: telemetry.runtime_histogram("serve.tick_latency_us"),
+            spans: telemetry.spans(),
+            coord_lane: workers,
+        };
+        m.workers.set(workers as u64);
+        m
+    }
 }
 
 impl<A: ParallelApp> StreamSession<'_, A> {
@@ -847,6 +965,7 @@ impl<A: ParallelApp> StreamSession<'_, A> {
         let clock = (self.make_clock)(&spec);
         let mut runner = Runner::new(app, spec.config).map_err(ServeError::Sim)?;
         runner.set_legacy_tables(self.legacy_tables);
+        runner.set_telemetry(&self.telemetry);
         let profile = runner.app().profile();
         let n = runner.app().iterations() as f64;
         let period = spec.config.period.get() as f64;
@@ -1181,6 +1300,14 @@ impl<A: ParallelApp> StreamSession<'_, A> {
     ///
     /// Propagated per-stream simulation errors.
     pub fn step(&mut self) -> Result<bool, ServeError> {
+        // Observe-only tick timing: a single branch when telemetry is
+        // off, one clock read when on.
+        let tick_t0 = self
+            .metrics
+            .tick_latency
+            .is_enabled()
+            .then(std::time::Instant::now);
+        let tick_span = self.metrics.spans.start();
         // Departures first: a stream whose source is exhausted finalizes
         // and releases, which may start parked streams in this same tick.
         for i in 0..self.slots.len() {
@@ -1288,6 +1415,7 @@ impl<A: ParallelApp> StreamSession<'_, A> {
         // 3. Commit each due frame sequentially — the same state
         //    transitions, in the same order, as a solo run.
         for &i in &due {
+            let commit_span = self.metrics.spans.start();
             let slot = &mut self.slots[i];
             let SlotState::Running(active) = &mut slot.state else {
                 unreachable!("due slots are running");
@@ -1317,10 +1445,22 @@ impl<A: ParallelApp> StreamSession<'_, A> {
                     }
                 }
             }
+            self.metrics
+                .spans
+                .record(self.metrics.coord_lane, "commit", "serve", commit_span);
         }
 
         self.server_now = self.server_now.max(t_min);
         self.ticks += 1;
+        self.metrics.ticks.incr();
+        if let Some(t0) = tick_t0 {
+            self.metrics
+                .tick_latency
+                .record(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        }
+        self.metrics
+            .spans
+            .record(self.metrics.coord_lane, "tick", "serve", tick_span);
         Ok(true)
     }
 
@@ -1418,16 +1558,59 @@ impl<A: ParallelApp> StreamSession<'_, A> {
                 SlotState::Done => {}
             }
         }
+        let outcomes: Vec<StreamOutcome> = self
+            .slots
+            .into_iter()
+            .map(|s| s.outcome.expect("every slot finalized"))
+            .collect();
+        let admission = self.ledger.report();
+        let snapshot = self.telemetry.is_enabled().then(|| {
+            let mut snap = self.telemetry.snapshot();
+            admission.record_into(&mut snap);
+            record_publish_into(&mut snap, outcomes.iter().filter_map(|o| o.publish.clone()));
+            snap
+        });
         ServeReport {
-            outcomes: self
-                .slots
-                .into_iter()
-                .map(|s| s.outcome.expect("every slot finalized"))
-                .collect(),
-            admission: self.ledger.report(),
+            outcomes,
+            admission,
             workers: self.pool.workers(),
             ticks: self.ticks,
+            snapshot,
         }
+    }
+
+    /// The session's telemetry plane (inert unless the server was built
+    /// with [`ServerConfig::telemetry`] enabled). Use it to export the
+    /// span trace: `session.telemetry().spans().to_chrome_trace()`.
+    #[must_use]
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// A live telemetry snapshot of the running session: the registry
+    /// capture (empty when telemetry is disabled) plus `admission.*` /
+    /// `lifecycle.*` derived from the ledger's current view and
+    /// `distribute.*` folded over every ring — live rings read in
+    /// place, finished streams from their recorded outcomes. Safe to
+    /// call at any cadence; reads are relaxed-atomic loads and never
+    /// perturb serving.
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = self.telemetry.snapshot();
+        if !self.telemetry.is_enabled() {
+            snap.insert_counter(Stability::Stable, "serve.ticks", self.ticks);
+        }
+        self.ledger.report().record_into(&mut snap);
+        record_publish_into(
+            &mut snap,
+            self.slots.iter().filter_map(|s| {
+                s.output
+                    .as_ref()
+                    .map(|b| b.stats())
+                    .or_else(|| s.outcome.as_ref().and_then(|o| o.publish.clone()))
+            }),
+        );
+        snap
     }
 }
 
@@ -1673,7 +1856,7 @@ mod tests {
         assert_eq!(sub.try_recv(), Delivery::Closed);
         assert_eq!(sub.lagged_frames(), 0);
         let report = session.finish();
-        let publish = report.outcome("a").unwrap().publish.unwrap();
+        let publish = report.outcome("a").unwrap().publish.as_ref().unwrap();
         assert_eq!(publish.published, 0);
         assert_eq!(publish.subscribers, 1);
         assert_eq!(publish.publisher_stalls, 0);

@@ -21,12 +21,13 @@ use std::sync::Arc;
 
 use fgqos_core::estimator::AvgEstimator;
 use fgqos_core::policy::{ConstantQuality, QualityPolicy};
-use fgqos_core::{safety, CycleController, Decision};
+use fgqos_core::{safety, ControllerMetrics, CycleController, Decision};
 use fgqos_graph::iterate::{IteratedGraph, IterationMode};
 use fgqos_graph::ActionId;
 use fgqos_sched::{
     budget_deadlines, BestSched, BudgetTables, ConstraintTables, EdfScheduler, SharedTables,
 };
+use fgqos_telemetry::{Counter, Telemetry};
 use fgqos_time::{fig5, Cycles, DeadlineMap, Quality, QualityProfile, QualitySet};
 
 use crate::app::VideoApp;
@@ -330,6 +331,51 @@ pub struct Runner<A: VideoApp> {
     spec_hits: u64,
     /// Parallel speculation diagnostics: kernels re-executed at commit.
     spec_misses: u64,
+    /// Telemetry handles mirroring the diagnostics fields above plus the
+    /// controller's per-cycle metrics. Inert (all no-op handles) until
+    /// [`Runner::set_telemetry`] attaches a live registry — the counters
+    /// are *views* of the same events the `u64` fields count, never a
+    /// replacement for them.
+    metrics: RunnerMetrics,
+}
+
+/// Pre-registered scheduler/runner metric handles.
+///
+/// Metric names (all [`fgqos_telemetry::Stability::Stable`] — the
+/// scheduler's table activity and the speculation outcome derive from
+/// the deterministic decision series, not from host timing):
+///
+/// | name | kind | meaning |
+/// |---|---|---|
+/// | `sched.envelope_builds` | counter | budget-parametric envelope set builds |
+/// | `sched.full_table_builds` | counter | full `ConstraintTables::new` builds |
+/// | `sched.envelope_refreshes` | counter | in-place estimator refreshes |
+/// | `sched.table_lookups` | counter | per-frame constraint-table resolutions |
+/// | `sched.spec_hits` | counter | speculative kernels consumed at commit |
+/// | `sched.spec_misses` | counter | speculative kernels re-executed |
+#[derive(Clone, Default)]
+struct RunnerMetrics {
+    envelope_builds: Counter,
+    full_table_builds: Counter,
+    envelope_refreshes: Counter,
+    table_lookups: Counter,
+    spec_hits: Counter,
+    spec_misses: Counter,
+    controller: ControllerMetrics,
+}
+
+impl RunnerMetrics {
+    fn new(telemetry: &Telemetry) -> Self {
+        RunnerMetrics {
+            envelope_builds: telemetry.counter("sched.envelope_builds"),
+            full_table_builds: telemetry.counter("sched.full_table_builds"),
+            envelope_refreshes: telemetry.counter("sched.envelope_refreshes"),
+            table_lookups: telemetry.counter("sched.table_lookups"),
+            spec_hits: telemetry.counter("sched.spec_hits"),
+            spec_misses: telemetry.counter("sched.spec_misses"),
+            controller: ControllerMetrics::new(telemetry),
+        }
+    }
 }
 
 /// Cap on distinct budgets cached at once. At the paper's scale one table
@@ -395,6 +441,7 @@ impl<A: VideoApp> Runner<A> {
             last_spec: None,
             spec_hits: 0,
             spec_misses: 0,
+            metrics: RunnerMetrics::default(),
         })
     }
 
@@ -459,6 +506,19 @@ impl<A: VideoApp> Runner<A> {
         self.envelope_refreshes
     }
 
+    /// Attaches a telemetry registry: scheduler counters (`sched.*`)
+    /// and the controller metric set
+    /// ([`fgqos_core::ControllerMetrics`]) record into it from now on.
+    /// Observe-only — results are byte-identical with or without it. An
+    /// inert [`Telemetry::disabled`] registry detaches instrumentation.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.metrics = if telemetry.is_enabled() {
+            RunnerMetrics::new(telemetry)
+        } else {
+            RunnerMetrics::default()
+        };
+    }
+
     /// Forces the legacy per-budget table path (LRU-cached
     /// `ConstraintTables::new` per distinct budget) instead of the
     /// budget-parametric envelopes. Decisions are identical either way —
@@ -480,6 +540,7 @@ impl<A: VideoApp> Runner<A> {
         frame_budget: Cycles,
         qs: &QualitySet,
     ) -> Result<SharedTables, SimError> {
+        self.metrics.table_lookups.incr();
         if !self.legacy_tables {
             if self.budget_tables.is_none() {
                 self.budget_tables = Some(Arc::new(BudgetTables::new(
@@ -489,6 +550,7 @@ impl<A: VideoApp> Runner<A> {
                     self.iter.iterations(),
                 )?));
                 self.envelope_builds += 1;
+                self.metrics.envelope_builds.incr();
             }
             // Recurring finite budgets (paced streams, constant load)
             // are promoted to a materialized table on their second use:
@@ -547,6 +609,7 @@ impl<A: VideoApp> Runner<A> {
             &deadlines,
         )?);
         self.full_table_builds += 1;
+        self.metrics.full_table_builds.incr();
         if self.tables_cache.len() >= TABLES_CACHE_CAP {
             if let Some(oldest) = self.tables_cache_order.pop_front() {
                 self.tables_cache.remove(&oldest);
@@ -757,6 +820,7 @@ impl<A: VideoApp> Runner<A> {
                     // update; a still-shared handle forces one clone.
                     Arc::make_mut(tables).refresh(&self.tiled_profile)?;
                     self.envelope_refreshes += 1;
+                    self.metrics.envelope_refreshes.incr();
                 }
                 self.tables_cache.clear();
                 self.tables_cache_order.clear();
@@ -780,6 +844,7 @@ impl<A: VideoApp> Runner<A> {
     ) -> FrameRecord {
         let report = ctl.finish();
         self.monitor.record(&report);
+        self.metrics.controller.observe(&report);
         let (mean_q, switches) = self.sensitive_quality_stats(&report, body_profile);
         let psnr = self.app.encoded_psnr(frame, mean_q, &report);
         FrameRecord {
@@ -1217,6 +1282,53 @@ mod tests {
             // misses.
             assert_eq!(par.speculation().1, 0);
         }
+    }
+
+    #[test]
+    fn telemetry_mirrors_diagnostics_and_leaves_results_identical() {
+        let mut plain = small_runner(30, 10, 1);
+        let expected = plain.run_controlled(&mut MaxQuality::new(), 17).unwrap();
+
+        let mut observed = small_runner(30, 10, 1);
+        let t = Telemetry::new();
+        observed.set_telemetry(&t);
+        let actual = observed.run_controlled(&mut MaxQuality::new(), 17).unwrap();
+        // Observe-only: attaching the registry changes nothing.
+        assert_eq!(expected.frames(), actual.frames());
+
+        let snap = t.snapshot();
+        assert_eq!(
+            snap.counter("sched.envelope_builds"),
+            Some(observed.envelope_builds())
+        );
+        assert_eq!(
+            snap.counter("sched.full_table_builds"),
+            Some(observed.full_table_builds())
+        );
+        assert_eq!(snap.counter("sched.table_lookups"), Some(30));
+        assert_eq!(snap.counter("controller.frames"), Some(30));
+        assert_eq!(snap.counter("controller.misses"), Some(0));
+        let slack = snap
+            .histogram("controller.deadline_slack_cycles")
+            .expect("slack histogram registered");
+        // Frames with an infinite budget (no buffer pressure yet) record
+        // no slack; every deadline-bounded frame does.
+        assert!(
+            slack.count() > 0 && slack.count() <= 30,
+            "{}",
+            slack.count()
+        );
+        // Every runner metric is stable: the stable view drops nothing.
+        assert_eq!(snap.stable_view().len(), snap.len());
+
+        // Speculation counters mirror the parallel diagnostics.
+        let mut par = small_runner(20, 10, 1);
+        let tp = Telemetry::new();
+        par.set_telemetry(&tp);
+        par.run_parallel(&mut MaxQuality::new(), 17, 2).unwrap();
+        let psnap = tp.snapshot();
+        assert_eq!(psnap.counter("sched.spec_hits"), Some(par.speculation().0));
+        assert_eq!(psnap.counter("sched.spec_misses"), Some(0));
     }
 
     #[test]

@@ -422,6 +422,8 @@ impl<A: ParallelApp> Runner<A> {
         self.last_spec = Some(st.spec_q);
         self.spec_hits += st.hits;
         self.spec_misses += st.misses;
+        self.metrics.spec_hits.add(st.hits);
+        self.metrics.spec_misses.add(st.misses);
         self.collect_result(policy_name, st.records)
     }
 
@@ -441,6 +443,8 @@ impl<A: ParallelApp> Runner<A> {
         self.last_spec = Some(st.spec_q);
         self.spec_hits += st.hits;
         self.spec_misses += st.misses;
+        self.metrics.spec_hits.add(st.hits);
+        self.metrics.spec_misses.add(st.misses);
         self.collect_result(policy_name, st.records)
     }
 }

@@ -44,6 +44,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
+use fgqos_telemetry::{Counter, SpanRecorder, Telemetry, DEFAULT_SPAN_CAPACITY};
+
 /// A fixed-width work-stealing pool executing dependency DAGs of indexed
 /// tasks.
 ///
@@ -67,6 +69,22 @@ pub struct WorkStealingPool {
     /// Resident worker threads; `None` for [`WorkStealingPool::scoped`]
     /// pools and single-worker pools (which run inline).
     resident: Option<Resident>,
+    /// Observe-only instrumentation; `None` (free) until
+    /// [`WorkStealingPool::set_telemetry`] installs handles.
+    metrics: Option<PoolMetrics>,
+}
+
+/// Runtime-class pool instrumentation: steal/park/task counters,
+/// per-worker busy time, and the span recorder feeding the Chrome
+/// trace export. All of it is schedule-dependent by nature, so every
+/// metric registers as [`fgqos_telemetry::Stability::Runtime`].
+struct PoolMetrics {
+    steals: Counter,
+    parks: Counter,
+    tasks: Counter,
+    /// Per-worker busy time in microseconds, indexed by worker id.
+    busy_us: Vec<Counter>,
+    spans: SpanRecorder,
 }
 
 /// The owned side of a resident pool: shared handoff state plus the
@@ -220,7 +238,11 @@ impl WorkStealingPool {
                 .collect();
             Resident { shared, handles }
         });
-        WorkStealingPool { workers, resident }
+        WorkStealingPool {
+            workers,
+            resident,
+            metrics: None,
+        }
     }
 
     /// A pool that spawns scoped threads per [`WorkStealingPool::run_dag`]
@@ -233,7 +255,31 @@ impl WorkStealingPool {
         WorkStealingPool {
             workers: workers.max(1),
             resident: None,
+            metrics: None,
         }
+    }
+
+    /// Install observe-only instrumentation: steal/park/task counters,
+    /// per-worker busy time, and a span recorder (one lane per worker
+    /// plus one for the coordinating thread) that `telemetry` exports
+    /// as a Chrome trace. A disabled `telemetry` clears any previous
+    /// instrumentation — the hot path then pays a single `None` check.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        if !telemetry.is_enabled() {
+            self.metrics = None;
+            return;
+        }
+        let spans = SpanRecorder::new(self.workers + 1, DEFAULT_SPAN_CAPACITY);
+        telemetry.install_spans(spans.clone());
+        self.metrics = Some(PoolMetrics {
+            steals: telemetry.runtime_counter("pool.steals"),
+            parks: telemetry.runtime_counter("pool.parks"),
+            tasks: telemetry.runtime_counter("pool.tasks"),
+            busy_us: (0..self.workers)
+                .map(|w| telemetry.runtime_counter(&format!("pool.worker.{w}.busy_us")))
+                .collect(),
+            spans,
+        });
     }
 
     /// A pool sized to the host's available parallelism.
@@ -321,6 +367,7 @@ impl WorkStealingPool {
             park_epoch: Mutex::new(0),
             park_cv: Condvar::new(),
             run: &run,
+            metrics: self.metrics.as_ref(),
         };
         // Seed the initial frontier round-robin across workers.
         let mut next = 0usize;
@@ -438,6 +485,9 @@ struct DagRun<'a, F> {
     park_epoch: Mutex<u64>,
     park_cv: Condvar,
     run: &'a F,
+    /// Observe-only instrumentation (borrowed from the pool for the
+    /// duration of this job; `None` keeps the hot path branch-cheap).
+    metrics: Option<&'a PoolMetrics>,
 }
 
 /// Failed `find_task` probes before a worker gives up its core and parks.
@@ -463,6 +513,9 @@ impl<F: Fn(usize) + Sync> DagRun<'_, F> {
         let k = self.deques.len();
         for off in 1..k {
             if let Some(t) = self.deque((me + off) % k).pop_front() {
+                if let Some(m) = self.metrics {
+                    m.steals.incr();
+                }
                 return Some(t);
             }
         }
@@ -505,6 +558,9 @@ impl<F: Fn(usize) + Sync> DagRun<'_, F> {
 
     /// Blocks until a new task may be available or the run finished.
     fn park(&self) {
+        if let Some(m) = self.metrics {
+            m.parks.incr();
+        }
         self.sleepers.fetch_add(1, Ordering::SeqCst);
         let mut epoch = self
             .park_epoch
@@ -548,10 +604,18 @@ impl<F: Fn(usize) + Sync> DagRun<'_, F> {
                 continue;
             };
             idle_spins = 0;
+            let span = self.metrics.map(|m| (m, m.spans.start()));
             if catch_unwind(AssertUnwindSafe(|| (self.run)(task))).is_err() {
                 self.poisoned.store(true, Ordering::SeqCst);
                 self.wake();
                 return;
+            }
+            if let Some((m, started)) = span {
+                if let Some(t0) = started {
+                    m.busy_us[me].add(t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+                }
+                m.spans.record(me, "kernel", "pool", started);
+                m.tasks.incr();
             }
             for &s in &self.succs[task] {
                 // The AcqRel decrement publishes this task's writes to
@@ -841,5 +905,34 @@ mod tests {
         let scoped = WorkStealingPool::scoped(4);
         assert!(!scoped.is_resident());
         assert!(!scoped.clone().is_resident());
+    }
+
+    /// Telemetry counts every task, files spans per worker lane, and
+    /// registers everything as runtime-class (excluded from the
+    /// deterministic stable view).
+    #[test]
+    fn telemetry_counts_tasks_and_exports_spans() {
+        let t = Telemetry::new();
+        let mut pool = WorkStealingPool::new(2);
+        pool.set_telemetry(&t);
+        let succs = vec![vec![1, 2], vec![3], vec![3], vec![]];
+        let indegree = vec![0, 1, 1, 2];
+        pool.run_dag(&indegree, &succs, |_| {});
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("pool.tasks"), Some(4));
+        assert!(snap.counter("pool.steals").is_some());
+        assert!(snap.counter("pool.parks").is_some());
+        assert!(
+            snap.stable_view().is_empty(),
+            "pool metrics are runtime-class"
+        );
+        assert_eq!(t.spans().events().len(), 4);
+        assert_eq!(t.spans().dropped(), 0);
+
+        // Disabling clears the instrumentation.
+        pool.set_telemetry(&Telemetry::disabled());
+        pool.run_dag(&indegree, &succs, |_| {});
+        assert_eq!(snap.counter("pool.tasks"), Some(4), "snapshot is a copy");
+        assert_eq!(t.snapshot().counter("pool.tasks"), Some(4));
     }
 }

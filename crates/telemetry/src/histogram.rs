@@ -1,0 +1,471 @@
+//! Log-linear (HDR-style) histograms with fixed storage and atomic,
+//! allocation-free recording.
+//!
+//! Values `0..=15` get exact single-value buckets; every larger
+//! power-of-two range `[2^k, 2^(k+1))` is split into [`SUB_BUCKETS`]
+//! equal sub-ranges, so relative error is bounded at 12.5% across the
+//! full `u64` range while the storage stays a fixed [`BUCKETS`]-slot
+//! array. Recording is one index computation plus five relaxed atomic
+//! updates — no heap allocation, no locks — which is what lets the
+//! serve layer keep a histogram on the per-frame hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Values strictly below this cutoff get exact single-value buckets.
+pub const LINEAR_CUTOFF: u64 = 16;
+/// Sub-buckets per power-of-two range above the linear cutoff.
+pub const SUB_BUCKETS: usize = 8;
+/// Total bucket count: 16 exact buckets plus [`SUB_BUCKETS`] per
+/// power-of-two range for exponents 4..=63.
+pub const BUCKETS: usize = LINEAR_CUTOFF as usize + SUB_BUCKETS * 60;
+
+/// Bucket index of a recorded value. Total over `u64`.
+#[must_use]
+pub fn bucket_index(v: u64) -> usize {
+    if v < LINEAR_CUTOFF {
+        v as usize
+    } else {
+        let k = 63 - v.leading_zeros() as usize; // k >= 4
+        let sub = ((v >> (k - 3)) & 7) as usize;
+        LINEAR_CUTOFF as usize + (k - 4) * SUB_BUCKETS + sub
+    }
+}
+
+/// Inclusive `(low, high)` value bounds of a bucket index.
+///
+/// # Panics
+/// Panics if `idx >= BUCKETS`.
+#[must_use]
+pub fn bucket_bounds(idx: usize) -> (u64, u64) {
+    assert!(idx < BUCKETS, "bucket index {idx} out of range");
+    if idx < LINEAR_CUTOFF as usize {
+        return (idx as u64, idx as u64);
+    }
+    let off = idx - LINEAR_CUTOFF as usize;
+    let k = off / SUB_BUCKETS + 4;
+    let sub = (off % SUB_BUCKETS) as u64;
+    let width = 1u64 << (k - 3);
+    let low = (1u64 << k) + sub * width;
+    (low, low + (width - 1))
+}
+
+/// The fixed atomic storage behind a [`Histogram`] handle.
+pub(crate) struct HistCore {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    /// Wrapping sum of recorded values (callers record bounded
+    /// quantities; a wrap needs > 2^64 total which no run reaches).
+    sum: AtomicU64,
+    /// `u64::MAX` while empty.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistCore {
+    pub(crate) fn new() -> Self {
+        HistCore {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn data(&self) -> HistogramData {
+        let count = self.count.load(Ordering::Relaxed);
+        let mut buckets = Vec::new();
+        for (idx, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                buckets.push((idx as u32, n));
+            }
+        }
+        HistogramData {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Cloneable recording handle. A disabled handle (the [`Default`])
+/// makes every [`Histogram::record`] a no-op branch.
+#[derive(Clone, Default)]
+pub struct Histogram {
+    core: Option<Arc<HistCore>>,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.core {
+            Some(core) => f
+                .debug_struct("Histogram")
+                .field("count", &core.data().count())
+                .finish_non_exhaustive(),
+            None => f.write_str("Histogram(disabled)"),
+        }
+    }
+}
+
+impl Histogram {
+    /// A live histogram not attached to any registry (used by the
+    /// output plane's per-ring lag tracking, which is always on).
+    #[must_use]
+    pub fn standalone() -> Self {
+        Histogram {
+            core: Some(Arc::new(HistCore::new())),
+        }
+    }
+
+    /// An inert handle: records are dropped, [`Histogram::data`] is empty.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Histogram::default()
+    }
+
+    pub(crate) fn from_core(core: Arc<HistCore>) -> Self {
+        Histogram { core: Some(core) }
+    }
+
+    /// Whether records are retained.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// Record one observation. Allocation-free; relaxed atomics only.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(core) = &self.core {
+            core.record(v);
+        }
+    }
+
+    /// An owned, mergeable copy of the current contents.
+    #[must_use]
+    pub fn data(&self) -> HistogramData {
+        self.core
+            .as_ref()
+            .map_or_else(HistogramData::default, |c| c.data())
+    }
+}
+
+/// Owned histogram contents: plain data, comparable and mergeable.
+///
+/// The bucket list is sparse (only non-empty buckets), sorted by
+/// bucket index, which makes equality a byte comparison and
+/// [`HistogramData::merge`] associative.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistogramData {
+    count: u64,
+    sum: u64,
+    /// 0 when empty.
+    min: u64,
+    max: u64,
+    /// `(bucket index, count)`, sorted by index, counts > 0.
+    buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramData {
+    /// Rebuild from raw parts (the JSON parser's entry point).
+    ///
+    /// # Errors
+    /// Rejects unsorted/duplicate/out-of-range buckets, zero counts,
+    /// and a total that disagrees with `count`.
+    pub fn from_parts(
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+        buckets: Vec<(u32, u64)>,
+    ) -> Result<Self, String> {
+        let mut total = 0u64;
+        let mut prev: Option<u32> = None;
+        for &(idx, n) in &buckets {
+            if idx as usize >= BUCKETS {
+                return Err(format!("bucket index {idx} out of range"));
+            }
+            if n == 0 {
+                return Err(format!("bucket {idx} has zero count"));
+            }
+            if prev.is_some_and(|p| p >= idx) {
+                return Err("bucket indices not strictly increasing".into());
+            }
+            prev = Some(idx);
+            total = total
+                .checked_add(n)
+                .ok_or_else(|| "bucket counts overflow".to_string())?;
+        }
+        if total != count {
+            return Err(format!("bucket total {total} != count {count}"));
+        }
+        Ok(HistogramData {
+            count,
+            sum,
+            min,
+            max,
+            buckets,
+        })
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no observations were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of observed values (wrapping).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observed value (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest observed value (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of observed values (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(low, high, count)` with inclusive value
+    /// bounds, in increasing value order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets.iter().map(|&(idx, n)| {
+            let (lo, hi) = bucket_bounds(idx as usize);
+            (lo, hi, n)
+        })
+    }
+
+    /// Record into owned (non-atomic) storage — the single-threaded
+    /// twin of [`Histogram::record`], used by tests and by callers
+    /// folding already-collected values.
+    pub fn record(&mut self, v: u64) {
+        let idx = bucket_index(v) as u32;
+        match self.buckets.binary_search_by_key(&idx, |b| b.0) {
+            Ok(i) => self.buckets[i].1 += 1,
+            Err(i) => self.buckets.insert(i, (idx, 1)),
+        }
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+    }
+
+    /// Fold `other` into `self`. Associative and commutative; bucket
+    /// counts, `count` and `sum` are conserved exactly.
+    pub fn merge(&mut self, other: &HistogramData) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.buckets.len() && j < other.buckets.len() {
+            let (ai, an) = self.buckets[i];
+            let (bi, bn) = other.buckets[j];
+            match ai.cmp(&bi) {
+                std::cmp::Ordering::Less => {
+                    merged.push((ai, an));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push((bi, bn));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push((ai, an + bn));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.buckets[i..]);
+        merged.extend_from_slice(&other.buckets[j..]);
+        self.buckets = merged;
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (clamped to the observed `[min, max]`; 0 when empty).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for &(idx, n) in &self.buckets {
+            cum += n;
+            if cum >= target {
+                let (_, hi) = bucket_bounds(idx as usize);
+                return hi.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Total of the per-bucket counts (always equals [`Self::count`]).
+    #[must_use]
+    pub fn total_bucket_count(&self) -> u64 {
+        self.buckets.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_buckets_below_cutoff() {
+        for v in 0..LINEAR_CUTOFF {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn bounds_roundtrip_all_buckets() {
+        for idx in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(idx);
+            assert!(lo <= hi);
+            assert_eq!(bucket_index(lo), idx, "low bound of {idx}");
+            assert_eq!(bucket_index(hi), idx, "high bound of {idx}");
+        }
+        assert_eq!(bucket_bounds(BUCKETS - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn bucket_ranges_are_contiguous() {
+        for idx in 1..BUCKETS {
+            let (_, prev_hi) = bucket_bounds(idx - 1);
+            let (lo, _) = bucket_bounds(idx);
+            assert_eq!(lo, prev_hi + 1, "gap before bucket {idx}");
+        }
+    }
+
+    #[test]
+    fn record_and_quantiles() {
+        let h = Histogram::standalone();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let d = h.data();
+        assert_eq!(d.count(), 100);
+        assert_eq!(d.min(), 1);
+        assert_eq!(d.max(), 100);
+        assert_eq!(d.sum(), 5050);
+        assert_eq!(d.total_bucket_count(), 100);
+        // Log-linear resolution: quantiles land within a bucket width.
+        let p50 = d.quantile(0.5);
+        assert!((50..=55).contains(&p50), "p50 = {p50}");
+        assert_eq!(d.quantile(1.0), 100);
+        assert_eq!(d.quantile(0.0), 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_zeroed() {
+        let d = Histogram::standalone().data();
+        assert_eq!(d.count(), 0);
+        assert_eq!(d.min(), 0);
+        assert_eq!(d.max(), 0);
+        assert_eq!(d.quantile(0.5), 0);
+        assert_eq!(d, HistogramData::default());
+    }
+
+    #[test]
+    fn disabled_handle_drops_records() {
+        let h = Histogram::disabled();
+        h.record(7);
+        assert!(!h.is_enabled());
+        assert_eq!(h.data().count(), 0);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = HistogramData::default();
+        let mut b = HistogramData::default();
+        let mut both = HistogramData::default();
+        for v in [0u64, 3, 17, 17, 900, u64::MAX] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [1u64, 17, 40_000] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = HistogramData::default();
+        a.record(5);
+        let orig = a.clone();
+        a.merge(&HistogramData::default());
+        assert_eq!(a, orig);
+        let mut e = HistogramData::default();
+        e.merge(&orig);
+        assert_eq!(e, orig);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(HistogramData::from_parts(1, 5, 5, 5, vec![(bucket_index(5) as u32, 1)]).is_ok());
+        assert!(
+            HistogramData::from_parts(2, 5, 5, 5, vec![(5, 1)]).is_err(),
+            "total mismatch"
+        );
+        assert!(HistogramData::from_parts(1, 5, 5, 5, vec![(u32::MAX, 1)]).is_err());
+        assert!(HistogramData::from_parts(2, 0, 0, 0, vec![(3, 1), (3, 1)]).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Observe-only telemetry plane for the fine-grain QoS workspace.
+//!
+//! The paper's controller is only as trustworthy as our visibility
+//! into it. This crate unifies the workspace's scattered diagnostics
+//! — quality switches, deadline slack, envelope rebuilds, admission
+//! churn, pool utilization, output-plane lag — behind one
+//! [`Telemetry`] registry with three properties:
+//!
+//! * **Allocation-free on the hot path.** Handles ([`Counter`],
+//!   [`Gauge`], [`Histogram`]) are `Arc`s to fixed atomic storage;
+//!   recording is an index computation plus relaxed atomic updates.
+//!   Histograms are HDR-style log-linear arrays ([`histogram`]), not
+//!   growable maps. Span capture ([`SpanRecorder`]) pushes into
+//!   preallocated per-worker buffers and counts overflow instead of
+//!   growing.
+//! * **Observe-only, byte-identical off/on.** Nothing reads a metric
+//!   to make a control decision, so enabling telemetry cannot change
+//!   a `StreamResult`, an admission log or a safety verdict — the
+//!   serve layer's integration tests enforce byte-identity at worker
+//!   counts 1/2/8.
+//! * **Deterministic where it can be, honest where it can't.** Every
+//!   metric carries a [`Stability`] class: `Stable` metrics derive
+//!   from the deterministic result series and must be identical
+//!   across worker counts on virtual-clock runs (test-enforced via
+//!   [`TelemetrySnapshot::stable_view`]); `Runtime` metrics (wall
+//!   latencies, steals, parks, per-worker busy time) are explicitly
+//!   host-dependent.
+//!
+//! Exports: [`TelemetrySnapshot::to_json`] is the versioned snapshot
+//! consumed by `ServeReport::summary()`, `fgqos-tool telemetry` and
+//! the CI perf artifacts; [`SpanRecorder::to_chrome_trace`] emits
+//! Chrome `trace_events` JSON for `chrome://tracing` / Perfetto
+//! wavefront visualization; [`json`] is the shared no-`serde` JSON
+//! substrate the rest of the workspace builds artifacts with.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod json;
+pub mod registry;
+pub mod snapshot;
+pub mod spans;
+
+pub use histogram::{Histogram, HistogramData};
+pub use registry::{Counter, Gauge, Stability, Telemetry};
+pub use snapshot::{MetricValue, TelemetrySnapshot, SNAPSHOT_SCHEMA, SNAPSHOT_VERSION};
+pub use spans::{SpanEvent, SpanRecorder, DEFAULT_SPAN_CAPACITY};

@@ -1,0 +1,387 @@
+//! The metrics registry and its cloneable recording handles.
+//!
+//! Registration (naming a metric, taking a handle) happens at setup
+//! time and may allocate; **recording never does** — a handle is an
+//! `Arc` to fixed atomic storage, and a disabled [`Telemetry`] hands
+//! out inert handles whose record calls are a single branch. The same
+//! name always resolves to the same storage, so N streams registering
+//! `"sched.envelope_builds"` aggregate into one counter by
+//! construction.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::{HistCore, Histogram};
+use crate::snapshot::TelemetrySnapshot;
+use crate::spans::SpanRecorder;
+
+/// Determinism class of a metric, fixed at registration.
+///
+/// `Stable` metrics must be identical across worker counts on
+/// `VirtualClock` runs (they derive from the deterministic result
+/// series); `Runtime` metrics are host/timing-dependent (wall-clock
+/// latencies, steal counts, per-worker busy time) and are excluded
+/// from [`TelemetrySnapshot::stable_view`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stability {
+    /// Deterministic on virtual-clock runs.
+    Stable,
+    /// Best-effort, host- and schedule-dependent.
+    Runtime,
+}
+
+/// Monotonic event counter handle.
+#[derive(Clone, Default)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.cell {
+            Some(_) => write!(f, "Counter({})", self.get()),
+            None => f.write_str("Counter(disabled)"),
+        }
+    }
+}
+
+impl Counter {
+    /// Count one event.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Count `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for an inert handle).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Last-written-level gauge handle.
+#[derive(Clone, Default)]
+pub struct Gauge {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.cell {
+            Some(_) => write!(f, "Gauge({})", self.get()),
+            None => f.write_str("Gauge(disabled)"),
+        }
+    }
+}
+
+impl Gauge {
+    /// Overwrite the level.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if let Some(cell) = &self.cell {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raise the level to at least `v` (high-water-mark semantics).
+    #[inline]
+    pub fn maximize(&self, v: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current level (0 for an inert handle).
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+enum Slot {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistCore>),
+}
+
+impl Slot {
+    fn kind(&self) -> &'static str {
+        match self {
+            Slot::Counter(_) => "counter",
+            Slot::Gauge(_) => "gauge",
+            Slot::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Registered {
+    stability: Stability,
+    slot: Slot,
+}
+
+struct Inner {
+    metrics: Mutex<BTreeMap<String, Registered>>,
+    spans: Mutex<SpanRecorder>,
+}
+
+/// The telemetry plane: a registry of named metrics plus an optional
+/// span recorder, shared by every instrumented layer of one run.
+///
+/// `Telemetry` is observe-only by contract: nothing in the workspace
+/// reads a metric to make a control decision, which is what makes the
+/// enabled/disabled byte-identity guarantee hold by construction.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(inner) => {
+                let n = inner.metrics.lock().map_or(0, |m| m.len());
+                f.debug_struct("Telemetry")
+                    .field("metrics", &n)
+                    .finish_non_exhaustive()
+            }
+            None => f.write_str("Telemetry(disabled)"),
+        }
+    }
+}
+
+impl Telemetry {
+    /// A live registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                metrics: Mutex::new(BTreeMap::new()),
+                spans: Mutex::new(SpanRecorder::disabled()),
+            })),
+        }
+    }
+
+    /// An inert registry: every handle it hands out is a no-op and
+    /// [`Telemetry::snapshot`] is empty.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Telemetry::default()
+    }
+
+    /// Whether this instance records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Register (or re-attach to) a stable counter.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric
+    /// type or stability class.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(Stability::Stable, name)
+    }
+
+    /// Register (or re-attach to) a runtime counter.
+    #[must_use]
+    pub fn runtime_counter(&self, name: &str) -> Counter {
+        self.counter_with(Stability::Runtime, name)
+    }
+
+    fn counter_with(&self, stability: Stability, name: &str) -> Counter {
+        let Some(inner) = &self.inner else {
+            return Counter::default();
+        };
+        let cell = inner.register(name, stability, || {
+            Slot::Counter(Arc::new(AtomicU64::new(0)))
+        });
+        match cell {
+            Slot::Counter(c) => Counter { cell: Some(c) },
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Register (or re-attach to) a stable gauge.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(Stability::Stable, name)
+    }
+
+    /// Register (or re-attach to) a runtime gauge.
+    #[must_use]
+    pub fn runtime_gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(Stability::Runtime, name)
+    }
+
+    fn gauge_with(&self, stability: Stability, name: &str) -> Gauge {
+        let Some(inner) = &self.inner else {
+            return Gauge::default();
+        };
+        let cell = inner.register(name, stability, || Slot::Gauge(Arc::new(AtomicU64::new(0))));
+        match cell {
+            Slot::Gauge(c) => Gauge { cell: Some(c) },
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Register (or re-attach to) a stable histogram.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(Stability::Stable, name)
+    }
+
+    /// Register (or re-attach to) a runtime histogram.
+    #[must_use]
+    pub fn runtime_histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(Stability::Runtime, name)
+    }
+
+    fn histogram_with(&self, stability: Stability, name: &str) -> Histogram {
+        let Some(inner) = &self.inner else {
+            return Histogram::disabled();
+        };
+        let cell = inner.register(name, stability, || {
+            Slot::Histogram(Arc::new(HistCore::new()))
+        });
+        match cell {
+            Slot::Histogram(c) => Histogram::from_core(c),
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Install the span recorder for this run (typically created by
+    /// the worker pool, which knows the lane count). Replaces any
+    /// previous recorder.
+    pub fn install_spans(&self, recorder: SpanRecorder) {
+        if let Some(inner) = &self.inner {
+            *inner.spans.lock().expect("span recorder poisoned") = recorder;
+        }
+    }
+
+    /// A handle to the installed span recorder (inert if none, or if
+    /// telemetry is disabled).
+    #[must_use]
+    pub fn spans(&self) -> SpanRecorder {
+        self.inner
+            .as_ref()
+            .map_or_else(SpanRecorder::disabled, |i| {
+                i.spans.lock().expect("span recorder poisoned").clone()
+            })
+    }
+
+    /// Export every registered metric.
+    #[must_use]
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = TelemetrySnapshot::new();
+        let Some(inner) = &self.inner else {
+            return snap;
+        };
+        let metrics = inner.metrics.lock().expect("metrics registry poisoned");
+        for (name, reg) in metrics.iter() {
+            match &reg.slot {
+                Slot::Counter(c) => {
+                    snap.insert_counter(reg.stability, name, c.load(Ordering::Relaxed));
+                }
+                Slot::Gauge(c) => {
+                    snap.insert_gauge(reg.stability, name, c.load(Ordering::Relaxed));
+                }
+                Slot::Histogram(h) => snap.insert_histogram(reg.stability, name, h.data()),
+            }
+        }
+        snap
+    }
+}
+
+impl Inner {
+    fn register(&self, name: &str, stability: Stability, mk: impl FnOnce() -> Slot) -> Slot {
+        let mut metrics = self.metrics.lock().expect("metrics registry poisoned");
+        let reg = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| Registered {
+                stability,
+                slot: mk(),
+            });
+        assert!(
+            reg.stability == stability,
+            "metric `{name}` re-registered with a different stability class"
+        );
+        match &reg.slot {
+            Slot::Counter(c) => Slot::Counter(Arc::clone(c)),
+            Slot::Gauge(c) => Slot::Gauge(Arc::clone(c)),
+            Slot::Histogram(h) => Slot::Histogram(Arc::clone(h)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_aggregates() {
+        let t = Telemetry::new();
+        let a = t.counter("x");
+        let b = t.counter("x");
+        a.add(3);
+        b.add(4);
+        assert_eq!(t.snapshot().counter("x"), Some(7));
+    }
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let t = Telemetry::disabled();
+        let c = t.counter("x");
+        c.incr();
+        let g = t.gauge("g");
+        g.set(9);
+        let h = t.histogram("h");
+        h.record(5);
+        assert!(!t.is_enabled());
+        assert!(t.snapshot().is_empty());
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn gauge_semantics() {
+        let t = Telemetry::new();
+        let g = t.runtime_gauge("lvl");
+        g.set(5);
+        g.maximize(3);
+        assert_eq!(g.get(), 5);
+        g.maximize(11);
+        assert_eq!(g.get(), 11);
+        let snap = t.snapshot();
+        assert_eq!(snap.gauge("lvl"), Some(11));
+        assert!(snap.stable_view().is_empty(), "runtime gauge is excluded");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a gauge")]
+    fn type_collision_panics() {
+        let t = Telemetry::new();
+        let _c = t.counter("x");
+        let _g = t.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_orders_by_name() {
+        let t = Telemetry::new();
+        t.counter("b").incr();
+        t.counter("a").incr();
+        let snap = t.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _, _)| n).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,452 @@
+//! Versioned, comparable snapshots of the metrics registry.
+//!
+//! A [`TelemetrySnapshot`] is plain data: two ordered name → value
+//! maps, one for **stable** metrics (deterministic on `VirtualClock`
+//! runs — identical across worker counts and telemetry on/off) and
+//! one for **runtime** metrics (wall-clock timings, steal/park counts
+//! and other host-dependent observations). The split is what makes
+//! the determinism contract testable: `stable_view()` of two runs at
+//! different worker counts must compare equal, while the runtime
+//! section is explicitly best-effort.
+//!
+//! The JSON schema (`schema` / `version` header, then one object per
+//! metric) is parsed back by [`TelemetrySnapshot::from_json`], which
+//! is what `fgqos-tool telemetry` uses to pretty-print and diff
+//! snapshot files.
+
+use std::collections::BTreeMap;
+
+use crate::histogram::{bucket_index, HistogramData};
+use crate::json::{self, JsonObj, JsonValue};
+use crate::registry::Stability;
+
+/// Schema identifier embedded in every exported snapshot.
+pub const SNAPSHOT_SCHEMA: &str = "fgqos-telemetry-snapshot";
+/// Current snapshot schema version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// One exported metric value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Monotonic event count.
+    Counter(u64),
+    /// Last-written (or maximized) level.
+    Gauge(u64),
+    /// Log-bucketed value distribution.
+    Histogram(HistogramData),
+}
+
+impl MetricValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A point-in-time export of every registered metric.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    stable: BTreeMap<String, MetricValue>,
+    runtime: BTreeMap<String, MetricValue>,
+}
+
+impl TelemetrySnapshot {
+    /// An empty snapshot at the current schema version.
+    #[must_use]
+    pub fn new() -> Self {
+        TelemetrySnapshot::default()
+    }
+
+    /// Insert (or overwrite) a counter.
+    pub fn insert_counter(&mut self, stability: Stability, name: &str, value: u64) {
+        self.section_mut(stability)
+            .insert(name.to_string(), MetricValue::Counter(value));
+    }
+
+    /// Insert (or overwrite) a gauge.
+    pub fn insert_gauge(&mut self, stability: Stability, name: &str, value: u64) {
+        self.section_mut(stability)
+            .insert(name.to_string(), MetricValue::Gauge(value));
+    }
+
+    /// Insert (or overwrite) a histogram.
+    pub fn insert_histogram(&mut self, stability: Stability, name: &str, value: HistogramData) {
+        self.section_mut(stability)
+            .insert(name.to_string(), MetricValue::Histogram(value));
+    }
+
+    fn section_mut(&mut self, stability: Stability) -> &mut BTreeMap<String, MetricValue> {
+        match stability {
+            Stability::Stable => &mut self.stable,
+            Stability::Runtime => &mut self.runtime,
+        }
+    }
+
+    /// Look up a metric by name (stable section first).
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.stable.get(name).or_else(|| self.runtime.get(name))
+    }
+
+    /// Counter value by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Gauge value by name.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Gauge(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Histogram contents by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramData> {
+        match self.get(name)? {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Every metric as `(name, stability, value)`, stable section
+    /// first, names sorted within each section.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Stability, &MetricValue)> {
+        self.stable
+            .iter()
+            .map(|(k, v)| (k.as_str(), Stability::Stable, v))
+            .chain(
+                self.runtime
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), Stability::Runtime, v)),
+            )
+    }
+
+    /// Number of metrics across both sections.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.stable.len() + self.runtime.len()
+    }
+
+    /// Whether the snapshot holds no metrics.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.stable.is_empty() && self.runtime.is_empty()
+    }
+
+    /// The deterministic subset: this is what the cross-worker-count
+    /// equality contract is asserted on.
+    #[must_use]
+    pub fn stable_view(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            stable: self.stable.clone(),
+            runtime: BTreeMap::new(),
+        }
+    }
+
+    /// Export as versioned, pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        fn section(map: &BTreeMap<String, MetricValue>) -> JsonObj {
+            let mut obj = JsonObj::new();
+            for (name, value) in map {
+                let entry = match value {
+                    MetricValue::Counter(n) => {
+                        JsonObj::new().str("type", "counter").int("value", *n)
+                    }
+                    MetricValue::Gauge(n) => JsonObj::new().str("type", "gauge").int("value", *n),
+                    MetricValue::Histogram(h) => JsonObj::new()
+                        .str("type", "histogram")
+                        .int("count", h.count())
+                        .int("sum", h.sum())
+                        .int("min", h.min())
+                        .int("max", h.max())
+                        .arr(
+                            "buckets",
+                            h.buckets()
+                                .map(|(lo, hi, n)| {
+                                    JsonValue::Arr(vec![
+                                        JsonValue::Int(lo),
+                                        JsonValue::Int(hi),
+                                        JsonValue::Int(n),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                };
+                obj = obj.obj(name, entry);
+            }
+            obj
+        }
+        JsonObj::new()
+            .str("schema", SNAPSHOT_SCHEMA)
+            .int("version", u64::from(SNAPSHOT_VERSION))
+            .obj("stable", section(&self.stable))
+            .obj("runtime", section(&self.runtime))
+            .build()
+            .pretty()
+    }
+
+    /// Parse a snapshot previously written by [`Self::to_json`].
+    ///
+    /// # Errors
+    /// Rejects malformed JSON, wrong schema/version, unknown metric
+    /// types and inconsistent histogram buckets.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text)?;
+        let root = doc.as_obj().ok_or("snapshot root must be an object")?;
+        match root.get("schema").and_then(JsonValue::as_str) {
+            Some(SNAPSHOT_SCHEMA) => {}
+            other => return Err(format!("unexpected schema {other:?}")),
+        }
+        match root.get("version").and_then(JsonValue::as_int) {
+            Some(v) if v == u64::from(SNAPSHOT_VERSION) => {}
+            other => return Err(format!("unsupported snapshot version {other:?}")),
+        }
+        let mut snap = TelemetrySnapshot::new();
+        for (key, stability) in [
+            ("stable", Stability::Stable),
+            ("runtime", Stability::Runtime),
+        ] {
+            let section = root
+                .get(key)
+                .and_then(JsonValue::as_obj)
+                .ok_or_else(|| format!("missing `{key}` section"))?;
+            for (name, entry) in section.iter() {
+                let entry = entry
+                    .as_obj()
+                    .ok_or_else(|| format!("metric `{name}` must be an object"))?;
+                let value = parse_metric(name, entry)?;
+                snap.section_mut(stability).insert(name.to_string(), value);
+            }
+        }
+        Ok(snap)
+    }
+
+    /// Human-readable listing of every metric.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "telemetry snapshot v{SNAPSHOT_VERSION} ({} stable, {} runtime)\n",
+            self.stable.len(),
+            self.runtime.len()
+        );
+        let width = self
+            .iter()
+            .map(|(name, _, _)| name.len())
+            .max()
+            .unwrap_or(0);
+        for (title, map) in [("stable", &self.stable), ("runtime", &self.runtime)] {
+            out.push_str(title);
+            out.push_str(":\n");
+            if map.is_empty() {
+                out.push_str("  (none)\n");
+            }
+            for (name, value) in map {
+                out.push_str(&format!("  {name:width$}  {}\n", describe(value)));
+            }
+        }
+        out
+    }
+
+    /// Human-readable delta against an older snapshot: changed and
+    /// added metrics with their movement, removed metrics flagged.
+    #[must_use]
+    pub fn diff(&self, baseline: &TelemetrySnapshot) -> String {
+        let mut lines = Vec::new();
+        let width = self
+            .iter()
+            .chain(baseline.iter())
+            .map(|(name, _, _)| name.len())
+            .max()
+            .unwrap_or(0);
+        for (name, _, value) in self.iter() {
+            match baseline.get(name) {
+                None => lines.push(format!("  {name:width$}  added    {}", describe(value))),
+                Some(old) if old == value => {}
+                Some(old) => lines.push(format!("  {name:width$}  {}", describe_delta(old, value))),
+            }
+        }
+        for (name, _, old) in baseline.iter() {
+            if self.get(name).is_none() {
+                lines.push(format!("  {name:width$}  removed  (was {})", describe(old)));
+            }
+        }
+        if lines.is_empty() {
+            "no differences\n".to_string()
+        } else {
+            lines.join("\n") + "\n"
+        }
+    }
+}
+
+fn parse_metric(name: &str, entry: &JsonObj) -> Result<MetricValue, String> {
+    let ty = entry
+        .get("type")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("metric `{name}` missing type"))?;
+    let int = |key: &str| {
+        entry
+            .get(key)
+            .and_then(JsonValue::as_int)
+            .ok_or_else(|| format!("metric `{name}` missing integer `{key}`"))
+    };
+    match ty {
+        "counter" => Ok(MetricValue::Counter(int("value")?)),
+        "gauge" => Ok(MetricValue::Gauge(int("value")?)),
+        "histogram" => {
+            let raw = entry
+                .get("buckets")
+                .and_then(JsonValue::as_arr)
+                .ok_or_else(|| format!("metric `{name}` missing buckets"))?;
+            let mut buckets = Vec::with_capacity(raw.len());
+            for b in raw {
+                let triple = b.as_arr().filter(|t| t.len() == 3).ok_or_else(|| {
+                    format!("metric `{name}`: bucket must be a [low, high, count] triple")
+                })?;
+                let lo = triple[0]
+                    .as_int()
+                    .ok_or_else(|| format!("metric `{name}`: bad bucket low"))?;
+                let hi = triple[1]
+                    .as_int()
+                    .ok_or_else(|| format!("metric `{name}`: bad bucket high"))?;
+                let n = triple[2]
+                    .as_int()
+                    .ok_or_else(|| format!("metric `{name}`: bad bucket count"))?;
+                let idx = bucket_index(lo);
+                if crate::histogram::bucket_bounds(idx) != (lo, hi) {
+                    return Err(format!(
+                        "metric `{name}`: [{lo}, {hi}] is not a bucket boundary"
+                    ));
+                }
+                buckets.push((idx as u32, n));
+            }
+            let data = HistogramData::from_parts(
+                int("count")?,
+                int("sum")?,
+                int("min")?,
+                int("max")?,
+                buckets,
+            )
+            .map_err(|e| format!("metric `{name}`: {e}"))?;
+            Ok(MetricValue::Histogram(data))
+        }
+        other => Err(format!("metric `{name}` has unknown type `{other}`")),
+    }
+}
+
+fn describe(value: &MetricValue) -> String {
+    match value {
+        MetricValue::Counter(n) => format!("counter    {n}"),
+        MetricValue::Gauge(n) => format!("gauge      {n}"),
+        MetricValue::Histogram(h) => format!(
+            "histogram  count={} mean={:.1} min={} p50={} p90={} p99={} max={}",
+            h.count(),
+            h.mean(),
+            h.min(),
+            h.quantile(0.5),
+            h.quantile(0.9),
+            h.quantile(0.99),
+            h.max()
+        ),
+    }
+}
+
+fn describe_delta(old: &MetricValue, new: &MetricValue) -> String {
+    match (old, new) {
+        (MetricValue::Counter(a), MetricValue::Counter(b)) => {
+            format!("counter    {a} -> {b} ({:+})", *b as i128 - *a as i128)
+        }
+        (MetricValue::Gauge(a), MetricValue::Gauge(b)) => format!("gauge      {a} -> {b}"),
+        (MetricValue::Histogram(a), MetricValue::Histogram(b)) => format!(
+            "histogram  count {} -> {} ({:+}), p50 {} -> {}, max {} -> {}",
+            a.count(),
+            b.count(),
+            b.count() as i128 - a.count() as i128,
+            a.quantile(0.5),
+            b.quantile(0.5),
+            a.max(),
+            b.max()
+        ),
+        (a, b) => format!("type changed: {} -> {}", a.type_name(), b.type_name()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TelemetrySnapshot {
+        let mut s = TelemetrySnapshot::new();
+        s.insert_counter(Stability::Stable, "controller.frames", 96);
+        s.insert_gauge(Stability::Stable, "distribute.max_lag", 7);
+        let mut h = HistogramData::default();
+        for v in [3u64, 17, 17, 900, 40_000] {
+            h.record(v);
+        }
+        s.insert_histogram(Stability::Stable, "controller.slack", h);
+        s.insert_counter(Stability::Runtime, "pool.steals", 12);
+        s
+    }
+
+    #[test]
+    fn json_roundtrip_is_identity() {
+        let s = sample();
+        let text = s.to_json();
+        let back = TelemetrySnapshot::from_json(&text).expect("parse");
+        assert_eq!(back, s);
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn accessors_and_stable_view() {
+        let s = sample();
+        assert_eq!(s.counter("controller.frames"), Some(96));
+        assert_eq!(s.gauge("distribute.max_lag"), Some(7));
+        assert_eq!(
+            s.histogram("controller.slack").map(HistogramData::count),
+            Some(5)
+        );
+        assert_eq!(s.counter("pool.steals"), Some(12));
+        let stable = s.stable_view();
+        assert_eq!(stable.counter("pool.steals"), None);
+        assert_eq!(stable.len(), 3);
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        assert!(TelemetrySnapshot::from_json("{}").is_err());
+        let wrong_version = sample()
+            .to_json()
+            .replace("\"version\": 1", "\"version\": 99");
+        assert!(TelemetrySnapshot::from_json(&wrong_version).is_err());
+        let bad_bucket = r#"{"schema":"fgqos-telemetry-snapshot","version":1,
+            "stable":{"h":{"type":"histogram","count":1,"sum":5,"min":5,"max":5,
+            "buckets":[[5,6,1]]}},"runtime":{}}"#;
+        assert!(TelemetrySnapshot::from_json(bad_bucket).is_err());
+    }
+
+    #[test]
+    fn render_and_diff_smoke() {
+        let s = sample();
+        let text = s.render();
+        assert!(text.contains("controller.frames"));
+        assert!(text.contains("histogram"));
+        let mut newer = s.clone();
+        newer.insert_counter(Stability::Stable, "controller.frames", 100);
+        newer.insert_counter(Stability::Stable, "controller.skips", 1);
+        let d = newer.diff(&s);
+        assert!(d.contains("96 -> 100 (+4)"), "{d}");
+        assert!(d.contains("added"), "{d}");
+        assert_eq!(s.diff(&s), "no differences\n");
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the log-linear histogram (the satellite
+//! determinism contract of the telemetry plane):
+//!
+//! * **Merge is associative** (and agrees with recording the union of
+//!   the value streams into one histogram), so folding per-ring or
+//!   per-stream histograms into a snapshot is order-independent.
+//! * **Bucket counts conserve the observation count** — no value is
+//!   lost or double-counted by the bucketing, merging included.
+//! * Every value lands in a bucket whose bounds contain it, and
+//!   quantiles stay within the observed `[min, max]`.
+
+use fgqos_telemetry::histogram::{bucket_bounds, bucket_index, HistogramData};
+use proptest::prelude::*;
+
+fn hist(values: &[u64]) -> HistogramData {
+    let mut h = HistogramData::default();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Mixed-magnitude values: small exact-bucket values, mid-range, and
+/// full-width u64 so the log tail is exercised.
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        (0u64..=u64::MAX).prop_map(|raw| {
+            // Spread across magnitudes: use the low bits to pick a shift.
+            let shift = (raw % 64) as u32;
+            raw >> shift
+        }),
+        0..=64,
+    )
+}
+
+proptest! {
+    /// merge(h(a), h(b)) == h(a ++ b): merging histograms is the same
+    /// as having recorded both streams into one.
+    #[test]
+    fn merge_agrees_with_union((a, b) in (arb_values(), arb_values())) {
+        let mut merged = hist(&a);
+        merged.merge(&hist(&b));
+        let union: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged, hist(&union));
+    }
+
+    /// (a + b) + c == a + (b + c): snapshot folding is
+    /// order-independent.
+    #[test]
+    fn merge_is_associative((a, b, c) in (arb_values(), arb_values(), arb_values())) {
+        let (ha, hb, hc) = (hist(&a), hist(&b), hist(&c));
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    /// Bucket counts conserve the total observation count, before and
+    /// after merging; the sum is conserved exactly (mod 2^64).
+    #[test]
+    fn bucket_counts_conserve_observations((a, b) in (arb_values(), arb_values())) {
+        let ha = hist(&a);
+        prop_assert_eq!(ha.count(), a.len() as u64);
+        prop_assert_eq!(ha.total_bucket_count(), a.len() as u64);
+        let expected_sum = a.iter().fold(0u64, |s, &v| s.wrapping_add(v));
+        prop_assert_eq!(ha.sum(), expected_sum);
+        let mut merged = ha;
+        merged.merge(&hist(&b));
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        prop_assert_eq!(merged.total_bucket_count(), merged.count());
+    }
+
+    /// Every value is inside its bucket's inclusive bounds.
+    #[test]
+    fn values_land_in_their_bucket(v in 0u64..=u64::MAX) {
+        let (lo, hi) = bucket_bounds(bucket_index(v));
+        prop_assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+    }
+
+    /// Quantiles are monotone in q and clamped to the observed range.
+    #[test]
+    fn quantiles_are_monotone_and_bounded(values in arb_values()) {
+        prop_assume!(!values.is_empty());
+        let h = hist(&values);
+        let mut prev = h.quantile(0.0);
+        for i in 1..=10 {
+            let q = h.quantile(f64::from(i) / 10.0);
+            prop_assert!(q >= prev);
+            prop_assert!(q >= h.min() && q <= h.max());
+            prev = q;
+        }
+        prop_assert_eq!(h.quantile(1.0), h.max());
+    }
+}

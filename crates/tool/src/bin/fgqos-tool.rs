@@ -7,11 +7,15 @@
 //! cargo run -p fgqos-tool --bin fgqos-tool -- template
 //! # render the body precedence graph in Graphviz DOT
 //! cargo run -p fgqos-tool --bin fgqos-tool -- dot spec.fgq
+//! # pretty-print a telemetry snapshot, or diff two of them
+//! cargo run -p fgqos-tool --bin fgqos-tool -- telemetry snap.json
+//! cargo run -p fgqos-tool --bin fgqos-tool -- telemetry snap.json --diff old.json
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use fgqos_telemetry::TelemetrySnapshot;
 use fgqos_tool::compile::compile;
 use fgqos_tool::report::OverheadReport;
 use fgqos_tool::{codegen, ToolSpec};
@@ -29,13 +33,16 @@ fn main() -> ExitCode {
         }
         Some("compile") => run_compile(&args[1..]),
         Some("dot") => run_dot(&args[1..]),
+        Some("telemetry") => run_telemetry(&args[1..]),
         _ => {
             eprintln!(
-                "usage: fgqos-tool <template | compile SPEC [-o DIR] | dot SPEC>\n\
+                "usage: fgqos-tool <template | compile SPEC [-o DIR] | dot SPEC | telemetry SNAP [--diff OLD]>\n\
                  \n\
                  template   print the paper encoder's spec\n\
                  compile    validate a spec, generate the controller tables\n\
-                 dot        render the body precedence graph as Graphviz DOT"
+                 dot        render the body precedence graph as Graphviz DOT\n\
+                 telemetry  pretty-print a telemetry snapshot JSON file,\n\
+                 \u{20}          or show its delta against an older snapshot"
             );
             ExitCode::from(2)
         }
@@ -113,6 +120,40 @@ fn run_compile(args: &[String]) -> ExitCode {
         println!("wrote {}", dot_path.display());
     }
     ExitCode::SUCCESS
+}
+
+fn load_snapshot(path: &str) -> Result<TelemetrySnapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    TelemetrySnapshot::from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run_telemetry(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("telemetry: missing snapshot path");
+        return ExitCode::from(2);
+    };
+    let baseline = args
+        .iter()
+        .position(|a| a == "--diff")
+        .map(|i| match args.get(i + 1) {
+            Some(p) => load_snapshot(p),
+            None => Err("telemetry: --diff needs a baseline path".to_string()),
+        });
+    let rendered = load_snapshot(path).and_then(|snap| match baseline {
+        None => Ok(snap.render()),
+        Some(Ok(base)) => Ok(snap.diff(&base)),
+        Some(Err(e)) => Err(e),
+    });
+    match rendered {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn run_dot(args: &[String]) -> ExitCode {

@@ -118,7 +118,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, (s, sub)) in fast.iter_mut().enumerate() {
         fast_delivered[i] += count_frames(&sub.drain()).0;
         assert_eq!(sub.lag_gaps(), 0, "keeping-up subscriber never lags");
-        let published = report.outcomes()[*s].publish.expect("stats").published;
+        let published = report.outcomes()[*s]
+            .publish
+            .as_ref()
+            .expect("stats")
+            .published;
         assert_eq!(fast_delivered[i] as u64, published);
     }
     println!(
@@ -150,7 +154,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // And none of that ever slowed the encoder down.
     for o in report.outcomes() {
-        let p = o.publish.expect("both streams were subscribed");
+        let p = o.publish.as_ref().expect("both streams were subscribed");
         assert_eq!(p.publisher_stalls, 0, "publishing never blocks");
         assert_eq!(p.subscribers, SUBSCRIBERS as u64);
     }

@@ -1,0 +1,96 @@
+//! Observability demo: a churning stream population under live
+//! telemetry.
+//!
+//! Builds a telemetry-enabled server, serves a population that churns
+//! while running (two attach waves, one mid-run departure), and every
+//! `REPORT_EVERY` ticks takes a live [`TelemetrySnapshot`] and prints
+//! its delta against the previous one — counters moving, histograms
+//! accumulating — without pausing or perturbing the serve loop
+//! (snapshot reads are relaxed-atomic loads; telemetry is observe-only
+//! by contract). At the end it exports the per-worker span timeline as
+//! Chrome trace JSON (open in `chrome://tracing` or
+//! <https://ui.perfetto.dev>) and prints the final report, whose
+//! admission line is rendered from the same snapshot the deltas came
+//! from.
+//!
+//! Run with `cargo run --release --example observed_server`.
+
+use fine_grain_qos::prelude::*;
+
+const MB: usize = 8;
+const WORKERS: usize = 2;
+/// Ticks between printed snapshot deltas.
+const REPORT_EVERY: u64 = 40;
+
+fn spec(name: &str, priority: u8, seed: u64, frames: usize) -> StreamSpec {
+    StreamSpec::builder(name)
+        .priority(priority)
+        .seed(seed)
+        .config(RunConfig::paper_defaults().scaled_to_macroblocks(MB))
+        .source(PacedSource::new(
+            LoadScenario::paper_benchmark(seed).truncated(frames),
+        ))
+        .build()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = ServerConfig::new(WORKERS)
+        .capacity(64.0)
+        .telemetry(true)
+        .build();
+    let mut session = server.session(table_apps(MB), stochastic_backends());
+
+    // First wave: three long-lived streams.
+    session.attach(spec("news", 5, 1, 90))?;
+    session.attach(spec("sports", 3, 2, 80))?;
+    session.attach(spec("archive", 1, 3, 100))?;
+
+    let mut prev = session.telemetry_snapshot();
+    let mut ticks = 0u64;
+    let mut attached_wave = false;
+    let mut detached = false;
+    while session.step()? {
+        ticks += 1;
+        // Mid-run churn, driven by the serve loop itself.
+        if ticks == 60 && !attached_wave {
+            attached_wave = true;
+            session.attach(spec("breaking", 9, 4, 40))?;
+            session.attach(spec("weather", 2, 5, 30))?;
+            println!("tick {ticks}: attached `breaking` and `weather`\n");
+        }
+        if ticks == 120 && !detached {
+            detached = true;
+            session.detach("archive")?;
+            println!("tick {ticks}: detached `archive`\n");
+        }
+        if ticks.is_multiple_of(REPORT_EVERY) {
+            let snap = session.telemetry_snapshot();
+            println!("=== tick {ticks}: telemetry delta ===");
+            print!("{}", snap.diff(&prev));
+            println!();
+            prev = snap;
+        }
+    }
+
+    let report = session.finish();
+    println!("=== final report ===");
+    print!("{}", report.summary());
+
+    // The whole run's metrics, as the versioned JSON consumers (and
+    // `fgqos-tool telemetry`) see them.
+    let snapshot = report.snapshot();
+    println!("\n=== final snapshot ({} metrics) ===", snapshot.len());
+    print!("{}", snapshot.render());
+
+    // Per-worker span timeline: one lane per pool worker plus the
+    // coordinator lane carrying `tick`/`commit` spans.
+    let trace = server.telemetry().spans().to_chrome_trace();
+    let path = std::env::temp_dir().join("observed_server_trace.json");
+    std::fs::write(&path, &trace)?;
+    println!(
+        "\nwrote Chrome trace ({} bytes) to {} — open it in chrome://tracing or ui.perfetto.dev",
+        trace.len(),
+        path.display()
+    );
+    Ok(())
+}

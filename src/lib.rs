@@ -29,7 +29,12 @@
 //!   zero-copy output plane (GOP-trimmed encoded-frame rings with
 //!   M-independent broadcast fan-out);
 //! * [`tool`] (`fgqos-tool`) — the Fig. 4 prototype tool: specs →
-//!   controlled application (+ Rust codegen and overhead reports).
+//!   controlled application (+ Rust codegen and overhead reports);
+//! * [`telemetry`] (`fgqos-telemetry`) — the unified telemetry plane:
+//!   an allocation-free-on-the-hot-path metrics registry (counters,
+//!   gauges, log-bucketed histograms), per-worker span capture with
+//!   Chrome-trace export, and versioned JSON snapshots — observe-only
+//!   by contract, so enabling it never changes a result.
 //!
 //! # Quickstart
 //!
@@ -76,6 +81,7 @@ pub use fgqos_graph as graph;
 pub use fgqos_sched as sched;
 pub use fgqos_serve as serve;
 pub use fgqos_sim as sim;
+pub use fgqos_telemetry as telemetry;
 pub use fgqos_time as time;
 pub use fgqos_tool as tool;
 
@@ -108,5 +114,8 @@ pub mod prelude {
         WorkStealingPool,
     };
     pub use fgqos_sim::scenario::LoadScenario;
+    pub use fgqos_telemetry::{
+        HistogramData, SpanRecorder, Stability, Telemetry, TelemetrySnapshot,
+    };
     pub use fgqos_time::{Cycles, DeadlineMap, Quality, QualityProfile, QualitySet, Slack};
 }

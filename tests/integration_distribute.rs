@@ -136,7 +136,7 @@ fn run(workers: usize) -> String {
 
     let report = session.finish();
     for o in report.outcomes() {
-        let p = o.publish.expect("every stream was subscribed");
+        let p = o.publish.as_ref().expect("every stream was subscribed");
         assert_eq!(p.publisher_stalls, 0, "publishing never blocks");
         writeln!(
             log,
@@ -159,7 +159,11 @@ fn run(workers: usize) -> String {
             assert!(f.keyframe, "post-gap delivery resumes at a keyframe");
         }
         assert!(sub.lag_gaps() >= 1, "the ring outpaced the idle subscriber");
-        let published = report.outcomes()[s].publish.expect("stats").published;
+        let published = report.outcomes()[s]
+            .publish
+            .as_ref()
+            .expect("stats")
+            .published;
         assert_eq!(delivered + sub.lagged_frames(), published, "exact gaps");
         log_deliveries(&mut log, &format!("slow[{s}]"), &deliveries);
     }
