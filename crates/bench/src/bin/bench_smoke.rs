@@ -1,14 +1,17 @@
 //! CI perf smoke: measures the parallel runner against the sequential
 //! baseline, the controller hot path, the budget-parametric table path
-//! (including estimator-driven refresh runs) and the vectorized encoder
-//! kernels, writes machine-readable `BENCH_parallel.json` /
-//! `BENCH_controller.json` / `BENCH_tables.json` / `BENCH_kernels.json`
-//! (uploaded as CI artifacts to seed the perf trajectory), and fails
-//! when the parallel runner is *slower* than sequential at ≥ 4 workers
-//! on a host that actually has ≥ 4 cores, when the parametric table
-//! path loses to the legacy paths it replaces, when an adaptive
-//! (estimator-driven) run costs more than 1.5× its static twin, or when
-//! the LUT DCT fails to beat the `cos()`-per-multiply reference by 2×.
+//! (including estimator-driven refresh runs), the vectorized encoder
+//! kernels and the network-coupled budget seam, writes machine-readable
+//! `BENCH_parallel.json` / `BENCH_controller.json` / `BENCH_tables.json`
+//! / `BENCH_kernels.json` / `BENCH_distribute.json` /
+//! `BENCH_channel.json` (uploaded as CI artifacts to seed the perf
+//! trajectory), and fails when the parallel runner is *slower* than
+//! sequential at ≥ 4 workers on a host that actually has ≥ 4 cores,
+//! when the parametric table path loses to the legacy paths it
+//! replaces, when an adaptive (estimator-driven) run costs more than
+//! 1.5× its static twin, when the LUT DCT fails to beat the
+//! `cos()`-per-multiply reference by 2×, or when the channel-sourced
+//! controller loses a safety or overhead gate across a bandwidth cliff.
 //!
 //! Usage: `bench_smoke [out_dir]` (default `.`). Exit code 1 on gate
 //! failure or determinism violation.
@@ -28,12 +31,13 @@ use fgqos_serve::{
     ServerConfig, StreamSpec, TablesMode,
 };
 use fgqos_sim::app::{TableApp, VideoApp};
+use fgqos_sim::budget::{BudgetSpec, ChannelParams, ChannelSource};
 use fgqos_sim::exec::{Deterministic, StochasticLoad};
 use fgqos_sim::runner::{Mode, RunConfig, Runner, StreamResult};
 use fgqos_sim::runtime::{ExecBackend, MeasuredBackend, VirtualClock, WallClock};
 use fgqos_sim::scenario::LoadScenario;
 use fgqos_telemetry::json::{JsonObj, JsonValue};
-use fgqos_time::Cycles;
+use fgqos_time::{Cycles, Quality};
 
 /// Pixel workload shape: 8×6 macroblocks is enough wavefront width for
 /// 4 workers while keeping the smoke run in seconds.
@@ -602,6 +606,55 @@ fn micro_publish_ns(m: usize) -> f64 {
     t.as_secs_f64() * 1e9 / DIST_MICRO_PUBLISHES as f64
 }
 
+/// Network-coupled budget shapes: a table workload riding a hostile
+/// simulated channel whose band keeps the minimal quality feasible
+/// (q0's worst case at this scale is well under the floor) while its
+/// cliffs make the top qualities infeasible — the regime where the
+/// controller's channel response matters.
+const CH_MB: usize = 10;
+const CH_FRAMES: usize = 240;
+const CH_FLOOR: u64 = 1_500_000;
+const CH_CAP: u64 = 3_200_000;
+/// Seed of the channel's own random process (cliff placement).
+const CH_SEED: u64 = 9;
+/// Seed of the stochastic execution-time model.
+const CH_RUN_SEED: u64 = 11;
+/// Quality level of the uncontrolled baseline that must collapse.
+const CH_CONSTANT_Q: u8 = 7;
+/// Budget-swap overhead tolerance: sourcing every frame's budget from
+/// the channel is one O(log segments) envelope evaluation per frame on
+/// the parametric tables, so a channel-sourced controlled run must stay
+/// within this factor of its constant-budget twin.
+const CH_TOLERANCE: f64 = 1.2;
+
+fn channel_runner(budget: BudgetSpec) -> Runner<TableApp> {
+    let scenario = LoadScenario::paper_benchmark(5).truncated(CH_FRAMES);
+    let app = TableApp::with_macroblocks(scenario, CH_MB).expect("app");
+    let config = RunConfig::paper_defaults()
+        .scaled_to_macroblocks(CH_MB)
+        .with_budget_source(budget);
+    Runner::new(app, config).expect("runner")
+}
+
+/// Best-of-`REPS` controlled run under `budget`; returns the wall time,
+/// the (deterministic) result and the envelope/table build counters.
+fn channel_controlled(budget: BudgetSpec) -> (Duration, StreamResult, u64, u64) {
+    let mut best = Duration::MAX;
+    let mut last = None;
+    let mut builds = (0, 0);
+    for _ in 0..REPS + 2 {
+        let mut r = channel_runner(budget);
+        let start = Instant::now();
+        let res = r
+            .run_controlled(&mut MaxQuality::new(), CH_RUN_SEED)
+            .expect("controlled run");
+        best = best.min(start.elapsed());
+        builds = (r.envelope_builds(), r.full_table_builds());
+        last = Some(res);
+    }
+    (best, last.expect("ran at least once"), builds.0, builds.1)
+}
+
 fn main() {
     let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
@@ -847,6 +900,104 @@ fn main() {
         .build()
         .pretty();
 
+    // --- Network-coupled budgets: the controller across a bandwidth
+    // cliff. Three gates: (a) the channel really cliffs (max grant >= 2x
+    // min grant over the run), (b) the controlled channel-sourced run
+    // stays safe — zero skips, misses and grant overruns — on one
+    // envelope build and zero full table builds, while the constant-q
+    // baseline on the *same* channel overruns its grants, and (c)
+    // swapping the budget source in costs at most `CH_TOLERANCE`x the
+    // constant-budget twin.
+    let ch_params = ChannelParams::adversarial(CH_FLOOR, CH_CAP, CH_SEED);
+    let mut ch_probe = ChannelSource::new(ch_params);
+    let ch_series: Vec<u64> = (0..CH_FRAMES)
+        .map(|f| ch_probe.budget_at(f).get())
+        .collect();
+    let ch_grant_min = *ch_series.iter().min().expect("nonempty series");
+    let ch_grant_max = *ch_series.iter().max().expect("nonempty series");
+    let ch_cliff = ch_grant_max as f64 / ch_grant_min.max(1) as f64;
+
+    let (t_ch, ch_res, ch_env_builds, ch_tbl_builds) =
+        channel_controlled(BudgetSpec::Channel(ch_params));
+    let (t_ch_const, _, _, _) = channel_controlled(BudgetSpec::Constant);
+    let ch_ratio = t_ch.as_secs_f64() / t_ch_const.as_secs_f64().max(1e-9);
+
+    // A channel overrun is a frame whose encode time exceeds its grant.
+    // The uncontrolled baseline ignores budgets entirely but its records
+    // still carry the grants, so the same predicate prices both runs.
+    let overruns = |res: &StreamResult| {
+        res.frames()
+            .iter()
+            .filter(|f| !f.skipped && f.budget.is_finite() && f.encode_cycles > f.budget)
+            .count()
+    };
+    let ch_violations = overruns(&ch_res);
+    let mut ch_baseline = channel_runner(BudgetSpec::Channel(ch_params));
+    let cq_res = ch_baseline
+        .run_constant(Quality::new(CH_CONSTANT_Q), CH_RUN_SEED)
+        .expect("constant-q run");
+    let cq_violations = overruns(&cq_res);
+
+    // Fallbacks are reported, not gated: dropping to the minimal
+    // quality mid-frame IS the designed response when a cliff makes the
+    // declared worst case infeasible — safety means no skip, no miss,
+    // and no grant overrun.
+    let ch_safe = ch_res.skips() == 0 && ch_res.misses() == 0 && ch_violations == 0;
+    let ch_pass = ch_cliff >= 2.0
+        && ch_safe
+        && ch_env_builds == 1
+        && ch_tbl_builds == 0
+        && cq_violations > 0
+        && ch_ratio <= CH_TOLERANCE;
+    let channel_json = JsonObj::new()
+        .str(
+            "workload",
+            &format!(
+                "table {CH_MB} macroblocks, {CH_FRAMES} frames, \
+                 adversarial channel [{CH_FLOOR}, {CH_CAP}] cycles"
+            ),
+        )
+        .obj(
+            "channel",
+            JsonObj::new()
+                .int("min_grant_cycles", ch_grant_min)
+                .int("max_grant_cycles", ch_grant_max)
+                .fixed("cliff_depth", ch_cliff, 3),
+        )
+        .obj(
+            "controlled_channel",
+            JsonObj::new()
+                .fixed("wall_ms", t_ch.as_secs_f64() * 1e3, 3)
+                .fixed("mean_quality", ch_res.mean_quality(), 3)
+                .int("skips", ch_res.skips() as u64)
+                .int("misses", ch_res.misses() as u64)
+                .int("fallbacks", ch_res.fallbacks() as u64)
+                .int("budget_violations", ch_violations as u64)
+                .int("envelope_builds", ch_env_builds)
+                .int("full_table_builds", ch_tbl_builds),
+        )
+        .obj(
+            "constant_q_channel",
+            JsonObj::new()
+                .int("quality", u64::from(CH_CONSTANT_Q))
+                .fixed("mean_quality", cq_res.mean_quality(), 3)
+                .int("budget_violations", cq_violations as u64),
+        )
+        .obj(
+            "overhead",
+            JsonObj::new()
+                .fixed("channel_wall_ms", t_ch.as_secs_f64() * 1e3, 3)
+                .fixed("constant_wall_ms", t_ch_const.as_secs_f64() * 1e3, 3)
+                .fixed("ratio", ch_ratio, 3)
+                .set("tolerance", JsonValue::Float(CH_TOLERANCE)),
+        )
+        .obj(
+            "gate",
+            JsonObj::new().bool("enforced", true).bool("pass", ch_pass),
+        )
+        .build()
+        .pretty();
+
     std::fs::write(format!("{out_dir}/BENCH_parallel.json"), &parallel_json)
         .expect("write BENCH_parallel.json");
     std::fs::write(format!("{out_dir}/BENCH_controller.json"), &controller_json)
@@ -857,8 +1008,10 @@ fn main() {
         .expect("write BENCH_kernels.json");
     std::fs::write(format!("{out_dir}/BENCH_distribute.json"), &distribute_json)
         .expect("write BENCH_distribute.json");
+    std::fs::write(format!("{out_dir}/BENCH_channel.json"), &channel_json)
+        .expect("write BENCH_channel.json");
     print!(
-        "{parallel_json}\n{controller_json}\n{tables_json}\n{}\n{distribute_json}",
+        "{parallel_json}\n{controller_json}\n{tables_json}\n{}\n{distribute_json}\n{channel_json}",
         krn.json
     );
 
@@ -896,6 +1049,18 @@ fn main() {
             "FAIL: output plane lost a gate (wall ratio {dist_ratio:.3} at {DIST_SUBS_HI} \
              subscribers vs tolerance {DIST_TOLERANCE}, publisher stalls {dist_stalls}, \
              delivery_exact {dist_exact})"
+        );
+        std::process::exit(1);
+    }
+    if !ch_pass {
+        eprintln!(
+            "FAIL: network-coupled budgets lost a gate (cliff depth {ch_cliff:.3} vs \
+             minimum 2.0, controlled skips {} misses {} overruns {ch_violations}, \
+             envelope builds {ch_env_builds}, full table builds {ch_tbl_builds}, \
+             constant-q overruns {cq_violations}, overhead ratio {ch_ratio:.3} vs \
+             tolerance {CH_TOLERANCE})",
+            ch_res.skips(),
+            ch_res.misses()
         );
         std::process::exit(1);
     }

@@ -487,6 +487,10 @@ impl VideoApp for EncoderApp {
         self.scenario.frame(frame).is_iframe
     }
 
+    fn budget_cycles(&self, frame: usize) -> Option<fgqos_time::Cycles> {
+        self.scenario.frame(frame).budget_cycles
+    }
+
     fn begin_frame(&mut self, frame: usize) {
         self.frame_idx = frame;
         self.source = self.camera.frame(frame);

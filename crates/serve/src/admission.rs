@@ -109,6 +109,10 @@ pub struct LifecycleCounts {
     /// Degraded streams whose quality ceiling was raised (possibly to a
     /// full admit) after a release.
     pub upgraded: usize,
+    /// Running streams whose grant was *lowered* mid-run
+    /// ([`AdmissionLedger::restrict`]) — the lag-driven ceiling
+    /// feedback of [`crate::server::FeedbackConfig`].
+    pub downgraded: usize,
 }
 
 /// The full admission outcome: per-stream records in decision order plus
@@ -202,6 +206,7 @@ impl AdmissionReport {
     /// | `lifecycle.detached` | counter | caller-driven departures |
     /// | `lifecycle.readmitted` | counter | waiting streams re-admitted |
     /// | `lifecycle.upgraded` | counter | ceilings raised after a release |
+    /// | `lifecycle.downgraded` | counter | ceilings lowered by lag feedback |
     pub fn record_into(&self, snap: &mut TelemetrySnapshot) {
         let s = Stability::Stable;
         snap.insert_counter(s, "admission.admitted", self.admitted() as u64);
@@ -217,6 +222,7 @@ impl AdmissionReport {
         snap.insert_counter(s, "lifecycle.detached", self.lifecycle.detached as u64);
         snap.insert_counter(s, "lifecycle.readmitted", self.lifecycle.readmitted as u64);
         snap.insert_counter(s, "lifecycle.upgraded", self.lifecycle.upgraded as u64);
+        snap.insert_counter(s, "lifecycle.downgraded", self.lifecycle.downgraded as u64);
     }
 
     /// One-line human summary, including the lifecycle counters.
@@ -246,7 +252,7 @@ pub(crate) fn summary_from_snapshot(snap: &TelemetrySnapshot) -> String {
     let g = |name: &str| snap.gauge(name).unwrap_or(0) as f64 / 1000.0;
     format!(
         "admission: {} admitted, {} degraded, {} rejected; {:.2}/{:.2} cores granted; \
-         lifecycle: {} attached, {} detached, {} re-admitted, {} upgraded",
+         lifecycle: {} attached, {} detached, {} re-admitted, {} upgraded, {} downgraded",
         c("admission.admitted"),
         c("admission.degraded"),
         c("admission.rejected"),
@@ -256,6 +262,7 @@ pub(crate) fn summary_from_snapshot(snap: &TelemetrySnapshot) -> String {
         c("lifecycle.detached"),
         c("lifecycle.readmitted"),
         c("lifecycle.upgraded"),
+        c("lifecycle.downgraded"),
     )
 }
 
@@ -497,6 +504,39 @@ impl AdmissionLedger {
         Some(decision)
     }
 
+    /// Lowers stream `index`'s grant to the quality ceiling `cap`: the
+    /// decision becomes [`AdmissionDecision::Degrade`]`(cap)` and the
+    /// freed utilization returns to the pool, where a later
+    /// [`Self::regrant`] pass can hand it back. The inverse of
+    /// `regrant` — lag-driven ceiling feedback
+    /// ([`crate::server::FeedbackConfig`]) calls this when a stream's
+    /// fan-out ring lags chronically. Returns `None` and changes
+    /// nothing unless the stream is admitted, `cap` is a declared
+    /// level, and the move strictly shrinks the grant.
+    pub fn restrict(
+        &mut self,
+        index: usize,
+        d: &StreamDemand,
+        cap: Quality,
+    ) -> Option<AdmissionDecision> {
+        let pos = self.records.iter().position(|r| r.index == index)?;
+        let granted = d
+            .utilization
+            .iter()
+            .find(|&&(q, _)| q == cap)
+            .map(|&(_, u)| u)?;
+        let current = self.records[pos].granted_utilization;
+        if granted >= current || !self.records[pos].decision.is_admitted() {
+            return None;
+        }
+        self.lifecycle.downgraded += 1;
+        self.used += granted - current;
+        let r = &mut self.records[pos];
+        r.decision = AdmissionDecision::Degrade(cap);
+        r.granted_utilization = granted;
+        Some(r.decision)
+    }
+
     /// Times stream `index`'s grant was improved by a re-admission pass.
     /// Records outlive their streams, so this is exact even for streams
     /// that detached before the session finished.
@@ -702,5 +742,44 @@ mod tests {
         assert_eq!(ledger.attach(&d), AdmissionDecision::Admit);
         assert_eq!(ledger.regrant(0, &d), None);
         assert_eq!(ledger.report().lifecycle().upgraded, 0);
+    }
+
+    #[test]
+    fn restrict_frees_capacity_and_regrant_hands_it_back() {
+        let ctl = AdmissionController::new(2.0);
+        let mut ledger = AdmissionLedger::new(ctl);
+        let d = demand(0, 5, &[0.2, 0.5, 1.0]);
+        assert_eq!(ledger.attach(&d), AdmissionDecision::Admit);
+
+        // Lag feedback caps the stream at q1: 0.5 cores stay charged,
+        // 0.5 return to the pool.
+        assert_eq!(
+            ledger.restrict(0, &d, Quality::new(1)),
+            Some(AdmissionDecision::Degrade(Quality::new(1)))
+        );
+        assert!((ledger.used() - 0.5).abs() < 1e-12);
+        assert_eq!(ledger.report().lifecycle().downgraded, 1);
+        assert!(ledger.report().summary().contains("1 downgraded"));
+
+        // Raising the ceiling is regrant's job, not restrict's.
+        assert_eq!(ledger.restrict(0, &d, Quality::new(2)), None);
+        // Undeclared level: no change.
+        assert_eq!(ledger.restrict(0, &d, Quality::new(7)), None);
+
+        // Lag cleared: regrant restores the full admit.
+        assert_eq!(ledger.regrant(0, &d), Some(AdmissionDecision::Admit));
+        assert!((ledger.used() - 1.0).abs() < 1e-12);
+        assert_eq!(ledger.report().lifecycle().upgraded, 1);
+    }
+
+    #[test]
+    fn restrict_ignores_rejected_and_unknown_streams() {
+        let ctl = AdmissionController::new(0.1);
+        let mut ledger = AdmissionLedger::new(ctl);
+        let d = demand(0, 5, &[0.2, 0.5, 1.0]);
+        assert_eq!(ledger.attach(&d), AdmissionDecision::Reject);
+        assert_eq!(ledger.restrict(0, &d, Quality::new(0)), None);
+        assert_eq!(ledger.restrict(9, &d, Quality::new(0)), None);
+        assert_eq!(ledger.report().lifecycle().downgraded, 0);
     }
 }

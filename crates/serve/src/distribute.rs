@@ -405,6 +405,29 @@ impl Broadcast {
         self.subscriber_at(cursor)
     }
 
+    /// Attaches a replay subscriber under a byte budget: the cursor
+    /// starts at the oldest retained keyframe whose suffix (that frame
+    /// through the newest) sums to at most `max_bytes` of payload
+    /// ([`EncodedFrame::payload_bytes`]). Keyframe starts keep the clip
+    /// independently decodable; when even the newest GOP exceeds the
+    /// budget the subscriber joins at the live edge (an empty clip).
+    pub fn subscribe_from_start_bytes(&self, max_bytes: usize) -> Subscriber {
+        let ring = lock_ring(&self.shared);
+        let mut cursor = ring.next_seq();
+        let mut total = 0usize;
+        for (offset, frame) in ring.frames.iter().enumerate().rev() {
+            total = total.saturating_add(frame.payload_bytes());
+            if total > max_bytes {
+                break;
+            }
+            if frame.keyframe {
+                cursor = ring.base_seq + offset as u64;
+            }
+        }
+        drop(ring);
+        self.subscriber_at(cursor)
+    }
+
     fn subscriber_at(&self, cursor: u64) -> Subscriber {
         self.shared.subscribers.fetch_add(1, Ordering::Relaxed);
         Subscriber {
@@ -661,6 +684,40 @@ mod tests {
             Delivery::Frame(f) => assert_eq!(f.frame, 0),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn byte_budget_clip_starts_at_oldest_fitting_keyframe() {
+        // 12 frames of 4 payload bytes each, keyframes at 0, 4, 8.
+        let b = Broadcast::new(RingConfig::frames(64));
+        fill(&b, 12, 4);
+
+        // 16 bytes buy exactly the newest GOP (frames 8..=11).
+        let mut clip = b.subscribe_from_start_bytes(16);
+        match clip.try_recv() {
+            Delivery::Frame(f) => assert_eq!(f.frame, 8),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // A generous budget replays the whole ring.
+        let mut all = b.subscribe_from_start_bytes(1 << 20);
+        match all.try_recv() {
+            Delivery::Frame(f) => assert_eq!(f.frame, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // 8 bytes cover frames 10..=11 — no keyframe in the fitting
+        // suffix, so the clip is empty and the cursor sits at the live
+        // edge.
+        let mut tiny = b.subscribe_from_start_bytes(8);
+        assert_eq!(tiny.try_recv(), Delivery::Empty);
+        b.publish(frame(12, true));
+        match tiny.try_recv() {
+            Delivery::Frame(f) => assert_eq!(f.frame, 12),
+            other => panic!("unexpected {other:?}"),
+        }
+        // No lag is charged for a budget-trimmed start.
+        assert_eq!(tiny.lag_gaps(), 0);
     }
 
     #[test]

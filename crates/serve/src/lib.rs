@@ -35,7 +35,12 @@
 //! GOP-trimmed [`distribute::FrameRing`] with M-subscriber
 //! [`distribute::Broadcast`] fan-out, where publishing costs O(1) in the
 //! subscriber count and slow subscribers observe explicit lag gaps
-//! instead of back-pressuring the encoder.
+//! instead of back-pressuring the encoder. With
+//! [`server::FeedbackConfig`] enabled, those lag statistics close a
+//! cross-layer loop back into admission: a chronically lagging stream's
+//! quality ceiling is deterministically lowered
+//! ([`admission::AdmissionLedger::restrict`]) and regranted once the
+//! lag clears.
 //!
 //! Every layer is observable: build the server with
 //! [`server::ServerConfig::telemetry`] enabled and the controller,
@@ -98,7 +103,8 @@ pub use distribute::{
 };
 pub use error::ServeError;
 pub use server::{
-    stochastic_backends, table_apps, CeilingPolicy, PoolMode, ServeReport, ServerConfig,
-    StreamOutcome, StreamServer, StreamSession, StreamSpec, StreamSpecBuilder, TablesMode,
+    stochastic_backends, table_apps, CeilingPolicy, FeedbackConfig, PoolMode, ServeReport,
+    ServerConfig, StreamOutcome, StreamServer, StreamSession, StreamSpec, StreamSpecBuilder,
+    TablesMode,
 };
 pub use source::{ChannelSource, FrameProducer, FrameSource, PacedSource, TraceSource};

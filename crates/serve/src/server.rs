@@ -58,6 +58,7 @@ use fgqos_core::estimator::AvgEstimator;
 use fgqos_core::policy::{Choice, MaxQuality, PolicyCtx, QualityPolicy};
 use fgqos_core::safety::SafetyMonitor;
 use fgqos_sim::app::TableApp;
+use fgqos_sim::budget::BudgetSpec;
 use fgqos_sim::exec::StochasticLoad;
 use fgqos_sim::runner::{Mode, ParallelStream, RunConfig, Runner, StreamResult};
 use fgqos_sim::runtime::{
@@ -171,6 +172,19 @@ impl StreamSpecBuilder {
         self
     }
 
+    /// Per-frame budget source for the stream's [`RunConfig`] (default
+    /// [`BudgetSpec::Constant`] — the pipeline deadline alone). A
+    /// moving source ([`BudgetSpec::Trace`] or [`BudgetSpec::Channel`],
+    /// the *simulated-channel* budget, distinct from the frame-source
+    /// [`crate::source::ChannelSource`]) tightens each frame's budget to
+    /// `min(deadline, sourced)` — identical to a solo run with the same
+    /// spec and seed.
+    #[must_use]
+    pub fn budget_source(mut self, budget: BudgetSpec) -> Self {
+        self.config.budget = budget;
+        self
+    }
+
     /// Where the stream's frames come from (required).
     #[must_use]
     pub fn source(mut self, source: impl FrameSource + 'static) -> Self {
@@ -254,6 +268,19 @@ fn policy_for(decision: AdmissionDecision) -> Box<dyn QualityPolicy> {
         AdmissionDecision::Degrade(cap) => Box::new(CeilingPolicy::new(cap)),
         _ => Box::new(MaxQuality::new()),
     }
+}
+
+/// The declared quality level one below a stream's current grant —
+/// where lag feedback sends its ceiling next. `None` when the stream is
+/// already at its lowest level (or not granted at all).
+fn next_lower_cap(demand: &StreamDemand, decision: AdmissionDecision) -> Option<Quality> {
+    let levels = &demand.utilization;
+    let pos = match decision {
+        AdmissionDecision::Admit => levels.len().checked_sub(1)?,
+        AdmissionDecision::Degrade(cap) => levels.iter().position(|&(q, _)| q == cap)?,
+        AdmissionDecision::Reject => return None,
+    };
+    (pos > 0).then(|| levels[pos - 1].0)
 }
 
 /// Outcome of one submitted stream.
@@ -479,6 +506,64 @@ pub struct ServerConfig {
     /// stream. Observe-only: results, admission decisions and safety
     /// verdicts are byte-identical either way. Default off.
     pub telemetry: bool,
+    /// Lag-driven ceiling feedback (default `None` — off): when set,
+    /// sessions watch each stream's output-ring lag statistics and
+    /// lower the quality ceiling of chronically lagging streams,
+    /// regranting the capacity back once the lag clears. See
+    /// [`FeedbackConfig`].
+    pub feedback: Option<FeedbackConfig>,
+}
+
+/// Lag-driven ceiling feedback: the cross-layer loop that feeds the
+/// output plane's per-ring lag statistics ([`crate::distribute`]) back
+/// into admission.
+///
+/// A stream's feedback *window* is one committed frame. A window is
+/// *lagging* when its subscribers lost at least [`Self::lag_frames`]
+/// frames to ring trimming since the previous window ([`Delivery::
+/// Lagged`](crate::distribute::Delivery::Lagged) gaps). After
+/// [`Self::lag_windows`] consecutive lagging windows the session lowers
+/// the stream's quality ceiling one declared level
+/// ([`crate::admission::AdmissionLedger::restrict`]) — the freed
+/// capacity returns to the pool, where parked or degraded peers can
+/// claim it. After [`Self::clear_windows`] consecutive clear windows a
+/// feedback-capped stream is re-priced
+/// ([`crate::admission::AdmissionLedger::regrant`]) and its ceiling
+/// rises again as capacity allows.
+///
+/// Everything is observed at deterministic points (the sequential
+/// commit pass of [`StreamSession::step`]), so for a fixed attach /
+/// detach / subscriber-poll sequence the downgrade and regrant ticks
+/// are a pure function of the specs — worker count cannot move them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeedbackConfig {
+    /// Newly lagged frames within one window for it to count as
+    /// lagging.
+    pub lag_frames: u64,
+    /// Consecutive lagging windows before the ceiling drops one level.
+    pub lag_windows: u32,
+    /// Consecutive clear windows before a feedback-capped stream is
+    /// re-priced upward.
+    pub clear_windows: u32,
+}
+
+impl FeedbackConfig {
+    /// Defaults: one lagged frame marks a window, three lagging windows
+    /// drop the ceiling, eight clear windows earn a re-price.
+    #[must_use]
+    pub fn defaults() -> Self {
+        FeedbackConfig {
+            lag_frames: 1,
+            lag_windows: 3,
+            clear_windows: 8,
+        }
+    }
+}
+
+impl Default for FeedbackConfig {
+    fn default() -> Self {
+        FeedbackConfig::defaults()
+    }
 }
 
 impl ServerConfig {
@@ -493,6 +578,7 @@ impl ServerConfig {
             tables: TablesMode::default(),
             ring: RingConfig::default(),
             telemetry: false,
+            feedback: None,
         }
     }
 
@@ -522,6 +608,13 @@ impl ServerConfig {
     #[must_use]
     pub fn ring(mut self, ring: RingConfig) -> Self {
         self.ring = ring;
+        self
+    }
+
+    /// Turns on lag-driven ceiling feedback with the given thresholds.
+    #[must_use]
+    pub fn feedback(mut self, feedback: FeedbackConfig) -> Self {
+        self.feedback = Some(feedback);
         self
     }
 
@@ -560,6 +653,8 @@ pub struct StreamServer {
     legacy_tables: bool,
     /// Retention policy handed to each session's output rings.
     ring: RingConfig,
+    /// Lag-driven ceiling feedback thresholds (`None` = off).
+    feedback: Option<FeedbackConfig>,
     /// The server's telemetry plane (inert unless
     /// [`ServerConfig::telemetry`] turned it on). The pool's span
     /// recorder is installed here at construction; sessions and their
@@ -595,6 +690,7 @@ impl StreamServer {
             },
             legacy_tables: config.tables == TablesMode::Legacy,
             ring: config.ring,
+            feedback: config.feedback,
             telemetry,
         }
     }
@@ -700,6 +796,7 @@ impl StreamServer {
             pool: &self.pool,
             legacy_tables: self.legacy_tables,
             ring: self.ring,
+            feedback: self.feedback,
             elastic: true,
             ledger: AdmissionLedger::new(self.admission),
             make_app: Box::new(make_app),
@@ -814,7 +911,25 @@ struct Slot<A: ParallelApp> {
     /// subscriber. `None` means nobody listens and commits skip the
     /// publish hook entirely.
     output: Option<Broadcast>,
+    /// Lag-feedback bookkeeping (inert unless the session has a
+    /// [`FeedbackConfig`] *and* someone subscribed to this stream).
+    feedback: FeedbackState,
     outcome: Option<StreamOutcome>,
+}
+
+/// Per-stream lag-feedback window counters (see [`FeedbackConfig`]).
+#[derive(Debug, Clone, Copy, Default)]
+struct FeedbackState {
+    /// Total lagged frames observed at the previous window.
+    last_lagged: u64,
+    /// Consecutive lagging windows so far.
+    lagging: u32,
+    /// Consecutive clear windows so far.
+    clear: u32,
+    /// Whether the current ceiling was imposed by feedback — only such
+    /// streams are re-priced upward when their lag clears (ceilings
+    /// imposed by admission wait for a release, as always).
+    capped: bool,
 }
 
 enum SlotState<A: ParallelApp> {
@@ -902,6 +1017,8 @@ pub struct StreamSession<'a, A: ParallelApp> {
     legacy_tables: bool,
     /// Retention policy for lazily created per-stream output rings.
     ring: RingConfig,
+    /// Lag-driven ceiling feedback thresholds (`None` = off).
+    feedback: Option<FeedbackConfig>,
     /// Whether departures re-price the parked/degraded population.
     /// Sessions default to `true`; the batch wrapper turns it off.
     elastic: bool,
@@ -927,11 +1044,13 @@ pub struct StreamSession<'a, A: ParallelApp> {
 /// | `serve.ticks` | counter | stable | server ticks executed |
 /// | `serve.workers` | gauge | runtime | shared pool width |
 /// | `serve.tick_latency_us` | histogram | runtime | wall time per tick |
+/// | `budget.feedback_downgrades` | counter | stable | ceilings lowered by lag feedback |
 #[derive(Clone, Default)]
 struct SessionMetrics {
     ticks: Counter,
     workers: Gauge,
     tick_latency: Histogram,
+    feedback_downgrades: Counter,
     /// Handle to the pool-installed span recorder: commits and ticks are
     /// recorded on the coordinator lane (index = worker count).
     spans: SpanRecorder,
@@ -945,6 +1064,7 @@ impl SessionMetrics {
             ticks: telemetry.counter("serve.ticks"),
             workers: telemetry.runtime_gauge("serve.workers"),
             tick_latency: telemetry.runtime_histogram("serve.tick_latency_us"),
+            feedback_downgrades: telemetry.counter("budget.feedback_downgrades"),
             spans: telemetry.spans(),
             coord_lane: workers,
         };
@@ -992,6 +1112,7 @@ impl<A: ParallelApp> StreamSession<'_, A> {
                 clock,
             })),
             output: None,
+            feedback: FeedbackState::default(),
             outcome: None,
         })
     }
@@ -1142,6 +1263,64 @@ impl<A: ParallelApp> StreamSession<'_, A> {
             }
         }
         Ok(())
+    }
+
+    /// One lag-feedback window for slot `i` (a stream that just
+    /// committed a frame): reads the output ring's lagged-frame total,
+    /// updates the window counters, and lowers or re-raises the
+    /// stream's ceiling when a threshold trips. See [`FeedbackConfig`].
+    fn observe_feedback(&mut self, i: usize, cfg: FeedbackConfig) {
+        let slot = &mut self.slots[i];
+        if !matches!(slot.state, SlotState::Running(_)) {
+            return;
+        }
+        let Some(out) = &slot.output else { return };
+        let lagged = out.stats().lag.sum();
+        let fresh = lagged.saturating_sub(slot.feedback.last_lagged);
+        slot.feedback.last_lagged = lagged;
+        if fresh >= cfg.lag_frames {
+            slot.feedback.lagging += 1;
+            slot.feedback.clear = 0;
+        } else {
+            slot.feedback.clear += 1;
+            slot.feedback.lagging = 0;
+        }
+
+        if slot.feedback.lagging >= cfg.lag_windows {
+            // Chronic lag: drop the ceiling one declared level. The
+            // freed capacity goes back to the pool for parked or
+            // degraded peers.
+            slot.feedback.lagging = 0;
+            let Some(cap) = next_lower_cap(&slot.demand, slot.decision) else {
+                return; // already at the lowest level
+            };
+            let demand = slot.demand.clone();
+            if let Some(decision) = self.ledger.restrict(i, &demand, cap) {
+                let slot = &mut self.slots[i];
+                slot.decision = decision;
+                slot.feedback.capped = true;
+                if let SlotState::Running(active) = &mut slot.state {
+                    active.policy = policy_for(decision);
+                }
+                self.metrics.feedback_downgrades.incr();
+            }
+        } else if slot.feedback.capped && slot.feedback.clear >= cfg.clear_windows {
+            // The lag cleared and stayed clear: offer the capacity
+            // back. `regrant` raises the ceiling only as far as the
+            // residual capacity allows.
+            slot.feedback.clear = 0;
+            let demand = slot.demand.clone();
+            if let Some(decision) = self.ledger.regrant(i, &demand) {
+                let slot = &mut self.slots[i];
+                slot.decision = decision;
+                if matches!(decision, AdmissionDecision::Admit) {
+                    slot.feedback.capped = false;
+                }
+                if let SlotState::Running(active) = &mut slot.state {
+                    active.policy = policy_for(decision);
+                }
+            }
+        }
     }
 
     /// Attaches one stream to the running session: prices it against the
@@ -1448,6 +1627,15 @@ impl<A: ParallelApp> StreamSession<'_, A> {
             self.metrics
                 .spans
                 .record(self.metrics.coord_lane, "commit", "serve", commit_span);
+        }
+
+        // 4. Ceiling feedback: each due stream's output-ring lag
+        //    statistics close the loop back into admission. Runs after
+        //    the commits so a window sees the lag its own frame caused.
+        if let Some(cfg) = self.feedback {
+            for &i in &due {
+                self.observe_feedback(i, cfg);
+            }
         }
 
         self.server_now = self.server_now.max(t_min);

@@ -39,6 +39,14 @@ pub trait VideoApp {
     /// Whether frame `f` starts a new scene (I-frame).
     fn is_iframe(&self, frame: usize) -> bool;
 
+    /// Recorded channel budget of frame `f`, if the app's stream
+    /// carries a bandwidth trace — what
+    /// [`crate::budget::BudgetSpec::Trace`] runs replay. `None` (the
+    /// default) means the pipeline deadline applies alone.
+    fn budget_cycles(&self, _frame: usize) -> Option<fgqos_time::Cycles> {
+        None
+    }
+
     /// Called when the encoder starts frame `f`.
     fn begin_frame(&mut self, frame: usize);
 
@@ -215,6 +223,10 @@ impl VideoApp for TableApp {
 
     fn is_iframe(&self, frame: usize) -> bool {
         self.scenario.frame(frame).is_iframe
+    }
+
+    fn budget_cycles(&self, frame: usize) -> Option<fgqos_time::Cycles> {
+        self.scenario.frame(frame).budget_cycles
     }
 
     fn begin_frame(&mut self, _frame: usize) {}

@@ -15,6 +15,10 @@
 //! * [`app`] — the [`app::VideoApp`] abstraction the runner drives, and
 //!   [`app::TableApp`], a timing-only application with the Fig. 2 pipeline
 //!   shape;
+//! * [`budget`] — per-frame budget sources ([`budget::BudgetSource`]):
+//!   constant pipeline deadlines, recorded bandwidth traces, or a seeded
+//!   simulated channel with cliffs/loss/RTT dynamics, so the controller
+//!   absorbs channel jitter as well as compute jitter;
 //! * [`pipeline`] — the camera → input buffer(K) → encoder → output
 //!   buffer(K) → display loop of Fig. 3, including the frame-skip rule
 //!   (a camera frame is dropped when the input buffer is full) and the
@@ -62,6 +66,7 @@
 mod error;
 
 pub mod app;
+pub mod budget;
 pub mod csv;
 pub mod exec;
 pub mod output;

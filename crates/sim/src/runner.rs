@@ -27,10 +27,11 @@ use fgqos_graph::ActionId;
 use fgqos_sched::{
     budget_deadlines, BestSched, BudgetTables, ConstraintTables, EdfScheduler, SharedTables,
 };
-use fgqos_telemetry::{Counter, Telemetry};
+use fgqos_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use fgqos_time::{fig5, Cycles, DeadlineMap, Quality, QualityProfile, QualitySet};
 
 use crate::app::VideoApp;
+use crate::budget::{BudgetSource, BudgetSpec, ChannelSource, TraceSource};
 use crate::exec::{ExecCtx, ExecTimeModel, StochasticLoad};
 use crate::pipeline::InputPipeline;
 use crate::runtime::parallel::FramePlan;
@@ -63,6 +64,13 @@ pub struct RunConfig {
     /// macroblock, [`IterationMode::Pipelined`] frees distinct macroblock
     /// rows between data-dependency sync points.
     pub iteration_mode: IterationMode,
+    /// Where each frame's time budget comes from (see
+    /// [`crate::budget`]). The default, [`BudgetSpec::Constant`], is the
+    /// historical behavior: budgets are the pipeline's buffer deadlines
+    /// alone. `Trace`/`Channel` tighten them per frame with a recorded or
+    /// simulated bandwidth signal; the effective budget is always the
+    /// minimum of the two, so a source can never loosen a deadline.
+    pub budget: BudgetSpec,
 }
 
 impl RunConfig {
@@ -75,6 +83,7 @@ impl RunConfig {
             input_capacity: 1,
             deadline_shape: DeadlineShape::PerIteration,
             iteration_mode: IterationMode::Sequential,
+            budget: BudgetSpec::Constant,
         }
     }
 
@@ -103,6 +112,13 @@ impl RunConfig {
     #[must_use]
     pub fn with_iteration_mode(mut self, mode: IterationMode) -> Self {
         self.iteration_mode = mode;
+        self
+    }
+
+    /// Replaces the budget source (see [`RunConfig::budget`]).
+    #[must_use]
+    pub fn with_budget_source(mut self, budget: BudgetSpec) -> Self {
+        self.budget = budget;
         self
     }
 
@@ -353,6 +369,8 @@ pub struct Runner<A: VideoApp> {
 /// | `sched.table_lookups` | counter | per-frame constraint-table resolutions |
 /// | `sched.spec_hits` | counter | speculative kernels consumed at commit |
 /// | `sched.spec_misses` | counter | speculative kernels re-executed |
+/// | `budget.current_cycles` | gauge | sourced budget of the latest deadline-bounded frame |
+/// | `budget.delta_cycles` | histogram | absolute budget move between consecutive finite budgets |
 #[derive(Clone, Default)]
 struct RunnerMetrics {
     envelope_builds: Counter,
@@ -361,6 +379,8 @@ struct RunnerMetrics {
     table_lookups: Counter,
     spec_hits: Counter,
     spec_misses: Counter,
+    budget_current: Gauge,
+    budget_delta: Histogram,
     controller: ControllerMetrics,
 }
 
@@ -373,6 +393,8 @@ impl RunnerMetrics {
             table_lookups: telemetry.counter("sched.table_lookups"),
             spec_hits: telemetry.counter("sched.spec_hits"),
             spec_misses: telemetry.counter("sched.spec_misses"),
+            budget_current: telemetry.gauge("budget.current_cycles"),
+            budget_delta: telemetry.histogram("budget.delta_cycles"),
             controller: ControllerMetrics::new(telemetry),
         }
     }
@@ -402,6 +424,13 @@ impl<A: VideoApp> Runner<A> {
         }
         if config.input_capacity == 0 {
             return Err(SimError::InvalidConfig("buffer capacity must be positive"));
+        }
+        if let BudgetSpec::Channel(p) = config.budget {
+            if !p.is_valid() {
+                return Err(SimError::InvalidConfig(
+                    "channel budget params need 0 < floor <= cap and rtt > 0",
+                ));
+            }
         }
         let n = app.iterations();
         let iter = IteratedGraph::new(&body, n, config.iteration_mode)?;
@@ -557,8 +586,11 @@ impl<A: VideoApp> Runner<A> {
             // per-query array reads then match the historical cached
             // path exactly, while one-shot stochastic budgets never pay
             // a build. Infinite budgets stay on the (trivially cheap)
-            // parametric view.
-            if frame_budget.is_finite() {
+            // parametric view. Moving budget sources (trace/channel)
+            // never promote: a channel sitting on its floor repeats a
+            // budget by coincidence, and materializing it would forfeit
+            // the zero-rebuild guarantee the parametric tables exist for.
+            if frame_budget.is_finite() && !self.config.budget.is_moving() {
                 if let Some(t) = self.tables_cache.get(&frame_budget).map(Arc::clone) {
                     self.touch_cached(frame_budget);
                     return Ok(SharedTables::Fixed(t));
@@ -585,6 +617,39 @@ impl<A: VideoApp> Runner<A> {
         Ok(SharedTables::Fixed(
             self.materialize_tables(frame_budget, qs)?,
         ))
+    }
+
+    /// Builds the live per-frame budget source this run will draw from
+    /// (see [`crate::budget`]); one fresh source per run, so replays are
+    /// deterministic. `Trace` snapshots the app's recorded budgets
+    /// ([`VideoApp::budget_cycles`]).
+    fn make_budget_source(&self) -> BudgetSource {
+        match self.config.budget {
+            BudgetSpec::Constant => BudgetSource::Constant,
+            BudgetSpec::Trace => BudgetSource::Trace(TraceSource::new(
+                (0..self.app.stream_len())
+                    .map(|f| self.app.budget_cycles(f))
+                    .collect(),
+            )),
+            BudgetSpec::Channel(p) => BudgetSource::Channel(ChannelSource::new(p)),
+        }
+    }
+
+    /// Records the sourced budget into the `budget.*` metrics: the
+    /// current-budget gauge and, once a previous finite budget exists,
+    /// the absolute frame-to-frame move. Infinite budgets (unconstrained
+    /// stream tail) record nothing.
+    fn observe_budget(&mut self, budget: Cycles, prev: &mut Option<Cycles>) {
+        if !budget.is_finite() {
+            return;
+        }
+        self.metrics.budget_current.set(budget.get());
+        if let Some(p) = *prev {
+            self.metrics
+                .budget_delta
+                .record(p.get().abs_diff(budget.get()));
+        }
+        *prev = Some(budget);
     }
 
     /// Moves `budget` to the most-recently-used end of the cache order.
@@ -711,12 +776,20 @@ impl<A: VideoApp> Runner<A> {
         // time models. They coincide unless the app declares otherwise.
         let mut body_profile = self.app.profile().clone();
         let gen_profile = self.app.generative_profile().clone();
+        let mut source = self.make_budget_source();
+        let mut prev_budget: Option<Cycles> = None;
 
         while let Some((frame, arrival, now)) = self.next_frame(clock, &mut pipe, &mut records) {
-            let budget = match pipe.budget_deadline(now) {
+            let deadline_budget = match pipe.budget_deadline(now) {
                 Some(d) => d - now,
                 None => Cycles::INFINITY,
             };
+            // The stream's budget source can only tighten the deadline
+            // (min semantics); the record keeps the sourced budget in
+            // both modes, so uncontrolled baselines expose how often
+            // they would have overrun the channel.
+            let budget = source.frame_budget(frame, deadline_budget);
+            self.observe_budget(budget, &mut prev_budget);
             // Uncontrolled runs do not see deadlines at all.
             let frame_budget = match mode {
                 Mode::Controlled => budget,

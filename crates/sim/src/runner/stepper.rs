@@ -49,6 +49,7 @@ use fgqos_graph::ActionId;
 use fgqos_time::{Cycles, Quality, QualityProfile, QualitySet};
 
 use super::{drive_cycle, FrameRecord, Mode, Runner, StreamResult};
+use crate::budget::BudgetSource;
 use crate::pipeline::InputPipeline;
 use crate::runtime::parallel::{FramePlan, SpecSlot};
 use crate::runtime::{Clock, ExecBackend, ParallelApp};
@@ -74,6 +75,11 @@ pub struct ParallelStream {
     /// Speculation seed: the quality committed at each unrolled instance
     /// during the most recent frame.
     spec_q: Vec<Quality>,
+    /// Live per-frame budget source (see [`crate::budget`]); owned by
+    /// the stream so served and solo runs replay the same channel.
+    source: BudgetSource,
+    /// Most recent finite sourced budget, for the delta histogram.
+    prev_budget: Option<Cycles>,
     hits: u64,
     misses: u64,
     pending: Option<PendingFrame>,
@@ -257,6 +263,8 @@ impl<A: ParallelApp> Runner<A> {
             gen_profile: self.app.generative_profile().clone(),
             plan,
             spec_q,
+            source: self.make_budget_source(),
+            prev_budget: None,
             hits: 0,
             misses: 0,
             pending: None,
@@ -288,10 +296,15 @@ impl<A: ParallelApp> Runner<A> {
         else {
             return Ok(false);
         };
-        let budget = match st.pipe.budget_deadline(now) {
+        let deadline_budget = match st.pipe.budget_deadline(now) {
             Some(d) => d - now,
             None => Cycles::INFINITY,
         };
+        // The stream's budget source can only tighten the deadline (min
+        // semantics) — same seam as the sequential runner, so served and
+        // solo runs stay byte-identical.
+        let budget = st.source.frame_budget(frame, deadline_budget);
+        self.observe_budget(budget, &mut st.prev_budget);
         // Uncontrolled runs do not see deadlines at all.
         let frame_budget = match st.mode {
             Mode::Controlled => budget,

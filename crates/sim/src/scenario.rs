@@ -18,7 +18,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use fgqos_time::QualitySet;
+use fgqos_time::{Cycles, QualitySet};
 
 use crate::csv::{parse_csv, render_csv};
 use crate::SimError;
@@ -56,6 +56,10 @@ pub struct FrameInfo {
     pub texture: f64,
     /// PSNR baseline of the scene (dB).
     pub psnr_base: f64,
+    /// Recorded per-frame channel budget, if the trace carries one
+    /// (`None` ⇒ the pipeline deadline applies alone; see
+    /// [`crate::budget::BudgetSpec::Trace`]).
+    pub budget_cycles: Option<Cycles>,
 }
 
 /// A fully materialized benchmark stream.
@@ -109,6 +113,7 @@ impl LoadScenario {
                     motion: scene.motion,
                     texture: scene.texture,
                     psnr_base: scene.psnr_base,
+                    budget_cycles: None,
                 });
             }
         }
@@ -245,6 +250,7 @@ impl LoadScenario {
                 motion,
                 texture: 0.7,
                 psnr_base: 35.0,
+                budget_cycles: None,
             });
         };
         // Scene 0 — lull: sustained under-load.
@@ -348,23 +354,75 @@ impl LoadScenario {
         "psnr_base",
     ];
 
+    /// Name of the *optional* per-frame channel-budget column. Traces
+    /// without it (every trace predating the budget seam) parse exactly
+    /// as before; traces with it feed
+    /// [`crate::budget::BudgetSpec::Trace`] runs. Empty cells mean "no
+    /// recorded budget for this frame".
+    pub const TRACE_BUDGET_COLUMN: &'static str = "budget_cycles";
+
+    /// Attaches recorded per-frame channel budgets (a bandwidth trace)
+    /// to this scenario: frame `f` gets `budgets[f]`; frames past the
+    /// end of `budgets` keep their current value.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Parse`] if `budgets` is longer than the stream, or
+    /// any budget is zero or not exactly representable in the trace-CSV
+    /// interchange format (budgets must stay below 2^53 cycles so
+    /// [`LoadScenario::to_trace_csv`] round-trips them exactly).
+    pub fn with_budget_trace<I>(mut self, budgets: I) -> Result<Self, SimError>
+    where
+        I: IntoIterator<Item = Option<Cycles>>,
+    {
+        for (f, b) in budgets.into_iter().enumerate() {
+            if f >= self.frames.len() {
+                return Err(SimError::Parse(format!(
+                    "budget trace longer than the stream ({} frames)",
+                    self.frames.len()
+                )));
+            }
+            if let Some(b) = b {
+                if b.get() == 0 || b.get() >= (1 << 53) {
+                    return Err(SimError::Parse(format!(
+                        "frame {f}: budget_cycles must be in [1, 2^53), got {}",
+                        b.get()
+                    )));
+                }
+            }
+            self.frames[f].budget_cycles = b;
+        }
+        Ok(self)
+    }
+
     /// Serializes the per-frame trace as CSV (one row per frame, columns
-    /// [`LoadScenario::TRACE_COLUMNS`]). Numbers render in Rust's
+    /// [`LoadScenario::TRACE_COLUMNS`], plus
+    /// [`LoadScenario::TRACE_BUDGET_COLUMN`] when any frame carries a
+    /// recorded budget). Numbers render in Rust's
     /// shortest-round-trip form, so
     /// [`LoadScenario::from_trace_csv`] reproduces the frames exactly.
     #[must_use]
     pub fn to_trace_csv(&self) -> String {
+        let with_budgets = self.frames.iter().any(|f| f.budget_cycles.is_some());
+        let mut header: Vec<&str> = Self::TRACE_COLUMNS.to_vec();
+        if with_budgets {
+            header.push(Self::TRACE_BUDGET_COLUMN);
+        }
         render_csv(
-            &Self::TRACE_COLUMNS,
-            self.frames.iter().map(|f| {
-                vec![
+            &header,
+            self.frames.iter().map(move |f| {
+                let mut row = vec![
                     Some(f.scene as f64),
                     Some(f64::from(u8::from(f.is_iframe))),
                     Some(f.activity),
                     Some(f.motion),
                     Some(f.texture),
                     Some(f.psnr_base),
-                ]
+                ];
+                if with_budgets {
+                    row.push(f.budget_cycles.map(|b| b.get() as f64));
+                }
+                row
             }),
         )
     }
@@ -405,6 +463,10 @@ impl LoadScenario {
             .collect::<Result<_, _>>()?;
         let [scene_c, iframe_c, activity_c, motion_c, texture_c, psnr_c] =
             cols.try_into().expect("six trace columns");
+        // Optional channel-budget column: absent ⇒ every frame has a
+        // constant (pipeline-derived) budget, as before this column
+        // existed.
+        let budget_c = doc.column(Self::TRACE_BUDGET_COLUMN).ok();
         if doc.rows.is_empty() {
             return Err(SimError::Parse("trace has no frames".to_owned()));
         }
@@ -436,6 +498,17 @@ impl LoadScenario {
                     "line {line}: activity must be positive, got {activity}"
                 )));
             }
+            let budget_cycles = match budget_c.and_then(|c| doc.rows[row][c]) {
+                Some(b) => {
+                    if b < 1.0 || b.fract() != 0.0 || b >= (1u64 << 53) as f64 {
+                        return Err(SimError::Parse(format!(
+                            "line {line}: budget_cycles must be an integer in [1, 2^53), got {b}"
+                        )));
+                    }
+                    Some(Cycles::new(b as u64))
+                }
+                None => None,
+            };
             frames.push(FrameInfo {
                 scene,
                 index_in_scene: 0, // recomputed by from_frames
@@ -444,6 +517,7 @@ impl LoadScenario {
                 motion: doc.required(row, motion_c)?,
                 texture: doc.required(row, texture_c)?,
                 psnr_base: doc.required(row, psnr_c)?,
+                budget_cycles,
             });
         }
         Self::from_frames(frames)
@@ -665,6 +739,71 @@ mod tests {
     }
 
     #[test]
+    fn budget_column_round_trips_exactly_and_stays_optional() {
+        // A trace without budgets renders the historical 6-column CSV —
+        // byte-identical to before the column existed.
+        let plain = LoadScenario::paper_benchmark(12).truncated(20);
+        assert!(!plain
+            .to_trace_csv()
+            .lines()
+            .next()
+            .unwrap()
+            .contains("budget_cycles"));
+
+        // Attach a bandwidth trace with a hole, round-trip it exactly.
+        let budgets: Vec<Option<Cycles>> = (0..20)
+            .map(|f| (f != 7).then(|| Cycles::new(1_000_000 + 31 * f as u64)))
+            .collect();
+        let s = plain.clone().with_budget_trace(budgets).unwrap();
+        let csv = s.to_trace_csv();
+        assert!(csv.lines().next().unwrap().ends_with("budget_cycles"));
+        let back = LoadScenario::from_trace_csv(&csv).unwrap();
+        for f in 0..20 {
+            assert_eq!(back.frame(f), s.frame(f), "frame {f}");
+        }
+        assert_eq!(back.frame(7).budget_cycles, None);
+        assert_eq!(
+            back.to_trace_csv(),
+            csv,
+            "second round trip is a fixed point"
+        );
+        // The budget column does not leak into budget-free frames parsed
+        // from the same header (empty cell ⇒ None).
+    }
+
+    #[test]
+    fn budget_column_rejects_malformed_values() {
+        let header = "scene,iframe,activity,motion,texture,psnr_base,budget_cycles\n";
+        for bad in ["0", "-5", "1.5", "9007199254740992"] {
+            let csv = format!("{header}0,1,1,0.1,0.1,36,{bad}\n");
+            assert!(
+                LoadScenario::from_trace_csv(&csv).is_err(),
+                "budget_cycles={bad} must be rejected"
+            );
+        }
+        // Boundary: 2^53 - 1 is fine.
+        let csv = format!("{header}0,1,1,0.1,0.1,36,9007199254740991\n");
+        let s = LoadScenario::from_trace_csv(&csv).unwrap();
+        assert_eq!(s.frame(0).budget_cycles, Some(Cycles::new((1 << 53) - 1)));
+    }
+
+    #[test]
+    fn budget_trace_attachment_is_validated() {
+        let s = LoadScenario::paper_benchmark(3).truncated(5);
+        assert!(s
+            .clone()
+            .with_budget_trace(vec![Some(Cycles::new(0))])
+            .is_err());
+        assert!(s.clone().with_budget_trace(vec![None; 6]).is_err());
+        let ok = s
+            .with_budget_trace(vec![Some(Cycles::new(5)), None])
+            .unwrap();
+        assert_eq!(ok.frame(0).budget_cycles, Some(Cycles::new(5)));
+        assert_eq!(ok.frame(1).budget_cycles, None);
+        assert_eq!(ok.frame(4).budget_cycles, None);
+    }
+
+    #[test]
     fn trace_csv_accepts_extra_columns_and_comments() {
         let csv = "# captured 2026-07-28\nframe,scene,iframe,activity,motion,texture,psnr_base\n\
                    0,0,1,1.25,0.4,0.5,36.5\n\
@@ -714,6 +853,7 @@ mod tests {
             motion: 0.5,
             texture: 0.5,
             psnr_base: 36.0,
+            budget_cycles: None,
         };
         assert!(LoadScenario::from_frames(vec![]).is_err());
         assert!(LoadScenario::from_frames(vec![f(1, 1.0)]).is_err());
@@ -816,6 +956,7 @@ mod tests {
             motion: 0.3,
             texture: 0.5,
             psnr_base: 36.0,
+            budget_cycles: None,
         };
         let lo = m.encoded_psnr(&info, 0.0);
         let mid = m.encoded_psnr(&info, 3.0);
@@ -841,6 +982,7 @@ mod tests {
             motion: 0.3,
             texture: 0.5,
             psnr_base: 36.0,
+            budget_cycles: None,
         };
         let hot = FrameInfo {
             activity: 1.5,

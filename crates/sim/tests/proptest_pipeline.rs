@@ -147,3 +147,56 @@ proptest! {
 }
 
 use fgqos_sim::app::VideoApp;
+use fgqos_sim::budget::{BudgetSource, ChannelParams, ChannelSource};
+
+// The simulated channel: for any well-formed parameter set, the budget
+// of frame f is a pure function of (params, f) — two sources agree
+// frame by frame, rewinding replays exactly — and every grant stays in
+// the declared [floor, cap] band. The seam contract on top: a sourced
+// budget can only tighten a deadline, never loosen it.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn channel_budgets_are_deterministic_and_banded(
+        seed in 0u64..10_000,
+        floor in 1u64..1_000,
+        band in 0u64..100_000,
+        shift in 0u16..300,
+        loss in 0u16..300,
+        rtt in 1u16..16,
+        frames in 1usize..300,
+        deadline in 1u64..200_000,
+    ) {
+        let params = ChannelParams {
+            seed,
+            floor_cycles: floor,
+            cap_cycles: floor + band,
+            shift_per_mille: shift,
+            loss_per_mille: loss,
+            rtt_frames: rtt,
+        };
+        let mut a = ChannelSource::new(params);
+        let mut b = ChannelSource::new(params);
+        for f in 0..frames {
+            let x = a.budget_at(f);
+            prop_assert_eq!(x, b.budget_at(f), "frame {} diverged", f);
+            prop_assert!(
+                x.get() >= floor && x.get() <= floor + band,
+                "frame {}: {} outside [{}, {}]", f, x.get(), floor, floor + band
+            );
+        }
+        // Rewinding replays the identical sequence.
+        let mid = frames / 2;
+        prop_assert_eq!(a.budget_at(mid), b.budget_at(mid));
+
+        // min-semantics at the seam: the sourced budget never loosens
+        // the pipeline deadline.
+        let d = Cycles::new(deadline);
+        let mut src = BudgetSource::Channel(ChannelSource::new(params));
+        for f in 0..frames.min(32) {
+            let eff = src.frame_budget(f, d);
+            prop_assert_eq!(eff, d.min(a.budget_at(f)), "frame {}", f);
+        }
+    }
+}

@@ -44,6 +44,7 @@ fn gop_scenario(seed: u64) -> LoadScenario {
             motion: 0.3,
             texture: 0.5,
             psnr_base: 36.0,
+            budget_cycles: None,
         })
         .collect();
     LoadScenario::from_frames(infos).expect("valid scenario")

@@ -101,11 +101,12 @@ pub mod prelude {
     pub use fgqos_serve::{
         stochastic_backends, table_apps, AdmissionController, AdmissionDecision, Broadcast,
         CeilingPolicy, ChannelSource, ChurnAction, ChurnEvent, ChurnStorm, Delivery, EncodedFrame,
-        FrameProducer, FrameRing, FrameSource, LifecycleCounts, PacedSource, PoolMode,
-        PublishStats, RingConfig, ServeReport, ServerConfig, StreamOutcome, StreamServer,
+        FeedbackConfig, FrameProducer, FrameRing, FrameSource, LifecycleCounts, PacedSource,
+        PoolMode, PublishStats, RingConfig, ServeReport, ServerConfig, StreamOutcome, StreamServer,
         StreamSession, StreamSpec, StreamSpecBuilder, Subscriber, TablesMode, TraceSource,
     };
     pub use fgqos_sim::app::{TableApp, VideoApp};
+    pub use fgqos_sim::budget::{BudgetSpec, ChannelParams};
     pub use fgqos_sim::runner::{
         DeadlineShape, Mode, ParallelStream, RunConfig, Runner, StreamResult,
     };

@@ -1,0 +1,154 @@
+//! Integration: lag-driven ceiling feedback — the cross-layer loop from
+//! the output plane back into admission.
+//!
+//! A pixel stream is served into a tiny ring with one chronically slow
+//! subscriber. While the subscriber keeps falling behind, the session
+//! must deterministically lower the stream's quality ceiling
+//! (`AdmissionLedger::restrict`, surfaced as `lifecycle.downgraded` and
+//! `budget.feedback_downgrades`); once the subscriber keeps up, the
+//! cleared lag must earn the capacity back (`regrant`, surfaced as
+//! `lifecycle.upgraded`). The entire transcript — deliveries, downgrade
+//! and regrant ticks, final summary — must be byte-identical at 1, 2
+//! and 8 workers.
+
+use std::fmt::Write as _;
+
+use fine_grain_qos::encoder::app::EncoderApp;
+use fine_grain_qos::prelude::*;
+use fine_grain_qos::sim::scenario::FrameInfo;
+
+const W: usize = 48;
+const H: usize = 32;
+const FRAMES: usize = 64;
+/// Short GOPs so the 2-frame ring trims almost every tick.
+const GOP: usize = 2;
+/// Ticks of the "congested consumer" phase: the subscriber drains only
+/// every sixth tick, so each drain observes a fresh lag gap.
+const SLOW_PHASE: usize = 30;
+
+fn gop_scenario(seed: u64) -> LoadScenario {
+    let infos = (0..FRAMES)
+        .map(|i| FrameInfo {
+            scene: i / GOP,
+            index_in_scene: i % GOP,
+            is_iframe: i.is_multiple_of(GOP),
+            activity: 0.85 + 0.1 * ((i as u64 * 7 + seed) % 10) as f64 / 10.0,
+            motion: 0.3,
+            texture: 0.5,
+            psnr_base: 36.0,
+            budget_cycles: None,
+        })
+        .collect();
+    LoadScenario::from_frames(infos).expect("valid scenario")
+}
+
+fn run(workers: usize) -> (String, ServeReport) {
+    let server = ServerConfig::new(workers)
+        .capacity(1e6)
+        .ring(RingConfig::frames(2))
+        .feedback(FeedbackConfig {
+            lag_frames: 1,
+            lag_windows: 1,
+            clear_windows: 8,
+        })
+        .telemetry(true)
+        .build();
+    let mut session = server.session(
+        |scn, spec: &StreamSpec| EncoderApp::new(scn, W, H, spec.seed),
+        |spec: &StreamSpec| Box::new(EncoderApp::work_backend(spec.seed)) as Box<dyn ExecBackend>,
+    );
+    let mb = (W / 16) * (H / 16);
+    session
+        .attach(
+            StreamSpec::builder("laggy")
+                .priority(5)
+                .seed(31)
+                .config(RunConfig::paper_defaults().scaled_to_macroblocks(mb))
+                .source(PacedSource::new(gop_scenario(31)))
+                .build(),
+        )
+        .expect("attach");
+    let mut sub = session.subscribe("laggy").expect("subscribe");
+
+    let mut log = String::new();
+    let mut ticks = 0usize;
+    while session.step().expect("step") {
+        ticks += 1;
+        let drain_now = if ticks < SLOW_PHASE {
+            ticks.is_multiple_of(6)
+        } else {
+            true
+        };
+        if drain_now {
+            for d in sub.drain() {
+                match d {
+                    Delivery::Frame(f) => writeln!(log, "@{ticks} frame {}", f.frame).unwrap(),
+                    Delivery::Lagged(n) => writeln!(log, "@{ticks} lagged {n}").unwrap(),
+                    Delivery::Empty | Delivery::Closed => {}
+                }
+            }
+        }
+        // The ceiling trajectory is part of the transcript: downgrades
+        // while congested, a regrant once the lag clears.
+        let adm = session.admission();
+        writeln!(
+            log,
+            "@{ticks} downgraded {} upgraded {}",
+            adm.lifecycle().downgraded,
+            adm.lifecycle().upgraded
+        )
+        .unwrap();
+    }
+    let report = session.finish();
+    log.push_str(
+        &report
+            .summary()
+            .replace(&format!("({workers} workers)"), "(N workers)"),
+    );
+    (log, report)
+}
+
+#[test]
+fn lag_feedback_downgrades_then_regrants_deterministically() {
+    let (reference, report) = run(1);
+
+    // The slow phase really produced chronic lag, and feedback acted on
+    // it: at least one ceiling drop while congested...
+    let lifecycle = report.admission().lifecycle();
+    assert!(
+        lifecycle.downgraded >= 1,
+        "chronic ring lag must lower the ceiling (transcript:\n{reference})"
+    );
+    // ...and the freed capacity came back once the subscriber caught up.
+    assert!(
+        lifecycle.upgraded >= 1,
+        "cleared lag must earn a regrant (transcript:\n{reference})"
+    );
+    assert_eq!(
+        report.outcome("laggy").unwrap().decision,
+        AdmissionDecision::Admit,
+        "with idle capacity, the regrant restores the full admit"
+    );
+    assert!(report.all_safe(), "feedback must not break safety");
+
+    // The stable telemetry mirrors the admission log exactly.
+    let snap = report.snapshot();
+    assert_eq!(
+        snap.counter("budget.feedback_downgrades"),
+        Some(lifecycle.downgraded as u64)
+    );
+    assert_eq!(
+        snap.counter("lifecycle.downgraded"),
+        Some(lifecycle.downgraded as u64)
+    );
+
+    // Determinism: the whole trajectory is a pure function of the spec
+    // and the subscriber's poll schedule — the pool width is invisible.
+    for workers in [2usize, 8] {
+        let (log, _) = run(workers);
+        assert_eq!(
+            reference, log,
+            "feedback transcript diverged at {workers} workers"
+        );
+    }
+}

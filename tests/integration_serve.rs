@@ -352,6 +352,70 @@ fn detaching_a_hog_readmits_degraded_streams_in_priority_order() {
 }
 
 #[test]
+fn budget_sourced_streams_serve_identically_to_solo() {
+    // The same simulated channel (floor above the worst-case minimal-
+    // quality cost, cap at the full deadline) drives every stream; the
+    // served results must be byte-identical to solo runs with the same
+    // (source, seed) at every worker count, and the moving budget must
+    // never trigger a full table rebuild.
+    let scenarios = scenarios();
+    let params = ChannelParams::adversarial(1_200_000, 3_200_000, 9);
+    let budget_config = config().with_budget_source(BudgetSpec::Channel(params));
+    for workers in [1usize, 2, 8] {
+        let server = ServerConfig::new(workers).capacity(64.0).build();
+        let specs: Vec<StreamSpec> = scenarios
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                StreamSpec::builder(format!("s{i}"))
+                    .priority((i % 3) as u8)
+                    .seed(100 + i as u64)
+                    .config(config())
+                    .budget_source(BudgetSpec::Channel(params))
+                    .source(PacedSource::new(s.clone()))
+                    .build()
+            })
+            .collect();
+        let report = server
+            .serve(specs, table_apps(MB), stochastic_backends())
+            .unwrap();
+        for (i, scenario) in scenarios.iter().enumerate() {
+            let app = TableApp::with_macroblocks(scenario.clone(), MB).unwrap();
+            let mut runner = Runner::new(app, budget_config).unwrap();
+            let expected = runner
+                .run_parallel(&mut MaxQuality::new(), 100 + i as u64, workers)
+                .unwrap();
+            let outcome = report.outcome(&format!("s{i}")).unwrap();
+            let served = outcome.result.as_ref().unwrap();
+            assert_eq!(
+                expected.frames(),
+                served.frames(),
+                "stream {i} diverged from solo at {workers} workers"
+            );
+            assert_eq!(outcome.envelope_builds, 1, "stream {i}");
+            assert_eq!(
+                outcome.table_builds, 0,
+                "stream {i}: a moving budget must stay on the parametric path"
+            );
+        }
+    }
+
+    // The channel actually moved the budgets: a constant-budget run of
+    // stream 0 decides differently.
+    let app = TableApp::with_macroblocks(scenarios[0].clone(), MB).unwrap();
+    let mut runner = Runner::new(app, config()).unwrap();
+    let constant = runner.run_parallel(&mut MaxQuality::new(), 100, 1).unwrap();
+    let app = TableApp::with_macroblocks(scenarios[0].clone(), MB).unwrap();
+    let mut runner = Runner::new(app, budget_config).unwrap();
+    let sourced = runner.run_parallel(&mut MaxQuality::new(), 100, 1).unwrap();
+    assert_ne!(
+        constant.frames(),
+        sourced.frames(),
+        "the channel source must actually tighten budgets"
+    );
+}
+
+#[test]
 fn trace_and_channel_sources_serve_identically_to_paced() {
     let scenario = LoadScenario::paper_benchmark(77).truncated(20);
     let run = |source: Box<dyn FrameSource>| -> StreamResult {

@@ -137,6 +137,43 @@ fn served_streams_build_one_envelope_set_each() {
 }
 
 #[test]
+fn moving_budget_runs_build_one_envelope_set_and_zero_tables() {
+    // A per-frame moving budget (trace or simulated channel) is the
+    // worst case for any per-budget table cache: nearly every frame
+    // prices a different budget, and repeats are coincidences that must
+    // NOT promote a materialized table. The parametric path keeps the
+    // O(1) guarantee: one envelope build, zero full table builds.
+    let mb = 10;
+    let scenario = LoadScenario::paper_benchmark(5).truncated(50);
+    // A recorded trace with deliberate repeats — exactly the recurring
+    // budgets that would have promoted a materialized table under a
+    // Constant spec.
+    let traced = scenario
+        .clone()
+        .with_budget_trace((0..50u64).map(|f| Some(Cycles::new(1_500_000 + 400_000 * (f % 3)))))
+        .expect("valid budget trace");
+    let channel = BudgetSpec::Channel(ChannelParams::adversarial(1_200_000, 3_200_000, 4));
+    for (name, spec_scenario, budget) in [
+        ("channel", scenario, channel),
+        ("trace", traced, BudgetSpec::Trace),
+    ] {
+        let app = TableApp::with_macroblocks(spec_scenario, mb).unwrap();
+        let config = RunConfig::paper_defaults()
+            .scaled_to_macroblocks(mb)
+            .with_budget_source(budget);
+        let mut r = Runner::new(app, config).unwrap();
+        let result = r.run_controlled(&mut MaxQuality::new(), 11).unwrap();
+        assert_eq!(result.skips(), 0, "{name}: floor keeps q0 feasible");
+        assert_eq!(r.envelope_builds(), 1, "{name}: one envelope build");
+        assert_eq!(
+            r.full_table_builds(),
+            0,
+            "{name}: moving budgets must never materialize tables"
+        );
+    }
+}
+
+#[test]
 fn estimator_streams_still_match_across_paths() {
     // With an online estimator the parametric runner refreshes its
     // envelopes in place every time the estimates move the profile —
